@@ -1,0 +1,17 @@
+"""Shared benchmark fixtures: every benchmark prints its reproduced
+table/figure through ``report`` so the rows appear in the pytest output
+(and in bench_output.txt) despite output capture."""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a rendered experiment report, bypassing pytest capture."""
+
+    def _report(title: str, text: str):
+        with capsys.disabled():
+            print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+            print(text)
+
+    return _report

@@ -1,0 +1,60 @@
+"""Benchmarks for the extended hardware analyses: Pareto dominance,
+the discrete-event simulator vs the closed form, and DRAM sensitivity."""
+
+import pytest
+
+from repro.hw import (
+    LOG,
+    POSIT,
+    ForwardUnit,
+    dominated_count,
+    forward_design_space,
+    pareto_frontier,
+    prefetch_sensitivity,
+    simulate_forward_unit,
+)
+from repro.report import render_table
+
+
+def test_pareto_dominance(benchmark, report):
+    points = benchmark(forward_design_space)
+    rows = [{"design": p.label, "seconds": p.seconds, "kLUT": p.luts / 1000,
+             "watts": p.watts} for p in points]
+    report("Design space: forward units (T=500k)", render_table(rows))
+    n_log = sum(1 for p in points if p.style == LOG)
+    assert dominated_count(points, LOG) == n_log  # posit dominates at every H
+    assert dominated_count(points, POSIT) == 0
+    assert all(p.style == POSIT for p in pareto_frontier(points))
+
+
+def test_sim_validates_closed_form(benchmark, report):
+    """The cycle-by-cycle simulator must agree with the analytic model
+    on every paper configuration."""
+
+    def run():
+        rows = []
+        for h in (13, 32, 64, 128):
+            for style in (LOG, POSIT):
+                sim = simulate_forward_unit(style, h, 200, prefetch_latency=1)
+                analytic = ForwardUnit(style, h).timing(200)
+                rows.append({"style": style, "H": h,
+                             "sim cycles": sim.total_cycles,
+                             "analytic cycles": analytic.total_cycles})
+        return rows
+
+    rows = benchmark(run)
+    report("Simulator vs closed form", render_table(rows))
+    for row in rows:
+        assert row["sim cycles"] == row["analytic cycles"]
+
+
+def test_prefetch_sensitivity(benchmark, report):
+    """Section V.C: with posit's short PE, DRAM latency becomes the
+    bottleneck at small H — quantified."""
+    rows = benchmark.pedantic(
+        lambda: prefetch_sensitivity(POSIT, 13, 100,
+                                     latencies=(1, 40, 80, 120, 200, 400)),
+        rounds=1, iterations=1)
+    report("DRAM prefetch sensitivity (posit, H=13)", render_table(rows))
+    assert rows[0]["stall_fraction"] == 0.0
+    assert rows[-1]["stall_fraction"] > 0.5

@@ -1,0 +1,81 @@
+"""Throughput benchmarks for the vectorized application fast paths.
+
+These are the library's production code paths for binary64/log-space
+users (the per-op backends exist for accuracy measurement).  Included so
+regressions in the numpy kernels are caught, and to quantify the
+software LSE penalty at application scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    forward_float,
+    forward_log,
+    forward_rescaled,
+    pbd_pvalue_float,
+    pbd_pvalue_log,
+)
+from repro.data import sample_hmm
+
+
+@pytest.fixture(scope="module")
+def hmm_arrays():
+    hmm = sample_hmm(16, 16, 400, seed=2)
+    return hmm.as_float_arrays()
+
+
+@pytest.fixture(scope="module")
+def pbd_inputs():
+    rng = np.random.default_rng(0)
+    return rng.uniform(1e-4, 5e-2, size=2_000), 24
+
+
+def test_forward_float_throughput(benchmark, hmm_arrays):
+    a, b, pi, obs = hmm_arrays
+    benchmark(forward_float, a, b, pi, obs)
+
+
+def test_forward_log_throughput(benchmark, hmm_arrays):
+    a, b, pi, obs = hmm_arrays
+    result = benchmark(forward_log, a, b, pi, obs)
+    assert np.isfinite(result)
+
+
+def test_forward_rescaled_throughput(benchmark, hmm_arrays):
+    a, b, pi, obs = hmm_arrays
+    scale, mant = benchmark(forward_rescaled, a, b, pi, obs)
+    assert mant > 0
+
+
+def test_pbd_float_throughput(benchmark, pbd_inputs):
+    probs, k = pbd_inputs
+    benchmark(pbd_pvalue_float, probs, k)
+
+
+def test_pbd_log_throughput(benchmark, pbd_inputs):
+    probs, k = pbd_inputs
+    result = benchmark(pbd_pvalue_log, probs, k)
+    assert np.isfinite(result)
+
+
+def test_log_penalty_at_app_scale(benchmark, hmm_arrays, report):
+    """The software analogue of the paper's log-space cost claim: the
+    log-space forward pass is many times slower than the linear one."""
+    import time
+    a, b, pi, obs = hmm_arrays
+
+    def run_both():
+        t0 = time.perf_counter()
+        forward_float(a, b, pi, obs)
+        float_t = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        forward_log(a, b, pi, obs)
+        return float_t, time.perf_counter() - t0
+
+    float_t, log_t = benchmark.pedantic(run_both, rounds=3, iterations=1)
+    report("Software log-space penalty (forward pass)",
+           f"binary64: {float_t * 1e3:.2f} ms/run, "
+           f"log-space: {log_t * 1e3:.2f} ms/run, "
+           f"ratio {log_t / float_t:.1f}x")
+    assert log_t > float_t

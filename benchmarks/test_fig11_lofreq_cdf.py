@@ -1,0 +1,18 @@
+"""Benchmark + reproduction of Figure 11 (LoFreq p-value CDFs)."""
+
+from repro.experiments import fig11_lofreq_cdf
+from repro.report import dominance
+
+
+def test_fig11(benchmark, report):
+    result = benchmark.pedantic(fig11_lofreq_cdf.run, args=("bench",),
+                                rounds=1, iterations=1)
+    report("Figure 11", fig11_lofreq_cdf.render(result))
+    crit = result.cdfs(critical=True)
+    noncrit = result.cdfs(critical=False)
+    # Critical columns: posit(64,12) dominates log (paper Fig. 11a).
+    assert dominance(crit["posit(64,12)"], crit["log"])
+    # Non-critical columns: posit(64,9) achieves the highest accuracy
+    # (paper Fig. 11b).
+    assert noncrit["posit(64,9)"].median <= noncrit["log"].median
+    assert noncrit["posit(64,9)"].median <= noncrit["posit(64,18)"].median

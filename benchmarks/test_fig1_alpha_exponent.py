@@ -1,0 +1,14 @@
+"""Benchmark + reproduction of Figure 1 (alpha exponent trajectory)."""
+
+from repro.experiments import fig1_alpha_exponent
+
+
+def test_fig1(benchmark, report):
+    result = benchmark.pedantic(fig1_alpha_exponent.run, args=("bench",),
+                                rounds=1, iterations=1)
+    report("Figure 1", fig1_alpha_exponent.render(result))
+    # Shape: linear decrease ~6 bits/iteration; binary64 floor crossed
+    # within the first few hundred iterations (paper Figure 1).
+    assert -8.0 < result.slope_bits_per_iter < -4.0
+    assert result.underflow_iteration < 400
+    assert result.scales[-1] < -10_000

@@ -1,0 +1,22 @@
+"""Benchmark + reproduction of Figure 3 (per-op accuracy by magnitude)."""
+
+from repro.core import FIG3_BINS
+from repro.experiments import fig3_op_accuracy
+
+
+def test_fig3(benchmark, report):
+    result = benchmark.pedantic(fig3_op_accuracy.run, args=("bench",),
+                                rounds=1, iterations=1)
+    report("Figure 3", fig3_op_accuracy.render(result))
+    for sweep in (result.add, result.mul):
+        deepest = sweep.boxes[FIG3_BINS[0]]
+        near_one = sweep.boxes[FIG3_BINS[-1]]
+        # Takeaway 1: log degrades with magnitude and loses to binary64
+        # inside the normal range.
+        assert deepest["log"].median > near_one["log"].median + 2.0
+        assert near_one["log"].median > near_one["binary64"].median
+        # Takeaway 2: posit(64,12)/(64,18) beat log outside the range;
+        # posit(64,9) is the noted exception in the deepest bin.
+        assert deepest["posit(64,12)"].median < deepest["log"].median
+        assert deepest["posit(64,18)"].median < deepest["log"].median
+        assert deepest["posit(64,9)"].median > deepest["log"].median

@@ -1,0 +1,18 @@
+"""Benchmark + reproduction of Figure 6 (forward unit performance)."""
+
+import pytest
+
+from repro.experiments import fig6_forward_perf
+
+
+def test_fig6(benchmark, report):
+    rows = benchmark(fig6_forward_perf.run)
+    report("Figure 6", fig6_forward_perf.render(rows))
+    for r in rows:
+        # Model within 10% of every paper wall-clock time.
+        assert r.posit_seconds == pytest.approx(r.paper_posit, rel=0.10)
+        assert r.log_seconds == pytest.approx(r.paper_log, rel=0.10)
+    # Improvement shrinks with H (paper Fig. 6b), peaking ~33% at H=13.
+    assert rows[0].improvement_pct == pytest.approx(33.3, abs=3.0)
+    assert rows[0].improvement_pct > rows[1].improvement_pct > \
+        rows[2].improvement_pct > rows[3].improvement_pct

@@ -1,0 +1,17 @@
+"""Benchmark + reproduction of Figure 7 (column unit performance)."""
+
+from repro.experiments import fig7_column_perf
+
+
+def test_fig7(benchmark, report):
+    rows = benchmark(fig7_column_perf.run)
+    report("Figure 7", fig7_column_perf.render(rows))
+    assert len(rows) == 8
+    # Posit wins everywhere; improvement spread ~5-25% (paper Fig. 7b).
+    imps = [r.improvement_pct for r in rows]
+    assert all(i > 0 for i in imps)
+    assert max(imps) > 15.0
+    assert min(imps) < 10.0
+    # Wall-clock magnitudes in the paper's band (~2.3k-25k seconds).
+    secs = [r.log_seconds for r in rows]
+    assert 1_500 < min(secs) and max(secs) < 40_000

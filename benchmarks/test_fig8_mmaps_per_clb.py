@@ -1,0 +1,14 @@
+"""Benchmark + reproduction of Figure 8 (performance per resource)."""
+
+from repro.experiments import fig8_mmaps_per_clb
+
+
+def test_fig8(benchmark, report):
+    rows = benchmark(fig8_mmaps_per_clb.run)
+    report("Figure 8", fig8_mmaps_per_clb.render(rows))
+    for r in rows:
+        # Paper: posit column units do ~2x MMAPS per CLB on all datasets.
+        assert 1.7 < r.ratio < 2.6
+        # Absolute magnitudes match the figure's axis (~0.1-0.3).
+        assert 0.03 < r.log_mmaps_per_clb < 0.2
+        assert 0.1 < r.posit_mmaps_per_clb < 0.45

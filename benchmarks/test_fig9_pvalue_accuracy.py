@@ -1,0 +1,22 @@
+"""Benchmark + reproduction of Figure 9 (p-value accuracy by magnitude)."""
+
+from repro.data import FIG9_BINS
+from repro.experiments import fig9_pvalue_accuracy
+
+
+def test_fig9(benchmark, report):
+    result = benchmark.pedantic(fig9_pvalue_accuracy.run, args=("bench",),
+                                rounds=1, iterations=1)
+    report("Figure 9", fig9_pvalue_accuracy.render(result))
+    rows = result.median_rows()
+    deepest, shallowest = rows[0], rows[-1]
+    # posit(64,9) underflows out of the deepest bins (paper: absent in
+    # the two leftmost ranges); posit(64,18) never underflows.
+    assert deepest["posit(64,9)"] is None
+    assert deepest["posit(64,18)"] is not None
+    assert result.lofreq.underflow_count("posit(64,9)") > 0
+    assert result.lofreq.underflow_count("posit(64,18)") == 0
+    # posit(64,18) beats log on the extreme magnitudes...
+    assert deepest["posit(64,18)"] < deepest["log"]
+    # ...while posit(64,9) is the most accurate near the threshold.
+    assert shallowest["posit(64,9)"] <= shallowest["log"]

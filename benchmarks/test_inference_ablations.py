@@ -1,0 +1,106 @@
+"""Benchmarks for the inference-level consequences of underflow (the
+paper's motivating sentence) and the extended-format comparison."""
+
+import numpy as np
+import pytest
+
+from repro.apps import baum_welch, run_chain
+from repro.arith import (
+    Binary64Backend,
+    LNSBackend,
+    LogSpaceBackend,
+    PositBackend,
+    standard_backends,
+)
+from repro.core import measure_op
+from repro.data import sample_hcg_like_hmm
+from repro.formats import PositEnv, Real, lns64_for_range
+from repro.report import render_table
+
+
+def test_baum_welch_convergence(benchmark, report):
+    """EM training across formats on a deep-magnitude workload."""
+    hmm = sample_hcg_like_hmm(3, 25, seed=17, bits_per_step=200.0)
+
+    def run():
+        rows = []
+        for name, backend in (("binary64", Binary64Backend()),
+                              ("log", LogSpaceBackend()),
+                              ("posit(64,18)",
+                               PositBackend(PositEnv(64, 18)))):
+            trace = baum_welch(hmm, backend, iterations=3)
+            rows.append({"format": name,
+                         "degenerate": trace.degenerate,
+                         "iterations": trace.iterations,
+                         "monotone": None if trace.degenerate
+                         else trace.monotone_increasing(tol=1e-3)})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Baum-Welch convergence by format", render_table(rows))
+    by = {r["format"]: r for r in rows}
+    assert by["binary64"]["degenerate"]
+    assert not by["log"]["degenerate"] and by["log"]["monotone"]
+    assert not by["posit(64,18)"]["degenerate"]
+
+
+def test_mcmc_mixing(benchmark, report):
+    """Metropolis-Hastings acceptance statistics by format."""
+
+    def run():
+        rows = []
+        for name, backend in (("binary64", Binary64Backend()),
+                              ("log", LogSpaceBackend()),
+                              ("posit(64,18)",
+                               PositBackend(PositEnv(64, 18)))):
+            chain = run_chain(backend, steps=30, seed=5)
+            rows.append({"format": name, "accepted": chain.accepted,
+                         "rejected": chain.rejected, "stuck": chain.stuck})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("MCMC chain health by format", render_table(rows))
+    by = {r["format"]: r for r in rows}
+    assert by["binary64"]["stuck"] == 30  # the paper's broken chain
+    assert by["log"]["stuck"] == 0
+    assert by["posit(64,18)"]["stuck"] == 0
+
+
+def test_lns_comparison(benchmark, report):
+    """Section VII quantified: LNS vs the paper's formats at three
+    magnitudes, plus the lookup-table cost that rules it out at 64 bits."""
+    points = [(-100, "in range"), (-1_800, "near LNS edge"),
+              (-9_000, "beyond LNS range")]
+    backends = {
+        "log": LogSpaceBackend(),
+        "lns(12,50)": LNSBackend(),
+        "posit(64,12)": PositBackend(PositEnv(64, 12)),
+    }
+
+    def run():
+        rows = []
+        for scale, label in points:
+            x = Real(0, (1 << 60) + 987_654_321, scale - 60)
+            y = Real(0, (1 << 60) + 123_456_789, scale - 61)
+            row = {"magnitude": f"2^{scale} ({label})"}
+            for name, backend in backends.items():
+                res = measure_op(backend, "add", x, y)
+                row[name] = res.log10_error if res.ok else "fail"
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Ablation: LNS vs log-space vs posit", render_table(rows))
+    # Flat LNS accuracy in range; catastrophic outside.
+    assert rows[0]["lns(12,50)"] < -14.5
+    assert rows[1]["lns(12,50)"] < -14.0
+    assert rows[2]["lns(12,50)"] == "fail" or rows[2]["lns(12,50)"] > 0
+    # The table-size argument.
+    table_bytes = LNSBackend().env.sb_table_bytes()
+    lofreq_env = lns64_for_range(-434_916)
+    report("LNS sb-table cost",
+           f"lns(12,50) ideal sb table: {table_bytes:.2e} bytes; "
+           f"covering LoFreq's range needs lns({lofreq_env.int_bits},"
+           f"{lofreq_env.frac_bits}) with {lofreq_env.sb_table_bytes():.2e} "
+           f"bytes — the paper's impracticality claim.")
+    assert table_bytes > 1e15

@@ -1,0 +1,67 @@
+"""Software micro-benchmarks of the arithmetic backends.
+
+Not a paper figure, but the software analogue of Table II: relative op
+costs of native binary64, log-space LSE, and (software-emulated) posit.
+The paper notes 'software-emulated posit is too slow for practical use' —
+these numbers quantify that for this implementation.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.formats import PositEnv, lse2
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = random.Random(1)
+    return [(rng.uniform(0.01, 0.99), rng.uniform(0.01, 0.99))
+            for _ in range(200)]
+
+
+def test_native_binary64_add(benchmark, operands):
+    def run():
+        total = 0.0
+        for a, b in operands:
+            total += a + b
+        return total
+    benchmark(run)
+
+
+def test_logspace_lse_add(benchmark, operands):
+    logs = [(math.log(a), math.log(b)) for a, b in operands]
+
+    def run():
+        total = 0.0
+        for la, lb in logs:
+            total += lse2(la, lb)
+        return total
+    benchmark(run)
+
+
+@pytest.mark.parametrize("es", [9, 18])
+def test_posit_add(benchmark, operands, es):
+    env = PositEnv(64, es)
+    bits = [(env.from_float(a), env.from_float(b)) for a, b in operands]
+
+    def run():
+        out = 0
+        for pa, pb in bits:
+            out ^= env.add(pa, pb)
+        return out
+    benchmark(run)
+
+
+@pytest.mark.parametrize("es", [9, 18])
+def test_posit_mul(benchmark, operands, es):
+    env = PositEnv(64, es)
+    bits = [(env.from_float(a), env.from_float(b)) for a, b in operands]
+
+    def run():
+        out = 0
+        for pa, pb in bits:
+            out ^= env.mul(pa, pb)
+        return out
+    benchmark(run)

@@ -1,0 +1,11 @@
+"""Benchmark + gate: the one-page reproduction scorecard.  If any
+headline claim stops reproducing, this is the bench that goes red."""
+
+from repro.experiments import scorecard
+
+
+def test_scorecard(benchmark, report):
+    claims = benchmark.pedantic(scorecard.run, rounds=1, iterations=1)
+    report("Reproduction scorecard", scorecard.render(claims))
+    failing = [c.claim_id for c in claims if not c.holds]
+    assert not failing, failing

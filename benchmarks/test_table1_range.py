@@ -1,0 +1,13 @@
+"""Benchmark + reproduction of Table I (range/precision table)."""
+
+from repro.experiments import table1_range
+
+
+def test_table1(benchmark, report):
+    rows = benchmark(table1_range.run)
+    report("Table I", table1_range.render(rows))
+    # Golden values from the paper.
+    by_name = {r.format: r for r in rows}
+    assert by_name["posit(64,9)"].smallest_scale == -31_744
+    assert by_name["posit(64,18)"].smallest_scale == -16_252_928
+    assert by_name["binary64"].smallest_scale == -1_074

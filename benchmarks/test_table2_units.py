@@ -1,0 +1,14 @@
+"""Benchmark + reproduction of Table II (arithmetic unit costs)."""
+
+from repro.experiments import table2_units
+
+
+def test_table2(benchmark, report):
+    result = benchmark(table2_units.run)
+    report("Table II", table2_units.render(result))
+    model = result["cost_model"]
+    # Section I: log-space addition ~10x slower, ~8x LUTs/FFs.
+    assert 10.0 < model["ratio"] < 11.0
+    assert 7.0 < model["lut_ratio"] < 8.0
+    check = result["lse_check"]
+    assert check["lut"] == check["lut_expected"]

@@ -1,0 +1,20 @@
+"""Benchmark + reproduction of Table III (forward unit resources)."""
+
+import pytest
+
+from repro.experiments import table3_forward_resources
+
+
+def test_table3(benchmark, report):
+    rows = benchmark(table3_forward_resources.run)
+    report("Table III", table3_forward_resources.render(rows))
+    for r in rows:
+        if r.paper is None:
+            continue
+        tol = 0.20 if r.h == 128 else 0.05  # lane sharing at H=128
+        assert r.model["LUT"] == pytest.approx(r.paper["LUT"], rel=tol), \
+            (r.style, r.h)
+    reductions = table3_forward_resources.reduction_rows(rows)
+    for row in reductions:
+        # Paper: ~60-62% LUT reduction at every H.
+        assert 55.0 < row["LUT reduction %"] < 67.0

@@ -1,0 +1,18 @@
+"""Benchmark + reproduction of Table IV (column unit resources + SLR)."""
+
+import pytest
+
+from repro.experiments import table4_column_resources
+
+
+def test_table4(benchmark, report):
+    result = benchmark(table4_column_resources.run)
+    report("Table IV", table4_column_resources.render(result))
+    for row in result["rows"]:
+        assert row["model LUT"] == pytest.approx(row["paper LUT"], rel=0.05)
+    red = result["reduction"]
+    assert red["LUT"] == pytest.approx(64.1, abs=4.0)
+    fp = result["floorplan"]
+    assert fp["log_per_slr"].units_per_slr == 4  # paper: at most 4
+    assert fp["posit_per_slr"].units_per_slr >= 10  # paper: easily 10
+    assert fp["replication"]["whole_fpga_speedup"] > 2.0  # the 2x claim

@@ -1,0 +1,87 @@
+"""Accelerator design-space exploration with the hardware models.
+
+Goes beyond the paper's fixed configurations: sweeps H for the forward
+unit, PE count for the column unit, and ES for the posit datapath, and
+reports where each design is compute- vs prefetch-bound, what it costs,
+and how many units fit on an Alveo U250 die slice.
+
+Run:  python examples/accelerator_design_space.py
+"""
+
+from repro.formats import PositEnv
+from repro.hw import (
+    LOG,
+    POSIT,
+    ColumnUnit,
+    ForwardUnit,
+    paper_scale_shapes,
+    units_per_slr,
+)
+from repro.report import render_table
+
+
+def forward_unit_sweep():
+    print("Forward-algorithm unit design space (T=500,000):")
+    rows = []
+    for h in (8, 13, 16, 32, 48, 64, 96, 128):
+        for style, name in ((LOG, "log"), (POSIT, "posit18")):
+            unit = ForwardUnit(style, h)
+            timing = unit.timing(500_000)
+            rows.append({
+                "H": h,
+                "style": name,
+                "time (s)": unit.seconds(500_000),
+                "PE latency": unit.pe_latency,
+                "bound": "prefetch" if timing.prefetch_bound else "compute",
+                "LUTs": unit.resources().lut,
+                "units/SLR": units_per_slr(unit.resources()).units_per_slr,
+            })
+    print(render_table(rows))
+
+
+def column_unit_pe_sweep():
+    shape = paper_scale_shapes(seed=0, n_datasets=1)[0]
+    print("\nColumn unit: PE-count sweep on one dataset shape:")
+    rows = []
+    for n_pes in (2, 4, 8, 16, 32):
+        for style, name in ((LOG, "log"), (POSIT, "posit12")):
+            unit = ColumnUnit(style, n_pes=n_pes)
+            rows.append({
+                "PEs": n_pes,
+                "style": name,
+                "dataset time (s)": unit.dataset_seconds(shape),
+                "LUTs": unit.resources().lut,
+                "units/SLR": units_per_slr(unit.resources()).units_per_slr,
+            })
+    print(render_table(rows))
+
+
+def es_design_choice():
+    print("\nChoosing ES: range vs precision (Table I trade-off):")
+    rows = []
+    for es in (6, 9, 12, 15, 18, 21):
+        env = PositEnv(64, es)
+        rows.append({
+            "ES": es,
+            "smallest positive": f"2^{env.min_scale}",
+            "fraction bits @2^-500": env.fraction_bits_at_scale(-500),
+            "fraction bits @2^-31000": (
+                env.fraction_bits_at_scale(-31_000)
+                if env.min_scale <= -31_000 else None),
+            "fraction bits @2^-400000": (
+                env.fraction_bits_at_scale(-400_000)
+                if env.min_scale <= -400_000 else None),
+        })
+    print(render_table(rows))
+    print("Reading: small ES = more precision while in range; large ES = "
+          "the only configs that survive LoFreq's 2^-434,916 p-values.")
+
+
+def main():
+    forward_unit_sweep()
+    column_unit_pe_sweep()
+    es_design_choice()
+
+
+if __name__ == "__main__":
+    main()

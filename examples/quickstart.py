@@ -1,0 +1,61 @@
+"""Quickstart: the paper's core idea in 60 lines.
+
+Statistical computations multiply probabilities until they fall below
+binary64's 2**-1074 floor.  The standard fix — log-space — trades away
+precision; posits keep both range and precision.  This example shows all
+three representations handling the same tiny number, and the bit-level
+reason why.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.arith import standard_backends
+from repro.bigfloat import BigFloat, log10_relative_error
+from repro.core import measure_op, table1_rows
+from repro.formats import PositEnv, Real
+from repro.report import render_table
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. A probability far outside binary64's range: 2**-20_000.
+    # ------------------------------------------------------------------
+    tiny = BigFloat.exp2(-20_000)
+    print("The value 2^-20000 in each representation:")
+    for name, backend in standard_backends().items():
+        encoded = backend.from_bigfloat(tiny)
+        if backend.is_zero(encoded):
+            desc = "UNDERFLOW (becomes exactly 0)"
+        else:
+            err = log10_relative_error(tiny, backend.to_bigfloat(encoded))
+            desc = f"represented, log10(rel err) = {err:.1f}"
+        print(f"  {name:14s} {desc}")
+
+    # ------------------------------------------------------------------
+    # 2. Accuracy of one addition at that magnitude, per format.
+    # ------------------------------------------------------------------
+    x = Real(0, (1 << 60) + 987_654_321, -20_000 - 60)
+    y = Real(0, (1 << 60) + 123_456_789, -20_001 - 60)
+    print("\nAdding two ~2^-20000 probabilities (log10 relative error):")
+    rows = []
+    for name, backend in standard_backends().items():
+        res = measure_op(backend, "add", x, y)
+        rows.append({"format": name, "status": res.status,
+                     "log10 rel err": res.log10_error})
+    print(render_table(rows))
+
+    # ------------------------------------------------------------------
+    # 3. Why: the posit bit-field taper (the paper's Figure 2 / Table I).
+    # ------------------------------------------------------------------
+    print("\nPosit(8,2) worked example from the paper (0_0001_10_1):")
+    env = PositEnv(8, 2)
+    layout = env.field_layout(0b0_0001_10_1)
+    print(f"  fields: {layout}")
+    print(f"  value : {env.to_float(0b0_0001_10_1)}  (paper: 1.5 * 2^-10)")
+
+    print("\nTable I (computed from the format implementations):")
+    print(render_table([r.render() for r in table1_rows()]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package,
+so editable installs must go through `setup.py develop` (--no-use-pep517).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""repro — reproduction of *Design and accuracy trade-offs in
+Computational Statistics* (Xu, Cox, Rixner; IISWC 2025).
+
+The paper compares binary64, log-space, and posit(64,ES) arithmetic for
+statistical computations whose probabilities fall far below 2**-1074,
+at three levels: individual operations, full applications (HMM forward
+algorithm / Poisson-binomial p-values), and FPGA accelerators.
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.bigfloat` — arbitrary-precision oracle (MPFR substitute)
+* :mod:`repro.formats` — posit / IEEE / log-space number formats
+* :mod:`repro.arith` — format-generic arithmetic backends
+* :mod:`repro.core` — accuracy sweeps, bit-budget analysis, range tables
+* :mod:`repro.apps` — forward algorithm (VICAR), PBD p-values (LoFreq)
+* :mod:`repro.data` — synthetic workload generators
+* :mod:`repro.hw` — FPGA accelerator timing/resource models
+* :mod:`repro.experiments` — one module per paper table/figure
+* :mod:`repro.report` — text tables and CDFs
+
+Quickstart::
+
+    from repro.arith import standard_backends
+    from repro.core import run_op_sweep
+    result = run_op_sweep("add", standard_backends(), per_bin=50)
+"""
+
+__version__ = "1.0.0"
+
+from . import arith, bigfloat, core, formats  # noqa: F401
+
+__all__ = ["arith", "bigfloat", "core", "formats", "__version__"]

@@ -1,0 +1,172 @@
+"""HMM algorithms beyond the paper's forward pass: backward, Viterbi and
+posterior decoding.
+
+These exercise the same probability arithmetic (iterated mul/add over
+shrinking magnitudes) through different dataflows, and give the test
+suite strong cross-validation invariants:
+
+* forward and backward compute the *same* likelihood;
+* posterior state probabilities sum to 1 at every position;
+* the Viterbi path's probability is a lower bound on the likelihood.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..arith.backend import Backend
+from ..data.dirichlet import HMMData
+
+
+def backward(hmm: HMMData, backend: Backend):
+    """The backward algorithm: returns the likelihood P(O | lambda)
+    computed right-to-left (must agree with :func:`repro.apps.forward`)."""
+    obs = hmm.observations
+    h = hmm.n_states
+    a = [[backend.from_bigfloat(x) for x in row] for row in hmm.transition]
+    b = [[backend.from_bigfloat(x) for x in row] for row in hmm.emission]
+    pi = [backend.from_bigfloat(x) for x in hmm.initial]
+    one = backend.one()
+    beta = [one] * h
+    for t in range(len(obs) - 1, 0, -1):
+        ot = obs[t]
+        beta = [backend.sum(
+            backend.mul(a[p][q], backend.mul(b[q][ot], beta[q]))
+            for q in range(h)) for p in range(h)]
+    o0 = obs[0]
+    return backend.sum(
+        backend.mul(pi[q], backend.mul(b[q][o0], beta[q])) for q in range(h))
+
+
+def forward_matrix(hmm: HMMData, backend: Backend) -> List[list]:
+    """All alpha vectors (T x H backend values)."""
+    obs = hmm.observations
+    h = hmm.n_states
+    a = [[backend.from_bigfloat(x) for x in row] for row in hmm.transition]
+    b = [[backend.from_bigfloat(x) for x in row] for row in hmm.emission]
+    pi = [backend.from_bigfloat(x) for x in hmm.initial]
+    alphas = [[backend.mul(pi[q], b[q][obs[0]]) for q in range(h)]]
+    for t in range(1, len(obs)):
+        ot = obs[t]
+        prev = alphas[-1]
+        alphas.append([
+            backend.mul(backend.sum(backend.mul(prev[p], a[p][q])
+                                    for p in range(h)), b[q][ot])
+            for q in range(h)])
+    return alphas
+
+
+def backward_matrix(hmm: HMMData, backend: Backend) -> List[list]:
+    """All beta vectors (T x H backend values)."""
+    obs = hmm.observations
+    h = hmm.n_states
+    a = [[backend.from_bigfloat(x) for x in row] for row in hmm.transition]
+    b = [[backend.from_bigfloat(x) for x in row] for row in hmm.emission]
+    betas = [[backend.one()] * h]
+    for t in range(len(obs) - 1, 0, -1):
+        ot = obs[t]
+        nxt = betas[0]
+        betas.insert(0, [backend.sum(
+            backend.mul(a[p][q], backend.mul(b[q][ot], nxt[q]))
+            for q in range(h)) for p in range(h)])
+    return betas
+
+
+def posterior_decode(hmm: HMMData, backend: Backend) -> List[int]:
+    """Most probable state at each position: argmax_q alpha_t[q]*beta_t[q].
+
+    The argmax is taken by exact value comparison (via the backend's
+    BigFloat view), so posterior decoding is well-defined even for
+    formats whose encodings are not order-isomorphic to floats.
+    """
+    alphas = forward_matrix(hmm, backend)
+    betas = backward_matrix(hmm, backend)
+    path = []
+    for alpha_t, beta_t in zip(alphas, betas):
+        best_q, best_v = 0, None
+        for q, (av, bv) in enumerate(zip(alpha_t, beta_t)):
+            prod = backend.mul(av, bv)
+            value = None if backend.is_zero(prod) else backend.to_bigfloat(prod)
+            if value is None:
+                continue
+            if best_v is None or value > best_v:
+                best_q, best_v = q, value
+        path.append(best_q)
+    return path
+
+
+def posterior_distributions(hmm: HMMData, backend: Backend) -> List[list]:
+    """gamma_t(q) = P(q_t = q | O) as backend values, normalized by the
+    likelihood.  Only meaningful for backends with division (the oracle
+    and binary64); used by the invariants tests."""
+    alphas = forward_matrix(hmm, backend)
+    betas = backward_matrix(hmm, backend)
+    out = []
+    for alpha_t, beta_t in zip(alphas, betas):
+        out.append([backend.mul(a, b) for a, b in zip(alpha_t, beta_t)])
+    return out
+
+
+def viterbi(hmm: HMMData, backend: Backend) -> Tuple[List[int], object]:
+    """Most probable state path and its probability.
+
+    ``max`` is evaluated by exact value comparison.  In log-space the
+    products become sums and the same code applies unchanged — Viterbi
+    needs no LSE at all, which is why log-space Viterbi is cheap while
+    the forward algorithm is not (the paper's LSE cost argument applies
+    only to *summing* paths).
+    """
+    obs = hmm.observations
+    h = hmm.n_states
+    a = [[backend.from_bigfloat(x) for x in row] for row in hmm.transition]
+    b = [[backend.from_bigfloat(x) for x in row] for row in hmm.emission]
+    pi = [backend.from_bigfloat(x) for x in hmm.initial]
+
+    def key(value):
+        if backend.is_zero(value):
+            return None
+        return backend.to_bigfloat(value)
+
+    delta = [backend.mul(pi[q], b[q][obs[0]]) for q in range(h)]
+    parents: List[List[int]] = []
+    for t in range(1, len(obs)):
+        ot = obs[t]
+        nxt = []
+        row_parents = []
+        for q in range(h):
+            best_v = backend.mul(delta[0], a[0][q])
+            best_p, best_key = 0, key(best_v)
+            for p in range(1, h):
+                cand = backend.mul(delta[p], a[p][q])
+                ck = key(cand)
+                if best_key is None or (ck is not None and ck > best_key):
+                    best_p, best_v, best_key = p, cand, ck
+            nxt.append(backend.mul(best_v, b[q][ot]))
+            row_parents.append(best_p)
+        delta = nxt
+        parents.append(row_parents)
+    # Trace back from the best final state.
+    best_q, best_key = 0, key(delta[0])
+    for q in range(1, h):
+        ck = key(delta[q])
+        if best_key is None or (ck is not None and ck > best_key):
+            best_q, best_key = q, ck
+    path = [best_q]
+    for row_parents in reversed(parents):
+        path.append(row_parents[path[-1]])
+    path.reverse()
+    return path, delta[path[-1]]
+
+
+def path_probability(hmm: HMMData, path: List[int], backend: Backend):
+    """P(O, q = path | lambda): probability of one specific state path —
+    used to verify Viterbi's optimality against brute force."""
+    obs = hmm.observations
+    a = [[backend.from_bigfloat(x) for x in row] for row in hmm.transition]
+    b = [[backend.from_bigfloat(x) for x in row] for row in hmm.emission]
+    pi = [backend.from_bigfloat(x) for x in hmm.initial]
+    p = backend.mul(pi[path[0]], b[path[0]][obs[0]])
+    for t in range(1, len(obs)):
+        p = backend.mul(p, backend.mul(a[path[t - 1]][path[t]],
+                                       b[path[t]][obs[t]]))
+    return p

@@ -1,0 +1,115 @@
+"""Metropolis-Hastings over HMM parameters — the paper's cited failure
+mode for underflow in Bayesian inference ([47], [81]: "underflow to zero
+prevents proper convergence ... in algorithms such as Variational
+Inference and Markov Chain Monte Carlo").
+
+The acceptance decision needs the likelihood *ratio* L(theta') / L(theta).
+When both likelihoods underflow to zero the ratio is 0/0: the chain
+cannot move rationally.  This module runs a small random-walk MH chain
+over the transition-matrix concentration and reports acceptance
+statistics per backend, making the paper's motivation measurable:
+
+* binary64: every proposal evaluates to 0 -> the chain is **stuck**
+  (or accepts blindly, depending on the 0/0 convention — we count both);
+* log-space and posit: the ratio is well-defined and the chain mixes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..arith.backend import Backend
+from ..bigfloat import BigFloat
+from ..data.dirichlet import HMMData, sample_hcg_like_hmm
+from .hmm import forward
+
+
+@dataclass
+class ChainResult:
+    """Outcome of one Metropolis-Hastings run."""
+
+    accepted: int
+    rejected: int
+    stuck: int  # proposals where the ratio was undefined (0/0)
+    samples: List[float] = field(default_factory=list)  # accepted params
+
+    @property
+    def steps(self) -> int:
+        return self.accepted + self.rejected + self.stuck
+
+    @property
+    def acceptance_rate(self) -> float:
+        moves = self.accepted + self.rejected
+        return self.accepted / moves if moves else 0.0
+
+    @property
+    def mixed(self) -> bool:
+        """A healthy chain both accepts and rejects and is never stuck."""
+        return self.stuck == 0 and self.accepted > 0 and self.rejected > 0
+
+
+def _likelihood_ratio(backend: Backend, proposed, current) -> Optional[float]:
+    """L(theta')/L(theta) as a float in [0, inf); None when undefined."""
+    p_zero = backend.is_zero(proposed)
+    c_zero = backend.is_zero(current)
+    if p_zero and c_zero:
+        return None  # 0/0: the underflow pathology
+    if p_zero:
+        return 0.0
+    if c_zero:
+        return math.inf
+    ratio = backend.div(proposed, current)
+    value = backend.to_bigfloat(ratio)
+    f = value.to_float()
+    return f if math.isfinite(f) else math.inf
+
+
+def _perturbed_model(base: HMMData, scale_jitter: float,
+                     seed: int) -> HMMData:
+    """Propose new parameters: rescale the emission magnitudes slightly
+    (a random-walk step on the magnitude parameter the synthetic HCG
+    generator exposes)."""
+    rng = random.Random(seed)
+    factor = BigFloat.from_float(math.exp(rng.gauss(0.0, scale_jitter)))
+    emission = tuple(tuple(v.mul(factor, 128) for v in row)
+                     for row in base.emission)
+    return HMMData(base.transition, emission, base.initial,
+                   base.observations)
+
+
+def run_chain(backend: Backend, base: Optional[HMMData] = None,
+              steps: int = 20, seed: int = 0,
+              scale_jitter: float = 0.2,
+              bits_per_step: float = 150.0) -> ChainResult:
+    """Run a random-walk MH chain; returns acceptance statistics.
+
+    The default workload's likelihood (~2**-4500 for 30 sites at 150
+    bits/site) is far below binary64's range, so the binary64 chain is
+    stuck from the first proposal.
+    """
+    rng = random.Random(seed)
+    if base is None:
+        base = sample_hcg_like_hmm(3, 30, seed=seed,
+                                   bits_per_step=bits_per_step)
+    current_model = base
+    current_like = forward(current_model, backend)
+    result = ChainResult(0, 0, 0)
+    for step in range(steps):
+        proposal = _perturbed_model(current_model, scale_jitter,
+                                    seed=seed * 1000 + step)
+        proposed_like = forward(proposal, backend)
+        ratio = _likelihood_ratio(backend, proposed_like, current_like)
+        if ratio is None:
+            result.stuck += 1
+            continue
+        if ratio >= 1.0 or rng.random() < ratio:
+            result.accepted += 1
+            current_model = proposal
+            current_like = proposed_like
+            result.samples.append(ratio)
+        else:
+            result.rejected += 1
+    return result

@@ -1,0 +1,137 @@
+"""Poisson Binomial Distribution PMF and p-value (Section V.A, Listing 2).
+
+Given N independent Bernoulli trials with success probabilities ``p_n``
+and an observed success count K, the kernel iterates the PMF recurrence
+
+    ``pr[k] = pr_prev[k] * (1 - p_n) + pr_prev[k-1] * p_n``
+
+and accumulates the p-value ``P(X >= K)`` as the probability that the
+K-th success arrives at trial n:
+
+    ``pvalue += pr_prev[K-1] * p_n``   (for n > K ... N)
+
+which is exactly Listing 2.  The generic implementation is parameterized
+by an arithmetic backend; ``1 - p_n`` is computed exactly on the input
+side (LoFreq precomputes ``ln(1 - p_n)`` the same way) so log-space never
+needs a subtraction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..arith.backend import Backend
+from ..bigfloat import BigFloat
+
+
+def complement(p: BigFloat, prec: int = 256) -> BigFloat:
+    """Exactly-rounded ``1 - p`` for a probability input.
+
+    Validates the probability domain: a success probability outside
+    [0, 1] is a workload-generation bug, and letting it through would
+    silently break every downstream recurrence.
+    """
+    if p.is_negative() or p > BigFloat.from_int(1):
+        raise ValueError("success probability must lie in [0, 1]")
+    return BigFloat.from_int(1).sub(p, prec)
+
+
+def pbd_pvalue(success_probs: Sequence[BigFloat], k: int, backend: Backend):
+    """P(X >= k) over the given trials, as a backend value.
+
+    Follows Listing 2: the PMF array ``pr`` only needs entries 0..k-1
+    because trials beyond the k-th success contribute through the
+    accumulation term.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1 (a variant needs a success)")
+    n_trials = len(success_probs)
+    if n_trials < k:
+        raise ValueError("need at least k trials")
+    pn_vals = [backend.from_bigfloat(p) for p in success_probs]
+    qn_vals = [backend.from_bigfloat(complement(p)) for p in success_probs]
+    zero = backend.zero()
+    # pr[j] = P(j successes in the first n trials), tracked for j < k.
+    pr_prev: List = [backend.one()] + [zero] * (k - 1)
+    pvalue = zero
+    for n in range(n_trials):
+        pn, qn = pn_vals[n], qn_vals[n]
+        pr = [backend.mul(pr_prev[0], qn)]
+        for j in range(1, k):
+            pr.append(backend.add(backend.mul(pr_prev[j], qn),
+                                  backend.mul(pr_prev[j - 1], pn)))
+        if n >= k - 1:
+            pvalue = backend.add(pvalue, backend.mul(pr_prev[k - 1], pn))
+        pr_prev = pr
+    return pvalue
+
+
+def pbd_pmf(success_probs: Sequence[BigFloat], max_k: int, backend: Backend) -> list:
+    """The full PMF row P(X = j) for j = 0..max_k after all trials."""
+    pn_vals = [backend.from_bigfloat(p) for p in success_probs]
+    qn_vals = [backend.from_bigfloat(complement(p)) for p in success_probs]
+    zero = backend.zero()
+    pr_prev: List = [backend.one()] + [zero] * max_k
+    for n in range(len(success_probs)):
+        pn, qn = pn_vals[n], qn_vals[n]
+        pr = [backend.mul(pr_prev[0], qn)]
+        for j in range(1, max_k + 1):
+            pr.append(backend.add(backend.mul(pr_prev[j], qn),
+                                  backend.mul(pr_prev[j - 1], pn)))
+        pr_prev = pr
+    return pr_prev
+
+
+def reference_pvalue(success_probs: Sequence[BigFloat], k: int,
+                     prec: int = 256) -> BigFloat:
+    """Oracle p-value at the given precision (the paper's 256-bit MPFR
+    baseline)."""
+    from ..arith.backends import BigFloatBackend
+    return pbd_pvalue(success_probs, k, BigFloatBackend(prec))
+
+
+# ----------------------------------------------------------------------
+# Vectorized fast paths
+# ----------------------------------------------------------------------
+def pbd_pvalue_float(success_probs: np.ndarray, k: int) -> float:
+    """Vectorized binary64 PBD p-value (underflows for deep tails)."""
+    p = np.asarray(success_probs, dtype=float)
+    pr = np.zeros(k, dtype=float)
+    pr[0] = 1.0
+    pvalue = 0.0
+    for n in range(p.shape[0]):
+        pn = p[n]
+        shifted = np.empty_like(pr)
+        shifted[0] = 0.0
+        shifted[1:] = pr[:-1]
+        if n >= k - 1:
+            pvalue += pr[k - 1] * pn
+        pr = pr * (1.0 - pn) + shifted * pn
+    return float(pvalue)
+
+
+def pbd_pvalue_log(success_probs: np.ndarray, k: int) -> float:
+    """Vectorized log-space PBD p-value (returns the natural log).
+
+    ``np.logaddexp`` performs the binary LSE of Equation (2); this is the
+    software structure of the paper's log-based column unit.
+    """
+    p = np.asarray(success_probs, dtype=float)
+    with np.errstate(divide="ignore"):
+        ln_p = np.log(p)
+        ln_q = np.log1p(-p)
+    neg_inf = -np.inf
+    pr = np.full(k, neg_inf)
+    pr[0] = 0.0
+    ln_pvalue = neg_inf
+    for n in range(p.shape[0]):
+        lpn, lqn = ln_p[n], ln_q[n]
+        shifted = np.empty_like(pr)
+        shifted[0] = neg_inf
+        shifted[1:] = pr[:-1]
+        if n >= k - 1:
+            ln_pvalue = np.logaddexp(ln_pvalue, pr[k - 1] + lpn)
+        pr = np.logaddexp(pr + lqn, shifted + lpn)
+    return float(ln_pvalue)

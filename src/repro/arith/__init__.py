@@ -1,0 +1,22 @@
+"""Format-generic arithmetic backends (binary64 / log-space / posit /
+BigFloat oracle) shared by all applications and experiments."""
+
+from .backend import Backend
+from .backends import (
+    BigFloatBackend,
+    Binary64Backend,
+    LNSBackend,
+    LogSpaceBackend,
+    PositBackend,
+    standard_backends,
+)
+
+__all__ = [
+    "Backend",
+    "Binary64Backend",
+    "LogSpaceBackend",
+    "PositBackend",
+    "LNSBackend",
+    "BigFloatBackend",
+    "standard_backends",
+]

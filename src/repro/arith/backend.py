@@ -1,0 +1,87 @@
+"""Format-generic arithmetic backend protocol.
+
+The paper evaluates the *same* algorithms (forward algorithm, Poisson-
+binomial recurrence) under binary64, log-space and posit arithmetic.  The
+applications in :mod:`repro.apps` are therefore written once against this
+small protocol and instantiated per format, exactly mirroring how the
+paper swaps arithmetic units inside otherwise-identical accelerators.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterable
+
+from ..bigfloat import BigFloat
+
+
+class Backend(abc.ABC):
+    """Arithmetic over probabilities in one number representation.
+
+    Values are opaque to callers (floats, posit bit patterns, BigFloats,
+    ...).  Inputs enter through :meth:`from_bigfloat` — the paper's
+    methodology converts exact MPFR operands into each format — and
+    results leave through :meth:`to_bigfloat` for accuracy scoring.
+    """
+
+    #: Short identifier used in result tables ("binary64", "log", ...).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def from_bigfloat(self, x: BigFloat) -> Any:
+        """Round an exact value into this representation."""
+
+    @abc.abstractmethod
+    def to_bigfloat(self, value: Any) -> BigFloat:
+        """Exact (or correctly rounded, for log-space) value of ``value``."""
+
+    @abc.abstractmethod
+    def add(self, a: Any, b: Any) -> Any:
+        """Probability addition (LSE in log-space)."""
+
+    @abc.abstractmethod
+    def mul(self, a: Any, b: Any) -> Any:
+        """Probability multiplication (addition in log-space)."""
+
+    @abc.abstractmethod
+    def zero(self) -> Any:
+        """The additive identity (probability 0)."""
+
+    @abc.abstractmethod
+    def one(self) -> Any:
+        """The multiplicative identity (probability 1)."""
+
+    @abc.abstractmethod
+    def is_zero(self, value: Any) -> bool:
+        """True if ``value`` represents exactly zero probability
+        (i.e. the computation has underflowed or started from zero)."""
+
+    def from_float(self, x: float) -> Any:
+        return self.from_bigfloat(BigFloat.from_float(x))
+
+    def div(self, a: Any, b: Any) -> Any:
+        """Probability division (subtraction in log-space).
+
+        Needed only by normalizing algorithms (Baum-Welch); backends
+        without a native divide may leave the default, which raises.
+        """
+        raise NotImplementedError(f"{self.name} does not support division")
+
+    def sum(self, values: Iterable[Any]) -> Any:
+        """Accumulate many probabilities.
+
+        The default folds :meth:`add` left-to-right (sequential
+        accumulation, as in Listing 1 line 8).  Backends with a cheaper
+        n-ary primitive (log-space's Equation-3 LSE) override this.
+        """
+        acc = self.zero()
+        for v in values:
+            acc = self.add(acc, v)
+        return acc
+
+    def dot(self, xs: Iterable[Any], ys: Iterable[Any]) -> Any:
+        """Sum of products — the forward algorithm's inner kernel."""
+        return self.sum(self.mul(x, y) for x, y in zip(xs, ys))
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,228 @@
+"""Concrete arithmetic backends for the four representations the paper
+compares: binary64, log-space, posit(64,ES), and the BigFloat oracle."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..bigfloat import BigFloat, DEFAULT_PRECISION
+from ..formats.logspace import LogSpace, log_mul, lse2, lse_n
+from ..formats.posit import PositEnv
+from .backend import Backend
+
+
+class Binary64Backend(Backend):
+    """Native IEEE binary64 (Python floats are exactly that).
+
+    Probabilities below ~2**-1074 underflow to 0.0, which is the failure
+    mode motivating the whole paper.
+    """
+
+    name = "binary64"
+
+    def from_bigfloat(self, x: BigFloat) -> float:
+        return x.to_float()
+
+    def to_bigfloat(self, value: float) -> BigFloat:
+        if math.isinf(value) or math.isnan(value):
+            raise ValueError(f"{value} has no exact value")
+        return BigFloat.from_float(value)
+
+    def add(self, a: float, b: float) -> float:
+        return a + b
+
+    def mul(self, a: float, b: float) -> float:
+        return a * b
+
+    def sub(self, a: float, b: float) -> float:
+        return a - b
+
+    def div(self, a: float, b: float) -> float:
+        return a / b
+
+    def zero(self) -> float:
+        return 0.0
+
+    def one(self) -> float:
+        return 1.0
+
+    def is_zero(self, value: float) -> bool:
+        return value == 0.0
+
+
+class LogSpaceBackend(Backend):
+    """Probabilities stored as natural logs in binary64 (Section II.B).
+
+    ``mul`` is float addition; ``add`` is the LSE of Equation (2); ``sum``
+    is the n-ary LSE of Equation (3).  Probability zero is ``-inf``.
+    """
+
+    name = "log"
+
+    def __init__(self, prec: int = DEFAULT_PRECISION):
+        self._codec = LogSpace(prec)
+
+    def from_bigfloat(self, x: BigFloat) -> float:
+        return self._codec.encode_bigfloat(x)
+
+    def to_bigfloat(self, value: float) -> BigFloat:
+        return self._codec.decode_bigfloat(value)
+
+    def add(self, a: float, b: float) -> float:
+        return lse2(a, b)
+
+    def mul(self, a: float, b: float) -> float:
+        return log_mul(a, b)
+
+    def div(self, a: float, b: float) -> float:
+        if b == -math.inf:
+            raise ZeroDivisionError("log-space division by zero probability")
+        if a == -math.inf:
+            return -math.inf
+        return a - b
+
+    def zero(self) -> float:
+        return -math.inf
+
+    def one(self) -> float:
+        return 0.0
+
+    def is_zero(self, value: float) -> bool:
+        return value == -math.inf
+
+    def sum(self, values: Iterable[float]) -> float:
+        return lse_n(values)
+
+
+class PositBackend(Backend):
+    """posit(N, ES) arithmetic on raw bit patterns (Section III)."""
+
+    def __init__(self, env: PositEnv):
+        self.env = env
+        self.name = env.name
+        self._one = env.from_float(1.0)
+
+    def from_bigfloat(self, x: BigFloat):
+        return self.env.encode_bigfloat(x)
+
+    def to_bigfloat(self, value) -> BigFloat:
+        return self.env.to_bigfloat(value)
+
+    def add(self, a, b):
+        return self.env.add(a, b)
+
+    def mul(self, a, b):
+        return self.env.mul(a, b)
+
+    def sub(self, a, b):
+        return self.env.sub(a, b)
+
+    def div(self, a, b):
+        return self.env.div(a, b)
+
+    def zero(self):
+        return 0
+
+    def one(self):
+        return self._one
+
+    def is_zero(self, value) -> bool:
+        return self.env.is_zero(value)
+
+    def is_nar(self, value) -> bool:
+        return self.env.is_nar(value)
+
+    def fused_sum(self, values) -> int:
+        """Quire-style exact accumulation (extension feature)."""
+        return self.env.fused_sum(values)
+
+
+class LNSBackend(Backend):
+    """Logarithmic Number System (Section VII) with an ideal sb table.
+
+    Included for the extended format comparison: flat precision across
+    its range, exact multiplication, hard saturation at the range edge.
+    """
+
+    def __init__(self, env=None):
+        from ..formats.lns import LNSEnv
+        self.env = env if env is not None else LNSEnv(12, 50)
+        self.name = self.env.name
+
+    def from_bigfloat(self, x: BigFloat):
+        return self.env.encode_bigfloat(x)
+
+    def to_bigfloat(self, value) -> BigFloat:
+        return self.env.decode_bigfloat(value)
+
+    def add(self, a, b):
+        return self.env.add(a, b)
+
+    def mul(self, a, b):
+        return self.env.mul(a, b)
+
+    def div(self, a, b):
+        from ..formats.lns import LNS_ZERO
+        if b == LNS_ZERO:
+            raise ZeroDivisionError("LNS division by zero probability")
+        if a == LNS_ZERO:
+            return LNS_ZERO
+        return max(self.env.min_code, min(self.env.max_code, a - b))
+
+    def zero(self):
+        from ..formats.lns import LNS_ZERO
+        return LNS_ZERO
+
+    def one(self):
+        return 0
+
+    def is_zero(self, value) -> bool:
+        from ..formats.lns import LNS_ZERO
+        return value == LNS_ZERO
+
+
+class BigFloatBackend(Backend):
+    """The oracle: p-bit MPFR-style arithmetic (default 256 bits)."""
+
+    def __init__(self, prec: int = DEFAULT_PRECISION):
+        self.prec = prec
+        self.name = f"bigfloat{prec}"
+
+    def from_bigfloat(self, x: BigFloat) -> BigFloat:
+        return x.round(self.prec)
+
+    def to_bigfloat(self, value: BigFloat) -> BigFloat:
+        return value
+
+    def add(self, a: BigFloat, b: BigFloat) -> BigFloat:
+        return a.add(b, self.prec)
+
+    def mul(self, a: BigFloat, b: BigFloat) -> BigFloat:
+        return a.mul(b, self.prec)
+
+    def sub(self, a: BigFloat, b: BigFloat) -> BigFloat:
+        return a.sub(b, self.prec)
+
+    def div(self, a: BigFloat, b: BigFloat) -> BigFloat:
+        return a.div(b, self.prec)
+
+    def zero(self) -> BigFloat:
+        return BigFloat.zero()
+
+    def one(self) -> BigFloat:
+        return BigFloat.from_int(1)
+
+    def is_zero(self, value: BigFloat) -> bool:
+        return value.is_zero()
+
+
+def standard_backends(underflow: str = "saturate") -> dict:
+    """The five formats of Figure 3: binary64, log, and three posits."""
+    return {
+        "binary64": Binary64Backend(),
+        "log": LogSpaceBackend(),
+        "posit(64,9)": PositBackend(PositEnv(64, 9, underflow)),
+        "posit(64,12)": PositBackend(PositEnv(64, 12, underflow)),
+        "posit(64,18)": PositBackend(PositEnv(64, 18, underflow)),
+    }

@@ -1,0 +1,51 @@
+"""Arbitrary-precision binary floating point — the repo's MPFR substitute.
+
+The paper uses 256-bit GNU MPFR as its accuracy oracle; this subpackage
+provides the same capability from scratch: a :class:`BigFloat` value type
+with round-to-nearest-even arithmetic at caller-chosen precision, and the
+``exp``/``log`` family needed to move values into and out of log-space and
+to measure relative errors of results far outside binary64's range.
+"""
+
+from .number import DEFAULT_PRECISION, BigFloat
+from .functions import (
+    exp,
+    expm1,
+    ln2,
+    ln10,
+    log,
+    log1p,
+    log2,
+    log10,
+    log10_relative_error,
+    pow_int,
+    relative_error,
+)
+from .rounding import RNA, RNE, RTN, RTP, RTZ, round_to_precision, shift_right_round
+from .format import decimal_exponent_estimate, log10_value, to_decimal_string
+
+__all__ = [
+    "BigFloat",
+    "DEFAULT_PRECISION",
+    "exp",
+    "expm1",
+    "ln2",
+    "ln10",
+    "log",
+    "log1p",
+    "log2",
+    "log10",
+    "log10_relative_error",
+    "pow_int",
+    "relative_error",
+    "RNA",
+    "RNE",
+    "RTN",
+    "RTP",
+    "RTZ",
+    "round_to_precision",
+    "shift_right_round",
+    "to_decimal_string",
+    "decimal_exponent_estimate",
+    "log10_value",
+]

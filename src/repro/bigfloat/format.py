@@ -1,0 +1,78 @@
+"""Decimal rendering of BigFloats at arbitrary magnitudes.
+
+``repr(2**-434916)`` as a float is just ``0.0``; experiment reports need
+strings like ``"6.273e-130921"``.  This module converts exactly-held
+binary values to decimal scientific notation using integer arithmetic
+only (no precision cliff at any magnitude).
+"""
+
+from __future__ import annotations
+
+from .number import BigFloat
+
+_LOG10_2_NUM = 30103  # log10(2) ~ 30103/100000, good to ~8 digits
+_LOG10_2_DEN = 100000
+
+
+def decimal_exponent_estimate(x: BigFloat) -> int:
+    """Floor of log10(|x|), exact up to +-1 (refined by to_decimal_string)."""
+    if x.is_zero():
+        raise ValueError("zero has no decimal exponent")
+    return (x.scale * _LOG10_2_NUM) // _LOG10_2_DEN
+
+
+def to_decimal_string(x: BigFloat, digits: int = 6) -> str:
+    """Scientific-notation string with ``digits`` significant digits.
+
+    Exact integer algorithm: scale the binary value by a power of ten
+    chosen so the integer part has exactly ``digits`` digits, then round
+    half-up on the discarded remainder.
+    """
+    if digits < 1:
+        raise ValueError("need at least one digit")
+    if x.is_zero():
+        return "0"
+    sign = "-" if x.sign else ""
+    d10 = decimal_exponent_estimate(x)
+    # We want mantissa = round(|x| * 10**(digits - 1 - d10)).
+    for _ in range(4):  # the estimate is off by at most 1; loop to settle
+        shift10 = digits - 1 - d10
+        num = x.mantissa
+        exp2 = x.exponent
+        if shift10 >= 0:
+            num *= 10 ** shift10
+        else:
+            den10 = 10 ** (-shift10)
+        # Apply the binary exponent.
+        if exp2 >= 0:
+            num <<= exp2
+            den = 1
+        else:
+            den = 1 << (-exp2)
+        if shift10 < 0:
+            den *= den10
+        mant, rem = divmod(num, den)
+        if 2 * rem >= den:
+            mant += 1
+        s = str(mant)
+        if len(s) == digits:
+            break
+        # Rounding crossed a decade (e.g. 999.9 -> 1000) or the estimate
+        # was off: adjust and retry.
+        d10 += 1 if len(s) > digits else -1
+    else:
+        raise AssertionError("decimal exponent failed to settle")
+    if digits == 1:
+        body = s
+    else:
+        body = f"{s[0]}.{s[1:]}"
+    return f"{sign}{body}e{d10:+d}"
+
+
+def log10_value(x: BigFloat) -> float:
+    """log10(|x|) as a float — usable at any magnitude (the float only
+    holds the *logarithm*, which is always small)."""
+    from .functions import log10 as bf_log10
+    if x.is_zero():
+        raise ValueError("zero has no log10")
+    return bf_log10(x.abs(), 64).to_float()

@@ -1,0 +1,292 @@
+"""Correctly-rounded-ish transcendental functions for :class:`BigFloat`.
+
+The paper's accuracy methodology converts operands into and out of
+log-space with MPFR and measures relative errors through ``log``/``exp``.
+These are the functions that make that methodology work without MPFR.
+
+Implementation strategy: every function reduces its argument and then
+evaluates a rapidly converging series in *integer fixed point* — values
+are plain Python ints scaled by ``2**work_bits`` — which is both exact to
+the last working bit and much faster than looping over BigFloat objects.
+Results carry ``GUARD`` extra bits through the kernel and are rounded to
+the requested precision once at the end, so final results are accurate to
+well under 1 ulp (tests check <= 2 ulp against independent oracles and
+identities).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .number import DEFAULT_PRECISION, BigFloat
+
+GUARD = 32
+
+_LN2_CACHE: dict[int, int] = {}
+_LN10_CACHE: dict[int, int] = {}
+
+
+# ----------------------------------------------------------------------
+# Fixed-point kernels.  X encodes the real number X / 2**fbits.
+# ----------------------------------------------------------------------
+def _atanh_fixed(z: int, fbits: int) -> int:
+    """atanh(z / 2**fbits) in fixed point, for 0 <= z/2**fbits < 1/2."""
+    if z == 0:
+        return 0
+    w = (z * z) >> fbits
+    term = z
+    total = 0
+    n = 1
+    while term:
+        total += term // n
+        term = (term * w) >> fbits
+        n += 2
+    return total
+
+
+def _exp_fixed(x: int, fbits: int) -> int:
+    """exp(x / 2**fbits) in fixed point, for |x / 2**fbits| <= 0.5."""
+    one = 1 << fbits
+    term = one
+    total = one
+    n = 1
+    while term:
+        term = (term * x) >> fbits
+        term = term // n if term >= 0 else -((-term) // n)
+        total += term
+        n += 1
+    return total
+
+
+def _ln2_fixed(fbits: int) -> int:
+    """ln(2) in fixed point: ln 2 = 2 * atanh(1/3)."""
+    cached = _LN2_CACHE.get(fbits)
+    if cached is None:
+        # atanh's argument 1/3 is not exactly representable in binary;
+        # evaluate with extra internal bits and shift down.
+        extra = 16
+        t = (1 << (fbits + extra)) // 3
+        cached = (2 * _atanh_fixed(t, fbits + extra)) >> extra
+        _LN2_CACHE[fbits] = cached
+    return cached
+
+
+def _ln10_fixed(fbits: int) -> int:
+    """ln(10) in fixed point: ln 10 = 3 ln 2 + 2 atanh(1/9)."""
+    cached = _LN10_CACHE.get(fbits)
+    if cached is None:
+        extra = 16
+        t = (1 << (fbits + extra)) // 9
+        # 10 = 8 * (10/8); ln(10/8) = 2 atanh((10/8-1)/(10/8+1)) = 2 atanh(1/9)
+        cached = 3 * _ln2_fixed(fbits) + ((2 * _atanh_fixed(t, fbits + extra)) >> extra)
+        _LN10_CACHE[fbits] = cached
+    return cached
+
+
+def _ln_mantissa_fixed(m: int, fbits: int) -> int:
+    """ln(m / 2**fbits) for m in [2**fbits, 2**(fbits+1)), i.e. m in [1, 2).
+
+    Uses ln(m) = 2 atanh((m - 1) / (m + 1)); the argument lies in [0, 1/3).
+    """
+    num = m - (1 << fbits)
+    if num == 0:
+        return 0
+    den = m + (1 << fbits)
+    z = (num << fbits) // den
+    return 2 * _atanh_fixed(z, fbits)
+
+
+# ----------------------------------------------------------------------
+# Public functions
+# ----------------------------------------------------------------------
+def log(x: BigFloat, prec: int = DEFAULT_PRECISION) -> BigFloat:
+    """Natural logarithm.  ``x`` must be strictly positive.
+
+    Handles arbitrarily extreme magnitudes (e.g. ``2**-2_900_000``), which
+    is the whole point of the oracle in this paper.
+    """
+    if x.is_zero() or x.sign == 1:
+        raise ValueError("log requires a strictly positive argument")
+    fbits = prec + GUARD
+    nbits = x.mantissa.bit_length()
+    e = x.exponent + nbits - 1  # value = m * 2**e with m in [1, 2)
+    # Fixed-point mantissa in [1, 2).
+    shift = fbits - (nbits - 1)
+    m_fixed = x.mantissa << shift if shift >= 0 else x.mantissa >> (-shift)
+    ln_m = _ln_mantissa_fixed(m_fixed, fbits)
+    total = ln_m + e * _ln2_fixed(fbits)
+    return _from_fixed(total, fbits, prec)
+
+
+def log2(x: BigFloat, prec: int = DEFAULT_PRECISION) -> BigFloat:
+    """Base-2 logarithm via ln(x)/ln(2) computed in fixed point."""
+    if x.is_zero() or x.sign == 1:
+        raise ValueError("log2 requires a strictly positive argument")
+    fbits = prec + GUARD
+    nbits = x.mantissa.bit_length()
+    e = x.exponent + nbits - 1
+    shift = fbits - (nbits - 1)
+    m_fixed = x.mantissa << shift if shift >= 0 else x.mantissa >> (-shift)
+    ln_m = _ln_mantissa_fixed(m_fixed, fbits)
+    frac = (ln_m << fbits) // _ln2_fixed(fbits)
+    total = frac + (e << fbits)
+    return _from_fixed(total, fbits, prec)
+
+
+def log10(x: BigFloat, prec: int = DEFAULT_PRECISION) -> BigFloat:
+    """Base-10 logarithm, used to report the paper's log10 error axes."""
+    if x.is_zero() or x.sign == 1:
+        raise ValueError("log10 requires a strictly positive argument")
+    fbits = prec + GUARD
+    nbits = x.mantissa.bit_length()
+    e = x.exponent + nbits - 1
+    shift = fbits - (nbits - 1)
+    m_fixed = x.mantissa << shift if shift >= 0 else x.mantissa >> (-shift)
+    total = _ln_mantissa_fixed(m_fixed, fbits) + e * _ln2_fixed(fbits)
+    total = (total << fbits) // _ln10_fixed(fbits)
+    return _from_fixed(total, fbits, prec)
+
+
+def exp(x: BigFloat, prec: int = DEFAULT_PRECISION,
+        max_scale: Optional[int] = None) -> BigFloat:
+    """Exponential function with unbounded result range.
+
+    ``max_scale`` optionally bounds the result's base-2 exponent as a
+    sanity rail (the experiments never need exp of anything that would
+    produce more than a few million exponent bits).
+    """
+    if x.is_zero():
+        return BigFloat.from_int(1)
+    fbits = prec + GUARD
+    x_fixed = _to_fixed(x, fbits)
+    ln2 = _ln2_fixed(fbits)
+    # Reduce: x = k*ln2 + r with |r| <= ln2/2.
+    k = (x_fixed + (ln2 >> 1)) // ln2 if x_fixed >= 0 else -((-x_fixed + (ln2 >> 1)) // ln2)
+    r = x_fixed - k * ln2
+    if max_scale is not None and k > max_scale:
+        raise OverflowError(f"exp result scale {k} exceeds max_scale {max_scale}")
+    e_r = _exp_fixed(r, fbits)
+    return _from_fixed(e_r, fbits, prec).mul_pow2(k)
+
+
+def expm1(x: BigFloat, prec: int = DEFAULT_PRECISION) -> BigFloat:
+    """``exp(x) - 1`` without cancellation for tiny ``x``.
+
+    Needed to measure relative errors of log-space results: the relative
+    error of ``exp(ly)`` against truth ``t`` is ``|expm1(ly - ln t)|``.
+    """
+    if x.is_zero():
+        return BigFloat.zero()
+    if x.scale < -2:
+        # Small argument: direct series exp(x) - 1 = x + x^2/2! + ...
+        fbits = prec + GUARD
+        # Keep absolute scale so tiny x keeps full *relative* precision.
+        sbits = fbits - x.scale  # x_fixed has ~fbits significant bits
+        x_fixed = _to_fixed(x, sbits)
+        term = x_fixed
+        total = 0
+        n = 2
+        while term:
+            total += term
+            term = (term * x_fixed) >> sbits
+            term = term // n if term >= 0 else -((-term) // n)
+            n += 1
+        return _from_fixed(total, sbits, prec)
+    return exp(x, prec + 8).sub(BigFloat.from_int(1), prec)
+
+
+def log1p(x: BigFloat, prec: int = DEFAULT_PRECISION) -> BigFloat:
+    """``log(1 + x)`` without cancellation for tiny ``x`` (x > -1)."""
+    if x.is_zero():
+        return BigFloat.zero()
+    if not x.is_negative() or x.scale >= -1:
+        one_plus = BigFloat.from_int(1).add(x, prec + 8)
+        if one_plus.is_zero() or one_plus.is_negative():
+            raise ValueError("log1p requires x > -1")
+        if x.scale >= -2:
+            return log(one_plus, prec)
+    if x.scale < -2:
+        # ln(1+x) = 2 atanh(x / (2 + x)); argument magnitude ~ x/2.
+        fbits = prec + GUARD
+        sbits = fbits - x.scale
+        x_fixed = _to_fixed(x, sbits)
+        den = (2 << sbits) + x_fixed
+        z = (x_fixed << sbits) // den
+        total = 2 * _atanh_fixed(abs(z), sbits)
+        if z < 0:
+            total = -total
+        return _from_fixed(total, sbits, prec)
+    return log(BigFloat.from_int(1).add(x, prec + 8), prec)
+
+
+def pow_int(x: BigFloat, n: int, prec: int = DEFAULT_PRECISION) -> BigFloat:
+    """``x**n`` for integer ``n`` by square-and-multiply, rounding each
+    step at ``prec + GUARD`` bits and the final result at ``prec``."""
+    if n == 0:
+        return BigFloat.from_int(1)
+    if n < 0:
+        return BigFloat.from_int(1).div(pow_int(x, -n, prec + 8), prec)
+    work = prec + GUARD
+    result = BigFloat.from_int(1)
+    base = x.round(work)
+    e = n
+    while e:
+        if e & 1:
+            result = result.mul(base, work)
+        e >>= 1
+        if e:
+            base = base.mul(base, work)
+    return result.round(prec)
+
+
+def ln2(prec: int = DEFAULT_PRECISION) -> BigFloat:
+    """The constant ln(2)."""
+    fbits = prec + GUARD
+    return _from_fixed(_ln2_fixed(fbits), fbits, prec)
+
+
+def ln10(prec: int = DEFAULT_PRECISION) -> BigFloat:
+    """The constant ln(10)."""
+    fbits = prec + GUARD
+    return _from_fixed(_ln10_fixed(fbits), fbits, prec)
+
+
+# ----------------------------------------------------------------------
+# Fixed-point <-> BigFloat plumbing
+# ----------------------------------------------------------------------
+def _to_fixed(x: BigFloat, fbits: int) -> int:
+    """Exact-when-possible conversion to fixed point with ``fbits``
+    fractional bits; rounds toward zero past the working precision."""
+    shift = x.exponent + fbits
+    mag = x.mantissa << shift if shift >= 0 else x.mantissa >> (-shift)
+    return -mag if x.sign else mag
+
+
+def _from_fixed(value: int, fbits: int, prec: int) -> BigFloat:
+    sign = 1 if value < 0 else 0
+    return BigFloat(sign, abs(value), -fbits).round(prec)
+
+
+def relative_error(reference: BigFloat, computed: BigFloat,
+                   prec: int = DEFAULT_PRECISION) -> BigFloat:
+    """``|computed - reference| / |reference|`` as used throughout the
+    paper's accuracy evaluation (Section IV.A)."""
+    if reference.is_zero():
+        raise ValueError("relative error undefined for zero reference")
+    return computed.sub(reference, prec).abs().div(reference.abs(), prec)
+
+
+def log10_relative_error(reference: BigFloat, computed: BigFloat,
+                         prec: int = DEFAULT_PRECISION,
+                         floor: float = -400.0) -> float:
+    """``log10`` of the relative error, the y axis of Figs. 3 and 9-11.
+
+    Exact results get ``floor`` (a stand-in for -inf that keeps plots and
+    percentile math finite).
+    """
+    err = relative_error(reference, computed, prec)
+    if err.is_zero():
+        return floor
+    value = log10(err, 64).to_float()
+    return max(value, floor)

@@ -1,0 +1,392 @@
+"""Arbitrary-precision binary floating point (the repo's MPFR substitute).
+
+A :class:`BigFloat` is an exact value ``(-1)**sign * mantissa * 2**exponent``
+with an *unbounded* exponent and a mantissa that operations round to a
+caller-chosen precision (default 256 bits, matching the paper's use of
+256-bit MPFR as the accuracy oracle).  Unlike IEEE formats there are no
+subnormals, infinities or NaN: the oracle must never silently lose range,
+so out-of-range situations raise instead.
+
+Values are immutable.  Arithmetic methods take an optional ``prec``
+argument; module users normally rely on :data:`DEFAULT_PRECISION`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from .rounding import RNE, round_to_precision, sticky_compress
+
+DEFAULT_PRECISION = 256
+
+_NumberLike = Union["BigFloat", int, float]
+
+
+class BigFloat:
+    """An exact/roundable binary floating-point number.
+
+    The internal invariant is ``mantissa >= 0`` and, for nonzero values,
+    ``mantissa`` odd is *not* required — construction normalizes trailing
+    zero bits away purely to keep representations canonical and cheap to
+    compare.
+    """
+
+    __slots__ = ("sign", "mantissa", "exponent")
+
+    def __init__(self, sign: int, mantissa: int, exponent: int):
+        if mantissa < 0:
+            raise ValueError("mantissa must be non-negative")
+        if sign not in (0, 1):
+            raise ValueError("sign must be 0 or 1")
+        if mantissa == 0:
+            sign, exponent = 0, 0
+        else:
+            # Canonicalize: strip trailing zeros so equality is structural.
+            tz = (mantissa & -mantissa).bit_length() - 1
+            if tz:
+                mantissa >>= tz
+                exponent += tz
+        object.__setattr__(self, "sign", sign)
+        object.__setattr__(self, "mantissa", mantissa)
+        object.__setattr__(self, "exponent", exponent)
+
+    def __setattr__(self, name, value):  # immutability
+        raise AttributeError("BigFloat is immutable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls) -> "BigFloat":
+        return cls(0, 0, 0)
+
+    @classmethod
+    def from_int(cls, value: int) -> "BigFloat":
+        if value < 0:
+            return cls(1, -value, 0)
+        return cls(0, value, 0)
+
+    @classmethod
+    def from_float(cls, value: float) -> "BigFloat":
+        """Exact conversion from a binary64 (every finite double is exact)."""
+        if math.isnan(value) or math.isinf(value):
+            raise ValueError("cannot convert NaN/Inf to BigFloat")
+        if value == 0.0:
+            return cls.zero()
+        mant, exp = math.frexp(abs(value))
+        mant_int = int(mant * (1 << 53))
+        return cls(1 if value < 0 else 0, mant_int, exp - 53)
+
+    @classmethod
+    def from_ratio(cls, num: int, den: int, prec: int = DEFAULT_PRECISION) -> "BigFloat":
+        """Correctly rounded ``num / den``."""
+        if den == 0:
+            raise ZeroDivisionError("from_ratio with zero denominator")
+        sign = 0
+        if num < 0:
+            sign ^= 1
+            num = -num
+        if den < 0:
+            sign ^= 1
+            den = -den
+        if num == 0:
+            return cls.zero()
+        # Produce prec + 2 quotient bits, then round with a sticky bit.
+        shift = prec + 2 - (num.bit_length() - den.bit_length())
+        if shift > 0:
+            q, r = divmod(num << shift, den)
+            exp = -shift
+        else:
+            q, r = divmod(num, den << (-shift))
+            exp = -shift
+        if r and q & 1 == 0:
+            q |= 1  # sticky into the LSB
+        m, e = round_to_precision(q, exp, prec, sign=sign)
+        return cls(sign, m, e)
+
+    @classmethod
+    def exp2(cls, k: int) -> "BigFloat":
+        """Exact ``2**k`` for integer ``k`` (any magnitude)."""
+        return cls(0, 1, k)
+
+    @staticmethod
+    def coerce(value: _NumberLike) -> "BigFloat":
+        if isinstance(value, BigFloat):
+            return value
+        if isinstance(value, bool):
+            raise TypeError("refusing to coerce bool to BigFloat")
+        if isinstance(value, int):
+            return BigFloat.from_int(value)
+        if isinstance(value, float):
+            return BigFloat.from_float(value)
+        raise TypeError(f"cannot coerce {type(value).__name__} to BigFloat")
+
+    # ------------------------------------------------------------------
+    # Predicates / accessors
+    # ------------------------------------------------------------------
+    def is_zero(self) -> bool:
+        return self.mantissa == 0
+
+    def is_negative(self) -> bool:
+        return self.sign == 1 and self.mantissa != 0
+
+    @property
+    def scale(self) -> int:
+        """Base-2 exponent of the value in scientific form, i.e. the ``E``
+        in ``value = +/- 1.f * 2**E``.  This is the quantity plotted on the
+        x axes of the paper's Figures 1, 3 and 9."""
+        if self.mantissa == 0:
+            raise ValueError("zero has no scale")
+        return self.exponent + self.mantissa.bit_length() - 1
+
+    # ------------------------------------------------------------------
+    # Rounding / conversion
+    # ------------------------------------------------------------------
+    def round(self, prec: int, mode: str = RNE) -> "BigFloat":
+        m, e = round_to_precision(self.mantissa, self.exponent, prec,
+                                  sign=self.sign, mode=mode)
+        return BigFloat(self.sign, m, e)
+
+    def to_float(self) -> float:
+        """Round to the nearest binary64 (RNE), honouring subnormals and
+        overflowing to +/-inf — i.e. exactly what storing into a C double
+        would produce."""
+        if self.mantissa == 0:
+            return 0.0
+        s = self.scale
+        if s > 1023:  # overflow threshold is conservative-checked below
+            m, e = round_to_precision(self.mantissa, self.exponent, 53, sign=self.sign)
+            if e + 52 > 1023:
+                return math.inf if self.sign == 0 else -math.inf
+            return self._ldexp(m, e)
+        if s >= -1022:
+            m, e = round_to_precision(self.mantissa, self.exponent, 53, sign=self.sign)
+            if m.bit_length() + e - 1 > 1023:
+                return math.inf if self.sign == 0 else -math.inf
+            return self._ldexp(m, e)
+        # Subnormal range: the available precision shrinks with magnitude.
+        # The smallest representable exponent is -1074.
+        from .rounding import shift_right_round
+        shift = -1074 - self.exponent
+        if shift <= 0:
+            return self._ldexp(self.mantissa, self.exponent)
+        m = shift_right_round(self.mantissa, shift, sign=self.sign)
+        if m == 0:
+            return -0.0 if self.sign else 0.0
+        if m.bit_length() > 53:  # rounded up into the normal range
+            pass
+        return self._ldexp(m, -1074)
+
+    def _ldexp(self, mant: int, exp: int) -> float:
+        value = math.ldexp(float(mant), exp) if mant.bit_length() <= 53 else math.ldexp(
+            float(mant >> (mant.bit_length() - 53)), exp + mant.bit_length() - 53)
+        return -value if self.sign else value
+
+    def to_fraction_parts(self) -> tuple[int, int]:
+        """Return ``(numerator, log2_denominator)`` such that the exact
+        value equals ``numerator / 2**log2_denominator``."""
+        num = self.mantissa if self.sign == 0 else -self.mantissa
+        if self.exponent >= 0:
+            return num << self.exponent, 0
+        return num, -self.exponent
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def neg(self) -> "BigFloat":
+        if self.mantissa == 0:
+            return self
+        return BigFloat(self.sign ^ 1, self.mantissa, self.exponent)
+
+    def abs(self) -> "BigFloat":
+        return BigFloat(0, self.mantissa, self.exponent)
+
+    def add(self, other: _NumberLike, prec: int = DEFAULT_PRECISION) -> "BigFloat":
+        other = BigFloat.coerce(other)
+        if self.mantissa == 0:
+            return other.round(prec)
+        if other.mantissa == 0:
+            return self.round(prec)
+        a, b = self, other
+        if a.exponent < b.exponent:
+            a, b = b, a
+        # a has the larger exponent.  Cap the alignment shift: once the
+        # magnitudes are further apart than prec + guard bits, the smaller
+        # operand only contributes a sticky bit.
+        diff = a.exponent - b.exponent
+        guard = prec + 4
+        gap = (a.exponent + a.mantissa.bit_length()) - (b.exponent + b.mantissa.bit_length())
+        if gap > guard:
+            # b is negligible but must nudge rounding: widen a well past
+            # the target precision and attach a one-ulp perturbation in
+            # the direction of b.
+            widen = guard + 4
+            if a.sign == b.sign:
+                m = (a.mantissa << widen) | 1
+            else:
+                m = (a.mantissa << widen) - 1
+            return BigFloat(a.sign, m, a.exponent - widen).round(prec)
+        am = a.mantissa << diff
+        bm = b.mantissa
+        if a.sign == b.sign:
+            return BigFloat(a.sign, am + bm, b.exponent).round(prec)
+        if am == bm:
+            return BigFloat.zero()
+        if am > bm:
+            return BigFloat(a.sign, am - bm, b.exponent).round(prec)
+        return BigFloat(b.sign, bm - am, b.exponent).round(prec)
+
+    def sub(self, other: _NumberLike, prec: int = DEFAULT_PRECISION) -> "BigFloat":
+        return self.add(BigFloat.coerce(other).neg(), prec)
+
+    def mul(self, other: _NumberLike, prec: int = DEFAULT_PRECISION) -> "BigFloat":
+        other = BigFloat.coerce(other)
+        if self.mantissa == 0 or other.mantissa == 0:
+            return BigFloat.zero()
+        sign = self.sign ^ other.sign
+        # Compress very wide mantissas first so products stay bounded.
+        am, ash = sticky_compress(self.mantissa, prec + 8)
+        bm, bsh = sticky_compress(other.mantissa, prec + 8)
+        m = am * bm
+        e = self.exponent + other.exponent + ash + bsh
+        return BigFloat(sign, m, e).round(prec)
+
+    def div(self, other: _NumberLike, prec: int = DEFAULT_PRECISION) -> "BigFloat":
+        other = BigFloat.coerce(other)
+        if other.mantissa == 0:
+            raise ZeroDivisionError("BigFloat division by zero")
+        if self.mantissa == 0:
+            return BigFloat.zero()
+        sign = self.sign ^ other.sign
+        num, den = self.mantissa, other.mantissa
+        shift = prec + 2 - (num.bit_length() - den.bit_length())
+        if shift > 0:
+            q, r = divmod(num << shift, den)
+        else:
+            q, r = divmod(num, den << (-shift))
+        if r and q & 1 == 0:
+            q |= 1  # sticky
+        e = self.exponent - other.exponent - shift
+        return BigFloat(sign, q, e).round(prec)
+
+    def mul_pow2(self, k: int) -> "BigFloat":
+        """Exact scaling by ``2**k``."""
+        if self.mantissa == 0:
+            return self
+        return BigFloat(self.sign, self.mantissa, self.exponent + k)
+
+    def sqrt(self, prec: int = DEFAULT_PRECISION) -> "BigFloat":
+        if self.sign == 1 and self.mantissa != 0:
+            raise ValueError("sqrt of a negative BigFloat")
+        if self.mantissa == 0:
+            return BigFloat.zero()
+        # Compute isqrt on mantissa << s with s chosen so the root has
+        # prec + 2 bits and (exponent + s) is even.
+        target = 2 * (prec + 2)
+        s = max(0, target - self.mantissa.bit_length())
+        if (self.exponent - s) % 2:
+            s += 1
+        m = self.mantissa << s
+        root = math.isqrt(m)
+        if root * root != m and root & 1 == 0:
+            root |= 1  # sticky
+        return BigFloat(0, root, (self.exponent - s) // 2).round(prec)
+
+    # ------------------------------------------------------------------
+    # Comparison (exact, precision-free)
+    # ------------------------------------------------------------------
+    def cmp(self, other: _NumberLike) -> int:
+        other = BigFloat.coerce(other)
+        if self.mantissa == 0 and other.mantissa == 0:
+            return 0
+        if self.mantissa == 0:
+            return 1 if other.sign else -1
+        if other.mantissa == 0:
+            return -1 if self.sign else 1
+        if self.sign != other.sign:
+            return -1 if self.sign else 1
+        mag = self._cmp_magnitude(other)
+        return -mag if self.sign else mag
+
+    def _cmp_magnitude(self, other: "BigFloat") -> int:
+        sa, sb = self.scale, other.scale
+        if sa != sb:
+            return -1 if sa < sb else 1
+        # Same leading-bit position: align and compare mantissas exactly.
+        ea, eb = self.exponent, other.exponent
+        ma, mb = self.mantissa, other.mantissa
+        if ea > eb:
+            ma <<= ea - eb
+        elif eb > ea:
+            mb <<= eb - ea
+        if ma == mb:
+            return 0
+        return -1 if ma < mb else 1
+
+    def __eq__(self, other):
+        if not isinstance(other, (BigFloat, int, float)):
+            return NotImplemented
+        return self.cmp(other) == 0
+
+    def __lt__(self, other):
+        return self.cmp(other) < 0
+
+    def __le__(self, other):
+        return self.cmp(other) <= 0
+
+    def __gt__(self, other):
+        return self.cmp(other) > 0
+
+    def __ge__(self, other):
+        return self.cmp(other) >= 0
+
+    def __hash__(self):
+        return hash((self.sign, self.mantissa, self.exponent))
+
+    # Operator sugar at default precision ------------------------------
+    def __add__(self, other):
+        return self.add(other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self.sub(other)
+
+    def __rsub__(self, other):
+        return BigFloat.coerce(other).sub(self)
+
+    def __mul__(self, other):
+        return self.mul(other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self.div(other)
+
+    def __rtruediv__(self, other):
+        return BigFloat.coerce(other).div(self)
+
+    def __neg__(self):
+        return self.neg()
+
+    def __abs__(self):
+        return self.abs()
+
+    def __repr__(self):
+        if self.mantissa == 0:
+            return "BigFloat(0)"
+        sign = "-" if self.sign else ""
+        return f"BigFloat({sign}{self.mantissa}*2**{self.exponent})"
+
+    def __str__(self):
+        if self.mantissa == 0:
+            return "0"
+        # Render as m * 2**scale with a short decimal mantissa.
+        s = self.scale
+        lead = self.mantissa / (1 << (self.mantissa.bit_length() - 1)) \
+            if self.mantissa.bit_length() <= 1024 else 1.0 + (
+                (self.mantissa >> (self.mantissa.bit_length() - 53)) & ((1 << 52) - 1)
+            ) / (1 << 52)
+        sign = "-" if self.sign else ""
+        return f"{sign}{lead:.6f}*2**{s}"

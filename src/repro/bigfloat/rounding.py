@@ -1,0 +1,102 @@
+"""Integer-level rounding primitives shared by all number formats.
+
+Every format in this library (BigFloat, IEEE softfloat, posit) ultimately
+rounds an exact value of the form ``mantissa * 2**exponent`` down to a
+fixed number of significand bits.  The helpers here perform that rounding
+on plain Python integers so the higher layers never re-implement
+round-to-nearest-even logic.
+"""
+
+from __future__ import annotations
+
+# Rounding mode identifiers.  Only RNE is required by the paper (MPFR's
+# default and the posit standard's mode), but the others make the
+# substrate reusable and are exercised by tests.
+RNE = "nearest-even"  # round to nearest, ties to even
+RTZ = "toward-zero"
+RTP = "toward-positive"
+RTN = "toward-negative"
+RNA = "nearest-away"  # round to nearest, ties away from zero
+
+_MODES = (RNE, RTZ, RTP, RTN, RNA)
+
+
+def shift_right_round(mantissa: int, shift: int, sign: int = 0, mode: str = RNE) -> int:
+    """Shift ``mantissa`` right by ``shift`` bits, rounding the result.
+
+    ``mantissa`` must be non-negative; ``sign`` (0 positive, 1 negative)
+    only matters for the directed modes.  Returns the rounded magnitude.
+    A negative ``shift`` shifts left exactly.
+    """
+    if mantissa < 0:
+        raise ValueError("mantissa must be non-negative")
+    if mode not in _MODES:
+        raise ValueError(f"unknown rounding mode: {mode!r}")
+    if shift <= 0:
+        return mantissa << (-shift)
+    kept = mantissa >> shift
+    dropped = mantissa & ((1 << shift) - 1)
+    if dropped == 0:
+        return kept
+    if mode == RTZ:
+        return kept
+    if mode == RTP:
+        return kept + (0 if sign else 1)
+    if mode == RTN:
+        return kept + (1 if sign else 0)
+    half = 1 << (shift - 1)
+    if dropped > half:
+        return kept + 1
+    if dropped < half:
+        return kept
+    # Exactly halfway.
+    if mode == RNA:
+        return kept + 1
+    return kept + (kept & 1)  # RNE: round up only if kept is odd
+
+
+def round_to_precision(mantissa: int, exponent: int, precision: int,
+                       sign: int = 0, mode: str = RNE) -> tuple[int, int]:
+    """Round the exact value ``mantissa * 2**exponent`` to ``precision``
+    significand bits.
+
+    Returns ``(mantissa', exponent')`` with ``mantissa'`` either zero or
+    having exactly ``precision`` bits.  Rounding may carry out (e.g.
+    ``0b1111`` at precision 3 becomes ``0b100`` with exponent bumped).
+    """
+    if precision < 1:
+        raise ValueError("precision must be >= 1")
+    if mantissa == 0:
+        return 0, 0
+    nbits = mantissa.bit_length()
+    excess = nbits - precision
+    if excess <= 0:
+        # Normalize up so the mantissa always has exactly `precision` bits;
+        # this keeps downstream comparisons trivial.
+        return mantissa << (-excess), exponent + excess
+    rounded = shift_right_round(mantissa, excess, sign=sign, mode=mode)
+    exponent += excess
+    if rounded.bit_length() > precision:  # carry out of the top bit
+        rounded >>= 1
+        exponent += 1
+    return rounded, exponent
+
+
+def sticky_compress(mantissa: int, max_bits: int) -> tuple[int, int]:
+    """Compress ``mantissa`` to at most ``max_bits + 1`` bits, preserving
+    round/sticky information.
+
+    Returns ``(compressed, shift)`` where ``compressed`` equals
+    ``mantissa >> shift`` with its least significant bit forced to 1 if
+    any shifted-out bit was set.  This keeps alignment shifts bounded when
+    adding numbers whose exponents differ by millions (routine for the
+    probability magnitudes in this paper).
+    """
+    nbits = mantissa.bit_length()
+    if nbits <= max_bits + 1:
+        return mantissa, 0
+    shift = nbits - (max_bits + 1)
+    kept = mantissa >> shift
+    if mantissa & ((1 << shift) - 1):
+        kept |= 1
+    return kept, shift

@@ -1,0 +1,98 @@
+"""Per-operation accuracy measurement (Section IV.A methodology).
+
+Operands are exact dyadic rationals.  For each format we convert the
+operands in, perform one operation, convert the result out, and score it
+against the *exact* result (exact because sums and products of dyadic
+rationals are dyadic — our oracle is even stronger than the paper's
+256-bit MPFR).  The score is the relative error ``|x - y| / |x|``, and
+results are reported as log10(relative error), matching Figure 3's axes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..arith.backend import Backend
+from ..bigfloat import BigFloat, log10 as bf_log10, relative_error
+from ..formats.real import Real
+
+#: Sentinel categories for results that have no finite relative error.
+OK = "ok"
+UNDERFLOW = "underflow"  # computed exactly zero for a nonzero truth
+OVERFLOW = "overflow"  # computed inf / NaR
+ERROR_FLOOR = -400.0  # stand-in log10 error for exact results
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Outcome of one measured operation in one format."""
+
+    format: str
+    status: str
+    log10_error: Optional[float]  # None unless status == OK
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+
+def measure_op(backend: Backend, op: str, x: Real, y: Real,
+               exact: Optional[Real] = None, prec: int = 256) -> OpResult:
+    """Run ``x op y`` through ``backend`` and score it.
+
+    ``op`` is ``"add"`` or ``"mul"``.  ``exact`` may be supplied when the
+    caller already computed the exact result (the sweep does, to bin by
+    result exponent).
+    """
+    if exact is None:
+        exact = x.add(y) if op == "add" else x.mul(y)
+    if exact.is_zero():
+        raise ValueError("exact result is zero; relative error undefined")
+    a = backend.from_bigfloat(x.to_bigfloat())
+    b = backend.from_bigfloat(y.to_bigfloat())
+    if op == "add":
+        computed = backend.add(a, b)
+    elif op == "mul":
+        computed = backend.mul(a, b)
+    else:
+        raise ValueError(f"unknown op {op!r}")
+    return score_value(backend, computed, exact.to_bigfloat(), prec)
+
+
+def score_value(backend: Backend, computed, exact: BigFloat,
+                prec: int = 256) -> OpResult:
+    """Score an already-computed backend value against an exact truth."""
+    if backend.is_zero(computed):
+        if exact.is_zero():
+            return OpResult(backend.name, OK, ERROR_FLOOR)
+        return OpResult(backend.name, UNDERFLOW, None)
+    try:
+        got = backend.to_bigfloat(computed)
+    except ValueError:
+        return OpResult(backend.name, OVERFLOW, None)
+    err = relative_error(exact, got, prec)
+    if err.is_zero():
+        return OpResult(backend.name, OK, ERROR_FLOOR)
+    return OpResult(backend.name, OK, bf_log10(err, 64).to_float())
+
+
+def score_log10(backend: Backend, computed, exact: BigFloat,
+                huge: float = 400.0) -> float:
+    """Like :func:`score_value` but collapse failures onto a single
+    numeric scale: underflow/overflow map to ``+huge`` so CDFs can still
+    be drawn over all results (used for Figs. 9-11, where the paper notes
+    'extreme cases with relative error >= 1 are not included' for the
+    box plot but counted separately)."""
+    res = score_value(backend, computed, exact)
+    if res.ok:
+        return res.log10_error
+    return huge
+
+
+def ulp_relative_error(fraction_bits: int) -> float:
+    """Model relative error bound for round-to-nearest with the given
+    number of fraction bits: 2**-(fraction_bits + 1).  Used to sanity-
+    check measured medians against format precision."""
+    return math.ldexp(1.0, -(fraction_bits + 1))

@@ -1,0 +1,81 @@
+"""The paper's bit-budget argument (Sections II.C and III), quantified.
+
+For a value of magnitude ``2**s`` each representation spends its 64 bits
+differently:
+
+* **binary64** always offers 52 fraction bits inside the normal range,
+  decaying linearly through the subnormals, then nothing.
+* **posit(64,ES)** offers ``64 - 1 - regime_len(s) - ES`` fraction bits —
+  tapered with ``|s|``.
+* **log-space** stores ``ln(2**s) = s ln 2`` in binary64; the *absolute*
+  error of that stored log is half an ulp of ``s ln 2``, and an absolute
+  log error ``d`` is a relative value error ``e**d - 1 ~ d``.  The
+  *effective* fraction bits are therefore ``52 - log2(|s ln 2|)`` — they
+  shrink as values shrink, even well inside binary64's range.  This is
+  the quantitative form of the paper's "the fraction bits encode both
+  the fraction and the exponent" argument.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional
+
+from ..formats.ieee import BINARY64
+from ..formats.posit import PositEnv
+
+
+def binary64_effective_bits(scale: int) -> Optional[float]:
+    """Fraction bits binary64 offers at magnitude 2**scale (None once
+    underflowed)."""
+    if scale >= BINARY64.emin:
+        if scale > BINARY64.emax:
+            return None
+        return float(BINARY64.frac_bits)
+    bits = BINARY64.frac_bits + (scale - BINARY64.emin)
+    return float(bits) if bits >= 0 else None
+
+
+def posit_effective_bits(env: PositEnv, scale: int) -> Optional[float]:
+    """Fraction bits the posit offers at magnitude 2**scale."""
+    if not env.min_scale <= scale <= env.max_scale:
+        return None
+    return float(env.fraction_bits_at_scale(scale))
+
+
+def logspace_effective_bits(scale: int) -> Optional[float]:
+    """Effective fraction bits of log-space storage at magnitude 2**scale.
+
+    The stored value is ``lx = s ln 2``; its representation error is
+    ``ulp(lx)/2 = 2**(floor(log2 |lx|) - 53)`` absolute, which equals the
+    relative error of the decoded value.  Solving ``2**-(b+1)`` for b
+    gives the effective bit count.
+    """
+    if scale == 0:
+        return 52.0  # lx = 0 stored exactly; precision limited elsewhere
+    lx = abs(scale) * math.log(2)
+    return 52.0 - math.floor(math.log2(lx))
+
+
+def budget_curves(scales: Iterable[int],
+                  posit_envs: Optional[Dict[str, PositEnv]] = None) -> Dict[str, list]:
+    """Effective-precision curves for plotting/inspection: one list of
+    (scale, bits-or-None) per format."""
+    if posit_envs is None:
+        posit_envs = {f"posit(64,{es})": PositEnv(64, es) for es in (9, 12, 18)}
+    scales = list(scales)
+    curves: Dict[str, list] = {
+        "binary64": [(s, binary64_effective_bits(s)) for s in scales],
+        "log": [(s, logspace_effective_bits(s)) for s in scales],
+    }
+    for name, env in posit_envs.items():
+        curves[name] = [(s, posit_effective_bits(env, s)) for s in scales]
+    return curves
+
+
+def predicted_log10_error(bits: Optional[float]) -> Optional[float]:
+    """Median log10 relative error predicted from a bit budget: half an
+    ulp, i.e. ``-(bits + 1) * log10(2)``."""
+    if bits is None:
+        return None
+    return -(bits + 1) * math.log10(2)

@@ -1,0 +1,83 @@
+"""Analytic error-accumulation model for the application studies.
+
+The application-level relative error of an iterative probability
+computation is, to first order, a random walk of per-operation rounding
+errors: after ``n_ops`` operations each contributing rounding error of
+at most ``u`` (half an ulp at the operating magnitude),
+
+    expected relative error ~ u * sqrt(n_ops)
+
+This model *predicts* the measured Figure 10/11 gaps between log-space
+and posit from nothing but the bit budgets of Section III — closing the
+loop between the paper's per-op analysis (Fig. 3) and its application
+results.  The tests check the predictions against measured VICAR runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..formats.posit import PositEnv
+from .bitbudget import logspace_effective_bits, posit_effective_bits
+
+
+@dataclass(frozen=True)
+class ErrorPrediction:
+    """Predicted application-level accuracy for one format."""
+
+    format: str
+    per_op_log10: float  # log10 of the per-op rounding error bound
+    n_ops: int
+
+    @property
+    def accumulated_log10(self) -> float:
+        """Random-walk accumulation: + 0.5*log10(n_ops)."""
+        return self.per_op_log10 + 0.5 * math.log10(max(1, self.n_ops))
+
+
+def per_op_error_log10(bits: float) -> float:
+    """log10 of half an ulp for the given fraction-bit budget."""
+    return -(bits + 1) * math.log10(2)
+
+
+def predict_logspace(final_scale: int, n_ops: int) -> ErrorPrediction:
+    """Log-space prediction at the magnitude where the computation
+    *ends* (the worst case: |ln x| is largest there, so the per-op error
+    is largest; most of the accumulation happens near the end's scale in
+    a linearly descending computation)."""
+    bits = logspace_effective_bits(final_scale)
+    return ErrorPrediction("log", per_op_error_log10(bits), n_ops)
+
+
+def predict_posit(env: PositEnv, final_scale: int, n_ops: int) -> Optional[ErrorPrediction]:
+    """Posit prediction at the final magnitude; None if out of range."""
+    bits = posit_effective_bits(env, final_scale)
+    if bits is None:
+        return None
+    return ErrorPrediction(env.name, per_op_error_log10(bits), n_ops)
+
+
+def predicted_gap_log_vs_posit(env: PositEnv, final_scale: int) -> Optional[float]:
+    """Decades of accuracy separating posit from log at a magnitude —
+    n_ops cancels, so the gap is purely a bit-budget statement:
+
+        gap = (posit_bits - log_bits) * log10(2)
+    """
+    posit_bits = posit_effective_bits(env, final_scale)
+    if posit_bits is None:
+        return None
+    log_bits = logspace_effective_bits(final_scale)
+    return (posit_bits - log_bits) * math.log10(2)
+
+
+def forward_op_count(h: int, t: int) -> int:
+    """Arithmetic ops on the alpha path in one forward run: per outer
+    iteration, H*(H muls + H-1 adds) + H emission muls."""
+    return t * (h * (2 * h))
+
+
+def pbd_op_count(n: int, k: int) -> int:
+    """Ops on the PMF path of Listing 2: ~3 per (n, k) cell."""
+    return 3 * n * k

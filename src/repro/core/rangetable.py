@@ -1,0 +1,50 @@
+"""Table I: dynamic range and precision of the compared formats."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..formats.ieee import BINARY64
+from ..formats.posit import PositEnv
+
+#: The ES values Table I lists for 64-bit posits.
+TABLE1_ES_VALUES = (6, 9, 12, 15, 18, 21)
+
+
+@dataclass(frozen=True)
+class RangeRow:
+    """One row of Table I."""
+
+    format: str
+    useed_log2: int  # log2(useed); None rendered as '-' for binary64
+    smallest_scale: int  # base-2 exponent of smallest positive value
+    max_fraction_bits: int
+
+    def render(self) -> dict:
+        useed = "-" if self.useed_log2 == 0 else f"2^{self.useed_log2}"
+        return {
+            "Format": self.format,
+            "useed": useed,
+            "Smallest Positive": f"2^{self.smallest_scale}",
+            "Max Fraction Bits": self.max_fraction_bits,
+        }
+
+
+def binary64_row() -> RangeRow:
+    return RangeRow("binary64", 0, BINARY64.smallest_positive_scale(),
+                    BINARY64.frac_bits)
+
+
+def posit_row(es: int, nbits: int = 64) -> RangeRow:
+    env = PositEnv(nbits, es)
+    return RangeRow(env.name, env.useed_log2, env.min_scale,
+                    env.max_fraction_bits())
+
+
+def table1_rows(nbits: int = 64) -> List[RangeRow]:
+    """All of Table I, computed from the format implementations (not
+    hard-coded — the tests compare these against the paper's numbers)."""
+    rows = [binary64_row()]
+    rows.extend(posit_row(es, nbits) for es in TABLE1_ES_VALUES)
+    return rows

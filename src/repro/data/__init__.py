@@ -1,0 +1,25 @@
+"""Synthetic workload generators: Dirichlet HMMs (VICAR stand-in) and
+pileup-column datasets (LoFreq / SARS-CoV-2 stand-in)."""
+
+from .dirichlet import HMMData, sample_hcg_like_hmm, sample_hmm, sample_stochastic_matrix
+from .genome import (
+    CALL_THRESHOLD_SCALE,
+    FIG9_BINS,
+    Column,
+    Dataset,
+    column_for_target_scale,
+    dataset_shape_stats,
+    paper_like_datasets,
+    phred_error_prob,
+    stratified_columns,
+    synth_column,
+    synth_dataset,
+)
+
+__all__ = [
+    "HMMData", "sample_hmm", "sample_hcg_like_hmm", "sample_stochastic_matrix",
+    "Column", "Dataset", "FIG9_BINS", "CALL_THRESHOLD_SCALE",
+    "phred_error_prob", "synth_column", "column_for_target_scale",
+    "stratified_columns", "synth_dataset", "paper_like_datasets",
+    "dataset_shape_stats",
+]

@@ -1,0 +1,63 @@
+"""Section II.C / III quantified: effective fraction bits per format as
+a function of value magnitude — the analysis that *predicts* Figure 3.
+
+Not a numbered figure in the paper, but the paper's central argument
+("the fraction bits are effectively used to encode both the fraction and
+the exponent") rendered as data, plus the predicted-vs-measured closure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.bitbudget import budget_curves, predicted_log10_error
+from ..report.tables import render_table
+
+#: Representative magnitudes spanning Figure 3's axis.
+DEFAULT_SCALES = (-10_000, -6_000, -2_000, -1_022, -500, -100, -10)
+
+
+@dataclass
+class BitBudgetResult:
+    scales: tuple
+    curves: dict  # format -> [(scale, bits-or-None)]
+
+    def rows(self) -> List[dict]:
+        out = []
+        for i, scale in enumerate(self.scales):
+            row = {"value magnitude": f"2^{scale}"}
+            for fmt, series in self.curves.items():
+                row[fmt] = series[i][1]
+            out.append(row)
+        return out
+
+    def predicted_error_rows(self) -> List[dict]:
+        out = []
+        for i, scale in enumerate(self.scales):
+            row = {"value magnitude": f"2^{scale}"}
+            for fmt, series in self.curves.items():
+                row[fmt] = predicted_log10_error(series[i][1])
+            out.append(row)
+        return out
+
+
+def run(scales=DEFAULT_SCALES) -> BitBudgetResult:
+    return BitBudgetResult(tuple(scales), budget_curves(scales))
+
+
+def render(result: BitBudgetResult) -> str:
+    parts = [
+        render_table(result.rows(),
+                     title="Effective fraction bits by magnitude "
+                           "(Section II.C / III bit-budget analysis)"),
+        "",
+        render_table(result.predicted_error_rows(),
+                     title="Predicted median log10 relative error "
+                           "(compare with the measured Figure 3)"),
+        "",
+        "Reading: log-space loses bits steadily from 2^-10 on;",
+        "binary64 is flat then dies; each posit ES trades a flat tax",
+        "(wider exponent field) for slower regime growth.",
+    ]
+    return "\n".join(parts)

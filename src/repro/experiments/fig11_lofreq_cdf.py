@@ -1,0 +1,53 @@
+"""Figure 11: CDFs of p-value relative error in LoFreq, split into
+critical (p < 2**-200) and non-critical columns, for log and the three
+posit configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..apps.lofreq import LoFreqResult, run_lofreq
+from ..arith.backends import standard_backends
+from ..data.genome import synth_dataset
+from ..report.cdf import CDF, cdf_table
+from ..report.tables import render_table
+
+#: columns per synthetic dataset pass.
+SCALES = {"test": 10, "bench": 40, "full": 120}
+
+FORMATS = ("log", "posit(64,9)", "posit(64,12)", "posit(64,18)")
+
+
+@dataclass
+class Fig11Result:
+    lofreq: LoFreqResult
+
+    def cdfs(self, critical: bool) -> Dict[str, CDF]:
+        return {fmt: CDF.from_samples(
+            fmt, self.lofreq.errors(fmt, critical=critical,
+                                    include_extreme=False))
+            for fmt in FORMATS}
+
+
+def run(scale: str = "bench", seed: int = 0) -> Fig11Result:
+    n_columns = SCALES[scale]
+    dataset = synth_dataset("fig11", n_columns, seed=seed,
+                            critical_fraction=0.5, deep_fraction=0.15)
+    backends = {f: b for f, b in
+                standard_backends(underflow="flush").items() if f in FORMATS}
+    return Fig11Result(run_lofreq(dataset.columns, backends))
+
+
+def render(result: Fig11Result) -> str:
+    parts = []
+    for critical, label in ((True, "critical p < 2^-200"),
+                            (False, "non-critical p >= 2^-200")):
+        cdfs = result.cdfs(critical)
+        parts.append(render_table(
+            cdf_table(cdfs),
+            title=f"Figure 11 ({label}): CDF of p-value relative error"))
+        parts.append("")
+    parts.append("Paper claims: 99% of posit(64,12) critical results < 1e-10 "
+                 "vs 60% for log; posit(64,9) best on non-critical values.")
+    return "\n".join(parts)

@@ -1,0 +1,99 @@
+"""Figure 3: accuracy of individual add/mul operations by result
+magnitude, for binary64 / log / posit(64,{9,12,18}).
+
+The paper measures 1,000,000 additions and 550,000 multiplications with
+results spanning 2**-10000..1; the scaled presets keep every bin
+populated with enough samples for stable percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..arith.backends import standard_backends
+from ..core.analysis import SweepResult, run_op_sweep
+from ..core.sweep import FIG3_BINS, bin_label
+from ..report.boxplot import axis_bounds, render_box_panel
+from ..report.tables import render_table
+
+#: samples per (op, bin).  The paper's totals are ~111k adds/bin and
+#: ~61k muls/bin; percentiles stabilize far earlier.
+SCALES = {"test": 25, "bench": 250, "full": 2_000}
+
+
+@dataclass
+class Fig3Result:
+    add: SweepResult
+    mul: SweepResult
+    per_bin: int
+
+
+def run(scale: str = "bench", seed: int = 0,
+        backends: Optional[Dict] = None) -> Fig3Result:
+    per_bin = SCALES[scale]
+    if backends is None:
+        backends = standard_backends()
+    add = run_op_sweep("add", backends, per_bin=per_bin, seed=seed)
+    mul = run_op_sweep("mul", backends, per_bin=per_bin, seed=seed + 1)
+    return Fig3Result(add, mul, per_bin)
+
+
+def _panel_rows(sweep: SweepResult) -> list:
+    rows = []
+    for bin_range in FIG3_BINS:
+        cell = sweep.boxes[bin_range]
+        row = {"result exponent": bin_label(bin_range)}
+        for fmt in ("binary64", "log", "posit(64,9)", "posit(64,12)",
+                    "posit(64,18)"):
+            stats = cell.get(fmt)
+            row[fmt] = None if stats is None or stats.median is None \
+                else round(stats.median, 2)
+        rows.append(row)
+    return rows
+
+
+def _box_rows(sweep: SweepResult, bin_range) -> list:
+    rows = []
+    for fmt in ("binary64", "log", "posit(64,9)", "posit(64,12)",
+                "posit(64,18)"):
+        stats = sweep.boxes[bin_range].get(fmt)
+        if stats is None or stats.median is None:
+            rows.append({"label": fmt, "p5": None, "p25": None,
+                         "median": None, "p75": None, "p95": None})
+        else:
+            rows.append({"label": fmt, "p5": stats.p5, "p25": stats.p25,
+                         "median": stats.median, "p75": stats.p75,
+                         "p95": stats.p95})
+    return rows
+
+
+def _box_panels(sweep: SweepResult, op_name: str) -> str:
+    panels = []
+    for bin_range in (FIG3_BINS[0], FIG3_BINS[-1]):
+        rows = _box_rows(sweep, bin_range)
+        lo, hi = axis_bounds(rows)
+        panels.append(render_box_panel(
+            rows, lo, hi,
+            title=f"{op_name} accuracy boxes, result exponent "
+                  f"{bin_label(bin_range)} (log10 rel err axis)"))
+    return "\n\n".join(panels)
+
+
+def render(result: Fig3Result) -> str:
+    parts = [
+        render_table(_panel_rows(result.add),
+                     title=f"Figure 3(a): median log10 relative error, "
+                           f"addition (n={result.per_bin}/bin)"),
+        "",
+        render_table(_panel_rows(result.mul),
+                     title=f"Figure 3(b): median log10 relative error, "
+                           f"multiplication (n={result.per_bin}/bin)"),
+        "",
+        _box_panels(result.add, "Addition"),
+        "",
+        "Paper claims: log worse than binary64 inside the normal range and",
+        "degrading as numbers shrink; posits beat log outside the range",
+        "except posit(64,9) in the deepest bins; posit(64,18) steadiest.",
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,55 @@
+"""Figure 6: forward-algorithm unit wall-clock time and relative
+improvement, H in {13, 32, 64, 128}, T = 500,000, 300 MHz."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..hw.forward_unit import ForwardUnit
+from ..hw.pe import LOG, POSIT
+from ..report.tables import render_table
+
+H_VALUES = (13, 32, 64, 128)
+T = 500_000
+
+
+@dataclass
+class Fig6Row:
+    h: int
+    posit_seconds: float
+    log_seconds: float
+    paper_posit: float
+    paper_log: float
+
+    @property
+    def improvement_pct(self) -> float:
+        return 100.0 * (self.log_seconds - self.posit_seconds) / self.log_seconds
+
+    @property
+    def paper_improvement_pct(self) -> float:
+        return 100.0 * (self.paper_log - self.paper_posit) / self.paper_log
+
+
+def run(t: int = T) -> List[Fig6Row]:
+    rows = []
+    for h in H_VALUES:
+        posit = ForwardUnit(POSIT, h)
+        log = ForwardUnit(LOG, h)
+        rows.append(Fig6Row(h, posit.seconds(t), log.seconds(t),
+                            posit.paper_seconds(t), log.paper_seconds(t)))
+    return rows
+
+
+def render(rows: List[Fig6Row]) -> str:
+    table = [{
+        "H": r.h,
+        "posit (s)": r.posit_seconds,
+        "log (s)": r.log_seconds,
+        "improvement %": r.improvement_pct,
+        "paper posit (s)": r.paper_posit,
+        "paper log (s)": r.paper_log,
+        "paper improvement %": r.paper_improvement_pct,
+    } for r in rows]
+    return render_table(table, title=f"Figure 6: forward unit wall-clock "
+                                     f"time (T={T:,}, 300 MHz)")

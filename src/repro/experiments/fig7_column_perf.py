@@ -1,0 +1,49 @@
+"""Figure 7: column-unit wall-clock time and relative improvement over
+the eight SARS-CoV-2-scale dataset shapes D0-D7."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..hw.column_unit import ColumnUnit, DatasetShape, paper_scale_shapes
+from ..hw.pe import LOG, POSIT
+from ..report.tables import render_table
+
+
+@dataclass
+class Fig7Row:
+    dataset: str
+    posit_seconds: float
+    log_seconds: float
+    mean_k: float
+    total_ops: int
+
+    @property
+    def improvement_pct(self) -> float:
+        return 100.0 * (self.log_seconds - self.posit_seconds) / self.log_seconds
+
+
+def run(seed: int = 0, n_datasets: int = 8) -> List[Fig7Row]:
+    rows = []
+    for shape in paper_scale_shapes(seed=seed, n_datasets=n_datasets):
+        posit_t = ColumnUnit(POSIT).dataset_seconds(shape)
+        log_t = ColumnUnit(LOG).dataset_seconds(shape)
+        rows.append(Fig7Row(shape.name, posit_t, log_t, shape.mean_k,
+                            shape.total_ops))
+    return rows
+
+
+def render(rows: List[Fig7Row]) -> str:
+    table = [{
+        "dataset": r.dataset,
+        "posit (s)": round(r.posit_seconds),
+        "log (s)": round(r.log_seconds),
+        "improvement %": r.improvement_pct,
+        "mean K": round(r.mean_k),
+        "N*K ops": f"{r.total_ops:.2e}",
+    } for r in rows]
+    notes = ("Paper band: wall-clock 2,269-25,020 s; single-unit "
+             "improvements ~5-25% depending on each dataset's K mix.")
+    return render_table(table, title="Figure 7: column unit performance "
+                                     "(8 PEs, 300 MHz)") + "\n" + notes

@@ -1,0 +1,44 @@
+"""Figure 8: performance per resource unit (MMAPS per CLB) of log vs
+posit column units across the D0-D7 dataset shapes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..hw.column_unit import ColumnUnit, paper_scale_shapes
+from ..hw.pe import LOG, POSIT
+from ..report.tables import render_table
+
+
+@dataclass
+class Fig8Row:
+    dataset: str
+    posit_mmaps_per_clb: float
+    log_mmaps_per_clb: float
+
+    @property
+    def ratio(self) -> float:
+        return self.posit_mmaps_per_clb / self.log_mmaps_per_clb
+
+
+def run(seed: int = 0, n_datasets: int = 8) -> List[Fig8Row]:
+    posit_unit = ColumnUnit(POSIT)
+    log_unit = ColumnUnit(LOG)
+    rows = []
+    for shape in paper_scale_shapes(seed=seed, n_datasets=n_datasets):
+        rows.append(Fig8Row(shape.name,
+                            posit_unit.mmaps_per_clb(shape),
+                            log_unit.mmaps_per_clb(shape)))
+    return rows
+
+
+def render(rows: List[Fig8Row]) -> str:
+    table = [{
+        "dataset": r.dataset,
+        "posit MMAPS/CLB": r.posit_mmaps_per_clb,
+        "log MMAPS/CLB": r.log_mmaps_per_clb,
+        "ratio": r.ratio,
+    } for r in rows]
+    return render_table(table, title="Figure 8: MMAPS per CLB unit") + \
+        "\nPaper claim: posit column units deliver ~2x MMAPS per CLB."

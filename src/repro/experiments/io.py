@@ -1,0 +1,59 @@
+"""Persistence for experiment outputs: plain-text reports and structured
+JSON (so downstream tooling can diff runs without parsing tables)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from typing import Any, Optional
+
+
+def _jsonable(obj: Any):
+    """Best-effort conversion of experiment result objects to JSON."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: _jsonable(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "rows") and callable(obj.rows):
+        return _jsonable(obj.rows())
+    if hasattr(obj, "render") and callable(obj.render):
+        return _jsonable(obj.render())
+    return repr(obj)
+
+
+def save_report(directory: str, experiment_id: str, text: str,
+                result: Optional[Any] = None, scale: str = "bench") -> dict:
+    """Write ``<id>.txt`` (the rendered report) and ``<id>.json``
+    (structured result + metadata).  Returns the paths written."""
+    os.makedirs(directory, exist_ok=True)
+    txt_path = os.path.join(directory, f"{experiment_id}.txt")
+    with open(txt_path, "w") as f:
+        f.write(text)
+        if not text.endswith("\n"):
+            f.write("\n")
+    paths = {"txt": txt_path}
+    if result is not None:
+        payload = {
+            "experiment": experiment_id,
+            "scale": scale,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "result": _jsonable(result),
+        }
+        json_path = os.path.join(directory, f"{experiment_id}.json")
+        with open(json_path, "w") as f:
+            json.dump(payload, f, indent=1, default=repr)
+        paths["json"] = json_path
+    return paths
+
+
+def load_report(directory: str, experiment_id: str) -> dict:
+    """Load a previously saved JSON result."""
+    with open(os.path.join(directory, f"{experiment_id}.json")) as f:
+        return json.load(f)

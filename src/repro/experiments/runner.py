@@ -1,0 +1,122 @@
+"""Experiment registry and CLI entry point.
+
+Usage::
+
+    python -m repro.experiments.runner            # list experiments
+    python -m repro.experiments.runner fig3       # run one (bench scale)
+    python -m repro.experiments.runner all --scale test
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, NamedTuple, Optional
+
+from . import (
+    bitbudget_curves,
+    fig1_alpha_exponent,
+    fig3_op_accuracy,
+    fig6_forward_perf,
+    fig7_column_perf,
+    fig8_mmaps_per_clb,
+    fig9_pvalue_accuracy,
+    fig10_vicar_cdf,
+    fig11_lofreq_cdf,
+    scorecard,
+    table1_range,
+    table2_units,
+    table3_forward_resources,
+    table4_column_resources,
+)
+from .io import save_report
+
+
+class Experiment(NamedTuple):
+    experiment_id: str
+    description: str
+    run: Callable
+    render: Callable
+    scalable: bool  # whether run() takes a scale argument
+
+
+REGISTRY: Dict[str, Experiment] = {
+    "fig1": Experiment("fig1", "alpha exponent vs iteration",
+                       fig1_alpha_exponent.run, fig1_alpha_exponent.render, True),
+    "table1": Experiment("table1", "dynamic range and precision",
+                         table1_range.run, table1_range.render, False),
+    "fig3": Experiment("fig3", "individual op accuracy by magnitude",
+                       fig3_op_accuracy.run, fig3_op_accuracy.render, True),
+    "table2": Experiment("table2", "arithmetic unit resources",
+                         table2_units.run, table2_units.render, False),
+    "fig6": Experiment("fig6", "forward unit performance",
+                       fig6_forward_perf.run, fig6_forward_perf.render, False),
+    "fig7": Experiment("fig7", "column unit performance",
+                       fig7_column_perf.run, fig7_column_perf.render, False),
+    "fig8": Experiment("fig8", "MMAPS per CLB",
+                       fig8_mmaps_per_clb.run, fig8_mmaps_per_clb.render, False),
+    "table3": Experiment("table3", "forward unit resources",
+                         table3_forward_resources.run,
+                         table3_forward_resources.render, False),
+    "table4": Experiment("table4", "column unit resources",
+                         table4_column_resources.run,
+                         table4_column_resources.render, False),
+    "fig9": Experiment("fig9", "p-value accuracy by magnitude",
+                       fig9_pvalue_accuracy.run, fig9_pvalue_accuracy.render, True),
+    "fig10": Experiment("fig10", "VICAR likelihood accuracy CDFs",
+                        fig10_vicar_cdf.run, fig10_vicar_cdf.render, True),
+    "fig11": Experiment("fig11", "LoFreq p-value accuracy CDFs",
+                        fig11_lofreq_cdf.run, fig11_lofreq_cdf.render, True),
+    "bitbudget": Experiment("bitbudget",
+                            "bit-budget analysis (Section II.C/III)",
+                            bitbudget_curves.run, bitbudget_curves.render,
+                            False),
+    "scorecard": Experiment("scorecard",
+                            "headline-claim reproduction scorecard",
+                            scorecard.run, scorecard.render, False),
+}
+
+
+def run_experiment(experiment_id: str, scale: str = "bench",
+                   out_dir: Optional[str] = None) -> str:
+    """Run one experiment and return its rendered report; optionally
+    persist text + JSON under ``out_dir``."""
+    exp = REGISTRY[experiment_id]
+    result = exp.run(scale) if exp.scalable else exp.run()
+    text = exp.render(result)
+    if out_dir is not None:
+        save_report(out_dir, experiment_id, text, result, scale)
+    return text
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce tables/figures from 'Design and accuracy "
+                    "trade-offs in Computational Statistics' (IISWC 2025)")
+    parser.add_argument("experiment", nargs="?", default=None,
+                        help="experiment id (e.g. fig3) or 'all'")
+    parser.add_argument("--scale", default="bench",
+                        choices=("test", "bench", "full"))
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="also write <id>.txt and <id>.json here")
+    args = parser.parse_args(argv)
+    if args.experiment is None:
+        print("Available experiments:")
+        for exp in REGISTRY.values():
+            print(f"  {exp.experiment_id:8s} {exp.description}")
+        return 0
+    targets = list(REGISTRY) if args.experiment == "all" else [args.experiment]
+    for target in targets:
+        if target not in REGISTRY:
+            print(f"unknown experiment {target!r}", file=sys.stderr)
+            return 2
+        start = time.time()
+        print(f"\n===== {target} =====")
+        print(run_experiment(target, args.scale, out_dir=args.out))
+        print(f"[{target} finished in {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

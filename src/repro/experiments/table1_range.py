@@ -1,0 +1,17 @@
+"""Table I: dynamic range and precision of binary64 and posit(64,ES)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.rangetable import RangeRow, table1_rows
+from ..report.tables import render_table
+
+
+def run() -> List[RangeRow]:
+    return table1_rows()
+
+
+def render(rows: List[RangeRow]) -> str:
+    return render_table([r.render() for r in rows],
+                        title="Table I: Dynamic Range and Precision")

@@ -1,0 +1,68 @@
+"""Table III: resource use of forward-algorithm units (model vs paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..hw.forward_unit import ForwardUnit
+from ..hw.pe import LOG, POSIT
+from ..hw.resources import reduction_pct
+from ..report.tables import render_table
+
+H_VALUES = (13, 32, 64, 128)
+
+
+@dataclass
+class Table3Row:
+    style: str
+    h: int
+    model: dict
+    paper: Optional[dict]
+
+
+def run() -> List[Table3Row]:
+    rows = []
+    for h in H_VALUES:
+        for style in (LOG, POSIT):
+            unit = ForwardUnit(style, h)
+            r = unit.resources()
+            model = {"CLB": unit.clb(), "LUT": r.lut, "Register": r.register,
+                     "DSP": r.dsp, "SRAM": r.sram}
+            rows.append(Table3Row(style, h, model, unit.paper_reported()))
+    return rows
+
+
+def reduction_rows(rows: List[Table3Row]) -> List[dict]:
+    by_key = {(r.style, r.h): r for r in rows}
+    out = []
+    for h in H_VALUES:
+        log_row = by_key[(LOG, h)].model
+        posit_row = by_key[(POSIT, h)].model
+        out.append({
+            "H": h,
+            "LUT reduction %": reduction_pct(log_row["LUT"], posit_row["LUT"]),
+            "Register reduction %": reduction_pct(log_row["Register"],
+                                                  posit_row["Register"]),
+            "DSP reduction %": reduction_pct(log_row["DSP"], posit_row["DSP"]),
+        })
+    return out
+
+
+def render(rows: List[Table3Row]) -> str:
+    table = []
+    for r in rows:
+        row = {"style": "posit(64,18)" if r.style == POSIT else "Logarithm",
+               "H": r.h}
+        row.update({f"model {k}": v for k, v in r.model.items()})
+        if r.paper:
+            row["paper LUT"] = r.paper["LUT"]
+            row["paper Register"] = r.paper["Register"]
+        table.append(row)
+    parts = [render_table(table, title="Table III: Resource Use of Forward "
+                                       "Algorithm Units (model vs paper)"),
+             "",
+             render_table(reduction_rows(rows),
+                          title="posit(64,18) reductions vs log "
+                                "(paper: ~60% LUT, ~39-48% Register/DSP)")]
+    return "\n".join(parts)

@@ -1,0 +1,51 @@
+"""Table IV: resource use of column units (model vs paper) and the SLR
+floor-planning consequence (Section VI.C)."""
+
+from __future__ import annotations
+
+from ..hw.column_unit import ColumnUnit
+from ..hw.floorplan import replication_speedup, units_per_slr
+from ..hw.pe import LOG, POSIT
+from ..hw.resources import reduction_row
+from ..report.tables import render_table
+
+
+def run() -> dict:
+    log_unit = ColumnUnit(LOG)
+    posit_unit = ColumnUnit(POSIT)
+    out = {"rows": [], "reduction": None, "floorplan": None}
+    for name, unit in (("Logarithm", log_unit), ("posit(64,12)", posit_unit)):
+        r = unit.resources()
+        paper = unit.paper_reported()
+        out["rows"].append({
+            "unit": name, "# of PEs": unit.n_pes,
+            "model CLB": unit.clb(), "model LUT": r.lut,
+            "model Register": r.register, "model DSP": r.dsp,
+            "paper LUT": paper["LUT"], "paper Register": paper["Register"],
+            "paper DSP": paper["DSP"],
+        })
+    out["reduction"] = reduction_row(log_unit.resources(),
+                                     posit_unit.resources())
+    out["floorplan"] = {
+        "log_per_slr": units_per_slr(log_unit.resources()),
+        "posit_per_slr": units_per_slr(posit_unit.resources()),
+        "replication": replication_speedup(log_unit.resources(),
+                                           posit_unit.resources(),
+                                           single_unit_speedup=1.2),
+    }
+    return out
+
+
+def render(result: dict) -> str:
+    parts = [render_table(result["rows"],
+                          title="Table IV: Resource Use of Column Units")]
+    red = result["reduction"]
+    parts.append(f"posit reductions: LUT {red['LUT']:.1f}%, "
+                 f"Register {red['Register']:.1f}%, DSP {red['DSP']:.1f}% "
+                 f"(paper: 64.1% / 50.3% / 60.4%)")
+    fp = result["floorplan"]
+    parts.append(f"SLR fit: {fp['log_per_slr'].units_per_slr} log units vs "
+                 f"{fp['posit_per_slr'].units_per_slr} posit units per SLR "
+                 f"(paper: 4 vs 10); whole-FPGA speedup "
+                 f"{fp['replication']['whole_fpga_speedup']:.1f}x")
+    return "\n".join(parts)

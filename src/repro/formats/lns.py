@@ -1,0 +1,174 @@
+"""Logarithmic Number System (LNS) — the paper's Section VII alternative.
+
+LNS stores ``log2|x|`` as a *fixed-point* number (sign bit + zero flag +
+``int_bits`` integer bits + ``frac_bits`` fraction bits), unlike
+log-space-over-binary64 which stores the log in a *float*.  Consequences
+this module makes measurable:
+
+* multiplication is a fixed-point addition (exact unless the range
+  saturates);
+* precision is **flat** across the whole range (a fixed-point log has
+  constant absolute error, hence constant relative value error) — unlike
+  float-log whose error grows with |log x|;
+* addition needs the Gaussian-log function ``sb(d) = log2(1 + 2**d)``,
+  classically a lookup table.  The table must cover ``|d|`` up to about
+  ``frac_bits + 1`` with ``2**frac_bits`` entries per unit — this module
+  computes that size, quantifying the paper's claim that "lookup table
+  optimizations are impractical for 64-bit numbers".
+
+Arithmetic here evaluates ``sb`` exactly through the BigFloat oracle and
+rounds once — i.e. it models an *ideal* (infeasible) LNS unit, which is
+the fair accuracy comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from ..bigfloat import BigFloat, DEFAULT_PRECISION
+from ..bigfloat import log2 as bf_log2
+from ..bigfloat.rounding import shift_right_round
+
+#: Special encodings (kept symbolic; hardware would use flag bits).
+LNS_ZERO = "lns-zero"
+
+_Value = Union[int, str]
+
+
+class LNSEnv:
+    """One LNS configuration: values are signed fixed-point log2 codes.
+
+    A nonzero value is represented as an integer ``code`` meaning
+    ``(-1)**sign * 2**(code / 2**frac_bits)``; this implementation keeps
+    sign implicit by only supporting positive reals (probabilities), as
+    the paper's workloads do.
+    """
+
+    def __init__(self, int_bits: int, frac_bits: int,
+                 prec: int = DEFAULT_PRECISION):
+        if int_bits < 2 or frac_bits < 1:
+            raise ValueError("need int_bits >= 2 and frac_bits >= 1")
+        self.int_bits = int_bits
+        self.frac_bits = frac_bits
+        self.prec = prec
+        #: Representable log2 range: [-2**(int_bits-1), 2**(int_bits-1)).
+        self.max_log2 = 1 << (int_bits - 1)
+        self.min_code = -self.max_log2 << frac_bits
+        self.max_code = (self.max_log2 << frac_bits) - 1
+
+    @property
+    def name(self) -> str:
+        return f"lns({self.int_bits},{self.frac_bits})"
+
+    @property
+    def total_bits(self) -> int:
+        """Storage width: sign + zero flag + integer + fraction."""
+        return 2 + self.int_bits + self.frac_bits
+
+    def smallest_positive_scale(self) -> int:
+        """Base-2 exponent of the smallest representable positive value."""
+        return -self.max_log2
+
+    # ------------------------------------------------------------------
+    # Codec
+    # ------------------------------------------------------------------
+    def encode_bigfloat(self, x: BigFloat) -> _Value:
+        if x.is_zero():
+            return LNS_ZERO
+        if x.is_negative():
+            raise ValueError("this LNS models probabilities (x >= 0)")
+        lg = bf_log2(x, self.prec)
+        code = self._round_code(lg)
+        return max(self.min_code, min(self.max_code, code))
+
+    def _round_code(self, lg: BigFloat) -> int:
+        # code = round(lg * 2**frac_bits), RNE on the exact value.
+        scaled = lg.mul_pow2(self.frac_bits)
+        if scaled.exponent >= 0:
+            mag = scaled.mantissa << scaled.exponent
+        else:
+            mag = shift_right_round(scaled.mantissa, -scaled.exponent)
+        return -mag if scaled.sign else mag
+
+    def decode_bigfloat(self, value: _Value) -> BigFloat:
+        if value == LNS_ZERO:
+            return BigFloat.zero()
+        from ..bigfloat import exp as bf_exp
+        from ..bigfloat import ln2 as bf_ln2
+        lg = BigFloat(1 if value < 0 else 0, abs(value), -self.frac_bits)
+        return bf_exp(lg.mul(bf_ln2(self.prec + 16), self.prec + 16), self.prec)
+
+    def from_float(self, x: float) -> _Value:
+        return self.encode_bigfloat(BigFloat.from_float(x))
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def mul(self, a: _Value, b: _Value) -> _Value:
+        """Fixed-point addition of the log codes (exact, may saturate)."""
+        if a == LNS_ZERO or b == LNS_ZERO:
+            return LNS_ZERO
+        return max(self.min_code, min(self.max_code, a + b))
+
+    def add(self, a: _Value, b: _Value) -> _Value:
+        """LNS addition via the Gaussian logarithm:
+
+            log2(x + y) = max + sb(min - max),  sb(d) = log2(1 + 2**d)
+
+        evaluated exactly (ideal-table model) and rounded to the code
+        grid once.
+        """
+        if a == LNS_ZERO:
+            return b
+        if b == LNS_ZERO:
+            return a
+        hi, lo = (a, b) if a >= b else (b, a)
+        d = lo - hi  # <= 0, in code units
+        sb = self._sb_exact(d)
+        return max(self.min_code, min(self.max_code, hi + sb))
+
+    def _sb_exact(self, d_code: int) -> int:
+        """sb(d) = log2(1 + 2**d) on the code grid, correctly rounded."""
+        from ..bigfloat import exp as bf_exp
+        from ..bigfloat import ln2 as bf_ln2
+        from ..bigfloat import log1p as bf_log1p
+        work = self.prec + 16
+        d = BigFloat(1 if d_code < 0 else 0, abs(d_code), -self.frac_bits)
+        pow2_d = bf_exp(d.mul(bf_ln2(work), work), work)
+        sb = bf_log1p(pow2_d, work).div(bf_ln2(work), work)
+        return self._round_code(sb)
+
+    # ------------------------------------------------------------------
+    # The impracticality argument (Section VII)
+    # ------------------------------------------------------------------
+    def sb_table_entries(self) -> int:
+        """Entries a direct-mapped sb lookup table would need: one per
+        representable d in (-(frac_bits + 1 + margin), 0] — beyond that
+        sb rounds to 0.  For frac_bits ~ 40+ this is astronomically
+        infeasible, which is exactly the paper's point."""
+        domain = self.frac_bits + 2  # |d| values that still matter
+        return domain << self.frac_bits
+
+    def sb_table_bytes(self) -> int:
+        entry_bytes = (self.total_bits + 7) // 8
+        return self.sb_table_entries() * entry_bytes
+
+    def per_op_relative_error_bound(self) -> float:
+        """Half a code unit in log2 translates to a relative value error
+        of ``2**(2**-(frac_bits+1)) - 1 ~ ln2 * 2**-(frac_bits+1)`` —
+        constant across the entire range."""
+        return math.log(2.0) * 2.0 ** -(self.frac_bits + 1)
+
+    def __repr__(self):
+        return f"LNSEnv(int_bits={self.int_bits}, frac_bits={self.frac_bits})"
+
+
+def lns64_for_range(min_scale: int) -> LNSEnv:
+    """The 64-bit LNS whose range covers values down to 2**min_scale,
+    spending the rest of the bits on fraction."""
+    int_bits = max(2, math.ceil(math.log2(abs(min_scale))) + 1)
+    frac_bits = 64 - 2 - int_bits
+    if frac_bits < 1:
+        raise ValueError("range too wide for a 64-bit LNS")
+    return LNSEnv(int_bits, frac_bits)

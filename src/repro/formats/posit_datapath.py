@@ -1,0 +1,158 @@
+"""Hardware-style posit add/multiply datapath.
+
+:mod:`repro.formats.posit` computes with exact integers and rounds once —
+a clean *specification* of correct rounding.  This module implements the
+same operations the way hardware posit units (MArTo's HLS operators) do:
+unpack to fixed-width fields, compute on a bounded-width significand
+datapath with guard/round/sticky bits, normalize, and round.  The two
+engines are cross-checked exhaustively in the tests — the software
+analogue of verifying an RTL datapath against a reference model — and
+the datapath's internal widths document *why* posit units cost what
+Table II says (the unpacked significand register is ``max_fraction_bits
++ 1`` wide, the multiplier array is that squared, and the aligner spans
+the full register: all wider than a same-width IEEE datapath).
+
+Correctness strategy per path:
+
+* **same-sign add / multiply** — bounded grid with GRS + sticky; any
+  dropped bits make the true value *epsilon above* the kept bits, which
+  an appended sticky bit encodes exactly (the standard R/S argument).
+* **effective subtraction, near/far** — when the alignment distance is
+  within the shifter span the subtraction is performed exactly on the
+  (bounded, ~2x fraction width) extended grid; beyond the span the
+  smaller operand is pure sticky and the true value is *epsilon below*
+  the larger, encoded by a borrowed low bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .posit import NAR, ZERO, PositEnv
+from .real import Real
+
+
+@dataclass(frozen=True)
+class UnpackedPosit:
+    """A decoded posit in the datapath's fixed-width registers.
+
+    ``significand`` holds the implicit leading 1 followed by exactly
+    ``frac_width`` fraction bits (zero-padded), so its value is
+    ``significand * 2**(scale - frac_width)``.
+    """
+
+    sign: int
+    scale: int  # k * 2**es + e
+    significand: int
+
+
+class PositDatapath:
+    """Add/mul built from bounded shift/compare/add primitives."""
+
+    def __init__(self, env: PositEnv):
+        self.env = env
+        #: Significand register fraction width (shortest-regime case).
+        self.frac_width = env.max_fraction_bits()
+        #: Guard/round/sticky bits carried below the ulp grid.
+        self.grs = 3
+        #: Aligner span: beyond this distance the small addend is sticky.
+        self.max_shift = self.frac_width + self.grs + 2
+
+    # ------------------------------------------------------------------
+    def unpack(self, bits: int) -> UnpackedPosit:
+        decoded = self.env.decode(bits)
+        if decoded is ZERO:
+            return UnpackedPosit(0, 0, 0)
+        if decoded is NAR:
+            raise ValueError("NaR bypasses the datapath")
+        mant = decoded.mantissa
+        significand = mant << (self.frac_width + 1 - mant.bit_length())
+        return UnpackedPosit(decoded.sign, decoded.scale, significand)
+
+    def _pack(self, sign: int, significand: int, grid_exp: int,
+              sticky: int) -> int:
+        """Round-and-encode ``(-1)^sign * (significand + eps) * 2**grid_exp``
+        where ``eps`` is in (0, 1) iff sticky is set.
+
+        Appending the sticky below the LSB reproduces the exact rounding
+        decision because eps is strictly smaller than one grid unit.
+        """
+        if significand == 0:
+            if not sticky:
+                return 0
+            return self.env.encode_real(Real(sign, 1, self.env.min_scale - 4))
+        mant = (significand << 1) | (1 if sticky else 0)
+        return self.env.encode_real(Real(sign, mant, grid_exp - 1))
+
+    # ------------------------------------------------------------------
+    def add(self, a_bits: int, b_bits: int) -> int:
+        env = self.env
+        if env.is_nar(a_bits) or env.is_nar(b_bits):
+            return env.nar
+        if env.is_zero(a_bits):
+            return b_bits & env.mask
+        if env.is_zero(b_bits):
+            return a_bits & env.mask
+        a, b = self.unpack(a_bits), self.unpack(b_bits)
+        if (a.scale, a.significand) < (b.scale, b.significand):
+            a, b = b, a  # |a| >= |b| after the magnitude compare
+        diff = a.scale - b.scale
+        grid_exp = a.scale - self.frac_width  # grid of a.significand
+        if a.sign == b.sign:
+            return self._add_magnitudes(a, b, diff, grid_exp)
+        return self._sub_magnitudes(a, b, diff, grid_exp)
+
+    def _add_magnitudes(self, a, b, diff: int, grid_exp: int) -> int:
+        # Work on the GRS-extended grid (3 bits below a's ulp grid).
+        wa = a.significand << self.grs
+        wb = b.significand << self.grs
+        sticky = 0
+        if diff >= self.max_shift:
+            wb = 0
+            sticky = 1
+        elif diff > 0:
+            sticky = 1 if wb & ((1 << diff) - 1) else 0
+            wb >>= diff
+        return self._pack(a.sign, wa + wb, grid_exp - self.grs, sticky)
+
+    def _sub_magnitudes(self, a, b, diff: int, grid_exp: int) -> int:
+        if diff >= self.max_shift:
+            # Far path: b is pure sticky; true value = a - eps.
+            wa = a.significand << self.grs
+            # Represent a - eps as (2*wa - 1)/2 with a live sticky: the
+            # borrowed half-unit plus sticky brackets the true value.
+            doubled = (wa << 1) - 1
+            return self._pack(a.sign, doubled, grid_exp - self.grs - 1,
+                              sticky=1)
+        # Near/far-within-span path: exact subtraction on the extended
+        # grid (bounded width: frac_width + max_shift bits).
+        am = a.significand << diff
+        bm = b.significand
+        total = am - bm
+        if total == 0:
+            return 0
+        return self.env.encode_real(Real(a.sign, total,
+                                         b.scale - self.frac_width))
+
+    # ------------------------------------------------------------------
+    def mul(self, a_bits: int, b_bits: int) -> int:
+        env = self.env
+        if env.is_nar(a_bits) or env.is_nar(b_bits):
+            return env.nar
+        if env.is_zero(a_bits) or env.is_zero(b_bits):
+            return 0
+        a, b = self.unpack(a_bits), self.unpack(b_bits)
+        sign = a.sign ^ b.sign
+        # The (frac_width+1)^2 multiplier array (the DSP cost of Table II).
+        product = a.significand * b.significand
+        # Product grid: 2**(a.scale + b.scale - 2*frac_width).  Compress
+        # to the GRS working grid, folding dropped bits into sticky.
+        shift = self.frac_width - self.grs
+        sticky = 0
+        if shift > 0:
+            sticky = 1 if product & ((1 << shift) - 1) else 0
+            product >>= shift
+        elif shift < 0:
+            product <<= -shift
+        grid_exp = a.scale + b.scale - self.frac_width - self.grs
+        return self._pack(sign, product, grid_exp, sticky)

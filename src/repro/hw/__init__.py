@@ -1,0 +1,94 @@
+"""FPGA accelerator substrate: unit cost database (Table II), PE latency
+models (Fig. 4), the Fig. 5 timing model, accelerator resource/timing
+models (Tables III-IV, Figs. 6-8) and SLR floor-planning."""
+
+from .units import (
+    COMPARE,
+    EXP_UNIT,
+    LOG_UNIT,
+    SUBTRACT,
+    TABLE2,
+    UnitCost,
+    lse_component_check,
+    software_op_cost_model,
+    table2_rows,
+    unit,
+)
+from .resources import Resources, reduction_pct, reduction_row
+from .pe import (
+    COLUMN_PE_LATENCY,
+    LOG,
+    POSIT,
+    column_pe_latency,
+    column_pe_structure,
+    forward_pe_latency,
+    forward_pe_latency_reduction,
+    forward_pe_structure,
+    tree_levels,
+)
+from .timeline import (
+    CLOCK_MHZ,
+    DRAIN_CYCLES,
+    TimingBreakdown,
+    column_timing,
+    forward_unit_timing,
+    initiation_interval,
+)
+from .forward_unit import (
+    PAPER_FIG6_SECONDS,
+    PAPER_TABLE3,
+    ForwardUnit,
+    software_forward_log,
+    software_forward_posit,
+    speedup_over_cpu,
+)
+from .column_unit import (
+    PAPER_TABLE4,
+    ColumnUnit,
+    DatasetShape,
+    paper_scale_shapes,
+    single_unit_improvement,
+)
+from .sim import (
+    SimConfig,
+    SimResult,
+    prefetch_sensitivity,
+    simulate,
+    simulate_column,
+    simulate_forward_unit,
+)
+from .pareto import (
+    DesignPoint,
+    column_design_space,
+    dominated_count,
+    forward_design_space,
+    pareto_frontier,
+)
+from .floorplan import (
+    U250_SLR,
+    U250_SLR_COUNT,
+    FloorplanResult,
+    replication_speedup,
+    units_per_slr,
+)
+
+__all__ = [
+    "UnitCost", "TABLE2", "unit", "table2_rows", "lse_component_check",
+    "software_op_cost_model", "COMPARE", "SUBTRACT", "EXP_UNIT", "LOG_UNIT",
+    "Resources", "reduction_pct", "reduction_row",
+    "LOG", "POSIT", "forward_pe_latency", "forward_pe_latency_reduction",
+    "column_pe_latency", "COLUMN_PE_LATENCY", "tree_levels",
+    "forward_pe_structure", "column_pe_structure",
+    "TimingBreakdown", "forward_unit_timing", "column_timing",
+    "initiation_interval", "CLOCK_MHZ", "DRAIN_CYCLES",
+    "ForwardUnit", "PAPER_TABLE3", "PAPER_FIG6_SECONDS",
+    "software_forward_log", "software_forward_posit", "speedup_over_cpu",
+    "ColumnUnit", "DatasetShape", "PAPER_TABLE4", "paper_scale_shapes",
+    "single_unit_improvement",
+    "units_per_slr", "replication_speedup", "FloorplanResult",
+    "U250_SLR", "U250_SLR_COUNT",
+    "DesignPoint", "forward_design_space", "column_design_space",
+    "pareto_frontier", "dominated_count",
+    "SimConfig", "SimResult", "simulate", "simulate_forward_unit",
+    "simulate_column", "prefetch_sensitivity",
+]

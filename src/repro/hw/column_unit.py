@@ -1,0 +1,170 @@
+"""The LoFreq column-unit accelerator (Section V.B, Table IV, Figs. 7-8).
+
+Mirrors :mod:`repro.hw.forward_unit`: analytic timing at paper-scale
+dataset shapes, a structural resource model validated against Table IV,
+and a functional simulator running Listing 2's dataflow in the unit's
+number format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..arith.backends import LogSpaceBackend, PositBackend
+from ..data.genome import Column
+from ..formats.posit import PositEnv
+from .pe import LOG, POSIT, column_pe_latency, column_pe_structure
+from .resources import Resources
+from .timeline import CLOCK_MHZ, DRAIN_CYCLES, column_timing
+from .units import TABLE2
+
+#: Fitted control/prefetcher base overhead, calibrated on Table IV.
+_BASE_OVERHEAD = {
+    LOG: Resources(lut=19_346, register=24_000, dsp=34, sram=236),
+    POSIT: Resources(lut=7_800, register=11_500, dsp=23, sram=258),
+}
+
+#: Table IV, verbatim: (CLB, LUT, Register, DSP, SRAM, fmax).
+PAPER_TABLE4: Dict[str, tuple] = {
+    LOG: (15_476, 75_894, 76_300, 386, 236, 341),
+    POSIT: (8_619, 27_270, 37_963, 153, 258, 330),
+}
+
+
+@dataclass(frozen=True)
+class DatasetShape:
+    """Paper-scale description of one dataset: per-column (N, K) only —
+    all the timing model needs.  The accuracy experiments use the small
+    value-carrying columns from :mod:`repro.data.genome` instead."""
+
+    name: str
+    depths: np.ndarray  # N per column
+    ks: np.ndarray  # K per column
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.depths)
+
+    @property
+    def total_ops(self) -> int:
+        """Multiply-and-adds (Listing 2 line 4): sum of N*K."""
+        return int(np.sum(self.depths.astype(np.int64) * self.ks))
+
+    @property
+    def mean_depth(self) -> float:
+        return float(np.mean(self.depths))
+
+    @property
+    def mean_k(self) -> float:
+        return float(np.mean(self.ks))
+
+
+def paper_scale_shapes(seed: int = 0, n_datasets: int = 8) -> List[DatasetShape]:
+    """Eight dataset shapes in the paper's regime: 222,131 columns total,
+    mean depth ~309,189, mean K varying widely across datasets (that
+    variation is what spreads Fig. 7's improvements from ~5% to ~25%)."""
+    rng = np.random.default_rng(seed)
+    total_columns = 222_131
+    per = total_columns // n_datasets
+    mean_ks = np.geomspace(700, 7_000, n_datasets)
+    shapes = []
+    for i in range(n_datasets):
+        n_cols = per + (total_columns % n_datasets if i == n_datasets - 1 else 0)
+        depths = rng.lognormal(mean=np.log(309_189.0), sigma=0.25, size=n_cols)
+        ks = rng.lognormal(mean=np.log(mean_ks[i]), sigma=0.4, size=n_cols)
+        shapes.append(DatasetShape(f"D{i}", depths.astype(np.int64),
+                                   np.maximum(1, ks.astype(np.int64))))
+    return shapes
+
+
+@dataclass
+class ColumnUnit:
+    """One LoFreq column-unit accelerator (8 PEs, Section VI.A)."""
+
+    style: str
+    n_pes: int = 8
+    posit_es: int = 12
+    clock_mhz: float = CLOCK_MHZ
+
+    def __post_init__(self):
+        if self.style not in (LOG, POSIT):
+            raise ValueError(f"unknown style {self.style!r}")
+        if self.n_pes < 1:
+            raise ValueError("need at least one PE")
+
+    # -- timing --------------------------------------------------------
+    @property
+    def pe_latency(self) -> int:
+        return column_pe_latency(self.style)
+
+    def column_cycles(self, k: int, n: int) -> int:
+        return column_timing(k, n, self.pe_latency, self.n_pes).total_cycles
+
+    def dataset_cycles(self, shape: DatasetShape) -> int:
+        """Vectorized Fig. 5 model over every column of a dataset."""
+        issue = np.maximum(1, -(-shape.ks // self.n_pes))
+        per_outer = issue + self.pe_latency + DRAIN_CYCLES
+        return int(np.sum(shape.depths.astype(np.int64) * per_outer))
+
+    def dataset_seconds(self, shape: DatasetShape) -> float:
+        return self.dataset_cycles(shape) / (self.clock_mhz * 1e6)
+
+    def mmaps(self, shape: DatasetShape) -> float:
+        """Million Multiply-and-Adds Per Second (Section VI.C)."""
+        return shape.total_ops / self.dataset_seconds(shape) / 1e6
+
+    def mmaps_per_clb(self, shape: DatasetShape) -> float:
+        return self.mmaps(shape) / self.clb()
+
+    def clb(self) -> int:
+        """CLB count: the paper-reported post-routing number when this
+        configuration appears in Table IV (packing ratios are design-
+        specific), else the model estimate."""
+        reported = self.paper_reported()
+        if reported is not None:
+            return reported["CLB"]
+        return self.resources().clb_estimate()
+
+    # -- resources -----------------------------------------------------
+    def resources(self) -> Resources:
+        pe = column_pe_structure(self.style, self.posit_es)
+        acc = TABLE2["log_add" if self.style == LOG else
+                     f"posit(64,{self.posit_es})_add"]
+        r = pe.resources.scale(self.n_pes)
+        r = r + Resources(acc.lut, acc.register, acc.dsp)  # p-value accum
+        return r + _BASE_OVERHEAD[self.style]
+
+    def paper_reported(self) -> Optional[dict]:
+        row = PAPER_TABLE4.get(self.style)
+        if row is None or self.n_pes != 8:
+            return None
+        clb, lut, reg, dsp, sram, fmax = row
+        return {"CLB": clb, "LUT": lut, "Register": reg, "DSP": dsp,
+                "SRAM": sram, "fmax": fmax}
+
+    # -- functional simulation -----------------------------------------
+    def backend(self):
+        if self.style == LOG:
+            return LogSpaceBackend()
+        return PositBackend(PositEnv(64, self.posit_es))
+
+    def simulate(self, column: Column):
+        """Run Listing 2 in the unit's format; return (p-value backend
+        value, TimingBreakdown)."""
+        from ..apps.pbd import pbd_pvalue
+        backend = self.backend()
+        value = pbd_pvalue(column.success_probs, column.k, backend)
+        timing = column_timing(column.k, column.depth, self.pe_latency,
+                               self.n_pes)
+        return value, timing
+
+
+def single_unit_improvement(shape: DatasetShape, posit_es: int = 12,
+                            n_pes: int = 8) -> float:
+    """Fig. 7(b)'s metric: (log_time - posit_time) / log_time."""
+    log_time = ColumnUnit(LOG, n_pes).dataset_seconds(shape)
+    posit_time = ColumnUnit(POSIT, n_pes, posit_es).dataset_seconds(shape)
+    return (log_time - posit_time) / log_time

@@ -1,0 +1,69 @@
+"""SLR floor-planning (Section VI.C): how many accelerator units fit per
+die slice of an Alveo U250, and the resulting whole-FPGA speedup from
+replicating units.
+
+The paper's observation: one SLR fits at most 4 log-based column units
+but easily 10 posit-based ones, so the 60% resource reduction compounds
+into additional parallel speedup beyond the single-unit 15-33%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .resources import Resources
+
+#: Alveo U250 per-SLR capacities (4 SLRs total).  LUT/FF counts from the
+#: UltraScale+ XCU250 datasheet divided by four; DSP likewise.
+U250_SLR = Resources(lut=432_000, register=864_000, dsp=3_072, sram=1_440)
+U250_SLR_COUNT = 4
+
+#: Achievable utilization before routing congestion stops placement.
+DEFAULT_UTILIZATION = 0.75
+
+
+@dataclass(frozen=True)
+class FloorplanResult:
+    units_per_slr: int
+    limiting_resource: str
+    total_units: int
+
+
+def units_per_slr(unit: Resources, slr: Resources = U250_SLR,
+                  utilization: float = DEFAULT_UTILIZATION,
+                  include_sram: bool = False) -> FloorplanResult:
+    """How many copies of ``unit`` fit in one SLR, and what limits it.
+
+    SRAM is excluded by default: when units are replicated the prefetch
+    buffers retarget URAM and shrink per-unit (the paper fits 10 posit
+    column units per SLR even though a standalone unit reports 258
+    blocks — logic, not memory, is the binding constraint).
+    """
+    fields = ("lut", "register", "dsp", "sram") if include_sram else \
+        ("lut", "register", "dsp")
+    limits = {}
+    for field in fields:
+        usage = getattr(unit, field)
+        if usage <= 0:
+            continue
+        capacity = getattr(slr, field) * utilization
+        limits[field] = int(capacity // usage)
+    limiting = min(limits, key=lambda k: limits[k])
+    per_slr = limits[limiting]
+    return FloorplanResult(per_slr, limiting, per_slr * U250_SLR_COUNT)
+
+
+def replication_speedup(log_unit: Resources, posit_unit: Resources,
+                        single_unit_speedup: float,
+                        utilization: float = DEFAULT_UTILIZATION) -> dict:
+    """Whole-FPGA speedup when both designs replicate units to fill an
+    SLR: single-unit gain x unit-count gain."""
+    log_fp = units_per_slr(log_unit, utilization=utilization)
+    posit_fp = units_per_slr(posit_unit, utilization=utilization)
+    count_ratio = posit_fp.units_per_slr / max(1, log_fp.units_per_slr)
+    return {
+        "log_units_per_slr": log_fp.units_per_slr,
+        "posit_units_per_slr": posit_fp.units_per_slr,
+        "unit_count_ratio": count_ratio,
+        "whole_fpga_speedup": single_unit_speedup * count_ratio,
+    }

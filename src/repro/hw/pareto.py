@@ -1,0 +1,102 @@
+"""Design-space enumeration and Pareto analysis for the accelerators.
+
+Extends the paper's fixed design points: enumerate (style, H) forward
+units or (style, n_PEs) column units, attach the timing and resource
+models, and extract the time-vs-LUT Pareto frontier plus a first-order
+energy estimate.  Used by the design-space example and the ablation
+benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .column_unit import ColumnUnit, DatasetShape
+from .forward_unit import ForwardUnit
+from .pe import LOG, POSIT
+
+#: First-order dynamic power model: watts per active LUT and per DSP at
+#: 300 MHz on UltraScale+ (order-of-magnitude coefficients; used only
+#: for *relative* comparisons between the two styles).
+WATTS_PER_KLUT = 0.015
+WATTS_PER_DSP = 0.0025
+STATIC_WATTS = 2.0
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated accelerator configuration.
+
+    ``workload`` identifies the problem size (H for forward units, PE
+    count for column units): comparing time across different workloads
+    is meaningless — an H=128 unit does more work per outer iteration
+    than an H=8 unit — so domination is only defined within a workload.
+    """
+
+    label: str
+    style: str
+    workload: int
+    seconds: float
+    luts: int
+    dsps: int
+
+    @property
+    def watts(self) -> float:
+        return STATIC_WATTS + self.luts / 1000 * WATTS_PER_KLUT \
+            + self.dsps * WATTS_PER_DSP
+
+    @property
+    def joules(self) -> float:
+        return self.watts * self.seconds
+
+
+def forward_design_space(t: int = 500_000,
+                         h_values: Sequence[int] = (8, 13, 16, 24, 32, 48,
+                                                    64, 96, 128)) -> List[DesignPoint]:
+    points = []
+    for h in h_values:
+        for style in (LOG, POSIT):
+            unit = ForwardUnit(style, h)
+            r = unit.resources()
+            points.append(DesignPoint(f"{style}/H={h}", style, h,
+                                      unit.seconds(t), r.lut, r.dsp))
+    return points
+
+
+def column_design_space(shape: DatasetShape,
+                        pe_counts: Sequence[int] = (2, 4, 8, 16, 32)) -> List[DesignPoint]:
+    points = []
+    for n_pes in pe_counts:
+        for style in (LOG, POSIT):
+            unit = ColumnUnit(style, n_pes=n_pes)
+            r = unit.resources()
+            points.append(DesignPoint(f"{style}/{n_pes}PE", style, n_pes,
+                                      unit.dataset_seconds(shape), r.lut,
+                                      r.dsp))
+    return points
+
+
+def _dominates(a: DesignPoint, b: DesignPoint) -> bool:
+    """a dominates b: same workload, no worse on both axes, better on one."""
+    return (a.workload == b.workload
+            and a.seconds <= b.seconds and a.luts <= b.luts
+            and (a.seconds < b.seconds or a.luts < b.luts))
+
+
+def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated points (within-workload domination), sorted by
+    time.  With the paper's two styles this selects, per workload, the
+    style that is both faster and smaller."""
+    frontier = [p for p in points
+                if not any(_dominates(o, p) for o in points)]
+    return sorted(frontier, key=lambda p: (p.workload, p.seconds))
+
+
+def dominated_count(points: Sequence[DesignPoint], style: str) -> int:
+    """How many points of ``style`` are dominated by the *other* style
+    at the same workload — the quantitative form of 'posit designs
+    dominate'."""
+    others = [p for p in points if p.style != style]
+    mine = [p for p in points if p.style == style]
+    return sum(1 for p in mine if any(_dominates(o, p) for o in others))

@@ -1,0 +1,124 @@
+"""Processing-element latency and resource models (Figure 4 / Section V.C).
+
+The paper gives closed forms for the forward-algorithm PE:
+
+* log-based:   ``62 + 9 * log2(H)`` cycles
+  (6-cycle term adds; a max reduction tree and an exp-accumulation
+  reduction tree contributing 9 cycles per level; 20-cycle fully parallel
+  exponentials; 6-cycle subtractions; 30 cycles of logarithm + final add)
+* posit-based: ``24 + 8 * log2(H)`` cycles
+  (12-cycle multiplies at entry and exit; an 8-cycle-per-level posit
+  adder reduction tree)
+
+and for the LoFreq column-unit PE: 73 cycles log-based (64-cycle LSE +
+6-cycle add + 3 cycles of conditional logic) vs 30 cycles posit-based.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .resources import Resources
+from .units import COMPARE, EXP_UNIT, LOG_UNIT, SUBTRACT, TABLE2
+
+LOG = "log"
+POSIT = "posit"
+
+#: Fixed portion of the forward-PE latency (cycles).
+_FWD_FIXED = {LOG: 62, POSIT: 24}
+#: Per-reduction-tree-level cycles.
+_FWD_PER_LEVEL = {LOG: 9, POSIT: 8}
+
+#: Column-unit PE latency (cycles): LSE 64 + add 6 + conditionals 3,
+#: vs posit mul 12 + two chained adds + conditionals.
+COLUMN_PE_LATENCY = {LOG: 73, POSIT: 30}
+
+
+def tree_levels(h: int) -> int:
+    """Depth of a binary reduction tree over h inputs."""
+    if h < 1:
+        raise ValueError("h must be positive")
+    return max(1, math.ceil(math.log2(h)))
+
+
+def forward_pe_latency(style: str, h: int) -> int:
+    """PE latency in cycles for an H-state forward-algorithm unit."""
+    _check(style)
+    return _FWD_FIXED[style] + _FWD_PER_LEVEL[style] * tree_levels(h)
+
+
+def forward_pe_latency_reduction(h: int) -> int:
+    """The paper's quoted saving: ``38 + log2(H)`` cycles."""
+    return forward_pe_latency(LOG, h) - forward_pe_latency(POSIT, h)
+
+
+def column_pe_latency(style: str) -> int:
+    _check(style)
+    return COLUMN_PE_LATENCY[style]
+
+
+def _check(style: str) -> None:
+    if style not in (LOG, POSIT):
+        raise ValueError(f"unknown PE style {style!r}")
+
+
+# ----------------------------------------------------------------------
+# Structural resource composition (Figure 4's block diagrams)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PEStructure:
+    """Component inventory of one PE, resolvable to resources."""
+
+    description: str
+    resources: Resources
+
+
+def forward_pe_structure(style: str, h: int, posit_es: int = 18) -> PEStructure:
+    """Resources of one fully-parallel forward-algorithm PE.
+
+    Log-based (Fig. 4a): H term adders (binary64), an (H-1)-comparator max
+    tree, H subtractors, H exponential units, an (H-1)-adder accumulation
+    tree, one logarithm unit and one final adder.
+
+    Posit-based (Fig. 4b): H multipliers, an (H-1)-adder reduction tree,
+    and one final multiplier.
+    """
+    _check(style)
+    if style == LOG:
+        add = TABLE2["binary64_add"]
+        r = Resources()
+        r = r + Resources(add.lut, add.register, add.dsp).scale(h)  # terms
+        r = r + Resources(COMPARE.lut, COMPARE.register, COMPARE.dsp).scale(h - 1)
+        r = r + Resources(SUBTRACT.lut, SUBTRACT.register, SUBTRACT.dsp).scale(h)
+        r = r + Resources(EXP_UNIT.lut, EXP_UNIT.register, EXP_UNIT.dsp).scale(h)
+        r = r + Resources(add.lut, add.register, add.dsp).scale(h - 1)  # acc tree
+        r = r + Resources(LOG_UNIT.lut, LOG_UNIT.register, LOG_UNIT.dsp)
+        r = r + Resources(add.lut, add.register, add.dsp)  # + ln_B
+        return PEStructure(f"log forward PE (H={h})", r)
+    mul = TABLE2[f"posit(64,{posit_es})_mul"]
+    padd = TABLE2[f"posit(64,{posit_es})_add"]
+    r = Resources(mul.lut, mul.register, mul.dsp).scale(h)  # terms
+    r = r + Resources(padd.lut, padd.register, padd.dsp).scale(h - 1)  # tree
+    r = r + Resources(mul.lut, mul.register, mul.dsp)  # * B[q][ot]
+    return PEStructure(f"posit forward PE (H={h})", r)
+
+
+def column_pe_structure(style: str, posit_es: int = 12) -> PEStructure:
+    """Resources of one column-unit PE (Listing 2's line-4 kernel).
+
+    Log-based: two log-multiplies (binary64 adders) feeding a two-input
+    LSE.  Posit-based: two multipliers feeding one adder.
+    """
+    _check(style)
+    if style == LOG:
+        add = TABLE2["binary64_add"]
+        lse = TABLE2["log_add"]
+        r = Resources(add.lut, add.register, add.dsp).scale(2)
+        r = r + Resources(lse.lut, lse.register, lse.dsp)
+        return PEStructure("log column PE", r)
+    mul = TABLE2[f"posit(64,{posit_es})_mul"]
+    padd = TABLE2[f"posit(64,{posit_es})_add"]
+    r = Resources(mul.lut, mul.register, mul.dsp).scale(2)
+    r = r + Resources(padd.lut, padd.register, padd.dsp)
+    return PEStructure("posit column PE", r)

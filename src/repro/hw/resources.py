@@ -1,0 +1,65 @@
+"""FPGA resource accounting: vectors of LUT/Register/DSP/SRAM, CLB
+estimation, and the reduction percentages the paper reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Xilinx UltraScale+ CLB geometry: 8 LUTs and 16 flip-flops per CLB
+#: slice (paper reference [84]).
+LUTS_PER_CLB = 8
+REGS_PER_CLB = 16
+
+#: Typical post-routing packing efficiency: designs do not fill every
+#: LUT/FF of the CLBs they occupy.  Calibrated against Table III/IV
+#: (the log forward unit at H=13 occupies 14,308 CLBs for 68,966 LUTs:
+#: ~60% LUT packing).
+DEFAULT_PACKING = 0.60
+
+
+@dataclass(frozen=True)
+class Resources:
+    """One design's resource usage."""
+
+    lut: int = 0
+    register: int = 0
+    dsp: int = 0
+    sram: int = 0
+
+    def __add__(self, other: "Resources") -> "Resources":
+        return Resources(self.lut + other.lut, self.register + other.register,
+                         self.dsp + other.dsp, self.sram + other.sram)
+
+    def scale(self, factor: int) -> "Resources":
+        return Resources(self.lut * factor, self.register * factor,
+                         self.dsp * factor, self.sram * factor)
+
+    def clb_estimate(self, packing: float = DEFAULT_PACKING) -> int:
+        """CLBs occupied, limited by whichever of LUTs or registers packs
+        worse at the given efficiency."""
+        by_lut = self.lut / (LUTS_PER_CLB * packing)
+        by_reg = self.register / (REGS_PER_CLB * packing)
+        return int(round(max(by_lut, by_reg)))
+
+    def as_row(self, **extra) -> dict:
+        row = {"CLB": self.clb_estimate(), "LUT": self.lut,
+               "Register": self.register, "DSP": self.dsp, "SRAM": self.sram}
+        row.update(extra)
+        return row
+
+
+def reduction_pct(baseline: float, improved: float) -> float:
+    """The paper's 'Reduction %' rows: (baseline - improved)/baseline."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline
+
+
+def reduction_row(baseline: Resources, improved: Resources) -> dict:
+    return {
+        "CLB": reduction_pct(baseline.clb_estimate(), improved.clb_estimate()),
+        "LUT": reduction_pct(baseline.lut, improved.lut),
+        "Register": reduction_pct(baseline.register, improved.register),
+        "DSP": reduction_pct(baseline.dsp, improved.dsp),
+        "SRAM": reduction_pct(baseline.sram, improved.sram),
+    }

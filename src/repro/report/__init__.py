@@ -1,0 +1,18 @@
+"""Plain-text rendering of experiment outputs: tables, CDFs, box stats."""
+
+from .tables import format_cell, render_comparison, render_table
+from .cdf import CDF, cdf_table, dominance, orders_of_magnitude_gap
+from .boxplot import axis_bounds, render_box_line, render_box_panel
+
+__all__ = [
+    "render_table",
+    "render_comparison",
+    "format_cell",
+    "CDF",
+    "cdf_table",
+    "dominance",
+    "orders_of_magnitude_gap",
+    "render_box_line",
+    "render_box_panel",
+    "axis_bounds",
+]

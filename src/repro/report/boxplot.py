@@ -1,0 +1,70 @@
+"""ASCII box-and-whisker rendering for the Figure 3 / Figure 9 style
+results — whiskers at p5/p95, box at p25/p75, median marker, exactly the
+paper's plot convention, drawn in text."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def render_box_line(p5: float, p25: float, median: float, p75: float,
+                    p95: float, lo: float, hi: float, width: int = 60) -> str:
+    """One box on a fixed [lo, hi] axis."""
+    if hi <= lo:
+        raise ValueError("need hi > lo")
+    span = hi - lo
+
+    def col(v: float) -> int:
+        clamped = min(max(v, lo), hi)
+        return min(width - 1, int((clamped - lo) / span * (width - 1)))
+
+    cells = [" "] * width
+    for i in range(col(p5), col(p95) + 1):
+        cells[i] = "-"
+    for i in range(col(p25), col(p75) + 1):
+        cells[i] = "="
+    cells[col(p5)] = "|"
+    cells[col(p95)] = "|"
+    cells[col(median)] = "#"
+    return "".join(cells)
+
+
+def render_box_panel(rows: Sequence[dict], lo: float, hi: float,
+                     width: int = 60, title: str = "",
+                     label_key: str = "label") -> str:
+    """Render many boxes on a shared axis.
+
+    Each row needs keys ``label, p5, p25, median, p75, p95`` (any
+    missing/None statistics render as an empty line with a dash).
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max((len(str(r.get(label_key, ""))) for r in rows),
+                      default=5)
+    axis = f"{'':{label_width}}  {lo:<8.4g}{'':{max(0, width - 16)}}{hi:>8.4g}"
+    lines.append(axis)
+    for row in rows:
+        label = str(row.get(label_key, ""))
+        stats = [row.get(k) for k in ("p5", "p25", "median", "p75", "p95")]
+        if any(s is None for s in stats):
+            lines.append(f"{label:{label_width}}  (not measured)")
+            continue
+        box = render_box_line(*stats, lo=lo, hi=hi, width=width)
+        lines.append(f"{label:{label_width}}  {box}")
+    lines.append(f"{'':{label_width}}  legend: |--|=whiskers p5/p95, "
+                 f"===box p25/p75, #=median")
+    return "\n".join(lines)
+
+
+def axis_bounds(rows: Sequence[dict], pad: float = 0.5) -> tuple:
+    """A [lo, hi] covering every box with padding."""
+    los, his = [], []
+    for row in rows:
+        if row.get("p5") is not None:
+            los.append(row["p5"])
+        if row.get("p95") is not None:
+            his.append(row["p95"])
+    if not los:
+        raise ValueError("no measurable rows")
+    return min(los) - pad, max(his) + pad

@@ -1,0 +1,65 @@
+"""Empirical CDFs over log10-error samples (Figures 10 and 11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CDF:
+    """One empirical distribution of log10 relative errors."""
+
+    name: str
+    samples: tuple
+
+    @classmethod
+    def from_samples(cls, name: str, samples: Sequence[float]) -> "CDF":
+        return cls(name, tuple(sorted(samples)))
+
+    def fraction_below(self, threshold: float) -> float:
+        """P(error < 10**threshold) — the paper's CDF readouts."""
+        if not self.samples:
+            return 0.0
+        return float(np.searchsorted(self.samples, threshold, side="left")
+                     / len(self.samples))
+
+    def quantile(self, q: float) -> float:
+        if not self.samples:
+            raise ValueError("empty CDF")
+        return float(np.quantile(np.asarray(self.samples), q))
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+
+def cdf_table(cdfs: Dict[str, CDF],
+              thresholds: Sequence[float] = (-12, -10, -8, -6, -4)) -> List[dict]:
+    """Rows of 'fraction with error < 1e-X' per format — a textual
+    rendering of the Figure 10/11 curves."""
+    rows = []
+    for name, cdf in cdfs.items():
+        row = {"format": name, "n": len(cdf.samples)}
+        for t in thresholds:
+            row[f"<1e{int(t)}"] = cdf.fraction_below(float(t))
+        if cdf.samples:
+            row["median(log10)"] = cdf.median
+        rows.append(row)
+    return rows
+
+
+def dominance(better: CDF, worse: CDF,
+              thresholds: Sequence[float] = (-12, -10, -8, -6)) -> bool:
+    """True when `better`'s curve lies left of (or on) `worse`'s at every
+    probed threshold — the visual 'more skewed towards the left' claim."""
+    return all(better.fraction_below(t) >= worse.fraction_below(t)
+               for t in thresholds)
+
+
+def orders_of_magnitude_gap(better: CDF, worse: CDF, q: float = 0.5) -> float:
+    """How many decades separate the two CDFs at quantile ``q`` (the
+    paper's 'two orders of magnitude higher accuracy')."""
+    return worse.quantile(q) - better.quantile(q)

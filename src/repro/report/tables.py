@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every benchmark prints its table/figure in the same row layout the paper
+uses, via these helpers — no plotting dependencies needed offline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0.0):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(rows: Sequence[dict], columns: Optional[List[str]] = None,
+                 title: str = "") -> str:
+    """Render a list of dicts as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[format_cell(row.get(c)) for c in columns] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in cells))
+              for i, c in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in cells:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_comparison(rows: Sequence[dict], key: str, model_col: str,
+                      paper_col: str, title: str = "") -> str:
+    """Table with an extra model-vs-paper deviation column."""
+    out = []
+    for row in rows:
+        row = dict(row)
+        model, paper = row.get(model_col), row.get(paper_col)
+        if isinstance(model, (int, float)) and isinstance(paper, (int, float)) \
+                and paper:
+            row["deviation"] = f"{100.0 * (model - paper) / paper:+.1f}%"
+        else:
+            row["deviation"] = "-"
+        out.append(row)
+    return render_table(out, title=title)

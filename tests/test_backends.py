@@ -1,0 +1,126 @@
+"""Direct tests of the Backend protocol implementations, including the
+default sum/dot helpers and the LNS backend."""
+
+import math
+
+import pytest
+
+from repro.arith import (
+    Backend,
+    BigFloatBackend,
+    Binary64Backend,
+    LNSBackend,
+    LogSpaceBackend,
+    PositBackend,
+    standard_backends,
+)
+from repro.bigfloat import BigFloat, relative_error
+from repro.formats import PositEnv
+
+
+def all_backends():
+    return [Binary64Backend(), LogSpaceBackend(),
+            PositBackend(PositEnv(64, 12)), BigFloatBackend(),
+            LNSBackend()]
+
+
+@pytest.mark.parametrize("backend", all_backends(), ids=lambda b: b.name)
+class TestProtocol:
+    def test_identity_elements(self, backend):
+        one = backend.one()
+        zero = backend.zero()
+        assert backend.is_zero(zero)
+        assert not backend.is_zero(one)
+        half = backend.from_float(0.5)
+        assert backend.to_bigfloat(backend.mul(half, one)) == \
+            backend.to_bigfloat(half)
+        assert backend.to_bigfloat(backend.add(half, zero)) == \
+            backend.to_bigfloat(half)
+
+    def test_from_float_roundtrip_value(self, backend):
+        # Exact for linear formats; log-domain formats round ln(0.25)
+        # once, so allow a binary64-ulp-scale tolerance.
+        v = backend.from_float(0.25)
+        err = relative_error(BigFloat.from_float(0.25),
+                             backend.to_bigfloat(v))
+        assert err.to_float() < 1e-15
+
+    def test_default_sum(self, backend):
+        values = [backend.from_float(v) for v in (0.1, 0.2, 0.3)]
+        total = backend.to_bigfloat(backend.sum(values))
+        assert abs(total.to_float() - 0.6) < 1e-9
+
+    def test_dot(self, backend):
+        xs = [backend.from_float(v) for v in (0.5, 0.25)]
+        ys = [backend.from_float(v) for v in (0.5, 0.5)]
+        got = backend.to_bigfloat(backend.dot(xs, ys))
+        assert abs(got.to_float() - 0.375) < 1e-9
+
+    def test_repr(self, backend):
+        assert backend.name in repr(backend) or type(backend).__name__ in repr(backend)
+
+    def test_mul_commutes_in_value(self, backend):
+        a = backend.from_float(0.3)
+        b = backend.from_float(0.7)
+        ab = backend.to_bigfloat(backend.mul(a, b))
+        ba = backend.to_bigfloat(backend.mul(b, a))
+        assert ab == ba
+
+
+class TestLNSBackend:
+    def test_name(self):
+        assert LNSBackend().name.startswith("lns(")
+
+    def test_flat_accuracy_inside_range(self):
+        """LNS error is magnitude-independent inside its range."""
+        backend = LNSBackend()
+        errs = []
+        for scale in (-10, -900, -1_900):
+            x = BigFloat(0, (1 << 60) + 111, scale - 60)
+            enc = backend.from_bigfloat(x)
+            errs.append(relative_error(x, backend.to_bigfloat(enc)).to_float())
+        assert max(errs) < 1e-14
+        assert max(errs) / max(min(errs), 1e-30) < 1e3
+
+    def test_saturation_outside_range(self):
+        backend = LNSBackend()
+        deep = backend.from_bigfloat(BigFloat.exp2(-500_000))
+        # Saturates at the range edge -> enormous relative error.
+        got = backend.to_bigfloat(deep)
+        assert got.scale == -2_048
+
+    def test_div(self):
+        backend = LNSBackend()
+        q = backend.div(backend.from_float(0.25), backend.from_float(0.5))
+        assert abs(backend.to_bigfloat(q).to_float() - 0.5) < 1e-12
+
+    def test_div_by_zero(self):
+        backend = LNSBackend()
+        with pytest.raises(ZeroDivisionError):
+            backend.div(backend.one(), backend.zero())
+
+    def test_zero_absorbs(self):
+        backend = LNSBackend()
+        assert backend.is_zero(backend.mul(backend.zero(), backend.one()))
+        assert backend.is_zero(backend.div(backend.zero(), backend.one()))
+
+
+class TestStandardBackends:
+    def test_names_match_keys(self):
+        for key, backend in standard_backends().items():
+            assert backend.name == key
+
+    def test_underflow_mode_threads_through(self):
+        flush = standard_backends(underflow="flush")
+        assert flush["posit(64,9)"].env.underflow == "flush"
+        sat = standard_backends()
+        assert sat["posit(64,9)"].env.underflow == "saturate"
+
+    def test_posit_is_nar_helper(self):
+        backend = PositBackend(PositEnv(16, 1))
+        assert backend.is_nar(backend.env.nar)
+        assert not backend.is_nar(backend.one())
+
+    def test_binary64_to_bigfloat_rejects_inf(self):
+        with pytest.raises(ValueError):
+            Binary64Backend().to_bigfloat(math.inf)

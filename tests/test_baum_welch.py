@@ -1,0 +1,144 @@
+"""Baum-Welch training tests: EM invariants per backend, and the paper's
+'underflow prevents convergence' motivation made concrete."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps import forward
+from repro.apps.baum_welch import baum_welch, improvement_decades
+from repro.arith import BigFloatBackend, Binary64Backend, LogSpaceBackend, PositBackend
+from repro.data import sample_hcg_like_hmm, sample_hmm
+from repro.formats import PositEnv
+
+
+@pytest.fixture(scope="module")
+def train_hmm():
+    # Short sequence, small model: magnitudes stay within binary64.
+    return sample_hmm(3, 4, 25, seed=31)
+
+
+class TestEMInvariants:
+    def test_likelihood_monotone_oracle(self, train_hmm):
+        trace = baum_welch(train_hmm, BigFloatBackend(), iterations=4)
+        assert not trace.degenerate
+        assert trace.monotone_increasing()
+
+    def test_likelihood_monotone_binary64_in_range(self, train_hmm):
+        trace = baum_welch(train_hmm, Binary64Backend(), iterations=4)
+        assert not trace.degenerate
+        assert trace.monotone_increasing()
+
+    def test_likelihood_monotone_logspace(self, train_hmm):
+        trace = baum_welch(train_hmm, LogSpaceBackend(), iterations=4)
+        assert not trace.degenerate
+        assert trace.monotone_increasing(tol=1e-4)
+
+    def test_likelihood_monotone_posit(self, train_hmm):
+        trace = baum_welch(train_hmm, PositBackend(PositEnv(64, 12)),
+                           iterations=4)
+        assert not trace.degenerate
+        assert trace.monotone_increasing(tol=1e-4)
+
+    def test_training_improves_likelihood(self, train_hmm):
+        trace = baum_welch(train_hmm, BigFloatBackend(), iterations=5)
+        assert improvement_decades(trace) > 0.0
+
+    def test_trained_model_rows_normalized(self, train_hmm):
+        trace = baum_welch(train_hmm, BigFloatBackend(), iterations=3)
+        a, b, pi, _ = trace.model.as_float_arrays()
+        assert np.allclose(a.sum(axis=1), 1.0, atol=1e-9)
+        assert np.allclose(b.sum(axis=1), 1.0, atol=1e-9)
+        assert math.isclose(pi.sum(), 1.0, rel_tol=1e-9)
+
+    def test_backends_agree_on_trajectory(self, train_hmm):
+        ref = baum_welch(train_hmm, BigFloatBackend(), iterations=3)
+        log = baum_welch(train_hmm, LogSpaceBackend(), iterations=3)
+        posit = baum_welch(train_hmm, PositBackend(PositEnv(64, 12)),
+                           iterations=3)
+        for other in (log, posit):
+            assert np.allclose(other.log2_likelihoods,
+                               ref.log2_likelihoods, rtol=1e-6)
+
+
+class TestUnderflowPreventsConvergence:
+    """The paper's introduction: 'underflow to zero prevents proper
+    convergence and leads to incorrect results.'"""
+
+    @pytest.fixture(scope="class")
+    def deep_hmm(self):
+        # Likelihood ~2^-6000: far below binary64, easy for log/posit18.
+        return sample_hcg_like_hmm(3, 30, seed=17, bits_per_step=200.0)
+
+    def test_binary64_training_degenerates(self, deep_hmm):
+        trace = baum_welch(deep_hmm, Binary64Backend(), iterations=3)
+        assert trace.degenerate
+        assert trace.model is None
+
+    def test_logspace_training_survives(self, deep_hmm):
+        trace = baum_welch(deep_hmm, LogSpaceBackend(), iterations=3)
+        assert not trace.degenerate
+        assert trace.monotone_increasing(tol=1e-3)
+
+    def test_posit18_training_survives(self, deep_hmm):
+        trace = baum_welch(deep_hmm, PositBackend(PositEnv(64, 18)),
+                           iterations=3)
+        assert not trace.degenerate
+        assert trace.monotone_increasing(tol=1e-3)
+
+    def test_posit18_matches_oracle_better_than_log(self, deep_hmm):
+        """The accuracy advantage carries through training: posit's
+        final likelihood is closer to the oracle's."""
+        ref = baum_welch(deep_hmm, BigFloatBackend(), iterations=3)
+        log = baum_welch(deep_hmm, LogSpaceBackend(), iterations=3)
+        posit = baum_welch(deep_hmm, PositBackend(PositEnv(64, 18)),
+                           iterations=3)
+        ref_final = ref.log2_likelihoods[-1]
+        assert abs(posit.log2_likelihoods[-1] - ref_final) <= \
+            abs(log.log2_likelihoods[-1] - ref_final) + 1e-9
+
+
+class TestDivisionSupport:
+    def test_all_backends_divide(self):
+        for backend in (Binary64Backend(), LogSpaceBackend(),
+                        PositBackend(PositEnv(64, 12)), BigFloatBackend()):
+            half = backend.from_float(0.5)
+            quarter = backend.from_float(0.25)
+            got = backend.to_bigfloat(backend.div(quarter, half))
+            assert abs(got.to_float() - 0.5) < 1e-12, backend.name
+
+    def test_logspace_div_by_zero(self):
+        backend = LogSpaceBackend()
+        with pytest.raises(ZeroDivisionError):
+            backend.div(backend.one(), backend.zero())
+
+    def test_base_backend_div_raises(self):
+        from repro.arith.backend import Backend
+
+        class Stub(Backend):
+            name = "stub"
+
+            def from_bigfloat(self, x):
+                return x
+
+            def to_bigfloat(self, v):
+                return v
+
+            def add(self, a, b):
+                return a
+
+            def mul(self, a, b):
+                return a
+
+            def zero(self):
+                return 0
+
+            def one(self):
+                return 1
+
+            def is_zero(self, v):
+                return v == 0
+
+        with pytest.raises(NotImplementedError):
+            Stub().div(1, 1)

@@ -1,0 +1,113 @@
+"""Tests for decimal rendering of arbitrary-magnitude BigFloats."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigfloat import (
+    BigFloat,
+    decimal_exponent_estimate,
+    log10_value,
+    to_decimal_string,
+)
+
+
+class TestDecimalString:
+    def test_zero(self):
+        assert to_decimal_string(BigFloat.zero()) == "0"
+
+    def test_one(self):
+        assert to_decimal_string(BigFloat.from_int(1), 4) == "1.000e+0"
+
+    def test_simple_values(self):
+        # 12345 at 4 digits: the dropped half rounds up (half-up).
+        assert to_decimal_string(BigFloat.from_int(12345), 4) == "1.235e+4"
+        assert to_decimal_string(BigFloat.from_float(0.5), 3) == "5.00e-1"
+        assert to_decimal_string(BigFloat.from_int(-250), 2) == "-2.5e+2"
+
+    def test_rounding_half_up(self):
+        assert to_decimal_string(BigFloat.from_int(12355), 3) == "1.24e+4"
+
+    def test_rounding_carries_decade(self):
+        assert to_decimal_string(BigFloat.from_int(9999), 3) == "1.00e+4"
+
+    def test_single_digit(self):
+        assert to_decimal_string(BigFloat.from_int(7), 1) == "7e+0"
+
+    def test_invalid_digits(self):
+        with pytest.raises(ValueError):
+            to_decimal_string(BigFloat.from_int(1), 0)
+
+    def test_extreme_magnitude(self):
+        """The LoFreq headline number: 2^-434916 in decimal."""
+        s = to_decimal_string(BigFloat.exp2(-434_916), 4)
+        mantissa, exp = s.split("e")
+        # log10(2^-434916) = -434916 * log10(2) ~ -130922.76, so the
+        # value is ~1.73e-130923.
+        assert int(exp) == -130_923
+        assert 1.70 <= float(mantissa) <= 1.76
+
+    def test_matches_python_formatting_in_range(self):
+        for v in (3.14159, 6.02e23, 1.6e-19, 123.456):
+            ours = to_decimal_string(BigFloat.from_float(v), 6)
+            m, e = ours.split("e")
+            assert math.isclose(float(m) * 10.0 ** int(e), v, rel_tol=1e-5)
+
+
+class TestDecimalExponent:
+    def test_estimate_near_truth(self):
+        for k in (-434_916, -1074, -1, 0, 52, 100_000):
+            x = BigFloat.exp2(k)
+            est = decimal_exponent_estimate(x)
+            true = k * math.log10(2)
+            assert abs(est - true) <= 1.0
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            decimal_exponent_estimate(BigFloat.zero())
+
+
+class TestLog10Value:
+    def test_matches_math(self):
+        assert math.isclose(log10_value(BigFloat.from_float(1000.0)), 3.0,
+                            rel_tol=1e-12)
+
+    def test_extreme(self):
+        got = log10_value(BigFloat.exp2(-2_900_000))
+        assert math.isclose(got, -2_900_000 * math.log10(2), rel_tol=1e-12)
+
+    def test_negative_value_uses_abs(self):
+        assert math.isclose(log10_value(BigFloat.from_int(-100)), 2.0,
+                            rel_tol=1e-12)
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            log10_value(BigFloat.zero())
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.floats(min_value=1e-300, max_value=1e300))
+def test_roundtrip_against_float(v):
+    """For in-double-range values, parsing our string back recovers the
+    value to the printed precision."""
+    s = to_decimal_string(BigFloat.from_float(v), 12)
+    m, e = s.split("e")
+    back = float(m) * 10.0 ** int(e)
+    assert math.isclose(back, v, rel_tol=1e-10)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=-1_000_000, max_value=1_000_000))
+def test_decimal_exponent_consistency(k):
+    """The printed exponent must equal floor(log10(x)) (checked against
+    the high-precision log10)."""
+    if k == 0:
+        return
+    x = BigFloat.exp2(k)
+    s = to_decimal_string(x, 6)
+    printed_exp = int(s.split("e")[1])
+    true_log10 = k * math.log10(2)
+    assert printed_exp == math.floor(true_log10) or \
+        abs(true_log10 - round(true_log10)) < 1e-9

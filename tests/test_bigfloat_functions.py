@@ -1,0 +1,230 @@
+"""Tests for the BigFloat exp/log family against math-module oracles and
+algebraic identities (which also hold far outside double range)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import bigfloat as bfm
+from repro.bigfloat import BigFloat
+
+
+def close_rel(x: float, y: float, tol: float = 1e-14) -> bool:
+    if y == 0.0:
+        return abs(x) < tol
+    return abs(x - y) <= tol * abs(y)
+
+
+class TestLog:
+    def test_log_one_is_zero(self):
+        assert bfm.log(BigFloat.from_int(1)).is_zero()
+
+    def test_log_e_range(self):
+        x = BigFloat.from_float(math.e)
+        assert close_rel(bfm.log(x).to_float(), 1.0, 1e-15)
+
+    def test_log_matches_math(self):
+        for v in (0.5, 2.0, 10.0, 1e-300, 1e300, 3.141592653589793):
+            assert close_rel(bfm.log(BigFloat.from_float(v)).to_float(), math.log(v))
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bfm.log(BigFloat.zero())
+        with pytest.raises(ValueError):
+            bfm.log(BigFloat.from_int(-1))
+
+    def test_log_extreme_magnitude(self):
+        # ln(2**-2_900_000) = -2_900_000 * ln 2 ~ -2_010_126.82; the paper
+        # quotes exactly this example in the introduction.
+        x = BigFloat.exp2(-2_900_000)
+        got = bfm.log(x).to_float()
+        assert close_rel(got, -2_900_000 * math.log(2), 1e-12)
+
+    def test_log2_exact_on_powers(self):
+        for k in (-31744, -1074, -1, 0, 1, 52, 300000):
+            assert bfm.log2(BigFloat.exp2(k)) == BigFloat.from_int(k)
+
+    def test_log2_matches_math(self):
+        for v in (0.3, 7.0, 1e10):
+            assert close_rel(bfm.log2(BigFloat.from_float(v)).to_float(), math.log2(v))
+
+    def test_log10_matches_math(self):
+        for v in (0.3, 7.0, 1e10, 1e-250):
+            assert close_rel(bfm.log10(BigFloat.from_float(v)).to_float(), math.log10(v))
+
+    def test_log10_of_power_of_ten(self):
+        x = BigFloat.from_int(10**20)
+        assert close_rel(bfm.log10(x).to_float(), 20.0, 1e-15)
+
+
+class TestExp:
+    def test_exp_zero_is_one(self):
+        assert bfm.exp(BigFloat.zero()) == BigFloat.from_int(1)
+
+    def test_exp_matches_math(self):
+        for v in (-700.0, -1.0, -1e-8, 0.5, 1.0, 700.0):
+            assert close_rel(bfm.exp(BigFloat.from_float(v)).to_float(), math.exp(v))
+
+    def test_exp_log_roundtrip_in_range(self):
+        for v in (1e-10, 0.25, 3.0, 1e100):
+            x = BigFloat.from_float(v)
+            back = bfm.exp(bfm.log(x, 128), 128)
+            assert close_rel(back.to_float(), v, 1e-30)
+
+    def test_exp_extreme_negative(self):
+        # exp(-2_010_126.824...) ~ 2**-2_900_000: far below double range,
+        # exactly the regime the paper cares about.  The 256-bit rounding
+        # of the log value dominates the roundtrip error (~2**-235 rel),
+        # so assert tight relative accuracy rather than bit equality.
+        ref = BigFloat.exp2(-2_900_000)
+        y = bfm.exp(bfm.log(ref))
+        assert bfm.relative_error(ref, y).to_float() < 2 ** -220
+
+    def test_exp_max_scale_rail(self):
+        with pytest.raises(OverflowError):
+            bfm.exp(BigFloat.from_int(10**7), max_scale=10**6)
+
+
+class TestExpm1Log1p:
+    def test_expm1_zero(self):
+        assert bfm.expm1(BigFloat.zero()).is_zero()
+
+    def test_expm1_tiny_no_cancellation(self):
+        x = BigFloat.exp2(-80)
+        got = bfm.expm1(x)
+        # expm1(eps) ~ eps + eps^2/2; relative deviation from eps is ~eps/2.
+        ratio = got.div(x).to_float()
+        assert abs(ratio - 1.0) < 2 ** -78
+
+    def test_expm1_matches_math(self):
+        for v in (-0.5, -1e-12, 1e-12, 0.5, 5.0, -30.0):
+            assert close_rel(bfm.expm1(BigFloat.from_float(v)).to_float(), math.expm1(v), 1e-13)
+
+    def test_log1p_zero(self):
+        assert bfm.log1p(BigFloat.zero()).is_zero()
+
+    def test_log1p_matches_math(self):
+        for v in (-0.9, -1e-12, 1e-12, 0.5, 5.0):
+            assert close_rel(bfm.log1p(BigFloat.from_float(v)).to_float(), math.log1p(v), 1e-13)
+
+    def test_log1p_tiny_negative(self):
+        x = BigFloat.exp2(-90).neg()
+        got = bfm.log1p(x)
+        ratio = got.div(x).to_float()
+        assert abs(ratio - 1.0) < 2 ** -88
+
+    def test_log1p_rejects_below_minus_one(self):
+        with pytest.raises(ValueError):
+            bfm.log1p(BigFloat.from_int(-2))
+
+    def test_expm1_log1p_inverse(self):
+        for v in (-0.3, 1e-20, 0.7):
+            x = BigFloat.from_float(v)
+            back = bfm.log1p(bfm.expm1(x, 160), 160)
+            assert close_rel(back.to_float(), v, 1e-30)
+
+
+class TestConstants:
+    def test_ln2(self):
+        assert close_rel(bfm.ln2().to_float(), math.log(2), 1e-15)
+
+    def test_ln10(self):
+        assert close_rel(bfm.ln10().to_float(), math.log(10), 1e-15)
+
+    def test_ln2_high_precision_consistency(self):
+        # Computing at two precisions must agree to the coarser one.
+        a = bfm.ln2(128)
+        b = bfm.ln2(512).round(128)
+        assert a == b
+
+
+class TestPowInt:
+    def test_pow_zero(self):
+        assert bfm.pow_int(BigFloat.from_float(0.3), 0) == BigFloat.from_int(1)
+
+    def test_pow_small(self):
+        assert bfm.pow_int(BigFloat.from_int(3), 5) == BigFloat.from_int(243)
+
+    def test_pow_negative_exponent(self):
+        got = bfm.pow_int(BigFloat.from_int(2), -3)
+        assert got == BigFloat.from_float(0.125)
+
+    def test_pow_underflow_scale(self):
+        # The paper's binomial example: 0.3**619 underflows binary64 but
+        # must be representable by the oracle.
+        got = bfm.pow_int(BigFloat.from_float(0.3), 619)
+        assert got.scale < -1074
+        expected_scale = math.floor(619 * math.log2(0.3))
+        assert abs(got.scale - expected_scale) <= 1
+
+    def test_pow_identity_product(self):
+        x = BigFloat.from_float(0.7)
+        lhs = bfm.pow_int(x, 7, 192)
+        rhs = bfm.pow_int(x, 3, 192).mul(bfm.pow_int(x, 4, 192), 192)
+        assert bfm.relative_error(lhs, rhs).to_float() < 2 ** -180
+
+
+class TestRelativeError:
+    def test_exact_is_zero(self):
+        x = BigFloat.from_float(0.25)
+        assert bfm.relative_error(x, x).is_zero()
+
+    def test_simple(self):
+        ref = BigFloat.from_int(100)
+        got = BigFloat.from_int(101)
+        assert close_rel(bfm.relative_error(ref, got).to_float(), 0.01, 1e-15)
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ValueError):
+            bfm.relative_error(BigFloat.zero(), BigFloat.from_int(1))
+
+    def test_log10_relative_error(self):
+        ref = BigFloat.from_int(10**6)
+        got = BigFloat.from_int(10**6 + 1)
+        assert abs(bfm.log10_relative_error(ref, got) + 6.0) < 1e-9
+
+    def test_log10_relative_error_floor(self):
+        x = BigFloat.from_float(0.5)
+        assert bfm.log10_relative_error(x, x) == -400.0
+
+    def test_error_far_outside_double_range(self):
+        ref = BigFloat.exp2(-500_000)
+        got = ref.mul(BigFloat.from_float(1.0 + 1e-10), 256)
+        assert abs(bfm.log10_relative_error(ref, got) + 10.0) < 1e-3
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(min_value=1e-200, max_value=1e200))
+def test_log_identity_product(v):
+    """log(x*x) == 2 log(x) to working accuracy."""
+    x = BigFloat.from_float(v)
+    lhs = bfm.log(x.mul(x, 256))
+    rhs = bfm.log(x).mul(BigFloat.from_int(2), 256)
+    if lhs.is_zero():
+        assert abs(rhs.to_float()) < 1e-60
+    else:
+        assert bfm.relative_error(lhs, rhs).to_float() < 2 ** -200
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(min_value=-600.0, max_value=600.0))
+def test_exp_identity_sum(v):
+    """exp(a+a) == exp(a)**2."""
+    a = BigFloat.from_float(v)
+    lhs = bfm.exp(a.add(a, 256))
+    rhs = bfm.exp(a)
+    rhs = rhs.mul(rhs, 256)
+    assert bfm.relative_error(lhs, rhs).to_float() < 2 ** -200
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=-3_000_000, max_value=-1))
+def test_exp_log_roundtrip_extreme(k):
+    """exp(log(2**k)) recovers 2**k to far better than 64-bit-format
+    accuracy for arbitrarily extreme magnitudes."""
+    x = BigFloat.exp2(k)
+    back = bfm.exp(bfm.log(x))
+    assert abs(back.scale - k) <= 1
+    assert bfm.relative_error(x, back).to_float() < 2 ** -220

@@ -1,0 +1,148 @@
+"""Tests for per-op accuracy measurement and the bit-budget model."""
+
+import math
+
+import pytest
+
+from repro.arith import Binary64Backend, LogSpaceBackend, PositBackend, standard_backends
+from repro.bigfloat import BigFloat
+from repro.core import (
+    OK,
+    UNDERFLOW,
+    measure_op,
+    score_log10,
+    score_value,
+    ulp_relative_error,
+)
+from repro.core.bitbudget import (
+    binary64_effective_bits,
+    budget_curves,
+    logspace_effective_bits,
+    posit_effective_bits,
+    predicted_log10_error,
+)
+from repro.formats import PositEnv, Real
+
+
+class TestMeasureOp:
+    def test_binary64_add_is_half_ulp(self):
+        backend = Binary64Backend()
+        x = Real.from_float(1.0)
+        y = Real.from_float(1e-8)
+        res = measure_op(backend, "add", x, y)
+        assert res.ok
+        # RNE add error is bounded by half an ulp: log10 err <= -15.9
+        assert res.log10_error <= math.log10(2 ** -53)
+
+    def test_binary64_underflow_detected(self):
+        backend = Binary64Backend()
+        x = Real(0, 1, -600)
+        y = Real(0, 1, -600)
+        res = measure_op(backend, "mul", x, y)
+        assert res.status == UNDERFLOW
+
+    def test_exact_result_gets_floor(self):
+        backend = Binary64Backend()
+        res = measure_op(backend, "add", Real.from_float(0.25), Real.from_float(0.5))
+        assert res.ok and res.log10_error == -400.0
+
+    def test_zero_exact_raises(self):
+        backend = Binary64Backend()
+        x = Real.from_float(1.0)
+        with pytest.raises(ValueError):
+            measure_op(backend, "add", x, x.neg())
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError):
+            measure_op(Binary64Backend(), "div", Real.from_float(1.0), Real.from_float(2.0))
+
+    def test_logspace_small_magnitude_penalty(self):
+        """The headline claim: at tiny magnitudes the log representation
+        is *less* accurate than posit(64,12)."""
+        log_b = LogSpaceBackend()
+        posit_b = PositBackend(PositEnv(64, 12))
+        x = Real(0, (1 << 79) + 12345, -9_000 - 79)
+        y = Real(0, (1 << 79) + 54321, -9_001 - 79)
+        log_err = measure_op(log_b, "add", x, y).log10_error
+        posit_err = measure_op(posit_b, "add", x, y).log10_error
+        assert posit_err < log_err
+
+    def test_posit_flush_underflow(self):
+        backend = PositBackend(PositEnv(64, 9, underflow="flush"))
+        x = Real(0, 1, -20_000)
+        res = measure_op(backend, "mul", x, x)
+        assert res.status == UNDERFLOW
+
+    def test_posit_saturate_has_huge_error_not_underflow(self):
+        backend = PositBackend(PositEnv(64, 9, underflow="saturate"))
+        x = Real(0, 1, -20_000)
+        res = measure_op(backend, "mul", x, x)
+        assert res.ok
+        assert res.log10_error > 100  # saturated at minpos, far from truth
+
+
+class TestScoreValue:
+    def test_score_log10_collapses_underflow(self):
+        backend = Binary64Backend()
+        truth = BigFloat.exp2(-2000)
+        assert score_log10(backend, 0.0, truth) == 400.0
+
+    def test_score_value_zero_exact_zero(self):
+        backend = Binary64Backend()
+        res = score_value(backend, 0.0, BigFloat.zero())
+        assert res.ok
+
+    def test_ulp_relative_error(self):
+        assert ulp_relative_error(52) == 2.0 ** -53
+
+
+class TestBitBudget:
+    def test_binary64_flat_in_normal_range(self):
+        assert binary64_effective_bits(-1) == 52.0
+        assert binary64_effective_bits(-1022) == 52.0
+
+    def test_binary64_subnormal_decay(self):
+        assert binary64_effective_bits(-1030) == 44.0
+        assert binary64_effective_bits(-1074) == 0.0
+        assert binary64_effective_bits(-1100) is None
+
+    def test_binary64_overflow(self):
+        assert binary64_effective_bits(2000) is None
+
+    def test_posit_budget_matches_env(self):
+        env = PositEnv(64, 9)
+        assert posit_effective_bits(env, -2048) == 49.0
+        assert posit_effective_bits(env, -40_000) is None
+
+    def test_logspace_decays_inside_normal_range(self):
+        """Section II.C: log-space loses precision long before binary64's
+        range runs out."""
+        near_one = logspace_effective_bits(-10)
+        mid = logspace_effective_bits(-600)
+        deep = logspace_effective_bits(-9000)
+        assert near_one > mid > deep
+
+    def test_logspace_at_paper_example(self):
+        # lx ~ -402: log2(402) ~ 8.65 -> ~44 effective bits, i.e. ~8 bits
+        # of precision spent on encoding the exponent.
+        bits = logspace_effective_bits(-581)
+        assert 43 <= bits <= 45
+
+    def test_predicted_error_ordering_matches_measured(self):
+        """The bit-budget model must predict the measured Figure 3
+        ordering at a deep-magnitude point."""
+        scale = -9000
+        env12 = PositEnv(64, 12)
+        log_pred = predicted_log10_error(logspace_effective_bits(scale))
+        posit_pred = predicted_log10_error(posit_effective_bits(env12, scale))
+        assert posit_pred < log_pred
+
+    def test_budget_curves_shape(self):
+        curves = budget_curves(range(-100, 1, 10))
+        assert set(curves) == {"binary64", "log", "posit(64,9)",
+                               "posit(64,12)", "posit(64,18)"}
+        for series in curves.values():
+            assert len(series) == 11
+
+    def test_predicted_none_passthrough(self):
+        assert predicted_log10_error(None) is None

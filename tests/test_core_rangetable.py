@@ -1,0 +1,45 @@
+"""Table I golden tests: the computed range table must reproduce the
+paper's numbers exactly."""
+
+import pytest
+
+from repro.core import TABLE1_ES_VALUES, binary64_row, posit_row, table1_rows
+
+#: (es, smallest positive scale, max fraction bits) straight from Table I.
+PAPER_TABLE_I = {
+    6: (-3_968, 55),
+    9: (-31_744, 52),
+    12: (-253_952, 49),
+    15: (-2_031_616, 46),
+    18: (-16_252_928, 43),
+    21: (-130_023_424, 40),
+}
+
+
+def test_binary64_row():
+    row = binary64_row()
+    assert row.smallest_scale == -1_074
+    assert row.max_fraction_bits == 52
+
+
+@pytest.mark.parametrize("es", sorted(PAPER_TABLE_I))
+def test_posit_rows_match_paper(es):
+    row = posit_row(es)
+    scale, frac = PAPER_TABLE_I[es]
+    assert row.smallest_scale == scale
+    assert row.max_fraction_bits == frac
+    assert row.useed_log2 == 2 ** es
+
+
+def test_table_has_all_rows():
+    rows = table1_rows()
+    assert len(rows) == 1 + len(TABLE1_ES_VALUES)
+    assert rows[0].format == "binary64"
+
+
+def test_render():
+    rendered = posit_row(9).render()
+    assert rendered["useed"] == "2^512"
+    assert rendered["Smallest Positive"] == "2^-31744"
+    assert rendered["Max Fraction Bits"] == 52
+    assert binary64_row().render()["useed"] == "-"

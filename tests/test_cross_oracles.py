@@ -1,0 +1,125 @@
+"""Cross-oracle property tests tying independent components together:
+BigFloat vs fractions.Fraction, binary32 vs numpy, and the bit-budget
+model vs the posit codec's actual rounding error."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigfloat import BigFloat, relative_error
+from repro.core import posit_effective_bits
+from repro.formats import BINARY32, PositEnv, Real
+
+
+# ----------------------------------------------------------------------
+# BigFloat vs Fraction
+# ----------------------------------------------------------------------
+def to_fraction(x: BigFloat) -> Fraction:
+    num, log2_den = x.to_fraction_parts()
+    return Fraction(num, 1 << log2_den)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.fractions(min_value=-1000, max_value=1000),
+       st.fractions(min_value=-1000, max_value=1000))
+def test_bigfloat_add_vs_fraction(a, b):
+    """At high precision BigFloat addition of dyadic inputs is exact and
+    must equal Fraction arithmetic."""
+    # Snap to dyadic values (limit denominators to powers of two).
+    a = Fraction(a.numerator, 1 << min(30, a.denominator.bit_length()))
+    b = Fraction(b.numerator, 1 << min(30, b.denominator.bit_length()))
+    xa = BigFloat.from_ratio(a.numerator, a.denominator, prec=200)
+    xb = BigFloat.from_ratio(b.numerator, b.denominator, prec=200)
+    total = xa.add(xb, 256)
+    assert to_fraction(total) == to_fraction(xa) + to_fraction(xb)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 10**9), st.integers(1, 10**9))
+def test_bigfloat_div_vs_fraction(num, den):
+    """from_ratio must be the correctly rounded Fraction value: the
+    error is at most half an ulp at the requested precision."""
+    prec = 96
+    x = BigFloat.from_ratio(num, den, prec=prec)
+    truth = Fraction(num, den)
+    got = to_fraction(x)
+    err = abs(got - truth) / truth
+    assert err <= Fraction(1, 2 ** (prec - 1))
+
+
+# ----------------------------------------------------------------------
+# binary32 softfloat vs numpy
+# ----------------------------------------------------------------------
+f32 = st.floats(width=32, allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=250, deadline=None)
+@given(f32, f32)
+def test_binary32_add_vs_numpy(a, b):
+    with np.errstate(all="ignore"):
+        expected = np.float32(np.float32(a) + np.float32(b))
+    got = BINARY32.to_float(BINARY32.add(BINARY32.from_float(a),
+                                         BINARY32.from_float(b)))
+    if np.isinf(expected):
+        assert math.isinf(got)
+    else:
+        assert np.float32(got) == expected
+
+
+@settings(max_examples=250, deadline=None)
+@given(f32, f32)
+def test_binary32_mul_vs_numpy(a, b):
+    with np.errstate(all="ignore"):
+        expected = np.float32(np.float32(a) * np.float32(b))
+    got = BINARY32.to_float(BINARY32.mul(BINARY32.from_float(a),
+                                         BINARY32.from_float(b)))
+    if np.isinf(expected):
+        assert math.isinf(got)
+    else:
+        assert np.float32(got) == expected
+
+
+# ----------------------------------------------------------------------
+# Bit-budget model vs codec rounding error
+# ----------------------------------------------------------------------
+@settings(max_examples=120, deadline=None)
+@given(st.integers(min_value=-27_000, max_value=-1),
+       st.integers(min_value=1, max_value=(1 << 60) - 1))
+def test_posit_roundtrip_error_bounded_by_budget(scale, frac):
+    """Encoding any value of magnitude 2**scale loses at most half an
+    ulp of the budgeted fraction width — the bit-budget model is not
+    just a heuristic, it is the codec's contract.
+
+    Domain: scales where the regime leaves the full ES exponent field
+    (beyond that the *exponent* field truncates too and the granularity
+    is coarser than any fraction-bit model — posit(64,9)'s last ~4600
+    binades before minpos).
+    """
+    env = PositEnv(64, 9)
+    x = Real(0, (1 << 60) | frac | 1, scale - 60)
+    bits = env.encode_real(x)
+    got = env.to_bigfloat(bits)
+    budget = posit_effective_bits(env, scale)
+    err = relative_error(x.to_bigfloat(), got).to_float()
+    # Half an ulp at `budget` fraction bits, with one bit of slack for
+    # values whose rounding crosses a regime boundary.
+    assert err <= 2.0 ** -(budget - 1)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.integers(min_value=-2_000, max_value=-1))
+def test_logspace_roundtrip_error_matches_model(scale):
+    """Log-space roundtrip error tracks the Section II.C model within
+    an order of magnitude."""
+    from repro.core.bitbudget import logspace_effective_bits
+    from repro.formats import LogSpace
+    x = BigFloat(0, (1 << 60) + 987_654_321, scale - 60)
+    codec = LogSpace()
+    back = codec.decode_bigfloat(codec.encode_bigfloat(x))
+    err = relative_error(x, back).to_float()
+    model = 2.0 ** -(logspace_effective_bits(scale) + 1)
+    assert err <= 8 * model

@@ -1,0 +1,114 @@
+"""Tests for the synthetic workload generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bigfloat import BigFloat, log2 as bf_log2
+from repro.apps import reference_pvalue
+from repro.data import (
+    CALL_THRESHOLD_SCALE,
+    FIG9_BINS,
+    column_for_target_scale,
+    dataset_shape_stats,
+    paper_like_datasets,
+    phred_error_prob,
+    sample_hcg_like_hmm,
+    sample_hmm,
+    sample_stochastic_matrix,
+    stratified_columns,
+    synth_column,
+    synth_dataset,
+)
+
+
+class TestDirichlet:
+    def test_stochastic_rows(self):
+        rng = np.random.default_rng(0)
+        m = sample_stochastic_matrix(rng, 5, 7)
+        assert m.shape == (5, 7)
+        assert np.allclose(m.sum(axis=1), 1.0)
+        assert (m >= 0).all()
+
+    def test_sample_hmm_shapes(self):
+        hmm = sample_hmm(4, 6, 20, seed=1)
+        assert hmm.n_states == 4
+        assert hmm.n_symbols == 6
+        assert hmm.length == 20
+        a, b, pi, obs = hmm.as_float_arrays()
+        assert np.allclose(a.sum(axis=1), 1.0)
+        assert np.allclose(b.sum(axis=1), 1.0)
+        assert math.isclose(pi.sum(), 1.0, rel_tol=1e-9)
+        assert obs.min() >= 0 and obs.max() < 6
+
+    def test_deterministic_by_seed(self):
+        h1 = sample_hmm(3, 4, 10, seed=9)
+        h2 = sample_hmm(3, 4, 10, seed=9)
+        assert h1.observations == h2.observations
+        assert h1.transition == h2.transition
+
+    def test_hcg_like_emission_magnitudes(self):
+        hmm = sample_hcg_like_hmm(3, 10, seed=0, bits_per_step=200.0)
+        for row in hmm.emission:
+            for v in row:
+                assert -212 <= v.scale <= -188
+
+    def test_hcg_like_transitions_stochastic(self):
+        hmm = sample_hcg_like_hmm(3, 10, seed=0)
+        a, _, _, _ = hmm.as_float_arrays()
+        assert np.allclose(a.sum(axis=1), 1.0)
+
+
+class TestGenomeColumns:
+    def test_phred(self):
+        assert math.isclose(phred_error_prob(30.0), 1e-3)
+        assert math.isclose(phred_error_prob(10.0), 0.1)
+
+    def test_synth_column_shape(self):
+        rng = np.random.default_rng(0)
+        col = synth_column(rng, depth=50, k=3)
+        assert col.depth == 50
+        assert col.k == 3
+        for p in col.success_probs:
+            assert BigFloat.zero() < p < BigFloat.from_int(1)
+
+    @pytest.mark.parametrize("target", [-300, -2_000, -20_000])
+    def test_target_scale_landing(self, target):
+        """Columns must land within ~15% of the requested p-value
+        exponent (enough to stratify into Figure 9's wide bins)."""
+        rng = np.random.default_rng(1)
+        col = column_for_target_scale(rng, target)
+        ref = reference_pvalue(col.success_probs, col.k)
+        assert abs(ref.scale - target) <= max(80, abs(target) * 0.15)
+
+    def test_target_scale_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            column_for_target_scale(rng, 10)
+
+    def test_stratified_covers_bins(self):
+        cols = stratified_columns(per_bin=1, seed=2,
+                                  bins=((-1_022, -500), (-200, 1)))
+        assert len(cols) == 2
+
+    def test_dataset_fractions(self):
+        ds = synth_dataset("T", 40, seed=3)
+        assert len(ds.columns) == 40
+        assert ds.total_ops > 0
+
+    def test_paper_like_datasets(self):
+        datasets = paper_like_datasets(n_datasets=3, columns_per_dataset=6, seed=0)
+        assert [d.name for d in datasets] == ["D0", "D1", "D2"]
+        stats = dataset_shape_stats(datasets)
+        assert len(stats) == 3
+        assert all(s["columns"] == 6 for s in stats)
+        # Datasets must differ (diverse N, K as the paper notes).
+        assert stats[0]["total_ops"] != stats[1]["total_ops"]
+
+    def test_fig9_bins_cover_threshold(self):
+        los = [b[0] for b in FIG9_BINS]
+        his = [b[1] for b in FIG9_BINS]
+        assert min(los) == -440_000
+        assert max(his) == 1
+        assert CALL_THRESHOLD_SCALE == -200

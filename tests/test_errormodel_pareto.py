@@ -1,0 +1,115 @@
+"""Tests for the analytic error-accumulation model and the hardware
+Pareto/design-space layer."""
+
+import math
+
+import pytest
+
+from repro.arith import LogSpaceBackend, PositBackend
+from repro.apps.vicar import VicarConfig, run_vicar
+from repro.core import (
+    forward_op_count,
+    pbd_op_count,
+    per_op_error_log10,
+    predict_logspace,
+    predict_posit,
+    predicted_gap_log_vs_posit,
+)
+from repro.formats import PositEnv
+from repro.hw import (
+    LOG,
+    POSIT,
+    column_design_space,
+    dominated_count,
+    forward_design_space,
+    paper_scale_shapes,
+    pareto_frontier,
+)
+
+import numpy as np
+
+
+class TestErrorModel:
+    def test_per_op_error(self):
+        assert per_op_error_log10(52) == pytest.approx(-53 * math.log10(2))
+
+    def test_op_counts(self):
+        assert forward_op_count(13, 500_000) == 500_000 * 13 * 26
+        assert pbd_op_count(100, 10) == 3_000
+
+    def test_accumulation_grows_sqrt(self):
+        p1 = predict_logspace(-500_000, 10_000)
+        p2 = predict_logspace(-500_000, 1_000_000)
+        assert p2.accumulated_log10 == pytest.approx(
+            p1.accumulated_log10 + 1.0)  # 100x ops -> 1 decade
+
+    def test_posit_out_of_range(self):
+        assert predict_posit(PositEnv(64, 9), -500_000, 100) is None
+
+    def test_predicted_gap_positive_at_deep_scale(self):
+        """The bit-budget model predicts posit(64,18) beats log at the
+        VICAR magnitudes."""
+        gap = predicted_gap_log_vs_posit(PositEnv(64, 18), -590_000)
+        assert gap is not None and gap > 1.0
+
+    def test_predicted_gap_matches_measured_vicar(self):
+        """Close the loop: the analytic prediction must match a measured
+        VICAR run within ~1.5 decades (the model is first-order)."""
+        config = VicarConfig(length=150, h_values=(5,), matrices_per_h=2,
+                             bits_per_step=3_900.0, seed=9)
+        backends = {"log": LogSpaceBackend(),
+                    "posit(64,18)": PositBackend(PositEnv(64, 18))}
+        result = run_vicar(config, backends)
+        measured_gap = (np.median(result.log10_errors("log"))
+                        - np.median(result.log10_errors("posit(64,18)")))
+        final_scale = int(np.median(result.reference_scales))
+        predicted = predicted_gap_log_vs_posit(PositEnv(64, 18), final_scale)
+        assert measured_gap == pytest.approx(predicted, abs=1.5)
+        assert measured_gap > 0
+
+    def test_prediction_object(self):
+        p = predict_posit(PositEnv(64, 18), -590_000, 10_000)
+        assert p.format == "posit(64,18)"
+        assert p.accumulated_log10 > p.per_op_log10
+
+
+class TestPareto:
+    def test_forward_design_space_size(self):
+        points = forward_design_space(h_values=(13, 32))
+        assert len(points) == 4
+
+    def test_posit_dominates_log_designs(self):
+        """Every log forward design is dominated by some posit design
+        (faster AND smaller) — the paper's overall conclusion as a
+        Pareto statement."""
+        points = forward_design_space()
+        n_log = sum(1 for p in points if p.style == LOG)
+        assert dominated_count(points, LOG) == n_log
+        assert dominated_count(points, POSIT) == 0
+
+    def test_frontier_is_posit_only(self):
+        points = forward_design_space()
+        frontier = pareto_frontier(points)
+        assert frontier
+        assert all(p.style == POSIT for p in frontier)
+
+    def test_frontier_one_point_per_workload(self):
+        h_values = (13, 32, 64)
+        points = forward_design_space(h_values=h_values)
+        frontier = pareto_frontier(points)
+        assert len(frontier) == len(h_values)
+        assert sorted(p.workload for p in frontier) == list(h_values)
+
+    def test_column_design_space(self):
+        shape = paper_scale_shapes(seed=0, n_datasets=1)[0]
+        points = column_design_space(shape, pe_counts=(4, 8))
+        assert len(points) == 4
+        assert dominated_count(points, POSIT) == 0
+
+    def test_energy_model_ordering(self):
+        """Posit designs use less energy at equal work (they are both
+        faster and smaller)."""
+        points = forward_design_space(h_values=(64,))
+        by_style = {p.style: p for p in points}
+        assert by_style[POSIT].joules < by_style[LOG].joules
+        assert by_style[POSIT].watts < by_style[LOG].watts

@@ -1,0 +1,36 @@
+"""Smoke tests: every shipped example must run to completion and print
+its headline content.  Kept cheap (the examples themselves use scaled
+parameters)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+CASES = {
+    "quickstart.py": ["UNDERFLOW", "Table I", "1.5 * 2^-10"],
+    "phylogenetics_vicar.py": ["binary64 underflows", "orders of magnitude"],
+    "variant_calling_lofreq.py": ["call threshold", "Summary per format"],
+    "accelerator_design_space.py": ["units/SLR", "Choosing ES"],
+    "custom_formats.py": ["Custom IEEE formats", "-434916"],
+    "bayesian_inference.py": ["DEGENERATE", "chain mixes", "chain broken"],
+}
+
+
+@pytest.mark.parametrize("script,needles", sorted(CASES.items()),
+                         ids=sorted(CASES))
+def test_example_runs(script, needles):
+    path = os.path.join(EXAMPLES_DIR, script)
+    proc = subprocess.run([sys.executable, path], capture_output=True,
+                          text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for needle in needles:
+        assert needle in proc.stdout, f"{script}: missing {needle!r}"
+
+
+def test_all_examples_covered():
+    scripts = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
+    assert scripts == set(CASES), "new example needs a smoke test"

@@ -1,0 +1,175 @@
+"""End-to-end tests for the experiment modules (test scale) and runner."""
+
+import pytest
+
+from repro.experiments import (
+    fig1_alpha_exponent,
+    fig3_op_accuracy,
+    fig6_forward_perf,
+    fig7_column_perf,
+    fig8_mmaps_per_clb,
+    fig9_pvalue_accuracy,
+    fig10_vicar_cdf,
+    fig11_lofreq_cdf,
+    table1_range,
+    table2_units,
+    table3_forward_resources,
+    table4_column_resources,
+)
+from repro.experiments.runner import REGISTRY, main, run_experiment
+
+
+class TestFig1:
+    def test_run_and_render(self):
+        result = fig1_alpha_exponent.run("test")
+        assert result.slope_bits_per_iter < -4.0
+        assert 0 < result.underflow_iteration < len(result.scales)
+        text = fig1_alpha_exponent.render(result)
+        assert "Figure 1" in text and "underflow" in text
+
+
+class TestTable1:
+    def test_run_and_render(self):
+        rows = table1_range.run()
+        text = table1_range.render(rows)
+        assert "2^-31744" in text  # posit(64,9) minpos from the paper
+        assert "binary64" in text
+
+
+class TestFig3:
+    def test_run_and_render(self):
+        result = fig3_op_accuracy.run("test", seed=3)
+        text = fig3_op_accuracy.render(result)
+        assert "Figure 3(a)" in text and "Figure 3(b)" in text
+        # binary64 must be absent (rendered '-') in the deepest bin.
+        add_rows = fig3_op_accuracy._panel_rows(result.add)
+        assert add_rows[0]["binary64"] is None
+        assert add_rows[-1]["binary64"] is not None
+
+
+class TestTable2:
+    def test_run_and_render(self):
+        result = table2_units.run()
+        assert len(result["rows"]) == 8
+        text = table2_units.render(result)
+        assert "LogiCORE" not in text  # names come from our DB
+        assert "Table II" in text
+
+
+class TestHardwareFigures:
+    def test_fig6(self):
+        rows = fig6_forward_perf.run()
+        assert [r.h for r in rows] == [13, 32, 64, 128]
+        for r in rows:
+            assert r.posit_seconds < r.log_seconds
+            assert r.improvement_pct == pytest.approx(
+                r.paper_improvement_pct, abs=8.0)
+        assert "Figure 6" in fig6_forward_perf.render(rows)
+
+    def test_fig7(self):
+        rows = fig7_column_perf.run(n_datasets=4)
+        assert len(rows) == 4
+        assert all(0.0 < r.improvement_pct < 35.0 for r in rows)
+        assert "Figure 7" in fig7_column_perf.render(rows)
+
+    def test_fig8(self):
+        rows = fig8_mmaps_per_clb.run(n_datasets=4)
+        for r in rows:
+            assert 1.6 < r.ratio < 2.6
+        assert "MMAPS" in fig8_mmaps_per_clb.render(rows)
+
+    def test_table3(self):
+        rows = table3_forward_resources.run()
+        assert len(rows) == 8
+        reductions = table3_forward_resources.reduction_rows(rows)
+        for row in reductions:
+            assert 55.0 < row["LUT reduction %"] < 67.0
+        assert "Table III" in table3_forward_resources.render(rows)
+
+    def test_table4(self):
+        result = table4_column_resources.run()
+        assert len(result["rows"]) == 2
+        assert result["floorplan"]["log_per_slr"].units_per_slr == 4
+        text = table4_column_resources.render(result)
+        assert "Table IV" in text and "SLR" in text
+
+
+class TestAccuracyFigures:
+    def test_fig9(self):
+        result = fig9_pvalue_accuracy.run("test", seed=1)
+        rows = result.median_rows()
+        assert len(rows) == len(fig9_pvalue_accuracy.FIG9_BINS) \
+            if hasattr(fig9_pvalue_accuracy, "FIG9_BINS") else len(rows) == 8
+        # posit(64,9) must be absent (underflowed away) in the deepest bin.
+        assert rows[0]["posit(64,9)"] is None
+        assert rows[0]["posit(64,18)"] is not None
+        text = fig9_pvalue_accuracy.render(result)
+        assert "Figure 9" in text
+
+    def test_fig10(self):
+        result = fig10_vicar_cdf.run("test", seed=2)
+        for panel in ("T=100k", "T=500k"):
+            cdfs = result.cdfs(panel)
+            assert cdfs["posit(64,18)"].median < cdfs["log"].median
+        text = fig10_vicar_cdf.render(result)
+        assert "orders of magnitude" in text
+
+    def test_fig11(self):
+        result = fig11_lofreq_cdf.run("test", seed=4)
+        crit = result.cdfs(critical=True)
+        assert set(crit) == {"log", "posit(64,9)", "posit(64,12)",
+                             "posit(64,18)"}
+        text = fig11_lofreq_cdf.render(result)
+        assert "critical" in text
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        assert set(REGISTRY) == {
+            "fig1", "table1", "fig3", "table2", "fig6", "fig7", "fig8",
+            "table3", "table4", "fig9", "fig10", "fig11", "bitbudget",
+            "scorecard"}
+
+    def test_scorecard_all_claims_hold(self):
+        from repro.experiments import scorecard
+        claims = scorecard.run()
+        assert len(claims) == 9
+        failing = [c.claim_id for c in claims if not c.holds]
+        assert not failing, failing
+        text = scorecard.render(claims)
+        assert "9/9 headline claims reproduce" in text
+
+    def test_bitbudget_experiment(self):
+        from repro.experiments import bitbudget_curves
+        result = bitbudget_curves.run()
+        rows = result.rows()
+        assert rows[0]["value magnitude"] == "2^-10000"
+        assert rows[0]["binary64"] is None  # underflowed
+        assert rows[-1]["binary64"] == 52.0
+        text = bitbudget_curves.render(result)
+        assert "bit-budget" in text or "fraction bits" in text
+
+    def test_out_dir_persists_json(self, tmp_path):
+        from repro.experiments.io import load_report
+        text = run_experiment("table1", out_dir=str(tmp_path))
+        assert "Table I" in text
+        loaded = load_report(str(tmp_path), "table1")
+        assert loaded["experiment"] == "table1"
+        assert loaded["result"]
+        assert (tmp_path / "table1.txt").read_text().startswith("Table I")
+
+    def test_run_experiment_api(self):
+        text = run_experiment("table1")
+        assert "Table I" in text
+
+    def test_cli_list(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+
+    def test_cli_single(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_cli_unknown(self):
+        assert main(["fig99"]) == 2

@@ -1,0 +1,167 @@
+"""Forward-algorithm tests: correctness against brute-force enumeration,
+fast-path equivalence, Figure 1's magnitude trajectory, and operand
+tracing."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.arith import (
+    BigFloatBackend,
+    Binary64Backend,
+    LogSpaceBackend,
+    PositBackend,
+    standard_backends,
+)
+from repro.apps import (
+    alpha_scale_series,
+    forward,
+    forward_alpha_trace,
+    forward_float,
+    forward_log,
+    forward_rescaled,
+    trace_operands,
+)
+from repro.bigfloat import BigFloat, relative_error
+from repro.data import sample_hmm, sample_hcg_like_hmm
+from repro.formats import PositEnv
+
+
+def brute_force_likelihood(a, b, pi, obs):
+    """Sum over all state paths — exponential, only for tiny cases."""
+    h = a.shape[0]
+    total = 0.0
+    for path in itertools.product(range(h), repeat=len(obs)):
+        p = pi[path[0]] * b[path[0], obs[0]]
+        for t in range(1, len(obs)):
+            p *= a[path[t - 1], path[t]] * b[path[t], obs[t]]
+        total += p
+    return total
+
+
+@pytest.fixture(scope="module")
+def small_hmm():
+    return sample_hmm(3, 4, 6, seed=42)
+
+
+class TestForwardCorrectness:
+    def test_matches_brute_force(self, small_hmm):
+        a, b, pi, obs = small_hmm.as_float_arrays()
+        expected = brute_force_likelihood(a, b, pi, obs)
+        got = forward(small_hmm, Binary64Backend())
+        assert math.isclose(got, expected, rel_tol=1e-12)
+
+    def test_oracle_matches_brute_force(self, small_hmm):
+        a, b, pi, obs = small_hmm.as_float_arrays()
+        expected = brute_force_likelihood(a, b, pi, obs)
+        got = forward(small_hmm, BigFloatBackend()).to_float()
+        assert math.isclose(got, expected, rel_tol=1e-12)
+
+    def test_all_backends_agree_roughly(self, small_hmm):
+        ref = forward(small_hmm, BigFloatBackend())
+        for name, backend in standard_backends().items():
+            got = backend.to_bigfloat(forward(small_hmm, backend))
+            assert relative_error(ref, got).to_float() < 1e-9, name
+
+    def test_likelihood_positive_and_below_one(self, small_hmm):
+        got = forward(small_hmm, BigFloatBackend())
+        assert BigFloat.zero() < got < BigFloat.from_int(1)
+
+    def test_custom_observation_sequence(self, small_hmm):
+        got1 = forward(small_hmm, Binary64Backend(), observations=(0, 1))
+        got2 = forward(small_hmm, Binary64Backend(), observations=(1, 0))
+        assert got1 != got2  # different sequences, different likelihoods
+
+
+class TestFastPaths:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_float_fast_path_matches_generic(self, seed):
+        hmm = sample_hmm(5, 6, 30, seed=seed)
+        a, b, pi, obs = hmm.as_float_arrays()
+        generic = forward(hmm, Binary64Backend())
+        fast = forward_float(a, b, pi, obs)
+        assert math.isclose(generic, fast, rel_tol=1e-12)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_log_fast_path_matches_generic(self, seed):
+        hmm = sample_hmm(5, 6, 30, seed=seed)
+        a, b, pi, obs = hmm.as_float_arrays()
+        generic = forward(hmm, LogSpaceBackend())
+        fast = forward_log(a, b, pi, obs)
+        assert math.isclose(generic, fast, rel_tol=1e-10)
+
+    def test_float_underflows_where_log_survives(self):
+        """The motivating failure: binary64 hits zero, log-space does not."""
+        hmm = sample_hmm(4, 64, 250, seed=7)
+        a, b, pi, obs = hmm.as_float_arrays()
+        assert forward_float(a, b, pi, obs) == 0.0
+        assert math.isfinite(forward_log(a, b, pi, obs))
+
+    def test_rescaled_matches_log(self):
+        hmm = sample_hmm(4, 64, 120, seed=3)
+        a, b, pi, obs = hmm.as_float_arrays()
+        log2_scale, mant = forward_rescaled(a, b, pi, obs)
+        ll = forward_log(a, b, pi, obs)
+        assert math.isclose(log2_scale + math.log2(mant), ll / math.log(2),
+                            rel_tol=1e-9)
+
+
+class TestAlphaTrajectory:
+    def test_scale_decreases_linearly(self):
+        """Figure 1: alpha's exponent falls roughly linearly with t at
+        ~log2(n_symbols) bits per step."""
+        hmm = sample_hmm(6, 64, 200, seed=5)
+        scales = alpha_scale_series(hmm)
+        assert len(scales) == 200
+        slope = (scales[-1] - scales[0]) / (len(scales) - 1)
+        assert -8.0 < slope < -4.0  # ~6 bits/step for 64 symbols
+        assert scales[-1] < -1074  # well past binary64's floor
+
+    def test_trace_monotone_overall(self):
+        hmm = sample_hmm(6, 64, 100, seed=6)
+        scales = alpha_scale_series(hmm)
+        # Not necessarily monotone stepwise, but strongly decreasing.
+        assert scales[-1] < scales[0] - 300
+
+    def test_hcg_like_magnitude_compression(self):
+        """The scaled VICAR generator reaches a target exponent."""
+        hmm = sample_hcg_like_hmm(4, 50, seed=1, bits_per_step=300.0)
+        scales = alpha_scale_series(hmm)
+        assert scales[-1] == pytest.approx(-300.0 * 50, rel=0.1)
+
+    def test_forward_alpha_trace_backend_values(self):
+        hmm = sample_hmm(3, 4, 10, seed=0)
+        trace = forward_alpha_trace(hmm, Binary64Backend())
+        assert len(trace) == 10
+        assert all(v > 0 for v in trace)
+
+
+class TestOperandTracing:
+    def test_trace_produces_records(self):
+        hmm = sample_hmm(3, 4, 5, seed=0)
+        records = trace_operands(hmm)
+        ops = {r[0] for r in records}
+        assert ops == {"add", "mul"}
+        # T=5, H=3: 1 + (T-1) * H muls for emissions etc.; just sanity.
+        assert len(records) > 30
+
+    def test_trace_subsampling(self):
+        hmm = sample_hmm(3, 4, 8, seed=0)
+        records = trace_operands(hmm, max_records=10)
+        assert len(records) <= 10
+
+
+class TestPositForward:
+    def test_posit18_survives_deep_magnitudes(self):
+        hmm = sample_hcg_like_hmm(4, 40, seed=2, bits_per_step=400.0)
+        backend = PositBackend(PositEnv(64, 18))
+        ref = forward(hmm, BigFloatBackend())
+        got = backend.to_bigfloat(forward(hmm, backend))
+        assert relative_error(ref, got).to_float() < 1e-9
+        assert ref.scale < -10_000  # actually deep
+
+    def test_binary64_underflow_on_same_workload(self):
+        hmm = sample_hcg_like_hmm(4, 40, seed=2, bits_per_step=400.0)
+        assert forward(hmm, Binary64Backend()) == 0.0

@@ -1,0 +1,87 @@
+"""Tests for the discrete-event pipeline simulator: agreement with the
+analytic closed form, and prefetch-bound behaviour."""
+
+import pytest
+
+from repro.hw import LOG, POSIT, ColumnUnit, ForwardUnit, column_timing
+from repro.hw.sim import (
+    SimConfig,
+    prefetch_sensitivity,
+    simulate,
+    simulate_column,
+    simulate_forward_unit,
+)
+
+
+class TestSimVsClosedForm:
+    @pytest.mark.parametrize("style", [LOG, POSIT])
+    @pytest.mark.parametrize("h", [13, 32, 64, 128])
+    def test_forward_unit_matches_analytic(self, style, h):
+        """With a fast prefetcher, the cycle-by-cycle simulation must
+        reproduce the Fig. 5 closed form exactly."""
+        t = 50
+        sim = simulate_forward_unit(style, h, t, prefetch_latency=1)
+        analytic = ForwardUnit(style, h).timing(t)
+        assert sim.total_cycles == analytic.total_cycles
+        assert sim.prefetch_stall_cycles == 0
+
+    @pytest.mark.parametrize("style", [LOG, POSIT])
+    @pytest.mark.parametrize("k,n", [(16, 30), (100, 25), (9, 10)])
+    def test_column_matches_analytic(self, style, k, n):
+        sim = simulate_column(style, k, n, prefetch_latency=1)
+        analytic = column_timing(k, n, ColumnUnit(style).pe_latency, 8)
+        assert sim.total_cycles == analytic.total_cycles
+
+    def test_per_outer_records(self):
+        sim = simulate_forward_unit(LOG, 13, 10, prefetch_latency=1)
+        assert len(sim.per_outer_cycles) == 10
+        assert len(set(sim.per_outer_cycles)) == 1  # deterministic
+
+    def test_mean_cycles(self):
+        sim = simulate_forward_unit(POSIT, 13, 10, prefetch_latency=1)
+        assert sim.mean_cycles_per_outer == sim.total_cycles / 10
+
+
+class TestPrefetchBound:
+    def test_slow_dram_dominates(self):
+        """When DRAM latency exceeds the compute time, the unit becomes
+        prefetch-bound and cycles/outer equals the DRAM latency."""
+        slow = simulate_forward_unit(POSIT, 8, 20, prefetch_latency=500)
+        assert slow.prefetch_stall_cycles > 0
+        assert slow.mean_cycles_per_outer == 500.0
+
+    def test_fast_dram_no_stalls(self):
+        fast = simulate_forward_unit(POSIT, 64, 20, prefetch_latency=10)
+        assert fast.prefetch_stall_cycles == 0
+
+    def test_posit_hits_prefetch_wall_before_log(self):
+        """Section V.C: posit's shorter PE makes it prefetch-bound at
+        DRAM latencies where the log unit is still compute-bound."""
+        latency = 100  # between the two units' compute times at H=8
+        posit = simulate_forward_unit(POSIT, 8, 20, prefetch_latency=latency)
+        log = simulate_forward_unit(LOG, 8, 20, prefetch_latency=latency)
+        assert posit.prefetch_stall_cycles > 0
+        assert log.prefetch_stall_cycles == 0
+
+    def test_jitter_only_increases_time(self):
+        base = simulate_forward_unit(LOG, 13, 50, prefetch_latency=40)
+        jittery = simulate_forward_unit(LOG, 13, 50, prefetch_latency=40,
+                                        prefetch_jitter=200, seed=3)
+        assert jittery.total_cycles >= base.total_cycles
+
+    def test_sensitivity_sweep_monotone(self):
+        rows = prefetch_sensitivity(POSIT, 13, 20, latencies=(1, 50, 100,
+                                                              200, 400))
+        cycles = [r["cycles_per_outer"] for r in rows]
+        assert cycles == sorted(cycles)
+        assert rows[0]["stall_fraction"] == 0.0
+        assert rows[-1]["stall_fraction"] > 0.3
+
+
+class TestSimConfig:
+    def test_custom_config(self):
+        config = SimConfig(inner_iterations=4, pe_latency=10,
+                           initiation_interval=2, drain_cycles=0,
+                           prefetch_latency=1)
+        sim = simulate(config, 5)
+        assert sim.total_cycles == 5 * (4 * 2 + 10)

@@ -1,0 +1,164 @@
+"""Tests for the Table II unit database, PE latency models and the
+Fig. 5 timing model."""
+
+import pytest
+
+from repro.hw import (
+    CLOCK_MHZ,
+    COLUMN_PE_LATENCY,
+    DRAIN_CYCLES,
+    LOG,
+    POSIT,
+    TABLE2,
+    column_pe_latency,
+    column_pe_structure,
+    column_timing,
+    forward_pe_latency,
+    forward_pe_latency_reduction,
+    forward_pe_structure,
+    forward_unit_timing,
+    initiation_interval,
+    lse_component_check,
+    software_op_cost_model,
+    table2_rows,
+    tree_levels,
+    unit,
+)
+
+
+class TestTable2:
+    def test_all_eight_units_present(self):
+        assert len(TABLE2) == 8
+
+    def test_log_mul_is_binary64_add(self):
+        """In log-space a multiply is an addition: identical unit cost."""
+        mul = unit("log_mul")
+        add = unit("binary64_add")
+        assert (mul.lut, mul.register, mul.dsp, mul.cycles) == \
+            (add.lut, add.register, add.dsp, add.cycles)
+
+    def test_paper_headline_ratios(self):
+        """Section I: log-space addition is ~10x slower and needs ~8x the
+        LUTs/FFs of a binary64 add."""
+        model = software_op_cost_model()
+        assert model["ratio"] == pytest.approx(64 / 6, rel=0.01)
+        assert 7.0 < model["lut_ratio"] < 8.0
+        assert 8.5 < model["register_ratio"] < 9.5
+
+    def test_posit_adder_overhead_vs_binary64(self):
+        """Section IV.B says a posit(64,12) adder uses '70.3% more LUTs
+        and 44.0% more registers' than a binary64 adder; Table II's own
+        numbers give 56.7% / 71.2% — the prose and table disagree in the
+        paper itself.  We assert the table relationship (posit adder is
+        moderately bigger than binary64's, but several times smaller and
+        faster than the LSE unit)."""
+        p = unit("posit(64,12)_add")
+        b = unit("binary64_add")
+        lse = unit("log_add")
+        assert (p.lut - b.lut) / b.lut == pytest.approx(0.567, abs=0.01)
+        assert p.lut > b.lut and p.register > b.register
+        assert p.lut < lse.lut / 4
+        assert p.cycles < lse.cycles / 4
+
+    def test_lse_components_recompose(self):
+        check = lse_component_check()
+        assert check["lut"] == check["lut_expected"]
+        assert check["dsp"] == check["dsp_expected"]
+
+    def test_table2_rows_render(self):
+        rows = table2_rows()
+        assert len(rows) == 8
+        assert rows[0]["Arithmetic Unit"] == "binary64 add"
+        assert rows[1]["Clock Cycle"] == 64
+
+    def test_scaled(self):
+        u = unit("binary64_add").scaled(4)
+        assert u.lut == 4 * 679
+
+
+class TestPELatency:
+    def test_tree_levels(self):
+        assert tree_levels(2) == 1
+        assert tree_levels(13) == 4
+        assert tree_levels(64) == 6
+        assert tree_levels(128) == 7
+        with pytest.raises(ValueError):
+            tree_levels(0)
+
+    @pytest.mark.parametrize("h,expected", [(13, 62 + 36), (32, 62 + 45),
+                                            (64, 62 + 54), (128, 62 + 63)])
+    def test_log_forward_pe(self, h, expected):
+        assert forward_pe_latency(LOG, h) == expected
+
+    @pytest.mark.parametrize("h,expected", [(13, 24 + 32), (32, 24 + 40),
+                                            (64, 24 + 48), (128, 24 + 56)])
+    def test_posit_forward_pe(self, h, expected):
+        assert forward_pe_latency(POSIT, h) == expected
+
+    def test_reduction_formula(self):
+        """Section V.C: the saving is 38 + log2(H) cycles."""
+        for h in (16, 64, 128):
+            assert forward_pe_latency_reduction(h) == 38 + tree_levels(h)
+
+    def test_column_pe_latencies(self):
+        assert column_pe_latency(LOG) == 73
+        assert column_pe_latency(POSIT) == 30
+        assert COLUMN_PE_LATENCY[LOG] - COLUMN_PE_LATENCY[POSIT] == 43
+
+    def test_unknown_style(self):
+        with pytest.raises(ValueError):
+            forward_pe_latency("ieee", 8)
+        with pytest.raises(ValueError):
+            column_pe_latency("ieee")
+
+
+class TestPEStructure:
+    def test_posit_pe_slope_matches_table3(self):
+        """The per-state posit cost (mul + tree adder = 1570 LUTs)
+        reproduces Table III's measured slope (~1569 LUT/state)."""
+        small = forward_pe_structure(POSIT, 13).resources
+        big = forward_pe_structure(POSIT, 32).resources
+        slope = (big.lut - small.lut) / (32 - 13)
+        assert slope == pytest.approx(1570, abs=2)
+
+    def test_log_pe_slope_matches_table3(self):
+        small = forward_pe_structure(LOG, 13).resources
+        big = forward_pe_structure(LOG, 32).resources
+        slope = (big.lut - small.lut) / (32 - 13)
+        assert slope == pytest.approx(4007, rel=0.02)
+
+    def test_column_pe_costs(self):
+        log_pe = column_pe_structure(LOG).resources
+        posit_pe = column_pe_structure(POSIT).resources
+        assert log_pe.lut == 2 * 679 + 5076
+        assert posit_pe.lut == 2 * 618 + 1064
+        assert posit_pe.lut < log_pe.lut / 2
+
+
+class TestTiming:
+    def test_initiation_interval(self):
+        assert initiation_interval(64) == 1
+        assert initiation_interval(65) == 2
+        assert initiation_interval(128) == 2
+
+    def test_fig5_formula(self):
+        t = forward_unit_timing(13, 500_000, pe_latency=98)
+        assert t.cycles_per_outer == 13 + 98 + DRAIN_CYCLES
+        assert t.total_cycles == 500_000 * t.cycles_per_outer
+
+    def test_seconds_at_300mhz(self):
+        t = forward_unit_timing(13, 500_000, pe_latency=98)
+        assert t.seconds() == pytest.approx(t.total_cycles / 3e8)
+        assert CLOCK_MHZ == 300.0
+
+    def test_prefetch_bound_flag_small_h(self):
+        small = forward_unit_timing(8, 10, pe_latency=50)
+        big = forward_unit_timing(64, 10, pe_latency=50)
+        assert small.prefetch_bound
+        assert not big.prefetch_bound
+
+    def test_column_timing_ceil_division(self):
+        t = column_timing(k=9, n=100, pe_latency=30, n_pes=8)
+        assert t.issue_cycles == 2  # ceil(9/8)
+        t = column_timing(k=8, n=100, pe_latency=30, n_pes=8)
+        assert t.issue_cycles == 1

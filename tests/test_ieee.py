@@ -1,0 +1,184 @@
+"""IEEE softfloat tests: bit-for-bit agreement with native binary64 and
+numpy's binary32, plus subnormal/infinity edge behaviour."""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigfloat import BigFloat
+from repro.formats import BINARY32, BINARY64, IEEEEnv, Real
+from repro.formats.ieee import INF, NAN, ZERO
+
+
+def f64_bits(x: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", x))[0]
+
+
+def bits_f64(b: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", b))[0]
+
+
+class TestBinary64Layout:
+    def test_constants(self):
+        assert BINARY64.nbits == 64
+        assert BINARY64.bias == 1023
+        assert BINARY64.emin == -1022
+        assert BINARY64.smallest_positive_scale() == -1074
+        assert BINARY64.smallest_normal_scale() == -1022
+        assert BINARY64.name == "binary64"
+
+    def test_largest_finite(self):
+        assert BINARY64.largest_finite().to_float() == math.ldexp(2 - 2**-52, 1023)
+
+    @pytest.mark.parametrize("v", [0.0, 1.0, -1.0, 0.1, math.pi, 1e308,
+                                   5e-324, 2.2250738585072014e-308, -6.25])
+    def test_from_float_matches_struct(self, v):
+        assert BINARY64.from_float(v) == f64_bits(v)
+
+    def test_special_encodings(self):
+        assert BINARY64.from_float(math.inf) == f64_bits(math.inf)
+        assert BINARY64.from_float(-math.inf) == f64_bits(-math.inf)
+        assert BINARY64.from_float(-0.0) == f64_bits(-0.0)
+        nan_bits = BINARY64.from_float(math.nan)
+        assert math.isnan(bits_f64(nan_bits))
+
+    def test_decode_specials(self):
+        assert BINARY64.decode(0) is ZERO
+        assert BINARY64.decode(f64_bits(math.inf)) is INF
+        assert BINARY64.decode(BINARY64.quiet_nan) is NAN
+
+    def test_subnormal_decode(self):
+        d = BINARY64.decode(f64_bits(5e-324))
+        assert isinstance(d, Real)
+        assert d.scale == -1074
+
+
+class TestBinary64Arithmetic:
+    def test_add_simple(self):
+        a, b = f64_bits(1.5), f64_bits(2.25)
+        assert bits_f64(BINARY64.add(a, b)) == 3.75
+
+    def test_inf_minus_inf_is_nan(self):
+        pinf, ninf = f64_bits(math.inf), f64_bits(-math.inf)
+        assert math.isnan(bits_f64(BINARY64.add(pinf, ninf)))
+
+    def test_inf_times_zero_is_nan(self):
+        assert math.isnan(bits_f64(BINARY64.mul(f64_bits(math.inf), 0)))
+
+    def test_overflow_to_inf(self):
+        big = f64_bits(1.7e308)
+        assert bits_f64(BINARY64.add(big, big)) == math.inf
+
+    def test_underflow_to_zero(self):
+        tiny = f64_bits(5e-324)
+        assert bits_f64(BINARY64.mul(tiny, tiny)) == 0.0
+
+    def test_gradual_underflow(self):
+        # 2**-1073 = 2 * 2**-1074 stays representable as a subnormal.
+        x = f64_bits(math.ldexp(1.0, -1060))
+        y = f64_bits(math.ldexp(1.0, -13))
+        assert bits_f64(BINARY64.mul(x, y)) == math.ldexp(1.0, -1073)
+
+    def test_signed_zero_add(self):
+        nz = f64_bits(-0.0)
+        assert BINARY64.add(nz, nz) == nz
+        assert BINARY64.add(nz, 0) == 0
+
+
+class TestBinary32VsNumpy:
+    CASES = [(1.5, 2.25), (0.1, 0.2), (1e30, 1e30), (1e-40, 1e-40),
+             (3.14159, -2.71828), (1e-45, 1e-45)]
+
+    @pytest.mark.parametrize("a,b", CASES)
+    def test_add_matches_numpy(self, a, b):
+        fa, fb = np.float32(a), np.float32(b)
+        expected = np.float32(fa + fb)
+        got = BINARY32.to_float(BINARY32.add(BINARY32.from_float(float(fa)),
+                                             BINARY32.from_float(float(fb))))
+        assert np.float32(got) == expected or (math.isinf(got) and np.isinf(expected))
+
+    @pytest.mark.parametrize("a,b", CASES)
+    def test_mul_matches_numpy(self, a, b):
+        fa, fb = np.float32(a), np.float32(b)
+        expected = np.float32(fa * fb)
+        got = BINARY32.to_float(BINARY32.mul(BINARY32.from_float(float(fa)),
+                                             BINARY32.from_float(float(fb))))
+        assert np.float32(got) == expected or (math.isinf(got) and np.isinf(expected))
+
+
+class TestCustomFormat:
+    def test_binary16_like(self):
+        env = IEEEEnv(5, 11)
+        assert env.nbits == 16
+        assert env.bias == 15
+        assert env.smallest_positive_scale() == -24
+
+    def test_name(self):
+        assert IEEEEnv(8, 24).name == "binary32"
+        assert IEEEEnv(5, 11).name == "ieee(5,11)"
+
+    def test_rejects_tiny_widths(self):
+        with pytest.raises(ValueError):
+            IEEEEnv(1, 10)
+        with pytest.raises(ValueError):
+            IEEEEnv(8, 1)
+
+
+finite64 = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+@settings(max_examples=300, deadline=None)
+@given(finite64, finite64)
+def test_add_bit_exact_vs_native(a, b):
+    got = BINARY64.add(f64_bits(a), f64_bits(b))
+    assert got == f64_bits(a + b)
+
+
+@settings(max_examples=300, deadline=None)
+@given(finite64, finite64)
+def test_mul_bit_exact_vs_native(a, b):
+    got = BINARY64.mul(f64_bits(a), f64_bits(b))
+    assert got == f64_bits(a * b)
+
+
+@settings(max_examples=200, deadline=None)
+@given(finite64)
+def test_roundtrip_bits(a):
+    bits = f64_bits(a)
+    assert BINARY64.from_float(BINARY64.to_float(bits)) == bits
+
+
+@settings(max_examples=200, deadline=None)
+@given(finite64)
+def test_to_bigfloat_exact(a):
+    if a == 0.0:
+        return
+    assert BINARY64.to_bigfloat(f64_bits(a)) == BigFloat.from_float(a)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(0, (1 << 16) - 1), st.integers(0, (1 << 16) - 1))
+def test_binary16_add_landed_on_neighbor(a, b):
+    """For a custom format with no native oracle, check the correctly-
+    rounded property structurally: result is one of the two values
+    bracketing the exact sum."""
+    env = IEEEEnv(5, 11)
+    da, db = env.decode(a), env.decode(b)
+    if not (isinstance(da, Real) and isinstance(db, Real)):
+        return
+    exact = da.add(db).to_bigfloat()
+    got = env.decode(env.add(a, b))
+    if not isinstance(got, Real):
+        return  # overflowed to inf
+    gbf = got.to_bigfloat()
+    # error bounded by one ulp of the result's binade
+    if exact.is_zero():
+        assert gbf.is_zero() or abs(gbf.scale) > 0
+        return
+    err = gbf.sub(exact, 64).abs()
+    if not err.is_zero():
+        assert err.scale <= max(exact.scale, env.smallest_positive_scale()) - env.frac_bits + 1

@@ -1,0 +1,140 @@
+"""Tests for the LNS format: codec, arithmetic, flat-precision property,
+and the table-size impracticality numbers."""
+
+import math
+
+import pytest
+
+from repro.bigfloat import BigFloat, log10_relative_error, relative_error
+from repro.formats.lns import LNS_ZERO, LNSEnv, lns64_for_range
+
+
+@pytest.fixture(scope="module")
+def lns():
+    return LNSEnv(12, 50)  # 64-bit: covers 2^+-2048 with 50 frac bits
+
+
+class TestCodec:
+    def test_zero(self, lns):
+        assert lns.encode_bigfloat(BigFloat.zero()) == LNS_ZERO
+        assert lns.decode_bigfloat(LNS_ZERO).is_zero()
+
+    def test_one_is_code_zero(self, lns):
+        assert lns.encode_bigfloat(BigFloat.from_int(1)) == 0
+
+    def test_powers_of_two_exact(self, lns):
+        for k in (-2000, -37, -1, 1, 100):
+            code = lns.encode_bigfloat(BigFloat.exp2(k))
+            assert code == k << lns.frac_bits
+            assert lns.decode_bigfloat(code) == BigFloat.exp2(k)
+
+    def test_roundtrip_error_within_bound(self, lns):
+        for v in (0.3, 0.7, 1e-300, 12345.678):
+            x = BigFloat.from_float(v)
+            back = lns.decode_bigfloat(lns.encode_bigfloat(x))
+            err = relative_error(x, back).to_float()
+            assert err <= lns.per_op_relative_error_bound()
+
+    def test_negative_rejected(self, lns):
+        with pytest.raises(ValueError):
+            lns.encode_bigfloat(BigFloat.from_int(-1))
+
+    def test_saturation(self, lns):
+        assert lns.encode_bigfloat(BigFloat.exp2(10_000)) == lns.max_code
+        assert lns.encode_bigfloat(BigFloat.exp2(-10_000)) == lns.min_code
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LNSEnv(1, 10)
+        with pytest.raises(ValueError):
+            LNSEnv(10, 0)
+
+
+class TestArithmetic:
+    def test_mul_is_exact_code_add(self, lns):
+        a = lns.from_float(0.5)
+        b = lns.from_float(0.25)
+        assert lns.mul(a, b) == lns.from_float(0.125)
+
+    def test_mul_zero(self, lns):
+        assert lns.mul(LNS_ZERO, lns.from_float(0.5)) == LNS_ZERO
+
+    def test_mul_never_rounds(self, lns):
+        """The LNS selling point: multiplication error is exactly zero
+        (when in range) because codes add exactly."""
+        a = lns.encode_bigfloat(BigFloat.from_float(0.3))
+        b = lns.encode_bigfloat(BigFloat.from_float(0.7))
+        prod = lns.mul(a, b)
+        exact = lns.decode_bigfloat(a).mul(lns.decode_bigfloat(b), 256)
+        assert relative_error(exact, lns.decode_bigfloat(prod)).to_float() \
+            < 2 ** -200
+
+    def test_add_zero_identity(self, lns):
+        a = lns.from_float(0.5)
+        assert lns.add(a, LNS_ZERO) == a
+        assert lns.add(LNS_ZERO, a) == a
+
+    def test_add_equal_values(self, lns):
+        # x + x = 2x: sb(0) = 1 exactly.
+        a = lns.from_float(0.5)
+        assert lns.add(a, a) == lns.from_float(1.0)
+
+    def test_add_accuracy_bound(self, lns):
+        a = BigFloat.from_float(0.3)
+        b = BigFloat.from_float(0.456)
+        got = lns.decode_bigfloat(lns.add(lns.encode_bigfloat(a),
+                                          lns.encode_bigfloat(b)))
+        exact = a.add(b, 256)
+        assert relative_error(exact, got).to_float() <= \
+            3 * lns.per_op_relative_error_bound()
+
+    def test_add_commutes(self, lns):
+        a, b = lns.from_float(0.12), lns.from_float(0.00034)
+        assert lns.add(a, b) == lns.add(b, a)
+
+
+class TestFlatPrecision:
+    def test_error_flat_across_magnitudes(self, lns):
+        """Fixed-point logs give constant relative error at 2^-10 and at
+        2^-1800 alike — the property float-log lacks."""
+        errs = []
+        for scale in (-10, -500, -1800):
+            x = BigFloat(0, (1 << 60) + 987_654_321, scale - 60)
+            y = BigFloat(0, (1 << 60) + 123_456_789, scale - 61)
+            got = lns.decode_bigfloat(lns.add(lns.encode_bigfloat(x),
+                                              lns.encode_bigfloat(y)))
+            errs.append(log10_relative_error(x.add(y, 256), got))
+        assert max(errs) - min(errs) < 1.0  # flat within a decade
+
+    def test_flat_but_limited_range(self, lns):
+        """...but the range is hard-limited: 2^-2049 saturates."""
+        assert lns.smallest_positive_scale() == -2_048
+        deep = lns.encode_bigfloat(BigFloat.exp2(-3_000))
+        assert deep == lns.min_code
+
+
+class TestImpracticality:
+    def test_table_size_explodes(self):
+        """The paper: table optimizations work for <=16-bit LNS, not 64.
+        A 16-bit-class LNS table fits in KBs; the 64-bit one needs
+        zettabytes."""
+        small = LNSEnv(5, 9)  # 16-bit class
+        big = LNSEnv(12, 50)  # 64-bit class
+        assert small.sb_table_bytes() < 64 * 1024
+        assert big.sb_table_bytes() > 1e17  # hundreds of petabytes
+
+    def test_range_precision_tradeoff_vs_posit(self):
+        """To cover LoFreq's 2^-434,916 range, a 64-bit LNS keeps only
+        42 fraction bits everywhere — posit(64,18) offers 43 at the
+        deepest values and more elsewhere."""
+        env = lns64_for_range(-434_916)
+        assert env.smallest_positive_scale() <= -434_916
+        assert env.frac_bits <= 42
+
+    def test_lns64_for_range_validation(self):
+        with pytest.raises(ValueError):
+            lns64_for_range(-(2 ** 61))
+
+    def test_per_op_bound_value(self, lns):
+        assert math.isclose(lns.per_op_relative_error_bound(),
+                            math.log(2) * 2.0 ** -51, rel_tol=1e-12)

@@ -1,0 +1,152 @@
+"""Log-space (LSE) arithmetic tests, including the paper's stability
+examples from Section II.B."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigfloat import BigFloat
+from repro.bigfloat import log as bf_log
+from repro.formats import LogSpace, log_mul, lse2, lse2_naive, lse_n, lse_sequential
+
+
+class TestLSE2:
+    def test_equal_operands(self):
+        # lse(l, l) = l + ln 2
+        assert abs(lse2(-5.0, -5.0) - (-5.0 + math.log(2))) < 1e-15
+
+    def test_matches_direct_in_safe_range(self):
+        for lx, ly in ((-1.0, -2.0), (0.0, -30.0), (-100.0, -100.5)):
+            direct = math.log(math.exp(lx) + math.exp(ly))
+            assert abs(lse2(lx, ly) - direct) < 1e-12
+
+    def test_paper_stability_example(self):
+        """Section II.B: lx=-1000, ly=-999 — the naive form underflows,
+        LSE computes the right answer."""
+        got = lse2(-1000.0, -999.0)
+        expected = -999.0 + math.log1p(math.exp(-1.0))
+        assert abs(got - expected) < 1e-12
+        assert lse2_naive(-1000.0, -999.0) == -math.inf
+
+    def test_naive_overflow(self):
+        assert lse2_naive(800.0, 800.0) == math.inf
+        assert math.isfinite(lse2(800.0, 800.0))
+
+    def test_zero_identity(self):
+        assert lse2(-math.inf, -3.0) == -3.0
+        assert lse2(-3.0, -math.inf) == -3.0
+        assert lse2(-math.inf, -math.inf) == -math.inf
+
+    def test_commutative(self):
+        assert lse2(-4.2, -1.3) == lse2(-1.3, -4.2)
+
+
+class TestLSEN:
+    def test_empty(self):
+        assert lse_n([]) == -math.inf
+
+    def test_single(self):
+        assert lse_n([-7.0]) == -7.0
+
+    def test_uniform(self):
+        # lse of n copies of l is l + ln n.
+        vals = [-50.0] * 8
+        assert abs(lse_n(vals) - (-50.0 + math.log(8))) < 1e-14
+
+    def test_all_zero_probability(self):
+        assert lse_n([-math.inf] * 4) == -math.inf
+
+    def test_matches_sequential_closely(self):
+        vals = [-10.0, -11.5, -9.2, -30.0, -10.1]
+        assert abs(lse_n(vals) - lse_sequential(vals)) < 1e-12
+
+    def test_wide_spread(self):
+        # A dominant term: result ~ max.
+        vals = [-5.0, -5000.0, -80000.0]
+        assert abs(lse_n(vals) - (-5.0)) < 1e-12
+
+
+class TestLogMul:
+    def test_simple(self):
+        assert log_mul(-3.0, -4.5) == -7.5
+
+    def test_zero_absorbs(self):
+        assert log_mul(-math.inf, -1.0) == -math.inf
+        assert log_mul(-1.0, -math.inf) == -math.inf
+
+
+class TestLogSpaceCodec:
+    def test_encode_one(self):
+        assert LogSpace().encode_float(1.0) == 0.0
+
+    def test_encode_zero(self):
+        assert LogSpace().encode_float(0.0) == -math.inf
+
+    def test_encode_negative_raises(self):
+        with pytest.raises(ValueError):
+            LogSpace().encode_float(-0.5)
+
+    def test_paper_intro_example(self):
+        """ln(2**-2_900_000) ~ -2_010_126.824 (quoted in Section I)."""
+        ls = LogSpace()
+        lx = ls.encode_bigfloat(BigFloat.exp2(-2_900_000))
+        assert abs(lx - (-2_010_126.824)) < 0.01
+
+    def test_section2_example(self):
+        """log(2**-120_000) ~ -83177.66 (Section II.B)."""
+        lx = LogSpace().encode_bigfloat(BigFloat.exp2(-120_000))
+        assert abs(lx - (-83177.66)) < 0.01
+
+    def test_decode_roundtrip_extreme(self):
+        ls = LogSpace()
+        x = BigFloat.exp2(-500_000)
+        back = ls.decode_bigfloat(ls.encode_bigfloat(x))
+        # Error limited by binary64 rounding of the log value:
+        # ulp(-346574) ~ 2**-34 absolute -> ~2**-34 relative after exp.
+        from repro.bigfloat import relative_error
+        assert relative_error(x, back).to_float() < 2 ** -30
+
+    def test_decode_zero(self):
+        assert LogSpace().decode_bigfloat(-math.inf).is_zero()
+
+    def test_decode_rejects_nan(self):
+        with pytest.raises(ValueError):
+            LogSpace().decode_bigfloat(math.nan)
+
+    def test_is_zero(self):
+        ls = LogSpace()
+        assert ls.is_zero(-math.inf)
+        assert not ls.is_zero(-1e300)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.floats(min_value=-1e5, max_value=0.0),
+       st.floats(min_value=-1e5, max_value=0.0))
+def test_lse2_vs_bigfloat_oracle(lx, ly):
+    """LSE in binary64 must agree with the exact computation to double
+    precision (a few ulps of the result)."""
+    got = lse2(lx, ly)
+    ex = bf_log(BigFloat.coerce(0).add(_bexp(lx)).add(_bexp(ly)))
+    expected = ex.to_float()
+    assert abs(got - expected) <= 1e-11 * max(1.0, abs(expected))
+
+
+def _bexp(v: float) -> BigFloat:
+    from repro.bigfloat import exp as bf_exp
+    return bf_exp(BigFloat.from_float(v))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(min_value=-1e6, max_value=-1e-3))
+def test_lse2_exceeds_max(lx):
+    """lse(a, b) >= max(a, b): adding probability mass never decreases."""
+    assert lse2(lx, lx - 1.0) >= lx
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=-1e4, max_value=0.0), min_size=1, max_size=12))
+def test_lse_n_vs_sequential(vals):
+    a, b = lse_n(vals), lse_sequential(vals)
+    assert abs(a - b) <= 1e-9 * max(1.0, abs(a))

@@ -1,0 +1,55 @@
+"""MCMC-over-HMM tests: the underflow-breaks-inference motivation."""
+
+import pytest
+
+from repro.apps.mcmc import ChainResult, run_chain
+from repro.arith import BigFloatBackend, Binary64Backend, LogSpaceBackend, PositBackend
+from repro.formats import PositEnv
+
+
+class TestChainHealth:
+    def test_binary64_chain_is_stuck(self):
+        """Every proposal's likelihood underflows: 0/0 ratios only."""
+        result = run_chain(Binary64Backend(), steps=10, seed=1)
+        assert result.stuck == 10
+        assert result.accepted == 0
+        assert not result.mixed
+
+    def test_logspace_chain_mixes(self):
+        result = run_chain(LogSpaceBackend(), steps=40, seed=1)
+        assert result.stuck == 0
+        assert result.accepted > 0
+        assert result.rejected > 0
+        assert result.mixed
+
+    def test_posit18_chain_mixes(self):
+        result = run_chain(PositBackend(PositEnv(64, 18)), steps=40, seed=1)
+        assert result.mixed
+
+    def test_oracle_and_log_agree_on_moves(self):
+        """With the same seed, log-space and the oracle accept/reject
+        identically (ratios are far from the decision boundary)."""
+        log = run_chain(LogSpaceBackend(), steps=25, seed=4)
+        oracle = run_chain(BigFloatBackend(), steps=25, seed=4)
+        assert log.accepted == oracle.accepted
+        assert log.rejected == oracle.rejected
+
+    def test_acceptance_rate_reasonable(self):
+        result = run_chain(LogSpaceBackend(), steps=60, seed=7)
+        assert 0.05 < result.acceptance_rate < 0.98
+
+    def test_shallow_workload_binary64_works(self):
+        """Control: with in-range likelihoods binary64's chain is fine —
+        the pathology is underflow, not binary64 itself."""
+        result = run_chain(Binary64Backend(), steps=30, seed=2,
+                           bits_per_step=8.0)
+        assert result.stuck == 0
+        assert result.mixed
+
+    def test_result_accounting(self):
+        result = run_chain(LogSpaceBackend(), steps=15, seed=3)
+        assert result.steps == 15
+        assert len(result.samples) == result.accepted
+
+    def test_empty_chain_rate(self):
+        assert ChainResult(0, 0, 0).acceptance_rate == 0.0

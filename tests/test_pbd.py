@@ -1,0 +1,152 @@
+"""Poisson-binomial tests: closed-form checks, scipy cross-validation,
+fast-path equivalence, and deep-tail behaviour per format."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.arith import (
+    BigFloatBackend,
+    Binary64Backend,
+    LogSpaceBackend,
+    PositBackend,
+)
+from repro.apps import complement, pbd_pmf, pbd_pvalue, pbd_pvalue_float, pbd_pvalue_log, reference_pvalue
+from repro.bigfloat import BigFloat, relative_error
+from repro.formats import PositEnv
+
+
+def bf_probs(values):
+    return [BigFloat.from_float(v) for v in values]
+
+
+class TestPMF:
+    def test_uniform_probs_match_binomial(self):
+        """With identical p the PBD is a plain binomial."""
+        n, p = 12, 0.3
+        pmf = pbd_pmf(bf_probs([p] * n), n, Binary64Backend())
+        for k in range(n + 1):
+            expected = stats.binom.pmf(k, n, p)
+            assert math.isclose(pmf[k], expected, rel_tol=1e-10), k
+
+    def test_pmf_sums_to_one(self):
+        probs = [0.1, 0.5, 0.9, 0.25]
+        pmf = pbd_pmf(bf_probs(probs), 4, BigFloatBackend())
+        total = BigFloat.zero()
+        for v in pmf:
+            total = total.add(v)
+        assert relative_error(BigFloat.from_int(1), total).to_float() < 1e-60
+
+    def test_two_trials_closed_form(self):
+        p1, p2 = 0.2, 0.7
+        pmf = pbd_pmf(bf_probs([p1, p2]), 2, Binary64Backend())
+        assert math.isclose(pmf[0], (1 - p1) * (1 - p2), rel_tol=1e-14)
+        assert math.isclose(pmf[1], p1 * (1 - p2) + p2 * (1 - p1), rel_tol=1e-14)
+        assert math.isclose(pmf[2], p1 * p2, rel_tol=1e-14)
+
+
+class TestPValue:
+    def test_binomial_survival_function(self):
+        """P(X >= k) must equal scipy's binomial survival function."""
+        n, p, k = 20, 0.2, 5
+        got = pbd_pvalue(bf_probs([p] * n), k, Binary64Backend())
+        expected = stats.binom.sf(k - 1, n, p)
+        assert math.isclose(got, expected, rel_tol=1e-10)
+
+    @pytest.mark.parametrize("k", [1, 2, 7])
+    def test_heterogeneous_vs_monte_carlo_free_oracle(self, k):
+        """Cross-check the recurrence against direct enumeration."""
+        probs = [0.05, 0.3, 0.5, 0.12, 0.41, 0.09, 0.77]
+        got = pbd_pvalue(bf_probs(probs), k, BigFloatBackend()).to_float()
+        # Enumerate all outcomes.
+        import itertools
+        total = 0.0
+        for bits in itertools.product((0, 1), repeat=len(probs)):
+            if sum(bits) >= k:
+                prob = 1.0
+                for b, p in zip(bits, probs):
+                    prob *= p if b else (1 - p)
+                total += prob
+        assert math.isclose(got, total, rel_tol=1e-12)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            pbd_pvalue(bf_probs([0.5]), 0, Binary64Backend())
+        with pytest.raises(ValueError):
+            pbd_pvalue(bf_probs([0.5]), 2, Binary64Backend())
+
+    def test_certain_successes(self):
+        """All p=1 with k=N gives p-value 1."""
+        got = pbd_pvalue(bf_probs([1.0] * 5), 5, BigFloatBackend())
+        assert got == BigFloat.from_int(1)
+
+    def test_pvalue_decreases_with_k(self):
+        probs = bf_probs([0.3] * 15)
+        backend = BigFloatBackend()
+        values = [pbd_pvalue(probs, k, backend) for k in (2, 5, 9)]
+        assert values[0] > values[1] > values[2]
+
+
+class TestFastPaths:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_float_fast_path_matches_generic(self, seed):
+        rng = np.random.default_rng(seed)
+        probs = rng.uniform(0.001, 0.2, size=30)
+        k = 4
+        generic = pbd_pvalue(bf_probs(list(probs)), k, Binary64Backend())
+        fast = pbd_pvalue_float(probs, k)
+        assert math.isclose(generic, fast, rel_tol=1e-12)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_log_fast_path_matches_generic(self, seed):
+        rng = np.random.default_rng(seed)
+        probs = rng.uniform(0.001, 0.2, size=30)
+        k = 4
+        generic = pbd_pvalue(bf_probs(list(probs)), k, LogSpaceBackend())
+        fast = pbd_pvalue_log(probs, k)
+        assert math.isclose(generic, fast, rel_tol=1e-9)
+
+    def test_deep_tail_float_underflow_log_survives(self):
+        probs = np.full(40, 1e-30)
+        k = 30
+        assert pbd_pvalue_float(probs, k) == 0.0
+        ll = pbd_pvalue_log(probs, k)
+        assert math.isfinite(ll)
+        assert ll < -2000
+
+
+class TestDeepTails:
+    def test_reference_reaches_extreme_scale(self):
+        """The oracle must reach p-values far below binary64's range."""
+        probs = [BigFloat.exp2(-120)] * 40
+        ref = reference_pvalue(probs, 30)
+        assert ref.scale < -3000
+
+    def test_posit18_tracks_reference(self):
+        probs = [BigFloat.exp2(-120)] * 30
+        backend = PositBackend(PositEnv(64, 18))
+        ref = reference_pvalue(probs, 20)
+        got = backend.to_bigfloat(pbd_pvalue(probs, 20, backend))
+        assert relative_error(ref, got).to_float() < 1e-9
+
+    def test_posit9_flush_underflows_deep(self):
+        probs = [BigFloat.exp2(-2_000)] * 24
+        backend = PositBackend(PositEnv(64, 9, underflow="flush"))
+        got = pbd_pvalue(probs, 20, backend)
+        assert backend.is_zero(got)
+
+    def test_complement_exact(self):
+        p = BigFloat.from_float(0.125)
+        assert complement(p) == BigFloat.from_float(0.875)
+
+    def test_complement_validates_domain(self):
+        with pytest.raises(ValueError):
+            complement(BigFloat.from_float(1.5))
+        with pytest.raises(ValueError):
+            complement(BigFloat.from_float(-0.1))
+
+    def test_complement_boundaries(self):
+        assert complement(BigFloat.zero()) == BigFloat.from_int(1)
+        assert complement(BigFloat.from_int(1)).is_zero()

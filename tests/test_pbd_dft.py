@@ -1,0 +1,69 @@
+"""Tests for the DFT-CF Poisson-binomial baseline (Hong 2013): agreement
+with the recurrence in the bulk, failure in the deep tail."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.apps import (
+    dft_tail_resolution_limit,
+    pbd_pmf_dft,
+    pbd_pvalue_dft,
+    pbd_pvalue_float,
+    reference_pvalue,
+)
+from repro.bigfloat import BigFloat
+
+
+class TestDFTPMF:
+    def test_matches_binomial(self):
+        n, p = 20, 0.35
+        pmf = pbd_pmf_dft(np.full(n, p))
+        expected = stats.binom.pmf(np.arange(n + 1), n, p)
+        assert np.allclose(pmf, expected, rtol=1e-9, atol=1e-14)
+
+    def test_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        probs = rng.uniform(0.01, 0.9, size=40)
+        assert math.isclose(pbd_pmf_dft(probs).sum(), 1.0, rel_tol=1e-12)
+
+    def test_heterogeneous_matches_recurrence(self):
+        rng = np.random.default_rng(1)
+        probs = rng.uniform(0.05, 0.6, size=25)
+        for k in (1, 5, 12):
+            dft = pbd_pvalue_dft(probs, k)
+            rec = pbd_pvalue_float(probs, k)
+            assert math.isclose(dft, rec, rel_tol=1e-9), k
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(2)
+        probs = rng.uniform(0.001, 0.05, size=60)
+        assert (pbd_pmf_dft(probs) >= 0.0).all()
+
+
+class TestDFTTailBlindness:
+    def test_deep_tail_is_noise(self):
+        """The paper's p-values live exactly where DFT-CF cannot go: a
+        2^-700-ish tail mass is below the method's resolution."""
+        probs_f = np.full(40, 1e-6)
+        k = 35
+        ref = reference_pvalue([BigFloat.from_float(1e-6)] * 40, k)
+        assert ref.scale < -600  # truly deep
+        dft = pbd_pvalue_dft(probs_f, k)
+        # The DFT answer is garbage at this depth: either 0 or dominated
+        # by round-off noise near the resolution limit.
+        assert dft < dft_tail_resolution_limit()
+        assert not math.isclose(dft, ref.to_float() if ref.scale > -1074 else 0.0,
+                                rel_tol=0.5) or dft == 0.0
+
+    def test_bulk_still_fine_at_same_size(self):
+        probs_f = np.full(40, 0.3)
+        k = 15
+        dft = pbd_pvalue_dft(probs_f, k)
+        expected = stats.binom.sf(k - 1, 40, 0.3)
+        assert math.isclose(dft, expected, rel_tol=1e-9)
+
+    def test_resolution_limit_constant(self):
+        assert 0.0 < dft_tail_resolution_limit() < 1e-10

@@ -1,0 +1,213 @@
+"""Tests for the quire (exact accumulator), fused dot product, and the
+FMA operations added to the posit and IEEE environments."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigfloat import BigFloat, relative_error
+from repro.formats import BINARY64, PositEnv, Quire, Real, fused_dot_product
+
+
+def f64_bits(x: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", x))[0]
+
+
+def _libm_fma():
+    """math.fma arrived in Python 3.13; use libm directly as the
+    independent correctly-rounded-FMA oracle."""
+    if hasattr(math, "fma"):
+        return math.fma
+    import ctypes
+    import ctypes.util
+    name = ctypes.util.find_library("m") or "libm.so.6"
+    try:
+        libm = ctypes.CDLL(name)
+    except OSError:
+        return None
+    libm.fma.restype = ctypes.c_double
+    libm.fma.argtypes = [ctypes.c_double] * 3
+    return libm.fma
+
+
+FMA_ORACLE = _libm_fma()
+
+
+class TestQuire:
+    def test_empty_quire_is_zero(self):
+        env = PositEnv(16, 1)
+        assert Quire(env).to_posit() == 0
+
+    def test_single_value_roundtrip(self):
+        env = PositEnv(16, 1)
+        bits = env.from_float(0.375)
+        assert Quire(env).add_posit(bits).to_posit() == bits
+
+    def test_sum_exact_where_sequential_rounds(self):
+        """The motivating case: big + tiny + tiny ... accumulates exactly
+        in the quire but loses the tinies sequentially."""
+        env = PositEnv(8, 0)
+        big = env.from_float(64.0)
+        tiny = env.from_float(0.25)
+        q = Quire(env)
+        for bits in (big, tiny, tiny, tiny, tiny):
+            q.add_posit(bits)
+        assert q.to_real().to_float() == 65.0
+        seq = big
+        for _ in range(4):
+            seq = env.add(seq, tiny)
+        assert env.to_float(seq) != 65.0  # sequential loses them
+
+    def test_add_sub_cancel(self):
+        env = PositEnv(16, 1)
+        a = env.from_float(0.7)
+        q = Quire(env).add_posit(a).sub_posit(a)
+        assert q.to_posit() == 0
+
+    def test_nar_propagates(self):
+        env = PositEnv(16, 1)
+        q = Quire(env).add_posit(env.nar)
+        assert q.is_nar
+        assert q.to_posit() == env.nar
+        with pytest.raises(ValueError):
+            q.to_real()
+
+    def test_clear(self):
+        env = PositEnv(16, 1)
+        q = Quire(env).add_posit(env.from_float(1.0)).clear()
+        assert q.to_posit() == 0 and not q.is_nar
+
+    def test_product_of_minpos_fits(self):
+        """The quire must hold minpos^2 exactly (the standard's sizing
+        requirement)."""
+        env = PositEnv(16, 1)
+        q = Quire(env).add_product(env.minpos, env.minpos)
+        r = q.to_real()
+        assert r.scale == 2 * env.min_scale
+
+    def test_fused_dot_product_single_rounding(self):
+        env = PositEnv(16, 1)
+        xs = [env.from_float(v) for v in (0.5, 0.25, 0.125, 0.1)]
+        ys = [env.from_float(v) for v in (0.9, 0.8, 0.7, 0.6)]
+        got = fused_dot_product(env, xs, ys)
+        exact = Real.zero()
+        for x, y in zip(xs, ys):
+            exact = exact.add(env.decode(x).mul(env.decode(y)))
+        assert got == env.encode_real(exact)
+
+    def test_fdp_at_least_as_accurate_as_sequential(self):
+        env = PositEnv(16, 1)
+        import random
+        rng = random.Random(5)
+        xs = [env.from_float(rng.uniform(0.001, 1.0)) for _ in range(24)]
+        ys = [env.from_float(rng.uniform(0.001, 1.0)) for _ in range(24)]
+        fused = env.to_bigfloat(fused_dot_product(env, xs, ys))
+        seq = 0
+        for x, y in zip(xs, ys):
+            seq = env.add(seq, env.mul(x, y))
+        seq_v = env.to_bigfloat(seq)
+        exact = BigFloat.zero()
+        for x, y in zip(xs, ys):
+            exact = exact.add(env.to_bigfloat(x).mul(env.to_bigfloat(y), 512), 512)
+        assert relative_error(exact, fused).to_float() <= \
+            relative_error(exact, seq_v).to_float() + 1e-18
+
+
+class TestPositFMA:
+    def test_fma_single_rounding_differs_from_two_step(self):
+        """Find a case where fma(a,b,c) != add(mul(a,b),c): the double
+        rounding must be observable."""
+        env = PositEnv(8, 0)
+        found = False
+        for a in range(1, 64):
+            for b in range(1, 64):
+                for c in range(1, 64):
+                    fused = env.fma(a, b, c)
+                    two_step = env.add(env.mul(a, b), c)
+                    if fused != two_step:
+                        found = True
+                        # fused must be the correctly rounded exact value
+                        exact = env.decode(a).mul(env.decode(b)).add(env.decode(c))
+                        assert fused == env.encode_real(exact)
+                        break
+                if found:
+                    break
+            if found:
+                break
+        assert found
+
+    def test_fma_nar(self):
+        env = PositEnv(16, 1)
+        one = env.from_float(1.0)
+        assert env.fma(env.nar, one, one) == env.nar
+
+    def test_fma_zero_cases(self):
+        env = PositEnv(16, 1)
+        one = env.from_float(1.0)
+        half = env.from_float(0.5)
+        assert env.fma(0, one, half) == half
+        assert env.fma(one, half, 0) == half
+        assert env.fma(0, 0, 0) == 0
+
+    def test_fma_exact_cancellation(self):
+        env = PositEnv(16, 1)
+        a, b = env.from_float(0.5), env.from_float(0.5)
+        c = env.from_float(-0.25)
+        assert env.fma(a, b, c) == 0
+
+
+class TestIEEEFMA:
+    @pytest.mark.skipif(FMA_ORACLE is None, reason="no libm fma available")
+    def test_fma_matches_libm_fma(self):
+        cases = [(0.1, 0.2, 0.3), (1e300, 1e-300, -1.0),
+                 (1.5, 2.5, -3.75), (3.0, 1e-320, 1e-320)]
+        for a, b, c in cases:
+            got = BINARY64.fma(f64_bits(a), f64_bits(b), f64_bits(c))
+            expected = FMA_ORACLE(a, b, c)
+            assert BINARY64.to_float(got) == expected, (a, b, c)
+
+    def test_fma_single_rounding_observable(self):
+        # 1 + 2^-52 - 1 via fma: the exact intermediate survives.
+        one = f64_bits(1.0)
+        eps = f64_bits(2.0 ** -52)
+        sum_bits = BINARY64.fma(one, eps, one)  # 1*eps + 1
+        back = BINARY64.add(sum_bits, f64_bits(-1.0))
+        assert BINARY64.to_float(back) == 2.0 ** -52
+
+    def test_fma_avoids_intermediate_overflow(self):
+        a, b, c = 1e200, 1e200, -math.inf
+        got = BINARY64.fma(f64_bits(a), f64_bits(b), f64_bits(c))
+        assert BINARY64.to_float(got) == -math.inf
+
+    def test_fma_nan(self):
+        got = BINARY64.fma(BINARY64.quiet_nan, f64_bits(1.0), f64_bits(1.0))
+        assert math.isnan(BINARY64.to_float(got))
+
+
+@pytest.mark.skipif(FMA_ORACLE is None, reason="no libm fma available")
+@settings(max_examples=150, deadline=None)
+@given(st.floats(min_value=-1e100, max_value=1e100, allow_nan=False),
+       st.floats(min_value=-1e100, max_value=1e100, allow_nan=False),
+       st.floats(min_value=-1e100, max_value=1e100, allow_nan=False))
+def test_ieee_fma_bit_exact_vs_libm(a, b, c):
+    """Our exact-compute FMA must agree with glibc's fma bit-for-bit."""
+    got = BINARY64.fma(f64_bits(a), f64_bits(b), f64_bits(c))
+    expected = FMA_ORACLE(a, b, c)
+    if math.isinf(expected):
+        return
+    assert got == f64_bits(expected)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, (1 << 16) - 1), st.integers(0, (1 << 16) - 1))
+def test_quire_matches_exact_sum_of_two(a, b):
+    env = PositEnv(16, 1)
+    da, db = env.decode(a), env.decode(b)
+    from repro.formats.posit import NAR, ZERO
+    if da is NAR or db is NAR:
+        return
+    q = Quire(env).add_posit(a).add_posit(b)
+    assert q.to_posit() == env.add(a, b)  # two-term sums round identically

@@ -1,0 +1,96 @@
+"""Tests for the exact dyadic Real carrier type."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigfloat import BigFloat
+from repro.formats import Real
+
+
+class TestCanonical:
+    def test_zero(self):
+        z = Real(0, 0, 99)
+        assert z.is_zero() and z.exponent == 0 and z.sign == 0
+
+    def test_odd_mantissa(self):
+        r = Real(0, 12, 0)  # 12 = 3 * 4
+        assert r.mantissa == 3 and r.exponent == 2
+
+    def test_negative_mantissa_rejected(self):
+        with pytest.raises(ValueError):
+            Real(0, -1, 0)
+
+    def test_scale(self):
+        assert Real(0, 3, -1).scale == 0  # 1.5
+        assert Real(0, 1, -10).scale == -10
+        with pytest.raises(ValueError):
+            Real.zero().scale
+
+
+class TestConversions:
+    def test_from_to_float(self):
+        for v in (1.0, -2.5, 0.1, 1e-300):
+            assert Real.from_float(v).to_float() == v
+
+    def test_from_int(self):
+        assert Real.from_int(-6) == Real(1, 6, 0)
+
+    def test_bigfloat_roundtrip(self):
+        x = BigFloat.exp2(-500_000)
+        assert Real.from_bigfloat(x).to_bigfloat() == x
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Real.from_int(3).add(Real.from_int(5)) == Real.from_int(8)
+
+    def test_add_zero(self):
+        x = Real.from_float(0.25)
+        assert x.add(Real.zero()) == x
+        assert Real.zero().add(x) == x
+
+    def test_cancellation(self):
+        x = Real.from_float(1.5)
+        assert x.add(x.neg()).is_zero()
+
+    def test_sub(self):
+        assert Real.from_int(10).sub(Real.from_int(4)) == Real.from_int(6)
+
+    def test_mul(self):
+        assert Real.from_int(-6).mul(Real.from_int(7)) == Real.from_int(-42)
+
+    def test_mul_zero(self):
+        assert Real.from_int(5).mul(Real.zero()).is_zero()
+
+    def test_abs_neg(self):
+        x = Real.from_int(-3)
+        assert x.abs() == Real.from_int(3)
+        assert x.neg() == Real.from_int(3)
+        assert Real.zero().neg().is_zero()
+
+    def test_cmp(self):
+        assert Real.from_int(1).cmp(Real.from_int(2)) < 0
+        assert Real.from_float(0.5).cmp(Real.from_float(0.5)) == 0
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.integers(-10**9, 10**9), st.integers(-10**9, 10**9),
+       st.integers(-50, 50), st.integers(-50, 50))
+def test_exact_field_properties(a, b, ea, eb):
+    """Real arithmetic is *exact*: it must agree with integer arithmetic
+    scaled to a common denominator."""
+    x = Real.from_int(a).mul(Real(0, 1, ea))
+    y = Real.from_int(b).mul(Real(0, 1, eb))
+    shift = 60  # bring both to a common integer grid
+    xv = a * (1 << (ea + shift))
+    yv = b * (1 << (eb + shift))
+    total = x.add(y)
+    if total.is_zero():
+        assert xv + yv == 0
+    else:
+        got = (total.mantissa if total.sign == 0 else -total.mantissa)
+        assert got * (1 << (total.exponent + shift)) == xv + yv
+    prod = x.mul(y)
+    if prod.is_zero():
+        assert xv * yv == 0

@@ -1,0 +1,103 @@
+"""Tests for the reporting utilities (tables and CDFs)."""
+
+import pytest
+
+from repro.report import (
+    CDF,
+    cdf_table,
+    dominance,
+    format_cell,
+    orders_of_magnitude_gap,
+    render_comparison,
+    render_table,
+)
+
+
+class TestFormatCell:
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_nan(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_int(self):
+        assert format_cell(42) == "42"
+
+    def test_float_trimming(self):
+        assert format_cell(0.25) == "0.25"
+        assert format_cell(1.0) == "1"
+
+    def test_large_and_tiny(self):
+        assert format_cell(123456.0) == "1.23e+05"
+        assert format_cell(0.0001) == "0.0001"
+
+    def test_string(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert "(empty)" in render_table([])
+
+    def test_alignment_and_title(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 100, "b": "y"}]
+        text = render_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_missing_keys_render_dash(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = render_table(rows, columns=["a", "b"])
+        assert "-" in text
+
+    def test_comparison_deviation(self):
+        rows = [{"name": "x", "model": 110.0, "paper": 100.0}]
+        text = render_comparison(rows, "name", "model", "paper")
+        assert "+10.0%" in text
+
+    def test_comparison_missing_paper(self):
+        rows = [{"name": "x", "model": 110.0, "paper": None}]
+        text = render_comparison(rows, "name", "model", "paper")
+        assert "-" in text
+
+
+class TestCDF:
+    def test_fraction_below(self):
+        cdf = CDF.from_samples("x", [-10.0, -8.0, -6.0, -4.0])
+        assert cdf.fraction_below(-9.0) == 0.25
+        assert cdf.fraction_below(-3.0) == 1.0
+        assert cdf.fraction_below(-11.0) == 0.0
+
+    def test_fraction_below_empty(self):
+        assert CDF.from_samples("x", []).fraction_below(0.0) == 0.0
+
+    def test_median(self):
+        cdf = CDF.from_samples("x", [-10.0, -8.0, -6.0])
+        assert cdf.median == -8.0
+
+    def test_quantile_empty_raises(self):
+        with pytest.raises(ValueError):
+            CDF.from_samples("x", []).median
+
+    def test_samples_sorted(self):
+        cdf = CDF.from_samples("x", [-4.0, -10.0, -7.0])
+        assert cdf.samples == (-10.0, -7.0, -4.0)
+
+    def test_dominance(self):
+        better = CDF.from_samples("b", [-12.0, -11.0, -10.0])
+        worse = CDF.from_samples("w", [-8.0, -7.0, -6.0])
+        assert dominance(better, worse)
+        assert not dominance(worse, better)
+
+    def test_orders_of_magnitude_gap(self):
+        better = CDF.from_samples("b", [-12.0, -11.0, -10.0])
+        worse = CDF.from_samples("w", [-9.0, -9.0, -9.0])
+        assert orders_of_magnitude_gap(better, worse) == pytest.approx(2.0)
+
+    def test_cdf_table_rows(self):
+        cdfs = {"a": CDF.from_samples("a", [-9.0, -5.0])}
+        rows = cdf_table(cdfs, thresholds=(-8.0,))
+        assert rows[0]["<1e-8"] == 0.5
+        assert rows[0]["n"] == 2

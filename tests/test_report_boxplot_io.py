@@ -1,0 +1,110 @@
+"""Tests for the ASCII box-plot renderer and experiment persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments.io import load_report, save_report
+from repro.report import axis_bounds, render_box_line, render_box_panel
+
+
+class TestBoxLine:
+    def test_basic_markers(self):
+        line = render_box_line(-16, -14, -12, -10, -8, lo=-18, hi=-6,
+                               width=40)
+        assert len(line) == 40
+        assert line.count("#") == 1
+        assert line.count("|") == 2
+        assert "=" in line
+
+    def test_median_between_whiskers(self):
+        line = render_box_line(-16, -14, -12, -10, -8, lo=-18, hi=-6,
+                               width=40)
+        left = line.index("|")
+        right = line.rindex("|")
+        assert left < line.index("#") < right
+
+    def test_clamping_out_of_axis(self):
+        line = render_box_line(-100, -50, -12, -10, -8, lo=-18, hi=-6,
+                               width=30)
+        assert len(line) == 30  # p5 clamps to the left edge
+
+    def test_invalid_axis(self):
+        with pytest.raises(ValueError):
+            render_box_line(0, 0, 0, 0, 0, lo=1, hi=1)
+
+
+class TestBoxPanel:
+    ROWS = [
+        {"label": "log", "p5": -14, "p25": -13.5, "median": -13,
+         "p75": -12.5, "p95": -12},
+        {"label": "posit", "p5": -16, "p25": -15.5, "median": -15,
+         "p75": -14.5, "p95": -14},
+        {"label": "binary64", "p5": None, "p25": None, "median": None,
+         "p75": None, "p95": None},
+    ]
+
+    def test_panel_renders_all_rows(self):
+        panel = render_box_panel(self.ROWS, lo=-17, hi=-11, title="T")
+        lines = panel.splitlines()
+        assert lines[0] == "T"
+        assert any("not measured" in l for l in lines)
+        assert sum(1 for l in lines if "#" in l and "legend" not in l) == 2
+
+    def test_axis_bounds(self):
+        lo, hi = axis_bounds(self.ROWS, pad=1.0)
+        assert lo == -17.0
+        assert hi == -11.0
+
+    def test_axis_bounds_empty_raises(self):
+        with pytest.raises(ValueError):
+            axis_bounds([{"p5": None, "p95": None}])
+
+    def test_better_format_renders_left(self):
+        panel = render_box_panel(self.ROWS, lo=-17, hi=-11)
+        log_line = next(l for l in panel.splitlines() if l.startswith("log"))
+        posit_line = next(l for l in panel.splitlines()
+                          if l.startswith("posit"))
+        assert posit_line.index("#") < log_line.index("#")
+
+
+class TestIO:
+    def test_save_and_load(self, tmp_path):
+        paths = save_report(str(tmp_path), "demo", "hello world",
+                            result={"rows": [1, 2, 3]}, scale="test")
+        assert (tmp_path / "demo.txt").read_text() == "hello world\n"
+        loaded = load_report(str(tmp_path), "demo")
+        assert loaded["scale"] == "test"
+        assert loaded["result"]["rows"] == [1, 2, 3]
+        assert set(paths) == {"txt", "json"}
+
+    def test_save_without_result(self, tmp_path):
+        paths = save_report(str(tmp_path), "textonly", "report text")
+        assert "json" not in paths
+        assert (tmp_path / "textonly.txt").exists()
+
+    def test_dataclass_serialization(self, tmp_path):
+        from dataclasses import dataclass
+
+        @dataclass
+        class Row:
+            name: str
+            value: float
+
+        save_report(str(tmp_path), "dc", "t", result=[Row("a", 1.5)])
+        loaded = load_report(str(tmp_path), "dc")
+        assert loaded["result"] == [{"name": "a", "value": 1.5}]
+
+    def test_unserializable_falls_back_to_repr(self, tmp_path):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        save_report(str(tmp_path), "op", "t", result={"x": Opaque()})
+        loaded = load_report(str(tmp_path), "op")
+        assert loaded["result"]["x"] == "<opaque>"
+
+    def test_json_is_valid(self, tmp_path):
+        save_report(str(tmp_path), "v", "t", result={"a": (1, 2)})
+        with open(tmp_path / "v.json") as f:
+            assert json.load(f)["result"]["a"] == [1, 2]

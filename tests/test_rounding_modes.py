@@ -1,0 +1,111 @@
+"""Complete coverage of the integer rounding primitives (all five modes)
+and the sticky compressor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigfloat import RNA, RNE, RTN, RTP, RTZ, round_to_precision, shift_right_round
+from repro.bigfloat.rounding import sticky_compress
+
+
+class TestShiftRightRound:
+    def test_exact_no_rounding(self):
+        assert shift_right_round(0b1000, 3) == 1
+
+    def test_negative_shift_is_exact_left(self):
+        assert shift_right_round(3, -2) == 12
+
+    def test_rne_below_half(self):
+        assert shift_right_round(0b1001, 2) == 0b10  # .01 -> down
+
+    def test_rne_above_half(self):
+        assert shift_right_round(0b1011, 2) == 0b11  # .11 -> up
+
+    def test_rne_tie_to_even(self):
+        assert shift_right_round(0b1010, 2) == 0b10  # tie, keep even
+        assert shift_right_round(0b1110, 2) == 0b100  # tie, round to even
+
+    def test_rna_tie_away(self):
+        assert shift_right_round(0b1010, 2, mode=RNA) == 0b11
+
+    def test_rtz_truncates(self):
+        assert shift_right_round(0b1111, 2, mode=RTZ) == 0b11
+
+    def test_rtp_direction_depends_on_sign(self):
+        assert shift_right_round(0b1001, 2, sign=0, mode=RTP) == 0b11
+        assert shift_right_round(0b1001, 2, sign=1, mode=RTP) == 0b10
+
+    def test_rtn_direction_depends_on_sign(self):
+        assert shift_right_round(0b1001, 2, sign=0, mode=RTN) == 0b10
+        assert shift_right_round(0b1001, 2, sign=1, mode=RTN) == 0b11
+
+    def test_rejects_negative_mantissa(self):
+        with pytest.raises(ValueError):
+            shift_right_round(-1, 1)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            shift_right_round(1, 1, mode="stochastic")
+
+
+class TestRoundToPrecision:
+    def test_zero(self):
+        assert round_to_precision(0, 5, 8) == (0, 0)
+
+    def test_pads_up_to_precision(self):
+        m, e = round_to_precision(0b101, 0, 6)
+        assert m == 0b101000 and e == -3
+
+    def test_carry_out(self):
+        m, e = round_to_precision(0b1111, 0, 3)
+        assert (m, e) == (0b100, 2)  # 15 -> 16
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            round_to_precision(1, 0, 0)
+
+    @pytest.mark.parametrize("mode", [RNE, RNA, RTZ, RTP, RTN])
+    def test_value_preserved_when_exact(self, mode):
+        m, e = round_to_precision(0b1011, 0, 4, mode=mode)
+        assert m * 2 ** e == 0b1011
+
+
+class TestStickyCompress:
+    def test_short_value_unchanged(self):
+        assert sticky_compress(0b1011, 8) == (0b1011, 0)
+
+    def test_compression_sets_sticky(self):
+        value = (1 << 100) | 1  # a far-away low bit
+        compressed, shift = sticky_compress(value, 16)
+        assert shift == 100 - 16
+        assert compressed & 1 == 1  # sticky captured
+
+    def test_compression_exact_when_low_bits_zero(self):
+        value = 1 << 100
+        compressed, shift = sticky_compress(value, 16)
+        assert compressed == 1 << 16
+        assert shift == 84
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=0, max_value=1 << 128),
+       st.integers(min_value=1, max_value=100))
+def test_rounding_brackets_truth(mantissa, shift):
+    """Every mode's result times 2**shift differs from the input by less
+    than one output ulp (2**shift)."""
+    for mode in (RNE, RNA, RTZ, RTP, RTN):
+        out = shift_right_round(mantissa, shift, mode=mode)
+        assert abs((out << shift) - mantissa) < (1 << shift)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=1, max_value=1 << 128),
+       st.integers(min_value=1, max_value=100))
+def test_mode_ordering(mantissa, shift):
+    """RTZ <= RNE <= (RTZ + 1) and directed modes bracket everything."""
+    down = shift_right_round(mantissa, shift, mode=RTZ)
+    near = shift_right_round(mantissa, shift, mode=RNE)
+    up = shift_right_round(mantissa, shift, sign=0, mode=RTP)
+    assert down <= near <= up
+    assert up - down <= 1

@@ -1,0 +1,127 @@
+"""Application-level accuracy tests (the claims behind Figures 9-11),
+run at scaled sizes."""
+
+import pytest
+
+from repro.arith import LogSpaceBackend, PositBackend, standard_backends
+from repro.apps import run_vicar, scaled_config
+from repro.apps.lofreq import run_lofreq
+from repro.apps.vicar import VicarConfig, generate_instances, paper_config
+from repro.data import column_for_target_scale, stratified_columns
+from repro.formats import PositEnv
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def vicar_result():
+    """A small VICAR run in the T=100k magnitude regime (likelihoods
+    ~2**-590_000), log vs posit(64,18) — Figure 10's comparison."""
+    config = VicarConfig(length=200, h_values=(5,), matrices_per_h=3,
+                         bits_per_step=2950.0, seed=1)
+    backends = {
+        "log": LogSpaceBackend(),
+        "posit(64,18)": PositBackend(PositEnv(64, 18)),
+    }
+    return run_vicar(config, backends)
+
+
+class TestVicar:
+    def test_reference_scale_regime(self, vicar_result):
+        for s in vicar_result.reference_scales:
+            assert -700_000 < s < -400_000
+
+    def test_posit18_beats_log(self, vicar_result):
+        """Figure 10: posit(64,18) likelihoods are about two orders of
+        magnitude more accurate than log-space."""
+        log_err = np.median(vicar_result.log10_errors("log"))
+        posit_err = np.median(vicar_result.log10_errors("posit(64,18)"))
+        assert posit_err < log_err - 1.0  # >= 1 order of magnitude
+
+    def test_no_failures(self, vicar_result):
+        assert vicar_result.failure_count("log") == 0
+        assert vicar_result.failure_count("posit(64,18)") == 0
+
+    def test_fraction_below_readout(self, vicar_result):
+        frac = vicar_result.fraction_below("posit(64,18)", -8.0)
+        assert frac == 1.0  # paper: 100% of posit results < 1e-8
+        assert 0.0 <= vicar_result.fraction_below("log", -8.0) <= frac
+
+    def test_paper_config_documented(self):
+        cfg = paper_config(500_000)
+        assert cfg.length == 500_000
+        assert cfg.matrices_per_h == 128
+
+    def test_scaled_config_targets_magnitude(self):
+        cfg = scaled_config(100_000)
+        assert cfg.target_scale == pytest.approx(-580_000, rel=0.01)
+
+    def test_instances_deterministic(self):
+        cfg = VicarConfig(length=20, h_values=(3,), matrices_per_h=2, seed=5)
+        a = generate_instances(cfg)
+        b = generate_instances(cfg)
+        assert a[0].observations == b[0].observations
+        assert len(a) == 2
+
+
+@pytest.fixture(scope="module")
+def lofreq_result():
+    """Columns spanning moderate-to-deep p-values, all four formats."""
+    rng = np.random.default_rng(3)
+    columns = [
+        column_for_target_scale(rng, -50, label="shallow"),
+        column_for_target_scale(rng, -400, label="crit1"),
+        column_for_target_scale(rng, -1_500, label="crit2"),
+        column_for_target_scale(rng, -8_000, label="deep"),
+        column_for_target_scale(rng, -40_000, label="deeper"),
+    ]
+    return columns, run_lofreq(columns, standard_backends(underflow="flush"))
+
+
+class TestLoFreq:
+    def test_binary64_underflows_deep_columns(self, lofreq_result):
+        _, res = lofreq_result
+        assert res.underflow_count("binary64") >= 3
+
+    def test_posit9_underflows_deepest(self, lofreq_result):
+        """posit(64,9)'s range ends at 2**-31744: the -40_000 column must
+        underflow in flush mode (the paper counts 132 such columns)."""
+        _, res = lofreq_result
+        assert res.underflow_count("posit(64,9)") >= 1
+        assert res.underflow_count("posit(64,18)") == 0
+
+    def test_posit12_beats_log_on_critical(self, lofreq_result):
+        _, res = lofreq_result
+        log_err = np.median(res.errors("log", critical=True))
+        p12_err = np.median(res.errors("posit(64,12)", critical=True))
+        assert p12_err < log_err
+
+    def test_criticality_split(self, lofreq_result):
+        columns, res = lofreq_result
+        crit = [s for s in res.scores["log"] if s.critical]
+        assert len(crit) == 4  # all but the -50 column
+
+    def test_calls_match_truth_for_accurate_formats(self, lofreq_result):
+        _, res = lofreq_result
+        assert res.call_discordance("posit(64,18)") == 0
+        assert res.call_discordance("log") == 0
+
+    def test_underflowed_zero_still_calls(self, lofreq_result):
+        """A deep column whose p-value underflows still compares below
+        the threshold — the call survives, the p-value does not."""
+        _, res = lofreq_result
+        deep_scores = [s for s in res.scores["binary64"]
+                       if s.result.status == "underflow"]
+        assert all(s.called for s in deep_scores)
+
+    def test_errors_by_bin_grouping(self, lofreq_result):
+        _, res = lofreq_result
+        bins = ((-100_000, -31_744), (-31_744, -1_022), (-1_022, 1))
+        grouped = res.errors_by_bin("posit(64,18)", bins)
+        assert sum(len(v) for v in grouped.values()) >= 4
+
+    def test_extreme_error_counting(self, lofreq_result):
+        _, res = lofreq_result
+        # saturating formats are not in this fixture (flush mode), so
+        # extreme errors should be rare/absent for posit(64,18).
+        assert res.extreme_error_count("posit(64,18)") == 0
