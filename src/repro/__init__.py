@@ -11,6 +11,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.bigfloat` — arbitrary-precision oracle (MPFR substitute)
 * :mod:`repro.formats` — posit / IEEE / log-space number formats
 * :mod:`repro.arith` — format-generic arithmetic backends
+* :mod:`repro.engine` — vectorized batch backends + parallel sweep runner
 * :mod:`repro.core` — accuracy sweeps, bit-budget analysis, range tables
 * :mod:`repro.apps` — forward algorithm (VICAR), PBD p-values (LoFreq)
 * :mod:`repro.data` — synthetic workload generators
@@ -25,7 +26,7 @@ Quickstart::
     result = run_op_sweep("add", standard_backends(), per_bin=50)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from . import arith, bigfloat, core, formats  # noqa: F401
 

@@ -5,6 +5,7 @@ from .hmm import (
     alpha_scale_series,
     forward,
     forward_alpha_trace,
+    forward_batch,
     forward_float,
     forward_log,
     forward_rescaled,
@@ -14,12 +15,19 @@ from .pbd import (
     complement,
     pbd_pmf,
     pbd_pvalue,
+    pbd_pvalue_batch,
     pbd_pvalue_float,
     pbd_pvalue_log,
     reference_pvalue,
 )
 from .vicar import VicarConfig, VicarResult, generate_instances, paper_config, run_vicar, scaled_config
-from .lofreq import ColumnScore, LoFreqResult, reference_pvalues, run_lofreq
+from .lofreq import (
+    ColumnScore,
+    LoFreqResult,
+    column_pvalues,
+    reference_pvalues,
+    run_lofreq,
+)
 from .hmm_extra import (
     backward,
     backward_matrix,
@@ -35,12 +43,15 @@ from .mcmc import ChainResult, run_chain
 
 __all__ = [
     "forward", "forward_alpha_trace", "alpha_scale_series",
+    "forward_batch",
     "forward_float", "forward_log", "forward_rescaled", "trace_operands",
-    "pbd_pvalue", "pbd_pmf", "pbd_pvalue_float", "pbd_pvalue_log",
+    "pbd_pvalue", "pbd_pmf", "pbd_pvalue_batch",
+    "pbd_pvalue_float", "pbd_pvalue_log",
     "reference_pvalue", "complement",
     "VicarConfig", "VicarResult", "run_vicar", "paper_config",
     "scaled_config", "generate_instances",
     "ColumnScore", "LoFreqResult", "run_lofreq", "reference_pvalues",
+    "column_pvalues",
     "backward", "backward_matrix", "forward_matrix", "viterbi",
     "posterior_decode", "posterior_distributions", "path_probability",
     "pbd_pmf_dft", "pbd_pvalue_dft", "dft_tail_resolution_limit",

@@ -77,6 +77,49 @@ def alpha_scale_series(hmm: HMMData, prec: int = 96) -> List[int]:
 
 
 # ----------------------------------------------------------------------
+# Batched execution (repro.engine): many sequences per call
+# ----------------------------------------------------------------------
+def batch_model_arrays(hmm: HMMData, batch_backend):
+    """Convert one HMM's parameters into backend-value arrays, once per
+    batch (the scalar path re-converts per sequence)."""
+    h, m = hmm.n_states, hmm.n_symbols
+    a = batch_backend.from_bigfloats(
+        [x for row in hmm.transition for x in row]).reshape(h, h)
+    b = batch_backend.from_bigfloats(
+        [x for row in hmm.emission for x in row]).reshape(h, m)
+    pi = batch_backend.from_bigfloats(list(hmm.initial))
+    return a, b, pi
+
+
+def forward_batch(hmm: HMMData, backend: Backend,
+                  observations=None) -> list:
+    """Forward algorithm over a batch of observation sequences.
+
+    ``observations`` is a ``(B, T)`` integer array (default: a batch of
+    one, the HMM's own sequence).  Returns a list of B likelihoods as
+    backend values, equal element-for-element to calling
+    :func:`forward` per sequence — exactly so for binary64, posit, and
+    log-space with ``sum_mode="sequential"``; for log-space's default
+    n-ary mode the batched LSE matches to within an ulp (NumPy's SIMD
+    ``exp`` is not libm's; see :mod:`repro.engine.batch`).  Formats
+    with an array backend in :mod:`repro.engine` run vectorized;
+    others (the BigFloat oracle, LNS) fall back to the scalar loop.
+    """
+    from ..engine import batch_backend_for
+    if observations is None:
+        observations = [hmm.observations]
+    bb = batch_backend_for(backend)
+    if bb is None:
+        return [forward(hmm, backend, observations=tuple(int(o) for o in seq))
+                for seq in observations]
+    from ..engine.kernels import forward_batch as forward_batch_kernel
+    obs = np.asarray(observations, dtype=np.intp)
+    a, b, pi = batch_model_arrays(hmm, bb)
+    out = forward_batch_kernel(bb, a, b, pi, obs)
+    return [bb.item(out, i) for i in range(obs.shape[0])]
+
+
+# ----------------------------------------------------------------------
 # Optimized fast paths (vectorized; used by large-scale experiments)
 # ----------------------------------------------------------------------
 def forward_float(a: np.ndarray, b: np.ndarray, pi: np.ndarray,

@@ -89,18 +89,45 @@ def reference_pvalues(columns: Sequence[Column], prec: int = 256) -> List[BigFlo
     return [pbd_pvalue(c.success_probs, c.k, oracle) for c in columns]
 
 
+def column_pvalues(columns: Sequence[Column], backend: Backend,
+                   batch: bool = False) -> List:
+    """Each column's p-value as a backend value, in column order.
+
+    With ``batch=True`` columns are grouped by ``(depth, k)`` — the
+    shape a batched recurrence shares — and each group runs through
+    :func:`repro.apps.pbd.pbd_pvalue_batch` in one vectorized pass.
+    Results are identical to the scalar loop either way.
+    """
+    if not batch:
+        return [pbd_pvalue(c.success_probs, c.k, backend) for c in columns]
+    from .pbd import pbd_pvalue_batch
+    groups: Dict[tuple, List[int]] = {}
+    for i, column in enumerate(columns):
+        groups.setdefault((column.depth, column.k), []).append(i)
+    values: List = [None] * len(columns)
+    for (_depth, k), indices in groups.items():
+        batch_values = pbd_pvalue_batch(
+            [columns[i].success_probs for i in indices], k, backend)
+        for i, value in zip(indices, batch_values):
+            values[i] = value
+    return values
+
+
 def run_lofreq(columns: Sequence[Column], backends: Dict[str, Backend],
                references: Optional[Sequence[BigFloat]] = None,
-               prec: int = 256) -> LoFreqResult:
-    """Compute every column's p-value in every format and score it."""
+               prec: int = 256, batch: bool = False) -> LoFreqResult:
+    """Compute every column's p-value in every format and score it.
+
+    ``batch=True`` computes p-values through the batched engine (same
+    results; see :func:`column_pvalues`)."""
     if references is None:
         references = reference_pvalues(columns, prec)
     threshold = BigFloat.exp2(CALL_THRESHOLD_SCALE)
     result = LoFreqResult()
     for fmt, backend in backends.items():
         fmt_scores: List[ColumnScore] = []
-        for column, ref in zip(columns, references):
-            value = pbd_pvalue(column.success_probs, column.k, backend)
+        values = column_pvalues(columns, backend, batch=batch)
+        for column, ref, value in zip(columns, references, values):
             score = score_value(backend, value, ref)
             called = _call(backend, value, threshold, score)
             fmt_scores.append(ColumnScore(column, ref.scale, score, called))

@@ -92,6 +92,38 @@ def reference_pvalue(success_probs: Sequence[BigFloat], k: int,
     return pbd_pvalue(success_probs, k, BigFloatBackend(prec))
 
 
+def pbd_pvalue_batch(sites: Sequence[Sequence[BigFloat]], k: int,
+                     backend: Backend) -> list:
+    """P(X >= k) for a batch of sites sharing trial count and ``k``.
+
+    ``sites`` is a list of equal-length success-probability rows.
+    Returns one backend value per site, equal element-for-element to
+    calling :func:`pbd_pvalue` per site.  Formats with an array backend
+    in :mod:`repro.engine` run the recurrence vectorized over the whole
+    batch; others (the BigFloat oracle, LNS) fall back to the scalar
+    loop.
+    """
+    sites = list(sites)
+    if not sites:
+        return []
+    n_trials = len(sites[0])
+    if any(len(row) != n_trials for row in sites):
+        raise ValueError("batched sites must share a trial count; "
+                         "group by (depth, k) first")
+    from ..engine import batch_backend_for
+    bb = batch_backend_for(backend)
+    if bb is None:
+        return [pbd_pvalue(row, k, backend) for row in sites]
+    from ..engine.kernels import pbd_pvalue_batch as pbd_batch_kernel
+    n_sites = len(sites)
+    pn = bb.from_bigfloats([p for row in sites for p in row]) \
+        .reshape(n_sites, n_trials)
+    qn = bb.from_bigfloats([complement(p) for row in sites for p in row]) \
+        .reshape(n_sites, n_trials)
+    out = pbd_batch_kernel(bb, pn, qn, k)
+    return [bb.item(out, i) for i in range(n_sites)]
+
+
 # ----------------------------------------------------------------------
 # Vectorized fast paths
 # ----------------------------------------------------------------------

@@ -59,6 +59,14 @@ class Backend(abc.ABC):
     def from_float(self, x: float) -> Any:
         return self.from_bigfloat(BigFloat.from_float(x))
 
+    def sub(self, a: Any, b: Any) -> Any:
+        """Probability subtraction ``a - b`` (log-diff-exp in log-space).
+
+        Needed by complement-forming algorithms; backends without a
+        native subtract may leave the default, which raises.
+        """
+        raise NotImplementedError(f"{self.name} does not support subtraction")
+
     def div(self, a: Any, b: Any) -> Any:
         """Probability division (subtraction in log-space).
 

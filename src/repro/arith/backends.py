@@ -7,7 +7,7 @@ import math
 from typing import Iterable
 
 from ..bigfloat import BigFloat, DEFAULT_PRECISION
-from ..formats.logspace import LogSpace, log_mul, lse2, lse_n
+from ..formats.logspace import LogSpace, log_mul, lse2, lse_n, lse_sequential
 from ..formats.posit import PositEnv
 from .backend import Backend
 
@@ -56,12 +56,23 @@ class LogSpaceBackend(Backend):
 
     ``mul`` is float addition; ``add`` is the LSE of Equation (2); ``sum``
     is the n-ary LSE of Equation (3).  Probability zero is ``-inf``.
+
+    ``sum_mode`` selects the accumulation dataflow: ``"nary"`` (default)
+    is Equation (3) — one max, one sum of exps, one log, the hardware
+    LSE unit's shape — while ``"sequential"`` folds the binary LSE of
+    Equation (2) left-to-right, the software-accumulation shape that the
+    batched engine (:mod:`repro.engine`) reproduces bit-for-bit.
     """
 
     name = "log"
 
-    def __init__(self, prec: int = DEFAULT_PRECISION):
+    SUM_MODES = ("nary", "sequential")
+
+    def __init__(self, prec: int = DEFAULT_PRECISION, sum_mode: str = "nary"):
+        if sum_mode not in self.SUM_MODES:
+            raise ValueError(f"unknown sum_mode {sum_mode!r}")
         self._codec = LogSpace(prec)
+        self.sum_mode = sum_mode
 
     def from_bigfloat(self, x: BigFloat) -> float:
         return self._codec.encode_bigfloat(x)
@@ -74,6 +85,24 @@ class LogSpaceBackend(Backend):
 
     def mul(self, a: float, b: float) -> float:
         return log_mul(a, b)
+
+    def sub(self, a: float, b: float) -> float:
+        """Probability subtraction ``a - b`` via log-diff-exp:
+
+            ``a + log1p(-exp(b - a))``   (for b < a)
+
+        the numerically stable companion of Equation (2).  Probabilities
+        are non-negative, so ``b > a`` (a negative result) is a domain
+        error, and ``a == b`` yields exact probability zero (``-inf``).
+        """
+        if b == -math.inf:
+            return a
+        if a == -math.inf or b > a:
+            raise ValueError(
+                "log-space subtraction would produce a negative probability")
+        if a == b:
+            return -math.inf
+        return a + math.log1p(-math.exp(b - a))
 
     def div(self, a: float, b: float) -> float:
         if b == -math.inf:
@@ -92,6 +121,8 @@ class LogSpaceBackend(Backend):
         return value == -math.inf
 
     def sum(self, values: Iterable[float]) -> float:
+        if self.sum_mode == "sequential":
+            return lse_sequential(values)
         return lse_n(values)
 
 

@@ -8,6 +8,8 @@ from .accuracy import (
     UNDERFLOW,
     OpResult,
     measure_op,
+    measure_ops_batch,
+    measure_pairs,
     score_log10,
     score_value,
     ulp_relative_error,
@@ -33,17 +35,24 @@ from .rangetable import RangeRow, TABLE1_ES_VALUES, binary64_row, posit_row, tab
 from .sweep import (
     FIG3_BINS,
     OperandPair,
+    SweepChunk,
     bin_label,
     generate_add_pairs,
     generate_mul_pairs,
     generate_sweep,
+    generate_sweep_chunked,
+    plan_chunks,
     probability_pairs_from_trace,
+    stable_chunk_seed,
 )
 
 __all__ = [
-    "OpResult", "measure_op", "score_value", "score_log10",
+    "OpResult", "measure_op", "measure_ops_batch", "measure_pairs",
+    "score_value", "score_log10",
     "ulp_relative_error", "OK", "UNDERFLOW", "OVERFLOW", "ERROR_FLOOR",
     "BoxStats", "SweepResult", "run_op_sweep", "accuracy_ordering",
+    "SweepChunk", "plan_chunks", "generate_sweep_chunked",
+    "stable_chunk_seed",
     "binary64_effective_bits", "logspace_effective_bits",
     "posit_effective_bits", "budget_curves", "predicted_log10_error",
     "RangeRow", "TABLE1_ES_VALUES", "binary64_row", "posit_row", "table1_rows",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from ..arith.backend import Backend
 from ..bigfloat import BigFloat, log10 as bf_log10, relative_error
@@ -59,6 +59,62 @@ def measure_op(backend: Backend, op: str, x: Real, y: Real,
     else:
         raise ValueError(f"unknown op {op!r}")
     return score_value(backend, computed, exact.to_bigfloat(), prec)
+
+
+def measure_ops_batch(batch_backend, op: str, pairs: Sequence,
+                      prec: int = 256) -> List[OpResult]:
+    """Batched counterpart of :func:`measure_op` over a list of
+    :class:`~repro.core.sweep.OperandPair`.
+
+    Operands are converted in with the scalar backend (the conversion is
+    part of the methodology, not the measured op), the operation itself
+    runs once over the whole array through a
+    :class:`repro.engine.BatchBackend`, and each result is scored with
+    the scalar oracle machinery.  Per-element results are bit-identical
+    to the scalar path (see :mod:`repro.engine.batch`).
+    """
+    if op not in ("add", "mul"):
+        raise ValueError(f"unknown op {op!r}")
+    if not pairs:
+        return []
+    xs = batch_backend.from_bigfloats([p.x.to_bigfloat() for p in pairs])
+    ys = batch_backend.from_bigfloats([p.y.to_bigfloat() for p in pairs])
+    computed = batch_backend.add(xs, ys) if op == "add" \
+        else batch_backend.mul(xs, ys)
+    scalar = batch_backend.scalar
+    return [score_value(scalar, batch_backend.item(computed, i),
+                        pair.exact.to_bigfloat(), prec)
+            for i, pair in enumerate(pairs)]
+
+
+def measure_pairs(backend: Backend, op: str, pairs: Sequence,
+                  batch: bool = True) -> tuple:
+    """Measure one backend over a pair list; returns the box tally
+    ``(errors, underflow_count, overflow_count)`` that feeds a Figure 3
+    cell.
+
+    ``batch=True`` routes the measured op through the format's array
+    backend from :mod:`repro.engine` when one exists (identical
+    results); the serial path never touches the engine layer.
+    """
+    bb = None
+    if batch:
+        from ..engine import batch_backend_for
+        bb = batch_backend_for(backend)
+    if bb is not None:
+        results = measure_ops_batch(bb, op, pairs)
+    else:
+        results = [measure_op(backend, op, p.x, p.y, exact=p.exact)
+                   for p in pairs]
+    errors, n_uf, n_of = [], 0, 0
+    for res in results:
+        if res.status == OK:
+            errors.append(res.log10_error)
+        elif res.status == UNDERFLOW:
+            n_uf += 1
+        else:
+            n_of += 1
+    return errors, n_uf, n_of
 
 
 def score_value(backend: Backend, computed, exact: BigFloat,

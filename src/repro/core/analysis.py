@@ -12,8 +12,14 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..arith.backend import Backend
-from .accuracy import OK, OpResult, measure_op
-from .sweep import FIG3_BINS, OperandPair, bin_label, generate_sweep
+from .accuracy import measure_pairs
+from .sweep import (
+    FIG3_BINS,
+    OperandPair,
+    bin_label,
+    binary64_skipped,
+    generate_sweep,
+)
 
 
 @dataclass
@@ -86,33 +92,54 @@ class SweepResult:
 def run_op_sweep(op: str, backends: Dict[str, Backend],
                  per_bin: int = 100, bins: Sequence[tuple] = FIG3_BINS,
                  seed: int = 0,
-                 pairs_by_bin: Optional[dict] = None) -> SweepResult:
+                 pairs_by_bin: Optional[dict] = None,
+                 batch: Optional[bool] = None,
+                 n_workers: Optional[int] = None) -> SweepResult:
     """Measure every backend on stratified operand pairs.
 
     binary64 is skipped (not measured) in bins entirely left of its
     normal range, matching the paper's Figure 3 ('Binary64 is not shown
     in ranges to the left of 2**-1022').
+
+    ``batch=True`` routes the measured operation through the array
+    backends of :mod:`repro.engine` (bit-identical results; scalar
+    fallback per format); the default is False for the serial path
+    (the seed code's loop) and True when fanning out.  ``n_workers``
+    fans bins out across worker processes via the chunked parallel
+    runner.  Serial and chunked pair streams share chunk-0 seeds, so
+    results coincide while ``per_bin`` fits one chunk (250); beyond
+    that the chunked plan reseeds per chunk — pass ``n_workers=0``
+    for the like-for-like reference at larger scales.
     """
+    if n_workers is not None:
+        if pairs_by_bin is not None:
+            raise ValueError(
+                "n_workers regenerates pairs from the chunked plan and "
+                "cannot measure caller-supplied pairs_by_bin; pass one "
+                "or the other")
+        from ..engine.runner import run_sweep_parallel
+        return run_sweep_parallel(op, backends, per_bin=per_bin, bins=bins,
+                                  seed=seed, n_workers=n_workers,
+                                  batch=True if batch is None else batch)
     if pairs_by_bin is None:
         pairs_by_bin = generate_sweep(op, bins=bins, per_bin=per_bin, seed=seed)
     result = SweepResult(op)
     for bin_range, pairs in pairs_by_bin.items():
         cell: Dict[str, BoxStats] = {}
         for fmt, backend in backends.items():
-            if fmt == "binary64" and bin_range[1] <= -1_022:
+            if binary64_skipped(fmt, bin_range):
                 continue
-            errors, n_uf, n_of = [], 0, 0
-            for pair in pairs:
-                res = measure_op(backend, op, pair.x, pair.y, exact=pair.exact)
-                if res.status == OK:
-                    errors.append(res.log10_error)
-                elif res.status == "underflow":
-                    n_uf += 1
-                else:
-                    n_of += 1
-            cell[fmt] = BoxStats.from_errors(fmt, bin_range, errors, n_uf, n_of)
+            cell[fmt] = _measure_cell(backend, fmt, op, bin_range, pairs,
+                                      bool(batch))
         result.boxes[bin_range] = cell
     return result
+
+
+def _measure_cell(backend: Backend, fmt: str, op: str, bin_range: tuple,
+                  pairs, batch: bool) -> BoxStats:
+    """One (format, bin) box from a pair list, optionally batched."""
+    errors, n_uf, n_of = measure_pairs(backend, op, pairs, batch=batch)
+    return BoxStats.from_errors(fmt, bin_range, errors, n_uf, n_of)
 
 
 def accuracy_ordering(result: SweepResult, bin_range: tuple) -> list:

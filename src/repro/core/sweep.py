@@ -11,9 +11,10 @@ and construct operands guaranteed to land in the requested bin.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 from ..formats.real import Real
 
@@ -37,6 +38,15 @@ def bin_label(bin_range: tuple) -> str:
         # Scales are integers, so [lo, 1) == [lo, 0] — the paper's label.
         return f"[{lo}, 0]"
     return f"[{lo}, {hi})"
+
+
+def binary64_skipped(fmt: str, bin_range: tuple) -> bool:
+    """Figure 3's presentation rule: binary64 is not measured in bins
+    entirely left of its normal range ('Binary64 is not shown in ranges
+    to the left of 2**-1022').  Shared by the serial sweep driver and
+    the parallel runner so the two can never disagree on which cells
+    exist."""
+    return fmt == "binary64" and bin_range[1] <= -1_022
 
 
 @dataclass(frozen=True)
@@ -65,16 +75,25 @@ def _real_with_scale(rng: random.Random, scale: int, mant_bits: int) -> Real:
 
 def generate_add_pairs(bin_range: tuple, count: int, seed: int = 0,
                        mant_bits: int = 80,
-                       max_operand_gap: int = 64) -> Iterator[OperandPair]:
+                       max_operand_gap: int = 64,
+                       rng_seed: Optional[int] = None) -> Iterator[OperandPair]:
     """Addition pairs whose exact sum's scale falls in ``bin_range``.
 
     The two operands are separated by 0..``max_operand_gap`` binades so
     the sweep exercises both balanced additions and alignments where one
     operand dominates — the regimes that stress LSE and posit rounding
     differently.
+
+    ``rng_seed``, when given, seeds the stream directly; the default is
+    :func:`stable_chunk_seed` (op, bin, seed), which is identical in
+    every process and interpreter session — the builtin ``hash`` the
+    seed code used here is salted per process, which made serial sweep
+    results irreproducible across runs.
     """
+    if rng_seed is None:
+        rng_seed = stable_chunk_seed("add", bin_range, seed)
     lo, hi = bin_range
-    rng = random.Random(seed ^ hash(("add", lo, hi)))
+    rng = random.Random(rng_seed)
     produced = 0
     while produced < count:
         target = rng.randrange(lo, hi)
@@ -91,7 +110,8 @@ def generate_add_pairs(bin_range: tuple, count: int, seed: int = 0,
 
 def generate_mul_pairs(bin_range: tuple, count: int, seed: int = 0,
                        mant_bits: int = 80,
-                       max_factor_scale: int = 200) -> Iterator[OperandPair]:
+                       max_factor_scale: int = 200,
+                       rng_seed: Optional[int] = None) -> Iterator[OperandPair]:
     """Multiplication pairs whose exact product's scale falls in
     ``bin_range``.
 
@@ -102,8 +122,10 @@ def generate_mul_pairs(bin_range: tuple, count: int, seed: int = 0,
     factor above 1.0 would let log-space cancel digits it never cancels
     in the real applications.
     """
+    if rng_seed is None:
+        rng_seed = stable_chunk_seed("mul", bin_range, seed)
     lo, hi = bin_range
-    rng = random.Random(seed ^ hash(("mul", lo, hi)))
+    rng = random.Random(rng_seed)
     produced = 0
     while produced < count:
         target = rng.randrange(lo, hi)
@@ -124,6 +146,73 @@ def generate_sweep(op: str, bins: Sequence[tuple] = FIG3_BINS,
     """Full sweep: ``{bin_range: [OperandPair, ...]}`` for one op."""
     gen = generate_add_pairs if op == "add" else generate_mul_pairs
     return {b: list(gen(b, per_bin, seed)) for b in bins}
+
+
+# ----------------------------------------------------------------------
+# Chunked generation (the unit of work of the parallel sweep runner)
+# ----------------------------------------------------------------------
+def stable_chunk_seed(op: str, bin_range: tuple, seed: int,
+                      chunk_index: int = 0) -> int:
+    """A deterministic, process-independent RNG seed for one chunk.
+
+    Unlike Python's built-in ``hash`` (salted per process), this survives
+    crossing a process boundary, so a worker regenerates exactly the
+    pairs the parent planned.
+    """
+    key = f"{op}:{bin_range[0]}:{bin_range[1]}:{seed}:{chunk_index}"
+    digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class SweepChunk:
+    """One self-contained unit of sweep work: ``count`` pairs of ``op``
+    in ``bin_range``, generated from an explicit ``rng_seed``."""
+
+    op: str  # "add" | "mul"
+    bin_range: tuple
+    count: int
+    rng_seed: int
+    chunk_index: int = 0
+
+    def generate(self) -> List[OperandPair]:
+        gen = generate_add_pairs if self.op == "add" else generate_mul_pairs
+        return list(gen(self.bin_range, self.count, rng_seed=self.rng_seed))
+
+
+def plan_chunks(op: str, bins: Sequence[tuple] = FIG3_BINS,
+                per_bin: int = 100, seed: int = 0,
+                chunk_size: int = 250) -> List[SweepChunk]:
+    """Partition a sweep into deterministic chunks.
+
+    Each (bin, chunk-index) pair gets an independent seeded stream, so
+    the plan is reproducible regardless of worker count or scheduling
+    order, and scaling ``per_bin`` up only *appends* chunks.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    chunks = []
+    for bin_range in bins:
+        remaining, index = per_bin, 0
+        while remaining > 0:
+            count = min(chunk_size, remaining)
+            chunks.append(SweepChunk(
+                op, bin_range, count,
+                stable_chunk_seed(op, bin_range, seed, index), index))
+            remaining -= count
+            index += 1
+    return chunks
+
+
+def generate_sweep_chunked(op: str, bins: Sequence[tuple] = FIG3_BINS,
+                           per_bin: int = 100, seed: int = 0,
+                           chunk_size: int = 250) -> dict:
+    """Like :func:`generate_sweep` but via the chunk plan: the exact
+    pair streams the parallel runner produces, merged in chunk order."""
+    result: dict = {b: [] for b in bins}
+    for chunk in plan_chunks(op, bins, per_bin, seed, chunk_size):
+        result[chunk.bin_range].extend(chunk.generate())
+    return result
 
 
 def probability_pairs_from_trace(trace: Sequence, op: str) -> Iterator[OperandPair]:

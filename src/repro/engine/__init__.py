@@ -1,0 +1,98 @@
+"""``repro.engine`` — vectorized batch arithmetic and parallel sweeps.
+
+The scalar backends in :mod:`repro.arith` are the reference semantics;
+this package is the throughput layer on top of them:
+
+* :class:`BatchBinary64`, :class:`BatchLogSpace` — array backends over
+  float64 values/logs, bit-identical to the scalar backends (log-space
+  in matching ``sum_mode``);
+* :class:`BatchPosit` — posit(N<=64, ES) on uint64 bit-pattern arrays,
+  element-exact against :class:`~repro.formats.posit.PositEnv`;
+* :mod:`~repro.engine.kernels` — forward algorithm over batches of
+  sequences and Poisson-binomial p-values over batches of sites;
+* :mod:`~repro.engine.runner` — the chunked multi-process sweep runner.
+
+NumPy is a hard install requirement of the distribution (setup.py), so
+the ``HAVE_NUMPY`` gate below is defensive: it keeps this module
+importable if the engine + format/arith core are ever vendored into a
+NumPy-less interpreter, with every batch entry point degrading to
+``None``/scalar.  Formats without an array implementation (the
+BigFloat oracle, LNS) always take the callers' per-format scalar
+fallback loops, NumPy or not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+try:  # pragma: no cover - exercised only on numpy-less installs
+    import numpy  # noqa: F401
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMPY = False
+
+if HAVE_NUMPY:
+    from .batch import (
+        SUM_NARY,
+        SUM_SEQUENTIAL,
+        BatchBackend,
+        BatchBinary64,
+        BatchLogSpace,
+    )
+    from .posit_batch import BatchPosit
+    from .kernels import forward_batch, forward_alpha_trace_batch, \
+        pbd_pvalue_batch
+    from ..core.accuracy import measure_pairs
+    from .runner import run_sweep_parallel
+else:  # pragma: no cover
+    BatchBackend = BatchBinary64 = BatchLogSpace = BatchPosit = None
+    forward_batch = forward_alpha_trace_batch = pbd_pvalue_batch = None
+    measure_pairs = run_sweep_parallel = None
+    SUM_NARY, SUM_SEQUENTIAL = "nary", "sequential"
+
+
+def batch_backend_for(backend) -> Optional["BatchBackend"]:
+    """The batch backend mirroring a scalar backend, or None.
+
+    Formats without an array implementation (the BigFloat oracle, LNS)
+    return None; callers keep the scalar loop for those.
+    """
+    if not HAVE_NUMPY:
+        return None
+    from ..arith.backends import (
+        Binary64Backend,
+        LogSpaceBackend,
+        PositBackend,
+    )
+    if isinstance(backend, Binary64Backend):
+        return BatchBinary64(scalar=backend)
+    if isinstance(backend, LogSpaceBackend):
+        return BatchLogSpace(scalar=backend)
+    if isinstance(backend, PositBackend):
+        return BatchPosit(backend.env, scalar=backend)
+    return None
+
+
+def standard_batch_backends(underflow: str = "saturate") -> dict:
+    """Batch backends for the five Figure 3 formats."""
+    from ..arith.backends import standard_backends
+    return {name: batch_backend_for(b)
+            for name, b in standard_backends(underflow).items()}
+
+
+__all__ = [
+    "HAVE_NUMPY",
+    "SUM_NARY",
+    "SUM_SEQUENTIAL",
+    "BatchBackend",
+    "BatchBinary64",
+    "BatchLogSpace",
+    "BatchPosit",
+    "batch_backend_for",
+    "standard_batch_backends",
+    "forward_batch",
+    "forward_alpha_trace_batch",
+    "pbd_pvalue_batch",
+    "measure_pairs",
+    "run_sweep_parallel",
+]

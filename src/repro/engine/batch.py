@@ -1,0 +1,243 @@
+"""Batched arithmetic backends: the array counterpart of
+:class:`repro.arith.Backend`.
+
+The scalar backends pay a Python-interpreter round trip per operation —
+fine for per-op accuracy measurement, hopeless for application-scale
+workloads (the paper's own point about software-emulated formats).  A
+:class:`BatchBackend` performs the *same* operation on whole NumPy arrays
+of backend values, preserving the scalar backends' numerics:
+
+* ``BatchBinary64`` is trivially bit-identical (the ops are the same IEEE
+  ops).
+* ``BatchLogSpace`` uses ``np.logaddexp`` for probability addition, which
+  routes through the C library's scalar ``exp``/``log1p`` and is
+  bit-identical to :func:`repro.formats.logspace.lse2` (verified by the
+  equivalence tests).  N-ary accumulation offers two modes, defaulting
+  to ``"nary"`` like the scalar backend: ``"nary"`` is the Equation-3
+  max/exp/log dataflow, which matches :func:`lse_n` to within an ulp but
+  not bit-for-bit because NumPy's SIMD ``exp`` is not the libm ``exp``;
+  ``"sequential"`` is the binary-LSE fold, bit-identical to the scalar
+  backend constructed with the same mode.
+* ``BatchPosit`` (see :mod:`repro.engine.posit_batch`) is element-exact
+  against :class:`repro.formats.posit.PositEnv`.
+
+Values enter through :meth:`BatchBackend.from_bigfloats`, which performs
+the conversion with the *scalar* backend element by element — conversions
+are input-side and must be bit-identical, so they are never re-derived in
+floating point.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..arith.backend import Backend
+from ..arith.backends import Binary64Backend, LogSpaceBackend
+from ..bigfloat import BigFloat, DEFAULT_PRECISION
+
+SUM_SEQUENTIAL = "sequential"
+SUM_NARY = "nary"
+
+
+class BatchBackend(abc.ABC):
+    """Arithmetic over arrays of values in one number representation.
+
+    Arrays hold raw backend values (float64 probabilities, float64 logs,
+    uint64 posit patterns).  All binary operations broadcast like NumPy
+    ufuncs.  ``sum`` reduces along an axis with *scalar-faithful* order:
+    the result of ``sum`` must equal folding the scalar backend's
+    ``sum`` over the same values in the same order.
+    """
+
+    #: Short identifier, matching the scalar backend's ``name``.
+    name: str = "abstract-batch"
+    #: NumPy dtype of value arrays.
+    dtype: np.dtype = np.dtype(np.float64)
+
+    @property
+    @abc.abstractmethod
+    def scalar(self) -> Backend:
+        """The scalar backend whose numerics this batch backend mirrors."""
+
+    # ------------------------------------------------------------------
+    # Conversions (always via the scalar backend: input-side, exact)
+    # ------------------------------------------------------------------
+    def from_bigfloats(self, values: Iterable[BigFloat]) -> np.ndarray:
+        return np.array([self.scalar.from_bigfloat(v) for v in values],
+                        dtype=self.dtype)
+
+    def from_floats(self, values) -> np.ndarray:
+        return np.array([self.scalar.from_float(float(v)) for v in
+                         np.asarray(values).ravel()],
+                        dtype=self.dtype).reshape(np.asarray(values).shape)
+
+    def to_bigfloats(self, arr: np.ndarray) -> List[BigFloat]:
+        return [self.scalar.to_bigfloat(v.item()) for v in
+                np.asarray(arr).ravel()]
+
+    def item(self, arr: np.ndarray, index=()):
+        """One element as a scalar-backend value (for scoring)."""
+        return np.asarray(arr)[index].item()
+
+    # ------------------------------------------------------------------
+    # Array constructors
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def zeros(self, shape) -> np.ndarray:
+        """Array of the additive identity (probability 0)."""
+
+    @abc.abstractmethod
+    def ones(self, shape) -> np.ndarray:
+        """Array of the multiplicative identity (probability 1)."""
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise probability addition (LSE in log-space)."""
+
+    @abc.abstractmethod
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise probability multiplication."""
+
+    @abc.abstractmethod
+    def is_zero(self, arr: np.ndarray) -> np.ndarray:
+        """Boolean mask of exact zero probabilities."""
+
+    def sum(self, arr: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Reduce along ``axis`` in index order, matching the scalar
+        backend's ``sum`` fold (``acc = add(acc, v)`` starting from
+        zero).  Subclasses override when the scalar backend overrides."""
+        arr = np.asarray(arr)
+        moved = np.moveaxis(arr, axis, -1)
+        acc = self.zeros(moved.shape[:-1])
+        for i in range(moved.shape[-1]):
+            acc = self.add(acc, moved[..., i])
+        return acc
+
+    def dot(self, a: np.ndarray, b: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Sum of elementwise products along ``axis``."""
+        return self.sum(self.mul(a, b), axis=axis)
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class BatchBinary64(BatchBackend):
+    """Native IEEE binary64 on arrays; ops are bit-identical to the
+    scalar :class:`Binary64Backend` because they are the same IEEE ops."""
+
+    name = "binary64"
+    dtype = np.dtype(np.float64)
+
+    def __init__(self, scalar: Optional[Binary64Backend] = None):
+        self._scalar = scalar if scalar is not None else Binary64Backend()
+
+    @property
+    def scalar(self) -> Backend:
+        return self._scalar
+
+    def from_bigfloats(self, values: Iterable[BigFloat]) -> np.ndarray:
+        return np.array([v.to_float() for v in values], dtype=self.dtype)
+
+    def zeros(self, shape) -> np.ndarray:
+        return np.zeros(shape, dtype=self.dtype)
+
+    def ones(self, shape) -> np.ndarray:
+        return np.ones(shape, dtype=self.dtype)
+
+    def add(self, a, b) -> np.ndarray:
+        return np.add(a, b)
+
+    def mul(self, a, b) -> np.ndarray:
+        return np.multiply(a, b)
+
+    def is_zero(self, arr) -> np.ndarray:
+        return np.asarray(arr) == 0.0
+
+
+class BatchLogSpace(BatchBackend):
+    """Log-space probabilities (natural logs in float64) on arrays.
+
+    ``add`` is ``np.logaddexp`` — bit-identical to the scalar ``lse2``
+    (both evaluate ``m + log1p(exp(min - m))`` through the C library).
+    ``mul`` is float addition with the ``-inf`` short-circuit of
+    :func:`log_mul`.  ``sum_mode`` selects the reduction dataflow and
+    defaults to ``"nary"``, mirroring the scalar backend's default
+    (same Equation-3 dataflow, ulp-close); choose ``"sequential"`` on
+    *both* sides for bit-for-bit equivalence (see module docstring).
+    """
+
+    name = "log"
+    dtype = np.dtype(np.float64)
+
+    def __init__(self, prec: int = DEFAULT_PRECISION,
+                 sum_mode: Optional[str] = None,
+                 scalar: Optional[LogSpaceBackend] = None):
+        if scalar is not None:
+            # The mirror contract requires one reduction dataflow on
+            # both sides; inherit it, and refuse a contradiction.
+            if sum_mode is not None and sum_mode != scalar.sum_mode:
+                raise ValueError(
+                    f"sum_mode {sum_mode!r} contradicts the scalar "
+                    f"backend's {scalar.sum_mode!r}")
+            sum_mode = scalar.sum_mode
+        elif sum_mode is None:
+            sum_mode = SUM_NARY
+        if sum_mode not in (SUM_SEQUENTIAL, SUM_NARY):
+            raise ValueError(f"unknown sum_mode {sum_mode!r}")
+        self.sum_mode = sum_mode
+        if scalar is not None:
+            self._scalar = scalar
+        else:
+            self._scalar = LogSpaceBackend(prec, sum_mode=sum_mode)
+
+    @property
+    def scalar(self) -> Backend:
+        return self._scalar
+
+    def zeros(self, shape) -> np.ndarray:
+        return np.full(shape, -np.inf, dtype=self.dtype)
+
+    def ones(self, shape) -> np.ndarray:
+        return np.zeros(shape, dtype=self.dtype)
+
+    def add(self, a, b) -> np.ndarray:
+        return np.logaddexp(a, b)
+
+    def mul(self, a, b) -> np.ndarray:
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        out = a + b
+        # log_mul: zero probability absorbs (avoids -inf + inf = nan; in
+        # the probability domain plain addition already yields -inf).
+        neg_inf = np.isneginf(a) | np.isneginf(b)
+        if neg_inf.any():
+            out = np.where(neg_inf, -np.inf, out)
+        return out
+
+    def is_zero(self, arr) -> np.ndarray:
+        return np.isneginf(arr)
+
+    def sum(self, arr: np.ndarray, axis: int = -1) -> np.ndarray:
+        if self.sum_mode == SUM_SEQUENTIAL:
+            # The base fold *is* the sequential binary-LSE: zeros() is
+            # -inf and add() is np.logaddexp.
+            return super().sum(arr, axis=axis)
+        arr = np.asarray(arr, dtype=self.dtype)
+        moved = np.moveaxis(arr, axis, -1)
+        # N-ary LSE (Equation 3): one max, a sequential sum of exps in
+        # index order, one log.  Within an ulp of lse_n, not bit-exact
+        # (NumPy's SIMD exp differs from libm in the last ulp).
+        m = np.max(moved, axis=-1)
+        safe_m = np.where(np.isneginf(m), 0.0, m)
+        total = np.zeros(moved.shape[:-1], dtype=self.dtype)
+        for i in range(moved.shape[-1]):
+            total = total + np.exp(moved[..., i] - safe_m)
+        with np.errstate(divide="ignore"):
+            out = safe_m + np.log(total)
+        return np.where(np.isneginf(m), -np.inf, out)

@@ -1,0 +1,112 @@
+"""Batched application kernels, generic over a :class:`BatchBackend`.
+
+These mirror the scalar kernels in :mod:`repro.apps` *operation for
+operation*: every elementwise op and every reduction happens in the same
+order and through the same primitive as the scalar code, so the results
+are bit-identical (binary64, log-space in matching ``sum_mode``) or
+element-exact (posit) — only vectorized across a batch dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .batch import BatchBackend
+
+
+def forward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
+                  pi: np.ndarray, obs: np.ndarray) -> np.ndarray:
+    """Forward algorithm over a batch of observation sequences.
+
+    Parameters
+    ----------
+    a, b, pi:
+        Model parameters as *backend value* arrays: transition ``(H, H)``,
+        emission ``(H, M)``, initial ``(H,)`` (convert once with
+        ``backend.from_bigfloats``).
+    obs:
+        Integer observation symbols, shape ``(B, T)``.
+
+    Returns the batch of likelihoods, shape ``(B,)``, as backend values.
+    Mirrors :func:`repro.apps.hmm.forward` exactly: per step,
+    ``alpha'[q] = sum_p(alpha[p] * A[p, q]) * B[q, o_t]`` with the
+    backend's ``sum`` reduction over ``p`` in index order.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    pi = np.asarray(pi)
+    obs = np.asarray(obs)
+    if obs.ndim != 2:
+        raise ValueError("obs must have shape (batch, T)")
+    n_batch, t_len = obs.shape
+    # t = 0: alpha[q] = pi[q] * B[q][o0]
+    alpha = backend.mul(np.broadcast_to(pi, (n_batch, pi.shape[0])),
+                        b[:, obs[:, 0]].T)
+    for t in range(1, t_len):
+        # prod[s, p, q] = alpha[s, p] * A[p, q]
+        prod = backend.mul(alpha[:, :, None], a[None, :, :])
+        path_sum = backend.sum(prod, axis=1)
+        alpha = backend.mul(path_sum, b[:, obs[:, t]].T)
+    return backend.sum(alpha, axis=1)
+
+
+def forward_alpha_trace_batch(backend: BatchBackend, a: np.ndarray,
+                              b: np.ndarray, pi: np.ndarray,
+                              obs: np.ndarray) -> np.ndarray:
+    """Per-iteration total alpha mass for a batch of sequences, shape
+    ``(B, T)`` — the batched counterpart of ``forward_alpha_trace``."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    pi = np.asarray(pi)
+    obs = np.asarray(obs)
+    n_batch, t_len = obs.shape
+    alpha = backend.mul(np.broadcast_to(pi, (n_batch, pi.shape[0])),
+                        b[:, obs[:, 0]].T)
+    trace = [backend.sum(alpha, axis=1)]
+    for t in range(1, t_len):
+        prod = backend.mul(alpha[:, :, None], a[None, :, :])
+        path_sum = backend.sum(prod, axis=1)
+        alpha = backend.mul(path_sum, b[:, obs[:, t]].T)
+        trace.append(backend.sum(alpha, axis=1))
+    return np.stack(trace, axis=1)
+
+
+def pbd_pvalue_batch(backend: BatchBackend, pn: np.ndarray, qn: np.ndarray,
+                     k: int) -> np.ndarray:
+    """Poisson-binomial ``P(X >= k)`` over a batch of sites.
+
+    Parameters
+    ----------
+    pn, qn:
+        Success probabilities and their exact complements as backend
+        value arrays, shape ``(S, N)`` — one row per site, ``N`` trials
+        each (group sites by ``(N, k)``; see ``repro.apps.pbd``).
+    k:
+        Observed success count (shared by the batch).
+
+    Mirrors :func:`repro.apps.pbd.pbd_pvalue` exactly; the per-``j``
+    recurrence is vectorized over sites *and* PMF entries, which is
+    value-preserving because ``add(x, 0)`` is exact in every backend.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1 (a variant needs a success)")
+    pn = np.asarray(pn)
+    qn = np.asarray(qn)
+    n_sites, n_trials = pn.shape
+    if n_trials < k:
+        raise ValueError("need at least k trials")
+    # pr[s, j] = P(j successes in the first n trials), tracked for j < k.
+    pr = np.concatenate([backend.ones((n_sites, 1)),
+                         backend.zeros((n_sites, k - 1))], axis=1)
+    pvalue = backend.zeros((n_sites,))
+    zero_col = backend.zeros((n_sites, 1))
+    for n in range(n_trials):
+        p_col = pn[:, n:n + 1]
+        q_col = qn[:, n:n + 1]
+        if n >= k - 1:
+            pvalue = backend.add(pvalue,
+                                 backend.mul(pr[:, k - 1], pn[:, n]))
+        shifted = np.concatenate([zero_col, pr[:, :-1]], axis=1)
+        pr = backend.add(backend.mul(pr, q_col),
+                         backend.mul(shifted, p_col))
+    return pvalue

@@ -1,0 +1,421 @@
+"""Vectorized posit(N, ES) arithmetic on uint64 arrays (N <= 64).
+
+The scalar :class:`repro.formats.posit.PositEnv` decodes operands to
+exact big-integer rationals, combines them exactly, and re-encodes with a
+single round-to-nearest-even on the encoding string.  This module
+reproduces that *element-exactly* on whole arrays of bit patterns using
+only fixed-width integer array operations:
+
+* significands are kept left-aligned in one 64-bit limb (a decoded posit
+  has at most ``nbits - 2`` significant bits);
+* products and aligned sums are held in a 128-bit (two-limb) window with
+  a sticky bit for everything below the window — sufficient because the
+  final rounding position is always within ``nbits - 1`` bits of the
+  result's leading bit, and alignment can only discard bits when the
+  operands are too far apart to cancel;
+* the encoding string (regime + exponent + fraction) is reassembled in a
+  128-bit window and rounded exactly as the scalar ``_round_pattern``.
+
+Element-for-element equality with ``PositEnv`` is enforced by
+``tests/test_engine_posit_batch.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..arith.backend import Backend
+from ..arith.backends import PositBackend
+from ..bigfloat import BigFloat
+from ..formats.posit import FLUSH, PositEnv
+from .batch import BatchBackend
+
+_U64 = np.uint64
+_FULL64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+_TOP64 = np.uint64(1) << np.uint64(63)
+_M32 = np.uint64(0xFFFFFFFF)
+
+
+def _u64(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.uint64)
+
+
+def _i64(x) -> np.ndarray:
+    return np.asarray(x).astype(np.int64)
+
+
+def _bit_length64_portable(x: np.ndarray) -> np.ndarray:
+    """Per-element bit length of uint64 values (0 -> 0), as int64.
+
+    Binary-search shift cascade; works on any NumPy."""
+    x = _u64(x).copy()
+    n = np.zeros(x.shape, dtype=np.int64)
+    for s in (32, 16, 8, 4, 2, 1):
+        big = x >= (_U64(1) << _U64(s))
+        n += big.astype(np.int64) * s
+        x = np.where(big, x >> _U64(s), x)
+    return n + (x != 0).astype(np.int64)
+
+
+if hasattr(np, "bitwise_count"):  # NumPy >= 2.0: popcount of a smear
+    def _bit_length64(x: np.ndarray) -> np.ndarray:
+        """Per-element bit length of uint64 values (0 -> 0), as int64."""
+        x = _u64(x).copy()
+        for s in (1, 2, 4, 8, 16, 32):
+            x |= x >> _U64(s)
+        return np.bitwise_count(x).astype(np.int64)
+else:  # pragma: no cover - exercised on NumPy 1.x installs
+    _bit_length64 = _bit_length64_portable
+
+
+def _shl64(x: np.ndarray, n: np.ndarray) -> np.ndarray:
+    """``x << n`` with per-element ``n``; 0 once ``n >= 64``.
+
+    Out-of-range counts (including negatives on dead lanes that a
+    ``where`` discards) are clamped so the shift itself stays defined.
+    """
+    n = _i64(n)
+    safe = np.clip(n, 0, 63).astype(np.uint64)
+    return np.where(n >= 64, _U64(0), _u64(x) << safe)
+
+
+def _shr64(x: np.ndarray, n: np.ndarray) -> np.ndarray:
+    """``x >> n`` with per-element ``n``; 0 once ``n >= 64``."""
+    n = _i64(n)
+    safe = np.clip(n, 0, 63).astype(np.uint64)
+    return np.where(n >= 64, _U64(0), _u64(x) >> safe)
+
+
+def _low_mask(n: np.ndarray) -> np.ndarray:
+    """``(1 << n) - 1`` per element; all-ones once ``n >= 64``."""
+    n = _i64(n)
+    safe = np.clip(n, 0, 63).astype(np.uint64)
+    return np.where(n >= 64, _FULL64, (_U64(1) << safe) - _U64(1))
+
+
+def _shr128_sticky(hi, lo, n):
+    """Right-shift the 128-bit pair ``(hi, lo)`` by ``n >= 0``.
+
+    Returns ``(hi', lo', sticky)`` where ``sticky`` flags any 1-bits
+    shifted out below the window.
+    """
+    hi, lo, n = _u64(hi), _u64(lo), _i64(n)
+    hi, lo, n = np.broadcast_arrays(hi, lo, n)
+    # n < 64 branch
+    lo_a = _shr64(lo, n) | _shl64(hi, 64 - n)
+    hi_a = _shr64(hi, n)
+    st_a = (lo & _low_mask(n)) != 0
+    # 64 <= n < 128 branch
+    m = n - 64
+    lo_b = _shr64(hi, m)
+    hi_b = np.zeros_like(hi)
+    st_b = (lo != 0) | ((hi & _low_mask(m)) != 0)
+    # n >= 128 branch
+    st_c = (hi != 0) | (lo != 0)
+    small = n < 64
+    mid = (n >= 64) & (n < 128)
+    hi2 = np.where(small, hi_a, np.where(mid, hi_b, _U64(0)))
+    lo2 = np.where(small, lo_a, np.where(mid, lo_b, _U64(0)))
+    sticky = np.where(small, st_a, np.where(mid, st_b, st_c))
+    return hi2, lo2, sticky
+
+
+def _shl128(hi, lo, n):
+    """Left-shift the 128-bit pair by ``0 <= n < 128`` (no overflow
+    tracking; callers guarantee the top bits are clear)."""
+    hi, lo, n = _u64(hi), _u64(lo), _i64(n)
+    hi, lo, n = np.broadcast_arrays(hi, lo, n)
+    hi_a = _shl64(hi, n) | _shr64(lo, 64 - n)
+    lo_a = _shl64(lo, n)
+    hi_b = _shl64(lo, n - 64)
+    small = n < 64
+    return (np.where(small, hi_a, hi_b),
+            np.where(small, lo_a, np.zeros_like(lo)))
+
+
+def _add128(ahi, alo, bhi, blo):
+    """128-bit add; returns ``(hi, lo, carry_out)``."""
+    lo = alo + blo
+    c0 = (lo < alo).astype(np.uint64)
+    hi1 = ahi + bhi
+    c1 = hi1 < ahi
+    hi = hi1 + c0
+    c2 = hi < hi1
+    return hi, lo, c1 | c2
+
+
+def _sub128(ahi, alo, bhi, blo, extra):
+    """128-bit ``A - B - extra`` with ``A >= B + extra``; ``extra`` in
+    {0, 1} per element."""
+    lo1 = alo - blo
+    b0 = (alo < blo).astype(np.uint64)
+    hi1 = ahi - bhi - b0
+    e = _u64(extra)
+    lo = lo1 - e
+    b1 = (lo1 < e).astype(np.uint64)
+    return hi1 - b1, lo
+
+
+def _umul64(a, b):
+    """Full 64x64 -> 128-bit product as ``(hi, lo)``."""
+    a, b = _u64(a), _u64(b)
+    a0, a1 = a & _M32, a >> _U64(32)
+    b0, b1 = b & _M32, b >> _U64(32)
+    t = a0 * b0
+    w0 = t & _M32
+    k = t >> _U64(32)
+    t = a1 * b0 + k
+    w1 = t & _M32
+    w2 = t >> _U64(32)
+    t = a0 * b1 + w1
+    k = t >> _U64(32)
+    hi = a1 * b1 + w2 + k
+    lo = (t << _U64(32)) | w0
+    return hi, lo
+
+
+class BatchPosit(BatchBackend):
+    """Batched posit arithmetic, element-exact against ``PositEnv``.
+
+    Values are arrays of raw bit patterns in ``uint64`` (two's-complement
+    within the low ``nbits`` bits, like the scalar environment's ints).
+    """
+
+    dtype = np.dtype(np.uint64)
+
+    def __init__(self, env: PositEnv, scalar: Optional[PositBackend] = None):
+        if env.nbits > 64:
+            raise ValueError("BatchPosit supports nbits <= 64")
+        if env.es > 59:
+            raise ValueError("BatchPosit supports es <= 59")
+        self.env = env
+        self.name = env.name
+        self._scalar = scalar if scalar is not None else PositBackend(env)
+        self._mask = _U64(env.mask)
+        self._sign_bit = _U64(env.sign_bit)
+        self._nar = _U64(env.nar)
+        self._maxpos = _U64(env.maxpos)
+        self._minpos = _U64(env.minpos)
+        self._body_len = env.nbits - 1
+        self._one = _U64(env.from_float(1.0))
+
+    @property
+    def scalar(self) -> Backend:
+        return self._scalar
+
+    # ------------------------------------------------------------------
+    # Protocol plumbing
+    # ------------------------------------------------------------------
+    def from_bigfloats(self, values: Iterable[BigFloat]) -> np.ndarray:
+        return np.array([self.env.encode_bigfloat(v) for v in values],
+                        dtype=self.dtype)
+
+    def to_bigfloats(self, arr: np.ndarray) -> List[BigFloat]:
+        return [self.env.to_bigfloat(int(v)) for v in
+                np.asarray(arr).ravel()]
+
+    def item(self, arr: np.ndarray, index=()):
+        return int(np.asarray(arr)[index])
+
+    def zeros(self, shape) -> np.ndarray:
+        return np.zeros(shape, dtype=self.dtype)
+
+    def ones(self, shape) -> np.ndarray:
+        return np.full(shape, self._one, dtype=self.dtype)
+
+    def is_zero(self, arr) -> np.ndarray:
+        return (_u64(arr) & self._mask) == 0
+
+    def is_nar(self, arr) -> np.ndarray:
+        return (_u64(arr) & self._mask) == self._nar
+
+    # ------------------------------------------------------------------
+    # Decode: bit patterns -> (zero, nar, sign, frac64, scale)
+    # ------------------------------------------------------------------
+    def _decode(self, bits):
+        """Decode patterns to left-aligned exact significands.
+
+        Returns ``(zero, nar, sign, frac64, scale)`` where the element
+        value is ``(-1)**sign * frac64 * 2**(scale - 63)`` and ``frac64``
+        has its leading 1 at bit 63.
+        """
+        env = self.env
+        bits = _u64(bits) & self._mask
+        zero = bits == 0
+        nar = bits == self._nar
+        sign = (bits & self._sign_bit) != 0
+        mag = np.where(sign, (_U64(0) - bits) & self._mask, bits)
+        body_len = self._body_len
+        body = mag & (self._sign_bit - _U64(1))
+        body_mask = self._sign_bit - _U64(1)
+        top = _U64(body_len - 1)
+        r = (body >> top) & _U64(1)
+        val = np.where(r == 1, ~body & body_mask, body)
+        run = body_len - _bit_length64(val)  # int64; val==0 -> body_len
+        k = np.where(r == 1, run - 1, -run)
+        consumed = np.minimum(run + 1, body_len)
+        rem = body_len - consumed
+        e_bits = np.minimum(env.es, rem)
+        e_field = _shr64(body, rem - e_bits) & _low_mask(e_bits)
+        e = _shl64(e_field, env.es - e_bits).astype(np.int64)
+        f_bits = rem - e_bits
+        f_field = body & _low_mask(f_bits)
+        scale = k * env.useed_log2 + e
+        mantissa = _shl64(np.ones_like(body), f_bits) | f_field
+        frac64 = _shl64(mantissa, 63 - f_bits)
+        return zero, nar, sign, frac64, scale
+
+    # ------------------------------------------------------------------
+    # Encode: (sign, scale, frac64, sticky) -> rounded bit patterns
+    # ------------------------------------------------------------------
+    def _encode(self, sign, scale, frac64, sticky):
+        """Round-to-nearest-even on the encoding string, vectorized.
+
+        Mirrors ``PositEnv.encode_real``/``_round_pattern``: the string
+        is regime + exponent + fraction; we materialize its top 128 bits
+        with a sticky for the rest, keep ``nbits - 1`` bits, and round
+        on the guard bit + below-mask.
+        """
+        env = self.env
+        es = env.es
+        body_len = self._body_len
+        scale = _i64(scale)
+        frac64 = _u64(frac64)
+        sticky = np.asarray(sticky, dtype=bool)
+        sat = scale > env.max_scale
+
+        k = scale >> np.int64(es)  # arithmetic shift = floor division
+        e = _u64(scale - (k << np.int64(es)))
+        pos_k = k >= 0
+        run = np.where(pos_k, k + 1, -k)
+        regime_len = run + 1
+        # Regime, top-aligned in a 128-bit window.
+        #   k >= 0: run ones then a zero  -> value 2**(run+1) - 2
+        #   k <  0: run zeros then a one  -> a single 1 at depth ``run``
+        r_pos_hi = _shl64((_shl64(np.ones_like(frac64), run + 1)
+                           - _U64(2)) & _FULL64, 64 - regime_len)
+        one_hi, one_lo, st_r = _shr128_sticky(
+            np.full_like(frac64, _TOP64), np.zeros_like(frac64),
+            np.where(pos_k, 0, run))
+        e_hi = np.where(pos_k, r_pos_hi, one_hi)
+        e_lo = np.where(pos_k, np.zeros_like(frac64), one_lo)
+        st_r = np.where(pos_k, False, st_r)
+        # Exponent + fraction tail: es + 63 bits, top-aligned then
+        # dropped below the regime.
+        fraction = frac64 & ~_TOP64
+        t_hi = e >> _U64(1)
+        t_lo = ((e & _U64(1)) << _U64(63)) | fraction
+        t_hi, t_lo = _shl128(t_hi, t_lo, 128 - (es + 63))
+        t_hi, t_lo, st_t = _shr128_sticky(t_hi, t_lo, regime_len)
+        e_hi = e_hi | t_hi
+        e_lo = e_lo | t_lo
+        sticky_all = sticky | st_r | st_t
+
+        kept = e_hi >> _U64(64 - body_len)
+        guard = (e_hi >> _U64(63 - body_len)) & _U64(1)
+        below_hi = (e_hi & _low_mask(np.full_like(run, 63 - body_len))) != 0
+        below = below_hi | (e_lo != 0) | sticky_all
+        round_up = (guard == 1) & (below | ((kept & _U64(1)) == 1))
+        pattern = kept + round_up.astype(np.uint64)
+
+        pattern = np.where(pattern > self._maxpos, self._maxpos, pattern)
+        if env.underflow != FLUSH:
+            # Saturate mode: a nonzero real never rounds to zero.  In
+            # flush mode a rounded-to-zero pattern simply stays zero.
+            pattern = np.where(pattern == 0, self._minpos, pattern)
+        pattern = np.where(sat, self._maxpos, pattern)
+        pattern = np.where(sign, (_U64(0) - pattern) & self._mask, pattern)
+        return pattern
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def mul(self, a, b) -> np.ndarray:
+        a, b = np.broadcast_arrays(_u64(a), _u64(b))
+        za, na, sa, fa, ea = self._decode(a)
+        zb, nb, sb, fb, eb = self._decode(b)
+        hi, lo = _umul64(fa, fb)  # product of [2**63, 2**64)^2
+        top = ((hi >> _U64(63)) & _U64(1)).astype(np.int64)
+        frac = np.where(top == 1, hi, (hi << _U64(1)) | (lo >> _U64(63)))
+        low = np.where(top == 1, lo, lo << _U64(1))
+        scale = ea + eb + top
+        pattern = self._encode(sa ^ sb, scale, frac, low != 0)
+        pattern = np.where(za | zb, _U64(0), pattern)
+        return np.where(na | nb, self._nar, pattern)
+
+    def add(self, a, b) -> np.ndarray:
+        a, b = np.broadcast_arrays(_u64(a), _u64(b))
+        za, na, sa, fa, ea = self._decode(a)
+        zb, nb, sb, fb, eb = self._decode(b)
+        # Dominant operand first (larger magnitude).
+        a_small = (ea < eb) | ((ea == eb) & (fa < fb))
+        s1 = np.where(a_small, sb, sa)
+        f1 = np.where(a_small, fb, fa)
+        e1 = np.where(a_small, eb, ea)
+        s2 = np.where(a_small, sa, sb)
+        f2 = np.where(a_small, fa, fb)
+        e2 = np.where(a_small, ea, eb)
+        gap = e1 - e2
+        b_hi, b_lo, st_b = _shr128_sticky(f2, np.zeros_like(f2), gap)
+        same = s1 == s2
+        zero_lo = np.zeros_like(f1)
+
+        # Same sign: (f1, 0) + aligned B, renormalizing one carry bit.
+        hi_s, lo_s, carry = _add128(f1, zero_lo, b_hi, b_lo)
+        carry_on = carry != 0
+        st_s = st_b | (carry_on & ((lo_s & _U64(1)) != 0))
+        lo_s = np.where(carry_on, (lo_s >> _U64(1)) | (hi_s << _U64(63)),
+                        lo_s)
+        hi_s = np.where(carry_on, (hi_s >> _U64(1)) | _TOP64, hi_s)
+        scale_s = e1 + carry.astype(np.int64)
+
+        # Opposite sign: (f1, 0) - aligned B, minus a borrow when the
+        # alignment lost bits (true B is larger than its truncation; the
+        # lost fraction survives as the sticky).
+        hi_d, lo_d = _sub128(f1, zero_lo, b_hi, b_lo,
+                             st_b.astype(np.uint64))
+        cancelled = (hi_d == 0) & (lo_d == 0) & ~st_b
+        msb = np.where(hi_d != 0, 64 + _bit_length64(hi_d),
+                       _bit_length64(lo_d)) - 1
+        shift_up = np.where(cancelled, 0, 127 - msb)
+        hi_d, lo_d = _shl128(hi_d, lo_d, shift_up)
+        scale_d = e1 - shift_up
+
+        frac = np.where(same, hi_s, hi_d)
+        low = np.where(same, lo_s, lo_d)
+        sticky = np.where(same, st_s, st_b) | (low != 0)
+        scale = np.where(same, scale_s, scale_d)
+        pattern = self._encode(s1, scale, frac, sticky)
+        pattern = np.where(~same & cancelled, _U64(0), pattern)
+        pattern = np.where(za, b & self._mask, pattern)
+        pattern = np.where(zb & ~za, a & self._mask, pattern)
+        return np.where(na | nb, self._nar, pattern)
+
+    # ------------------------------------------------------------------
+    # Float conversions (convenience; encode side is exact)
+    # ------------------------------------------------------------------
+    def from_floats(self, values) -> np.ndarray:
+        """Exact float64 -> posit conversion (vectorized encode)."""
+        x = np.asarray(values, dtype=np.float64)
+        m, e = np.frexp(np.where(np.isfinite(x), x, 0.0))
+        mant = np.abs(m * 9007199254740992.0).astype(np.uint64)  # 2**53
+        bl = _bit_length64(mant)
+        frac64 = _shl64(mant, 64 - bl)
+        scale = e.astype(np.int64) - 54 + bl
+        pattern = self._encode(np.signbit(x), scale, frac64,
+                               np.zeros(x.shape, dtype=bool))
+        pattern = np.where(x == 0.0, _U64(0), pattern)
+        return np.where(~np.isfinite(x), self._nar, pattern)
+
+    def to_floats(self, arr) -> np.ndarray:
+        """Posit -> float64, rounding the (up to 62-bit) significand to
+        double precision.  Values beyond double range overflow/underflow
+        as IEEE does; unlike the scalar ``to_float`` this path may
+        double-round in the subnormal range."""
+        zero, nar, sign, frac64, scale = self._decode(arr)
+        x = np.ldexp(frac64.astype(np.float64), (scale - 63).astype(np.int32))
+        x = np.where(sign, -x, x)
+        x = np.where(zero, 0.0, x)
+        return np.where(nar, np.nan, x)

@@ -30,13 +30,16 @@ class Fig11Result:
             for fmt in FORMATS}
 
 
-def run(scale: str = "bench", seed: int = 0) -> Fig11Result:
+def run(scale: str = "bench", seed: int = 0,
+        batch: bool = False) -> Fig11Result:
+    """``batch=True`` computes column p-values through the batched
+    engine (identical results; see ``repro.apps.lofreq``)."""
     n_columns = SCALES[scale]
     dataset = synth_dataset("fig11", n_columns, seed=seed,
                             critical_fraction=0.5, deep_fraction=0.15)
     backends = {f: b for f, b in
                 standard_backends(underflow="flush").items() if f in FORMATS}
-    return Fig11Result(run_lofreq(dataset.columns, backends))
+    return Fig11Result(run_lofreq(dataset.columns, backends, batch=batch))
 
 
 def render(result: Fig11Result) -> str:

@@ -30,12 +30,24 @@ class Fig3Result:
 
 
 def run(scale: str = "bench", seed: int = 0,
-        backends: Optional[Dict] = None) -> Fig3Result:
+        backends: Optional[Dict] = None,
+        batch: Optional[bool] = None,
+        n_workers: Optional[int] = None) -> Fig3Result:
+    """Run the Figure 3 sweep.
+
+    ``batch=True`` measures through the vectorized engine backends
+    (identical results; defaults on when ``n_workers`` fans out).
+    ``n_workers`` distributes bins across worker processes via
+    :mod:`repro.engine.runner` — the path for ``full`` scale runs,
+    where the serial scalar loop dominates wall-clock.
+    """
     per_bin = SCALES[scale]
     if backends is None:
         backends = standard_backends()
-    add = run_op_sweep("add", backends, per_bin=per_bin, seed=seed)
-    mul = run_op_sweep("mul", backends, per_bin=per_bin, seed=seed + 1)
+    add = run_op_sweep("add", backends, per_bin=per_bin, seed=seed,
+                       batch=batch, n_workers=n_workers)
+    mul = run_op_sweep("mul", backends, per_bin=per_bin, seed=seed + 1,
+                       batch=batch, n_workers=n_workers)
     return Fig3Result(add, mul, per_bin)
 
 

@@ -47,13 +47,16 @@ class Fig9Result:
         } for fmt in FORMATS]
 
 
-def run(scale: str = "bench", seed: int = 0) -> Fig9Result:
+def run(scale: str = "bench", seed: int = 0,
+        batch: bool = False) -> Fig9Result:
+    """``batch=True`` computes column p-values through the batched
+    engine (grouped by depth and alt count; identical results)."""
     per_bin = SCALES[scale]
     columns = stratified_columns(per_bin=per_bin, seed=seed)
     backends = {f: b for f, b in
                 standard_backends(underflow="flush").items()
                 if f in FORMATS}
-    return Fig9Result(run_lofreq(columns, backends), per_bin)
+    return Fig9Result(run_lofreq(columns, backends, batch=batch), per_bin)
 
 
 def render(result: Fig9Result) -> str:

@@ -5,11 +5,16 @@ Usage::
     python -m repro.experiments.runner            # list experiments
     python -m repro.experiments.runner fig3       # run one (bench scale)
     python -m repro.experiments.runner all --scale test
+    python -m repro.experiments.runner fig3 --batch --workers 4
+
+``--batch``/``--workers`` route experiments that support them through
+the vectorized engine (:mod:`repro.engine`); others ignore the flags.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import Callable, Dict, NamedTuple, Optional
@@ -79,11 +84,22 @@ REGISTRY: Dict[str, Experiment] = {
 
 
 def run_experiment(experiment_id: str, scale: str = "bench",
-                   out_dir: Optional[str] = None) -> str:
+                   out_dir: Optional[str] = None,
+                   batch: bool = False,
+                   n_workers: Optional[int] = None) -> str:
     """Run one experiment and return its rendered report; optionally
-    persist text + JSON under ``out_dir``."""
+    persist text + JSON under ``out_dir``.
+
+    ``batch``/``n_workers`` are forwarded to experiments whose ``run``
+    accepts them (fig3, fig9, fig11) and ignored elsewhere."""
     exp = REGISTRY[experiment_id]
-    result = exp.run(scale) if exp.scalable else exp.run()
+    kwargs = {}
+    params = inspect.signature(exp.run).parameters
+    if batch and "batch" in params:
+        kwargs["batch"] = True
+    if n_workers is not None and "n_workers" in params:
+        kwargs["n_workers"] = n_workers
+    result = exp.run(scale, **kwargs) if exp.scalable else exp.run(**kwargs)
     text = exp.render(result)
     if out_dir is not None:
         save_report(out_dir, experiment_id, text, result, scale)
@@ -100,6 +116,12 @@ def main(argv=None) -> int:
                         choices=("test", "bench", "full"))
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="also write <id>.txt and <id>.json here")
+    parser.add_argument("--batch", action="store_true",
+                        help="measure through the vectorized repro.engine "
+                             "backends where supported")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="fan supported sweeps across N worker "
+                             "processes (implies chunked generation)")
     args = parser.parse_args(argv)
     if args.experiment is None:
         print("Available experiments:")
@@ -113,7 +135,8 @@ def main(argv=None) -> int:
             return 2
         start = time.time()
         print(f"\n===== {target} =====")
-        print(run_experiment(target, args.scale, out_dir=args.out))
+        print(run_experiment(target, args.scale, out_dir=args.out,
+                             batch=args.batch, n_workers=args.workers))
         print(f"[{target} finished in {time.time() - start:.1f}s]")
     return 0
 

@@ -67,6 +67,62 @@ class TestProtocol:
         assert ab == ba
 
 
+class TestLogSpaceSub:
+    """Native log-diff-exp subtraction and its probability-domain edges."""
+
+    def setup_method(self):
+        self.backend = LogSpaceBackend()
+
+    def test_value(self):
+        got = self.backend.sub(self.backend.from_float(0.75),
+                               self.backend.from_float(0.5))
+        assert self.backend.to_bigfloat(got).to_float() == \
+            pytest.approx(0.25, rel=1e-15)
+
+    def test_deep_magnitudes(self):
+        # 2**-2000 - 2**-2001 = 2**-2001: far below binary64 range, easy
+        # in log-space (to within the one-ulp log rounding).
+        a = self.backend.from_bigfloat(BigFloat.exp2(-2000))
+        b = self.backend.from_bigfloat(BigFloat.exp2(-2001))
+        got = self.backend.to_bigfloat(self.backend.sub(a, b))
+        err = relative_error(BigFloat.exp2(-2001), got)
+        assert err.to_float() < 1e-12
+
+    def test_subtract_zero_probability(self):
+        a = self.backend.from_float(0.25)
+        assert self.backend.sub(a, self.backend.zero()) == a
+
+    def test_equal_operands_give_exact_zero(self):
+        a = self.backend.from_float(0.3)
+        assert self.backend.is_zero(self.backend.sub(a, a))
+        zero = self.backend.zero()
+        assert self.backend.is_zero(self.backend.sub(zero, zero))
+
+    def test_negative_result_rejected(self):
+        with pytest.raises(ValueError):
+            self.backend.sub(self.backend.from_float(0.25),
+                             self.backend.from_float(0.5))
+
+    def test_zero_minus_positive_rejected(self):
+        with pytest.raises(ValueError):
+            self.backend.sub(self.backend.zero(),
+                             self.backend.from_float(0.5))
+
+    def test_div_by_zero_probability(self):
+        with pytest.raises(ZeroDivisionError):
+            self.backend.div(self.backend.from_float(0.5),
+                             self.backend.zero())
+
+    def test_div_zero_numerator(self):
+        assert self.backend.is_zero(
+            self.backend.div(self.backend.zero(),
+                             self.backend.from_float(0.5)))
+
+    def test_base_class_sub_still_raises_elsewhere(self):
+        with pytest.raises(NotImplementedError):
+            LNSBackend().sub(0, 0)
+
+
 class TestLNSBackend:
     def test_name(self):
         assert LNSBackend().name.startswith("lns(")

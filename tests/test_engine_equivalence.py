@@ -1,0 +1,125 @@
+"""Batched-vs-scalar equivalence across the Figure 3 formats.
+
+One parameterized fixture supplies (scalar backend, batch backend)
+pairs; every test asserts bit-for-bit (binary64, log) or element-exact
+(posit) agreement, per the engine's contract.  Log-space pairs use the
+``sequential`` accumulation mode on both sides — the mode the engine
+guarantees bit-identical (NumPy's SIMD ``exp`` prevents a bit-exact
+n-ary LSE; see repro.engine.batch).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import forward_batch, pbd_pvalue_batch
+from repro.apps.hmm import forward
+from repro.apps.pbd import pbd_pvalue
+from repro.arith import Binary64Backend, LogSpaceBackend, PositBackend
+from repro.bigfloat import BigFloat
+from repro.core.accuracy import measure_op, measure_ops_batch
+from repro.core.sweep import FIG3_BINS, generate_add_pairs, generate_mul_pairs
+from repro.engine import batch_backend_for
+from repro.formats import PositEnv
+
+FORMATS = ["binary64", "log", "posit(64,9)", "posit(64,12)", "posit(64,18)"]
+
+
+def _scalar_backend(fmt):
+    if fmt == "binary64":
+        return Binary64Backend()
+    if fmt == "log":
+        return LogSpaceBackend(sum_mode="sequential")
+    es = int(fmt.rstrip(")").split(",")[1])
+    return PositBackend(PositEnv(64, es))
+
+
+@pytest.fixture(params=FORMATS)
+def backend_pair(request):
+    """(scalar, batch) backends mirroring one another."""
+    scalar = _scalar_backend(request.param)
+    batch = batch_backend_for(scalar)
+    assert batch is not None
+    return scalar, batch
+
+
+def _pairs_for_bin(op, bin_range, count, seed):
+    gen = generate_add_pairs if op == "add" else generate_mul_pairs
+    return list(gen(bin_range, count, seed=seed))
+
+
+@pytest.mark.parametrize("op", ["add", "mul"])
+def test_ops_bit_for_bit_across_fig3_bins(backend_pair, op):
+    """The core acceptance property: one batched op call per bin must
+    reproduce the scalar backend exactly, in every exponent bin."""
+    scalar, batch = backend_pair
+    for i, bin_range in enumerate(FIG3_BINS):
+        pairs = _pairs_for_bin(op, bin_range, 6, seed=i)
+        xs = batch.from_bigfloats([p.x.to_bigfloat() for p in pairs])
+        ys = batch.from_bigfloats([p.y.to_bigfloat() for p in pairs])
+        got = batch.add(xs, ys) if op == "add" else batch.mul(xs, ys)
+        for j, pair in enumerate(pairs):
+            a = scalar.from_bigfloat(pair.x.to_bigfloat())
+            b = scalar.from_bigfloat(pair.y.to_bigfloat())
+            want = scalar.add(a, b) if op == "add" else scalar.mul(a, b)
+            assert batch.item(got, j) == want, (bin_range, pair)
+
+
+@pytest.mark.parametrize("op", ["add", "mul"])
+def test_measure_ops_batch_matches_measure_op(backend_pair, op):
+    scalar, batch = backend_pair
+    bin_range = (-2_000, -1_022)
+    pairs = _pairs_for_bin(op, bin_range, 12, seed=5)
+    got = measure_ops_batch(batch, op, pairs)
+    want = [measure_op(scalar, op, p.x, p.y, exact=p.exact) for p in pairs]
+    assert got == want
+
+
+def test_forward_batch_equals_scalar(backend_pair):
+    from repro.data.dirichlet import sample_hmm
+    scalar, _batch = backend_pair
+    hmm = sample_hmm(5, 6, 15, seed=11)
+    rng = np.random.default_rng(12)
+    obs = rng.integers(0, 6, size=(4, 15))
+    got = forward_batch(hmm, scalar, obs)
+    for i in range(obs.shape[0]):
+        want = forward(hmm, scalar,
+                       observations=tuple(int(o) for o in obs[i]))
+        assert got[i] == want
+
+
+def test_pbd_batch_equals_scalar(backend_pair):
+    scalar, _batch = backend_pair
+    rng = np.random.default_rng(13)
+    sites = [[BigFloat.from_float(float(p))
+              for p in rng.uniform(1e-6, 0.3, 30)] for _ in range(4)]
+    got = pbd_pvalue_batch(sites, 3, scalar)
+    want = [pbd_pvalue(row, 3, scalar) for row in sites]
+    assert got == want
+
+
+def test_forward_batch_deep_underflow_regime():
+    """A compressed-magnitude HMM drives likelihoods far below
+    binary64's range — the regimes where the formats diverge; batched
+    results must still track the scalar backends exactly."""
+    from repro.data.dirichlet import sample_hcg_like_hmm
+    hmm = sample_hcg_like_hmm(4, 12, seed=21, bits_per_step=200.0)
+    obs = np.array([hmm.observations, hmm.observations[::-1]])
+    for fmt in ("binary64", "log", "posit(64,9)"):
+        scalar = _scalar_backend(fmt)
+        got = forward_batch(hmm, scalar, obs)
+        for i in range(2):
+            want = forward(hmm, scalar,
+                           observations=tuple(int(o) for o in obs[i]))
+            assert got[i] == want, fmt
+
+
+def test_default_log_backend_close_not_required_bitwise():
+    """With the default n-ary sum mode the batch forward stays within
+    float tolerance of the scalar Equation-3 dataflow."""
+    from repro.data.dirichlet import sample_hmm
+    scalar = LogSpaceBackend()  # nary
+    hmm = sample_hmm(4, 5, 20, seed=3)
+    obs = np.array([hmm.observations])
+    got = forward_batch(hmm, scalar, obs)[0]
+    want = forward(hmm, scalar)
+    assert got == pytest.approx(want, rel=1e-12)

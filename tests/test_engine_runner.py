@@ -1,0 +1,119 @@
+"""Chunked parallel sweep runner: determinism and merge correctness."""
+
+import pytest
+
+from repro.arith import standard_backends
+from repro.core.analysis import run_op_sweep
+from repro.core.sweep import (
+    FIG3_BINS,
+    generate_sweep_chunked,
+    plan_chunks,
+    stable_chunk_seed,
+)
+from repro.engine.runner import run_sweep_parallel
+
+BINS = (FIG3_BINS[0], FIG3_BINS[4], FIG3_BINS[-1])
+
+
+def _rows(result):
+    return {(b, f): result.boxes[b][f].row()
+            for b in result.boxes for f in result.boxes[b]}
+
+
+class TestChunkPlanning:
+    def test_counts_and_indices(self):
+        chunks = plan_chunks("add", BINS, per_bin=25, seed=0, chunk_size=10)
+        per_bin = {}
+        for c in chunks:
+            per_bin.setdefault(c.bin_range, []).append(c.count)
+        assert all(sum(v) == 25 for v in per_bin.values())
+        assert all(v == [10, 10, 5] for v in per_bin.values())
+
+    def test_seeds_are_process_independent(self):
+        # blake2b of the key string: a fixed function, not Python hash.
+        s = stable_chunk_seed("add", (-10, 1), seed=3, chunk_index=2)
+        assert s == stable_chunk_seed("add", (-10, 1), 3, 2)
+        assert s != stable_chunk_seed("add", (-10, 1), 3, 1)
+        assert s != stable_chunk_seed("mul", (-10, 1), 3, 2)
+
+    def test_chunk_regeneration_is_deterministic(self):
+        (chunk,) = plan_chunks("mul", [BINS[1]], per_bin=8, seed=1,
+                               chunk_size=8)
+        assert chunk.generate() == chunk.generate()
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            plan_chunks("add", BINS, per_bin=5, seed=0, chunk_size=0)
+
+    def test_chunked_generation_appends_on_growth(self):
+        small = generate_sweep_chunked("add", BINS, per_bin=6, seed=0,
+                                       chunk_size=4)
+        large = generate_sweep_chunked("add", BINS, per_bin=10, seed=0,
+                                       chunk_size=4)
+        for b in BINS:
+            assert large[b][:6] == small[b]
+
+
+class TestParallelRunner:
+    def test_workers_do_not_change_results(self):
+        backends = standard_backends()
+        inline = run_sweep_parallel("add", backends, per_bin=12, bins=BINS,
+                                    seed=0, n_workers=0, chunk_size=5)
+        forked = run_sweep_parallel("add", backends, per_bin=12, bins=BINS,
+                                    seed=0, n_workers=2, chunk_size=5)
+        assert _rows(inline) == _rows(forked)
+
+    def test_batch_measure_equals_scalar_measure(self):
+        backends = standard_backends()
+        batched = run_sweep_parallel("mul", backends, per_bin=10, bins=BINS,
+                                     seed=2, n_workers=0, batch=True)
+        scalar = run_sweep_parallel("mul", backends, per_bin=10, bins=BINS,
+                                    seed=2, n_workers=0, batch=False)
+        assert _rows(batched) == _rows(scalar)
+
+    def test_matches_serial_sweep_on_same_pairs(self):
+        backends = standard_backends()
+        pairs = generate_sweep_chunked("add", BINS, per_bin=10, seed=4)
+        serial = run_op_sweep("add", backends, bins=BINS,
+                              pairs_by_bin=pairs)
+        parallel = run_sweep_parallel("add", backends, per_bin=10,
+                                      bins=BINS, seed=4, n_workers=0)
+        assert _rows(serial) == _rows(parallel)
+
+    def test_binary64_skipped_left_of_range(self):
+        backends = standard_backends()
+        result = run_sweep_parallel("add", backends, per_bin=4, bins=BINS,
+                                    seed=0, n_workers=0)
+        assert "binary64" not in result.boxes[BINS[0]]
+        assert "binary64" in result.boxes[BINS[-1]]
+
+
+class TestRunOpSweepIntegration:
+    def test_batch_flag_preserves_results(self):
+        backends = standard_backends()
+        pairs = generate_sweep_chunked("add", BINS, per_bin=8, seed=1)
+        plain = run_op_sweep("add", backends, bins=BINS, pairs_by_bin=pairs)
+        batched = run_op_sweep("add", backends, bins=BINS,
+                               pairs_by_bin=pairs, batch=True)
+        assert _rows(plain) == _rows(batched)
+
+    def test_n_workers_delegates_to_runner(self):
+        backends = standard_backends()
+        via_sweep = run_op_sweep("add", backends, per_bin=6, bins=BINS,
+                                 seed=7, n_workers=0)
+        via_runner = run_sweep_parallel("add", backends, per_bin=6,
+                                        bins=BINS, seed=7, n_workers=0)
+        assert _rows(via_sweep) == _rows(via_runner)
+
+    def test_n_workers_with_explicit_pairs_rejected(self):
+        backends = standard_backends()
+        pairs = generate_sweep_chunked("add", BINS, per_bin=4, seed=0)
+        with pytest.raises(ValueError):
+            run_op_sweep("add", backends, bins=BINS, pairs_by_bin=pairs,
+                         n_workers=2)
+
+    def test_fig3_accepts_runner_args(self):
+        from repro.experiments import fig3_op_accuracy
+        result = fig3_op_accuracy.run(scale="test", batch=True, n_workers=0)
+        assert result.per_bin == fig3_op_accuracy.SCALES["test"]
+        assert set(result.add.boxes) == set(FIG3_BINS)
