@@ -13,7 +13,6 @@ Each one isolates a claim the paper makes in passing and measures it:
 import math
 
 import numpy as np
-import pytest
 
 from repro.apps import forward_float, forward_log, forward_rescaled, pbd_pvalue
 from repro.arith import BigFloatBackend, PositBackend

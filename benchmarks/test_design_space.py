@@ -1,8 +1,6 @@
 """Benchmarks for the extended hardware analyses: Pareto dominance,
 the discrete-event simulator vs the closed form, and DRAM sensitivity."""
 
-import pytest
-
 from repro.hw import (
     LOG,
     POSIT,

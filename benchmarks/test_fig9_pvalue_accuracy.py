@@ -1,6 +1,5 @@
 """Benchmark + reproduction of Figure 9 (p-value accuracy by magnitude)."""
 
-from repro.data import FIG9_BINS
 from repro.experiments import fig9_pvalue_accuracy
 
 

@@ -1,16 +1,12 @@
 """Benchmarks for the inference-level consequences of underflow (the
 paper's motivating sentence) and the extended-format comparison."""
 
-import numpy as np
-import pytest
-
 from repro.apps import baum_welch, run_chain
 from repro.arith import (
     Binary64Backend,
     LNSBackend,
     LogSpaceBackend,
     PositBackend,
-    standard_backends,
 )
 from repro.core import measure_op
 from repro.data import sample_hcg_like_hmm

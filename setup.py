@@ -50,7 +50,9 @@ setup(
     ],
     extras_require={
         "bench": ["pytest", "pytest-benchmark>=4.0"],
-        "test": ["pytest"],
+        "test": ["pytest", "hypothesis", "scipy"],
+        "dev": ["pytest", "pytest-benchmark>=4.0", "pytest-cov",
+                "hypothesis", "scipy", "ruff"],
     },
     classifiers=[
         "Development Status :: 4 - Beta",

@@ -8,6 +8,7 @@ from .hmm import (
     forward_batch,
     forward_float,
     forward_log,
+    forward_models_batch,
     forward_rescaled,
     trace_operands,
 )
@@ -20,7 +21,14 @@ from .pbd import (
     pbd_pvalue_log,
     reference_pvalue,
 )
-from .vicar import VicarConfig, VicarResult, generate_instances, paper_config, run_vicar, scaled_config
+from .vicar import (
+    VicarConfig,
+    VicarResult,
+    generate_instances,
+    paper_config,
+    run_vicar,
+    scaled_config,
+)
 from .lofreq import (
     ColumnScore,
     LoFreqResult,
@@ -30,6 +38,7 @@ from .lofreq import (
 )
 from .hmm_extra import (
     backward,
+    backward_batch,
     backward_matrix,
     forward_matrix,
     path_probability,
@@ -39,11 +48,11 @@ from .hmm_extra import (
 )
 from .pbd_dft import dft_tail_resolution_limit, pbd_pmf_dft, pbd_pvalue_dft
 from .baum_welch import TrainingTrace, baum_welch, improvement_decades
-from .mcmc import ChainResult, run_chain
+from .mcmc import ChainResult, run_chain, run_chains
 
 __all__ = [
     "forward", "forward_alpha_trace", "alpha_scale_series",
-    "forward_batch",
+    "forward_batch", "forward_models_batch",
     "forward_float", "forward_log", "forward_rescaled", "trace_operands",
     "pbd_pvalue", "pbd_pmf", "pbd_pvalue_batch",
     "pbd_pvalue_float", "pbd_pvalue_log",
@@ -52,9 +61,10 @@ __all__ = [
     "scaled_config", "generate_instances",
     "ColumnScore", "LoFreqResult", "run_lofreq", "reference_pvalues",
     "column_pvalues",
-    "backward", "backward_matrix", "forward_matrix", "viterbi",
+    "backward", "backward_batch", "backward_matrix", "forward_matrix",
+    "viterbi",
     "posterior_decode", "posterior_distributions", "path_probability",
     "pbd_pmf_dft", "pbd_pvalue_dft", "dft_tail_resolution_limit",
     "baum_welch", "TrainingTrace", "improvement_decades",
-    "run_chain", "ChainResult",
+    "run_chain", "run_chains", "ChainResult",
 ]

@@ -98,12 +98,12 @@ def forward_batch(hmm: HMMData, backend: Backend,
     ``observations`` is a ``(B, T)`` integer array (default: a batch of
     one, the HMM's own sequence).  Returns a list of B likelihoods as
     backend values, equal element-for-element to calling
-    :func:`forward` per sequence — exactly so for binary64, posit, and
-    log-space with ``sum_mode="sequential"``; for log-space's default
-    n-ary mode the batched LSE matches to within an ulp (NumPy's SIMD
-    ``exp`` is not libm's; see :mod:`repro.engine.batch`).  Formats
-    with an array backend in :mod:`repro.engine` run vectorized;
-    others (the BigFloat oracle, LNS) fall back to the scalar loop.
+    :func:`forward` per sequence — exactly so for binary64, posit, LNS,
+    and log-space with ``sum_mode="sequential"``; for log-space's
+    default n-ary mode the batched LSE matches to within an ulp (NumPy's
+    SIMD ``exp`` is not libm's; see :mod:`repro.engine.batch`).  Formats
+    with an array backend in :mod:`repro.engine` run vectorized; others
+    (the BigFloat oracle) fall back to the scalar loop.
     """
     from ..engine import batch_backend_for
     if observations is None:
@@ -117,6 +117,47 @@ def forward_batch(hmm: HMMData, backend: Backend,
     a, b, pi = batch_model_arrays(hmm, bb)
     out = forward_batch_kernel(bb, a, b, pi, obs)
     return [bb.item(out, i) for i in range(obs.shape[0])]
+
+
+def forward_models_batch(models, backend: Backend) -> list:
+    """Forward likelihoods for many *models* (each with its own
+    parameters and observation sequence) — the ViCAR/MCMC shape.
+
+    Models are grouped by ``(H, M, T)`` and each group runs through
+    :func:`repro.engine.kernels.forward_multi_batch` in one vectorized
+    pass; the returned list matches the input order and equals calling
+    :func:`forward` per model (exactly for binary64, posit, LNS, and
+    log-space with ``sum_mode="sequential"``; within an ulp for
+    log-space's default n-ary mode).  Formats without an array backend
+    (the BigFloat oracle) fall back to the scalar loop.
+    """
+    from ..engine import batch_backend_for
+    models = list(models)
+    bb = batch_backend_for(backend)
+    if bb is None:
+        return [forward(hmm, backend) for hmm in models]
+    from ..engine.kernels import forward_multi_batch
+    groups: dict = {}
+    for i, hmm in enumerate(models):
+        key = (hmm.n_states, hmm.n_symbols, hmm.length)
+        groups.setdefault(key, []).append(i)
+    out: list = [None] * len(models)
+    for (h, m, _t), indices in groups.items():
+        a = bb.from_bigfloats(
+            [x for i in indices for row in models[i].transition
+             for x in row]).reshape(len(indices), h, h)
+        b = bb.from_bigfloats(
+            [x for i in indices for row in models[i].emission
+             for x in row]).reshape(len(indices), h, m)
+        pi = bb.from_bigfloats(
+            [x for i in indices for x in models[i].initial]
+        ).reshape(len(indices), h)
+        obs = np.array([models[i].observations for i in indices],
+                       dtype=np.intp)
+        likes = forward_multi_batch(bb, a, b, pi, obs)
+        for j, i in enumerate(indices):
+            out[i] = bb.item(likes, j)
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -38,6 +38,37 @@ def backward(hmm: HMMData, backend: Backend):
         backend.mul(pi[q], backend.mul(b[q][o0], beta[q])) for q in range(h))
 
 
+def backward_batch(hmm: HMMData, backend: Backend,
+                   observations=None) -> list:
+    """Backward-algorithm likelihoods over a batch of observation
+    sequences (``(B, T)`` ints; default: a batch of one, the HMM's own
+    sequence).  Same contract as :func:`repro.apps.hmm.forward_batch`:
+    formats with an array backend run vectorized and equal the scalar
+    :func:`backward` per sequence (exactly, except log-space's default
+    n-ary mode which matches within an ulp); others fall back to the
+    scalar loop.
+    """
+    import numpy as np
+
+    from ..engine import batch_backend_for
+    from .hmm import batch_model_arrays
+    if observations is None:
+        observations = [hmm.observations]
+    bb = batch_backend_for(backend)
+    if bb is None:
+        out = []
+        for seq in observations:
+            clone = HMMData(hmm.transition, hmm.emission, hmm.initial,
+                            tuple(int(o) for o in seq))
+            out.append(backward(clone, backend))
+        return out
+    from ..engine.kernels import backward_batch as backward_batch_kernel
+    obs = np.asarray(observations, dtype=np.intp)
+    a, b, pi = batch_model_arrays(hmm, bb)
+    out = backward_batch_kernel(bb, a, b, pi, obs)
+    return [bb.item(out, i) for i in range(obs.shape[0])]
+
+
 def forward_matrix(hmm: HMMData, backend: Backend) -> List[list]:
     """All alpha vectors (T x H backend values)."""
     obs = hmm.observations

@@ -24,7 +24,7 @@ from typing import List, Optional
 from ..arith.backend import Backend
 from ..bigfloat import BigFloat
 from ..data.dirichlet import HMMData, sample_hcg_like_hmm
-from .hmm import forward
+from .hmm import forward, forward_models_batch
 
 
 @dataclass
@@ -113,3 +113,60 @@ def run_chain(backend: Backend, base: Optional[HMMData] = None,
         else:
             result.rejected += 1
     return result
+
+
+def run_chains(backend: Backend, n_chains: int,
+               bases: Optional[List[HMMData]] = None,
+               steps: int = 20, seeds: Optional[List[int]] = None,
+               scale_jitter: float = 0.2,
+               bits_per_step: float = 150.0,
+               batch: bool = True) -> List[ChainResult]:
+    """Run ``n_chains`` independent MH chains, evaluating every step's
+    likelihoods through the vectorized multi-model forward kernel.
+
+    Chain ``c`` reproduces ``run_chain(backend, bases[c], steps,
+    seeds[c], scale_jitter)`` decision-for-decision: the proposal and
+    acceptance RNG streams are identical, and the batched likelihoods
+    equal the scalar ones (exactly for binary64/posit/LNS and
+    sequential log-space — the formats where acceptance decisions can
+    therefore never diverge).  ``batch=False`` (or a backend with no
+    array implementation) falls back to the scalar per-chain loop.
+    """
+    if seeds is None:
+        seeds = list(range(n_chains))
+    if len(seeds) != n_chains:
+        raise ValueError("need one seed per chain")
+    if bases is None:
+        bases = [sample_hcg_like_hmm(3, 30, seed=s,
+                                     bits_per_step=bits_per_step)
+                 for s in seeds]
+    if len(bases) != n_chains:
+        raise ValueError("need one base model per chain")
+    from ..engine import batch_backend_for
+    if not batch or batch_backend_for(backend) is None:
+        return [run_chain(backend, bases[c], steps, seeds[c], scale_jitter)
+                for c in range(n_chains)]
+    rngs = [random.Random(s) for s in seeds]
+    current_models = list(bases)
+    current_likes = forward_models_batch(current_models, backend)
+    results = [ChainResult(0, 0, 0) for _ in range(n_chains)]
+    for step in range(steps):
+        proposals = [_perturbed_model(current_models[c], scale_jitter,
+                                      seed=seeds[c] * 1000 + step)
+                     for c in range(n_chains)]
+        proposed_likes = forward_models_batch(proposals, backend)
+        for c in range(n_chains):
+            result = results[c]
+            ratio = _likelihood_ratio(backend, proposed_likes[c],
+                                      current_likes[c])
+            if ratio is None:
+                result.stuck += 1
+                continue
+            if ratio >= 1.0 or rngs[c].random() < ratio:
+                result.accepted += 1
+                current_models[c] = proposals[c]
+                current_likes[c] = proposed_likes[c]
+                result.samples.append(ratio)
+            else:
+                result.rejected += 1
+    return results

@@ -100,8 +100,7 @@ def pbd_pvalue_batch(sites: Sequence[Sequence[BigFloat]], k: int,
     Returns one backend value per site, equal element-for-element to
     calling :func:`pbd_pvalue` per site.  Formats with an array backend
     in :mod:`repro.engine` run the recurrence vectorized over the whole
-    batch; others (the BigFloat oracle, LNS) fall back to the scalar
-    loop.
+    batch; others (the BigFloat oracle) fall back to the scalar loop.
     """
     sites = list(sites)
     if not sites:

@@ -19,7 +19,7 @@ from ..arith.backends import BigFloatBackend
 from ..bigfloat import BigFloat
 from ..core.accuracy import OK, OpResult, score_value
 from ..data.dirichlet import HMMData, sample_hcg_like_hmm
-from .hmm import forward
+from .hmm import forward, forward_models_batch
 
 
 @dataclass(frozen=True)
@@ -102,23 +102,55 @@ def generate_instances(config: VicarConfig) -> List[HMMData]:
     return instances
 
 
+def _oracle_forward(task) -> BigFloat:
+    """Worker entry for the parallel reference pass (module-level so the
+    process pool can pickle it)."""
+    hmm, prec = task
+    return forward(hmm, BigFloatBackend(prec))
+
+
+def reference_likelihoods(instances: Sequence[HMMData], prec: int = 256,
+                          n_workers: Optional[int] = None) -> List[BigFloat]:
+    """Oracle likelihood per instance, optionally fanned across worker
+    processes (the oracle pass dominates run time; instances are
+    independent, and the merge preserves instance order)."""
+    tasks = [(hmm, prec) for hmm in instances]
+    if n_workers is None or n_workers <= 1:
+        return [_oracle_forward(t) for t in tasks]
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork
+        ctx = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+        return list(pool.map(_oracle_forward, tasks, chunksize=1))
+
+
 def run_vicar(config: VicarConfig, backends: Dict[str, Backend],
-              instances: Optional[Sequence[HMMData]] = None) -> VicarResult:
+              instances: Optional[Sequence[HMMData]] = None,
+              batch: bool = False,
+              n_workers: Optional[int] = None) -> VicarResult:
     """Run every backend over every instance; score final likelihoods
-    against the oracle."""
+    against the oracle.
+
+    ``batch=True`` evaluates each format's likelihoods through the
+    vectorized multi-model forward kernel (grouped by H; same results —
+    see :func:`repro.apps.hmm.forward_models_batch`).  ``n_workers``
+    fans the oracle reference pass across processes; the scores are
+    order-preserving and identical for any worker count.
+    """
     if instances is None:
         instances = generate_instances(config)
     result = VicarResult(config)
-    oracle = BigFloatBackend(config.oracle_prec)
-    references: List[BigFloat] = []
-    for hmm in instances:
-        ref = forward(hmm, oracle)
-        references.append(ref)
-        result.reference_scales.append(ref.scale)
+    references = reference_likelihoods(instances, config.oracle_prec,
+                                       n_workers=n_workers)
+    result.reference_scales.extend(ref.scale for ref in references)
     for fmt, backend in backends.items():
-        fmt_scores: List[OpResult] = []
-        for hmm, ref in zip(instances, references):
-            value = forward(hmm, backend)
-            fmt_scores.append(score_value(backend, value, ref))
-        result.scores[fmt] = fmt_scores
+        if batch:
+            values = forward_models_batch(instances, backend)
+        else:
+            values = [forward(hmm, backend) for hmm in instances]
+        result.scores[fmt] = [score_value(backend, value, ref)
+                              for value, ref in zip(values, references)]
     return result

@@ -16,7 +16,6 @@ identities).
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 from .number import DEFAULT_PRECISION, BigFloat

@@ -54,6 +54,12 @@ class BigFloat:
     def __setattr__(self, name, value):  # immutability
         raise AttributeError("BigFloat is immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks pickle's default slot-state
+        # restore; reconstruct through __init__ instead (needed by the
+        # multi-process experiment runners).
+        return (type(self), (self.sign, self.mantissa, self.exponent))
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

@@ -15,7 +15,6 @@ from ..arith.backend import Backend
 from .accuracy import measure_pairs
 from .sweep import (
     FIG3_BINS,
-    OperandPair,
     bin_label,
     binary64_skipped,
     generate_sweep,

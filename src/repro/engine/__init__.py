@@ -8,8 +8,13 @@ this package is the throughput layer on top of them:
   in matching ``sum_mode``);
 * :class:`BatchPosit` — posit(N<=64, ES) on uint64 bit-pattern arrays,
   element-exact against :class:`~repro.formats.posit.PositEnv`;
-* :mod:`~repro.engine.kernels` — forward algorithm over batches of
-  sequences and Poisson-binomial p-values over batches of sites;
+* :class:`BatchLNS` — LNS codes on int64 arrays, element-exact against
+  :class:`~repro.formats.lns.LNSEnv` (exact memoized Gaussian log);
+* :class:`BatchQuire` — exact posit accumulators as uint64 limb
+  arrays, element-exact against :class:`~repro.formats.quire.Quire`;
+* :mod:`~repro.engine.kernels` — forward/backward algorithms over
+  batches of sequences *and* batches of models, Poisson-binomial
+  p-values over batches of sites;
 * :mod:`~repro.engine.runner` — the chunked multi-process sweep runner.
 
 NumPy is a hard install requirement of the distribution (setup.py), so
@@ -17,8 +22,8 @@ the ``HAVE_NUMPY`` gate below is defensive: it keeps this module
 importable if the engine + format/arith core are ever vendored into a
 NumPy-less interpreter, with every batch entry point degrading to
 ``None``/scalar.  Formats without an array implementation (the
-BigFloat oracle, LNS) always take the callers' per-format scalar
-fallback loops, NumPy or not.
+BigFloat oracle) always take the callers' per-format scalar fallback
+loops, NumPy or not.
 """
 
 from __future__ import annotations
@@ -40,13 +45,27 @@ if HAVE_NUMPY:
         BatchLogSpace,
     )
     from .posit_batch import BatchPosit
-    from .kernels import forward_batch, forward_alpha_trace_batch, \
-        pbd_pvalue_batch
+    from .lns_batch import BatchLNS
+    from .quire_batch import (
+        BatchQuire,
+        fused_dot_product_batch,
+        fused_sum_batch,
+    )
+    from .kernels import (
+        backward_batch,
+        forward_batch,
+        forward_alpha_trace_batch,
+        forward_multi_batch,
+        pbd_pvalue_batch,
+    )
     from ..core.accuracy import measure_pairs
     from .runner import run_sweep_parallel
 else:  # pragma: no cover
     BatchBackend = BatchBinary64 = BatchLogSpace = BatchPosit = None
+    BatchLNS = BatchQuire = None
+    fused_dot_product_batch = fused_sum_batch = None
     forward_batch = forward_alpha_trace_batch = pbd_pvalue_batch = None
+    backward_batch = forward_multi_batch = None
     measure_pairs = run_sweep_parallel = None
     SUM_NARY, SUM_SEQUENTIAL = "nary", "sequential"
 
@@ -54,13 +73,14 @@ else:  # pragma: no cover
 def batch_backend_for(backend) -> Optional["BatchBackend"]:
     """The batch backend mirroring a scalar backend, or None.
 
-    Formats without an array implementation (the BigFloat oracle, LNS)
+    Formats without an array implementation (the BigFloat oracle)
     return None; callers keep the scalar loop for those.
     """
     if not HAVE_NUMPY:
         return None
     from ..arith.backends import (
         Binary64Backend,
+        LNSBackend,
         LogSpaceBackend,
         PositBackend,
     )
@@ -70,6 +90,8 @@ def batch_backend_for(backend) -> Optional["BatchBackend"]:
         return BatchLogSpace(scalar=backend)
     if isinstance(backend, PositBackend):
         return BatchPosit(backend.env, scalar=backend)
+    if isinstance(backend, LNSBackend):
+        return BatchLNS(scalar=backend)
     return None
 
 
@@ -86,12 +108,18 @@ __all__ = [
     "SUM_SEQUENTIAL",
     "BatchBackend",
     "BatchBinary64",
+    "BatchLNS",
     "BatchLogSpace",
     "BatchPosit",
+    "BatchQuire",
     "batch_backend_for",
     "standard_batch_backends",
+    "backward_batch",
     "forward_batch",
     "forward_alpha_trace_batch",
+    "forward_multi_batch",
+    "fused_dot_product_batch",
+    "fused_sum_batch",
     "pbd_pvalue_batch",
     "measure_pairs",
     "run_sweep_parallel",

@@ -71,6 +71,73 @@ def forward_alpha_trace_batch(backend: BatchBackend, a: np.ndarray,
     return np.stack(trace, axis=1)
 
 
+def forward_multi_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
+                        pi: np.ndarray, obs: np.ndarray) -> np.ndarray:
+    """Forward algorithm over a batch of *models* (the ViCAR/MCMC shape:
+    every element has its own parameters and its own sequence).
+
+    Parameters
+    ----------
+    a, b, pi:
+        Per-model parameters as backend value arrays: transition
+        ``(B, H, H)``, emission ``(B, H, M)``, initial ``(B, H)``.
+    obs:
+        Integer observation symbols, shape ``(B, T)``.
+
+    Returns the likelihoods, shape ``(B,)``.  Op-for-op identical to
+    running :func:`repro.apps.hmm.forward` once per model: per step,
+    ``alpha'[q] = sum_p(alpha[p] * A[p, q]) * B[q, o_t]`` with the
+    backend's ``sum`` reduction over ``p`` in index order.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    pi = np.asarray(pi)
+    obs = np.asarray(obs)
+    if obs.ndim != 2:
+        raise ValueError("obs must have shape (batch, T)")
+    if a.ndim != 3 or b.ndim != 3 or pi.ndim != 2:
+        raise ValueError("need per-model params: a (B,H,H), b (B,H,M), "
+                         "pi (B,H)")
+    n_batch, t_len = obs.shape
+
+    def emission(t):
+        # b[s, :, obs[s, t]] for every model s, shape (B, H).
+        return np.take_along_axis(
+            b, obs[:, t][:, None, None], axis=2)[..., 0]
+
+    alpha = backend.mul(pi, emission(0))
+    for t in range(1, t_len):
+        # prod[s, p, q] = alpha[s, p] * A[s, p, q]
+        prod = backend.mul(alpha[:, :, None], a)
+        path_sum = backend.sum(prod, axis=1)
+        alpha = backend.mul(path_sum, emission(t))
+    return backend.sum(alpha, axis=1)
+
+
+def backward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
+                   pi: np.ndarray, obs: np.ndarray) -> np.ndarray:
+    """Backward-algorithm likelihoods over a batch of observation
+    sequences (shared model), shape ``(B,)`` — the batched counterpart
+    of :func:`repro.apps.hmm_extra.backward`, op-for-op:
+    ``beta[p] = sum_q(A[p, q] * (B[q, o_t] * beta[q]))`` with the
+    ``sum`` reduction over ``q`` in index order."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    pi = np.asarray(pi)
+    obs = np.asarray(obs)
+    if obs.ndim != 2:
+        raise ValueError("obs must have shape (batch, T)")
+    n_batch, t_len = obs.shape
+    beta = backend.ones((n_batch, a.shape[0]))
+    for t in range(t_len - 1, 0, -1):
+        inner = backend.mul(b[:, obs[:, t]].T, beta)
+        prod = backend.mul(a[None, :, :], inner[:, None, :])
+        beta = backend.sum(prod, axis=2)
+    terms = backend.mul(np.broadcast_to(pi, beta.shape),
+                        backend.mul(b[:, obs[:, 0]].T, beta))
+    return backend.sum(terms, axis=1)
+
+
 def pbd_pvalue_batch(backend: BatchBackend, pn: np.ndarray, qn: np.ndarray,
                      k: int) -> np.ndarray:
     """Poisson-binomial ``P(X >= k)`` over a batch of sites.

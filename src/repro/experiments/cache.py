@@ -1,0 +1,126 @@
+"""On-disk result cache for the experiment runner.
+
+Re-running a figure with unchanged inputs should be a no-op: the cache
+key is a blake2b digest of **code + params** —
+
+* the source bytes of every ``repro`` module (hashed once per process),
+  so *any* code change invalidates every entry, conservatively;
+* the experiment id and the run parameters (scale, batch, workers, ...).
+
+Entries live under ``.repro-cache/`` (override with ``cache_dir`` or
+``$REPRO_CACHE_DIR``) as ``<experiment>-<digest>.json`` files holding
+the rendered report plus metadata.  Invalidation is therefore automatic
+on code or parameter changes; to force a recomputation by hand, delete
+the directory (or pass ``--refresh`` to the CLI).
+
+Only the rendered text is cached — result objects hold BigFloats and
+backend values whose round-trip fidelity is not worth guaranteeing
+here; the runner re-renders from text on a hit and skips ``run``.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import time
+from typing import Optional
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def cache_directory(cache_dir: Optional[str] = None) -> str:
+    if cache_dir is not None:
+        return cache_dir
+    return os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+@functools.lru_cache(maxsize=1)
+def code_digest() -> str:
+    """blake2b over every ``repro`` source file (path + bytes, sorted).
+
+    Hashing the whole package is deliberate: experiments reach through
+    apps, formats and the engine, so a narrower hash would risk stale
+    hits after a dependency-module change.  The tree is ~100 small
+    files; one pass per process is negligible next to any experiment.
+    """
+    import repro
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.blake2b(digest_size=16)
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            digest.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as f:
+                digest.update(f.read())
+    return digest.hexdigest()
+
+
+def params_key(experiment_id: str, params: dict) -> str:
+    """Deterministic digest of one run's identity: code + id + params."""
+    payload = json.dumps({"code": code_digest(), "experiment": experiment_id,
+                          "params": params}, sort_keys=True)
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+def _entry_path(directory: str, experiment_id: str, key: str) -> str:
+    return os.path.join(directory, f"{experiment_id}-{key}.json")
+
+
+def load(experiment_id: str, params: dict,
+         cache_dir: Optional[str] = None) -> Optional[dict]:
+    """The cached entry for this (code, experiment, params), or None."""
+    directory = cache_directory(cache_dir)
+    path = _entry_path(directory, experiment_id, params_key(experiment_id,
+                                                            params))
+    try:
+        with open(path) as f:
+            entry = json.load(f)
+    except (OSError, ValueError):
+        return None
+    if entry.get("experiment") != experiment_id:
+        return None
+    return entry
+
+
+def store(experiment_id: str, params: dict, text: str,
+          cache_dir: Optional[str] = None,
+          elapsed_seconds: Optional[float] = None) -> str:
+    """Persist one rendered report; returns the entry path."""
+    directory = cache_directory(cache_dir)
+    os.makedirs(directory, exist_ok=True)
+    key = params_key(experiment_id, params)
+    entry = {
+        "experiment": experiment_id,
+        "params": params,
+        "code_digest": code_digest(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "elapsed_seconds": elapsed_seconds,
+        "text": text,
+    }
+    path = _entry_path(directory, experiment_id, key)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as f:
+        json.dump(entry, f, indent=1)
+    os.replace(tmp, path)  # atomic: concurrent runners can't tear entries
+    return path
+
+
+def clear(cache_dir: Optional[str] = None) -> int:
+    """Delete every cache entry; returns the number removed."""
+    directory = cache_directory(cache_dir)
+    removed = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    for name in names:
+        if name.endswith(".json"):
+            os.remove(os.path.join(directory, name))
+            removed += 1
+    return removed

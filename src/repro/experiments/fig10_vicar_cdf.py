@@ -34,7 +34,12 @@ class Fig10Result:
                 for fmt in res.scores}
 
 
-def run(scale: str = "bench", seed: int = 0) -> Fig10Result:
+def run(scale: str = "bench", seed: int = 0, batch: bool = False,
+        n_workers: int = None) -> Fig10Result:
+    """``batch=True`` evaluates the format likelihoods through the
+    vectorized multi-model forward kernel; ``n_workers`` fans the
+    oracle reference pass across processes.  Results are identical
+    either way (see :func:`repro.apps.vicar.run_vicar`)."""
     length, per_h, h_values = SCALES[scale]
     backends = {
         "log": LogSpaceBackend(),
@@ -45,7 +50,8 @@ def run(scale: str = "bench", seed: int = 0) -> Fig10Result:
         config = VicarConfig(length=length, h_values=h_values,
                              matrices_per_h=per_h,
                              bits_per_step=total_bits / length, seed=seed)
-        panels[name] = run_vicar(config, backends)
+        panels[name] = run_vicar(config, backends, batch=batch,
+                                 n_workers=n_workers)
     return Fig10Result(panels)
 
 

@@ -1,10 +1,18 @@
 """Figure 6: forward-algorithm unit wall-clock time and relative
-improvement, H in {13, 32, 64, 128}, T = 500,000, 300 MHz."""
+improvement, H in {13, 32, 64, 128}, T = 500,000, 300 MHz.
+
+``batch=True`` additionally measures a *software* log-space forward
+baseline on this machine — the scalar backend loop vs the vectorized
+:mod:`repro.engine` kernel — in millions of alpha-updates per second
+(one update = one mul-add of the ``H x H`` recurrence), quantifying the
+gap the paper's accelerators close versus software emulation.
+"""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..hw.forward_unit import ForwardUnit
 from ..hw.pe import LOG, POSIT
@@ -12,6 +20,11 @@ from ..report.tables import render_table
 
 H_VALUES = (13, 32, 64, 128)
 T = 500_000
+
+#: Software-baseline measurement sizes (kept small: the scalar loop is
+#: the slow side being quantified).
+SW_T = 200
+SW_BATCH = 16
 
 
 @dataclass
@@ -21,6 +34,9 @@ class Fig6Row:
     log_seconds: float
     paper_posit: float
     paper_log: float
+    #: Measured software log-space forward throughput (batch=True only).
+    sw_scalar_mmaps: Optional[float] = None
+    sw_batch_mmaps: Optional[float] = None
 
     @property
     def improvement_pct(self) -> float:
@@ -31,17 +47,45 @@ class Fig6Row:
         return 100.0 * (self.paper_log - self.paper_posit) / self.paper_log
 
 
-def run(t: int = T) -> List[Fig6Row]:
+def _software_mmaps(h: int, t: int = SW_T, n_batch: int = SW_BATCH) -> tuple:
+    """(scalar, batched) log-space forward throughput in millions of
+    alpha-updates (H*H mul-adds per step) per second."""
+    import numpy as np
+
+    from ..apps.hmm import forward, forward_batch
+    from ..arith.backends import LogSpaceBackend
+    from ..data.dirichlet import sample_hmm
+
+    backend = LogSpaceBackend(sum_mode="sequential")
+    hmm = sample_hmm(h, 8, t, seed=h)
+    obs = np.random.default_rng(h).integers(0, 8, size=(n_batch, t))
+    updates = h * h * (t - 1)
+
+    start = time.perf_counter()
+    forward(hmm, backend)
+    scalar_rate = updates / (time.perf_counter() - start) / 1e6
+
+    start = time.perf_counter()
+    forward_batch(hmm, backend, obs)
+    batch_rate = n_batch * updates / (time.perf_counter() - start) / 1e6
+    return scalar_rate, batch_rate
+
+
+def run(t: int = T, batch: bool = False) -> List[Fig6Row]:
     rows = []
     for h in H_VALUES:
         posit = ForwardUnit(POSIT, h)
         log = ForwardUnit(LOG, h)
-        rows.append(Fig6Row(h, posit.seconds(t), log.seconds(t),
-                            posit.paper_seconds(t), log.paper_seconds(t)))
+        row = Fig6Row(h, posit.seconds(t), log.seconds(t),
+                      posit.paper_seconds(t), log.paper_seconds(t))
+        if batch:
+            row.sw_scalar_mmaps, row.sw_batch_mmaps = _software_mmaps(h)
+        rows.append(row)
     return rows
 
 
 def render(rows: List[Fig6Row]) -> str:
+    measured = any(r.sw_batch_mmaps is not None for r in rows)
     table = [{
         "H": r.h,
         "posit (s)": r.posit_seconds,
@@ -50,6 +94,8 @@ def render(rows: List[Fig6Row]) -> str:
         "paper posit (s)": r.paper_posit,
         "paper log (s)": r.paper_log,
         "paper improvement %": r.paper_improvement_pct,
+        **({"sw scalar MMAPS": r.sw_scalar_mmaps,
+            "sw batch MMAPS": r.sw_batch_mmaps} if measured else {}),
     } for r in rows]
     return render_table(table, title=f"Figure 6: forward unit wall-clock "
                                      f"time (T={T:,}, 300 MHz)")

@@ -6,7 +6,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from ..hw.column_unit import ColumnUnit, DatasetShape, paper_scale_shapes
+from ..hw.column_unit import ColumnUnit, paper_scale_shapes
 from ..hw.pe import LOG, POSIT
 from ..report.tables import render_table
 

@@ -2,13 +2,20 @@
 
 Usage::
 
-    python -m repro.experiments.runner            # list experiments
-    python -m repro.experiments.runner fig3       # run one (bench scale)
-    python -m repro.experiments.runner all --scale test
-    python -m repro.experiments.runner fig3 --batch --workers 4
+    python -m repro.experiments                   # list experiments
+    python -m repro.experiments fig3              # run one (bench scale)
+    python -m repro.experiments --all --scale test
+    python -m repro.experiments fig3 --batch --workers 4
+    python -m repro.experiments --all --refresh   # ignore cached results
+
+(``python -m repro.experiments.runner`` still works.)
 
 ``--batch``/``--workers`` route experiments that support them through
 the vectorized engine (:mod:`repro.engine`); others ignore the flags.
+Rendered reports are cached under ``.repro-cache/`` keyed on code +
+params (:mod:`repro.experiments.cache`), so re-running a figure with
+unchanged inputs performs no recomputation; ``--no-cache`` bypasses the
+cache entirely and ``--refresh`` recomputes and overwrites.
 """
 
 from __future__ import annotations
@@ -18,6 +25,8 @@ import inspect
 import sys
 import time
 from typing import Callable, Dict, NamedTuple, Optional
+
+from . import cache as result_cache
 
 from . import (
     bitbudget_curves,
@@ -44,6 +53,10 @@ class Experiment(NamedTuple):
     run: Callable
     render: Callable
     scalable: bool  # whether run() takes a scale argument
+    #: True when batch=True adds wall-clock measurements to the result
+    #: (fig6's software MMAPS columns): such runs are never cached,
+    #: since replaying a stale timing would masquerade as a fresh one.
+    measures_wallclock: bool = False
 
 
 REGISTRY: Dict[str, Experiment] = {
@@ -56,7 +69,8 @@ REGISTRY: Dict[str, Experiment] = {
     "table2": Experiment("table2", "arithmetic unit resources",
                          table2_units.run, table2_units.render, False),
     "fig6": Experiment("fig6", "forward unit performance",
-                       fig6_forward_perf.run, fig6_forward_perf.render, False),
+                       fig6_forward_perf.run, fig6_forward_perf.render, False,
+                       measures_wallclock=True),
     "fig7": Experiment("fig7", "column unit performance",
                        fig7_column_perf.run, fig7_column_perf.render, False),
     "fig8": Experiment("fig8", "MMAPS per CLB",
@@ -83,15 +97,51 @@ REGISTRY: Dict[str, Experiment] = {
 }
 
 
+def _cache_params(exp: Experiment, scale: str, batch: bool) -> dict:
+    """The parameter dict a run's cache entry is keyed on.
+
+    Only result-affecting inputs belong here: ``scale`` for scalable
+    experiments and ``batch`` where the experiment accepts it.
+    ``n_workers`` is deliberately excluded — the parallel runners are
+    deterministic and order-preserving, so worker count cannot change a
+    result.
+    """
+    params: dict = {}
+    if exp.scalable:
+        params["scale"] = scale
+    if "batch" in inspect.signature(exp.run).parameters:
+        params["batch"] = bool(batch)
+    return params
+
+
 def run_experiment(experiment_id: str, scale: str = "bench",
                    out_dir: Optional[str] = None,
                    batch: bool = False,
-                   n_workers: Optional[int] = None) -> str:
+                   n_workers: Optional[int] = None,
+                   use_cache: bool = False,
+                   cache_dir: Optional[str] = None,
+                   refresh: bool = False) -> str:
     """Run one experiment and return its rendered report; optionally
     persist text + JSON under ``out_dir``.
 
     ``batch``/``n_workers`` are forwarded to experiments whose ``run``
-    accepts them (fig3, fig9, fig11) and ignored elsewhere."""
+    accepts them and ignored elsewhere.  With ``use_cache=True`` the
+    rendered report is looked up in / stored to the on-disk result
+    cache (:mod:`repro.experiments.cache`); a hit skips ``run``
+    entirely.  ``refresh=True`` recomputes and overwrites the entry.
+    Two situations always recompute: ``out_dir`` (the structured JSON
+    report needs the live result object, which is not cached) and
+    wall-clock-measuring runs (fig6 with ``batch=True`` — a replayed
+    timing would masquerade as a fresh measurement).
+    """
+    text, _hit = _run_experiment(experiment_id, scale, out_dir, batch,
+                                 n_workers, use_cache, cache_dir, refresh)
+    return text
+
+
+def _run_experiment(experiment_id, scale, out_dir, batch, n_workers,
+                    use_cache, cache_dir, refresh):
+    """(rendered text, served-from-cache) for one experiment run."""
     exp = REGISTRY[experiment_id]
     kwargs = {}
     params = inspect.signature(exp.run).parameters
@@ -99,11 +149,24 @@ def run_experiment(experiment_id: str, scale: str = "bench",
         kwargs["batch"] = True
     if n_workers is not None and "n_workers" in params:
         kwargs["n_workers"] = n_workers
+    if out_dir is not None or (exp.measures_wallclock and batch):
+        use_cache = False
+    key_params = _cache_params(exp, scale, batch)
+    if use_cache and not refresh:
+        entry = result_cache.load(experiment_id, key_params,
+                                  cache_dir=cache_dir)
+        if entry is not None:
+            return entry["text"], True
+    start = time.time()
     result = exp.run(scale, **kwargs) if exp.scalable else exp.run(**kwargs)
     text = exp.render(result)
+    if use_cache:
+        result_cache.store(experiment_id, key_params, text,
+                           cache_dir=cache_dir,
+                           elapsed_seconds=time.time() - start)
     if out_dir is not None:
         save_report(out_dir, experiment_id, text, result, scale)
-    return text
+    return text, False
 
 
 def main(argv=None) -> int:
@@ -112,6 +175,9 @@ def main(argv=None) -> int:
                     "trade-offs in Computational Statistics' (IISWC 2025)")
     parser.add_argument("experiment", nargs="?", default=None,
                         help="experiment id (e.g. fig3) or 'all'")
+    parser.add_argument("--all", action="store_true", dest="run_all",
+                        help="run every figure/table (same as the 'all' "
+                             "positional)")
     parser.add_argument("--scale", default="bench",
                         choices=("test", "bench", "full"))
     parser.add_argument("--out", default=None, metavar="DIR",
@@ -122,22 +188,40 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="fan supported sweeps across N worker "
                              "processes (implies chunked generation)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache location (default .repro-cache, "
+                             "or $REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the result cache")
+    parser.add_argument("--refresh", action="store_true",
+                        help="recompute even on a cache hit, overwriting "
+                             "the entry")
     args = parser.parse_args(argv)
-    if args.experiment is None:
+    if args.run_all and args.experiment not in (None, "all"):
+        parser.error(f"--all conflicts with the named experiment "
+                     f"{args.experiment!r}; pass one or the other")
+    if args.experiment is None and not args.run_all:
         print("Available experiments:")
         for exp in REGISTRY.values():
             print(f"  {exp.experiment_id:8s} {exp.description}")
         return 0
-    targets = list(REGISTRY) if args.experiment == "all" else [args.experiment]
+    if args.run_all or args.experiment == "all":
+        targets = list(REGISTRY)
+    else:
+        targets = [args.experiment]
     for target in targets:
         if target not in REGISTRY:
             print(f"unknown experiment {target!r}", file=sys.stderr)
             return 2
         start = time.time()
         print(f"\n===== {target} =====")
-        print(run_experiment(target, args.scale, out_dir=args.out,
-                             batch=args.batch, n_workers=args.workers))
-        print(f"[{target} finished in {time.time() - start:.1f}s]")
+        text, hit = _run_experiment(target, args.scale, args.out,
+                                    args.batch, args.workers,
+                                    not args.no_cache, args.cache_dir,
+                                    args.refresh)
+        print(text)
+        note = " (cached)" if hit else ""
+        print(f"[{target} finished in {time.time() - start:.1f}s{note}]")
     return 0
 
 

@@ -4,7 +4,7 @@ paper's plot convention, drawn in text."""
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 
 def render_box_line(p5: float, p25: float, median: float, p75: float,

@@ -6,7 +6,6 @@ import math
 import numpy as np
 import pytest
 
-from repro.apps import forward
 from repro.apps.baum_welch import baum_welch, improvement_decades
 from repro.arith import BigFloatBackend, Binary64Backend, LogSpaceBackend, PositBackend
 from repro.data import sample_hcg_like_hmm, sample_hmm

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bigfloat import BigFloat, RNE, RTZ
+from repro.bigfloat import BigFloat, RTZ
 
 
 def bf(x):
@@ -229,8 +229,10 @@ def test_mul_matches_native_double(a, b):
 
 
 @settings(max_examples=200, deadline=None)
-@given(st.floats(allow_nan=False, allow_infinity=False, width=64, min_value=1e-300, max_value=1e300),
-       st.floats(allow_nan=False, allow_infinity=False, width=64, min_value=1e-300, max_value=1e300))
+@given(st.floats(allow_nan=False, allow_infinity=False, width=64,
+                 min_value=1e-300, max_value=1e300),
+       st.floats(allow_nan=False, allow_infinity=False, width=64,
+                 min_value=1e-300, max_value=1e300))
 def test_div_matches_native_double(a, b):
     res = a / b
     if math.isinf(res) or res == 0.0:

@@ -4,10 +4,9 @@ import math
 
 import pytest
 
-from repro.arith import Binary64Backend, LogSpaceBackend, PositBackend, standard_backends
+from repro.arith import Binary64Backend, LogSpaceBackend, PositBackend
 from repro.bigfloat import BigFloat
 from repro.core import (
-    OK,
     UNDERFLOW,
     measure_op,
     score_log10,

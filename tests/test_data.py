@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.bigfloat import BigFloat, log2 as bf_log2
+from repro.bigfloat import BigFloat
 from repro.apps import reference_pvalue
 from repro.data import (
     CALL_THRESHOLD_SCALE,

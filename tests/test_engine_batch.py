@@ -48,9 +48,15 @@ class TestFactory:
         assert isinstance(bb, BatchPosit)
         assert bb.env is scalar.env
 
+    def test_lns_shares_env(self):
+        from repro.engine import BatchLNS
+        scalar = LNSBackend()
+        bb = batch_backend_for(scalar)
+        assert isinstance(bb, BatchLNS)
+        assert bb.env is scalar.env
+
     def test_unsupported_formats_return_none(self):
         assert batch_backend_for(BigFloatBackend()) is None
-        assert batch_backend_for(LNSBackend()) is None
 
     def test_standard_batch_backends(self):
         batches = standard_batch_backends()

@@ -1,0 +1,143 @@
+"""BatchLNS vs the scalar LNSEnv/LNSBackend: element-exact, always.
+
+Exhaustive at small widths (every code pair, zero included), seeded
+property sampling at the full 64-bit configuration, plus the fold and
+kernel plumbing contracts.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.arith.backends import LNSBackend
+from repro.bigfloat import BigFloat
+from repro.engine import BatchLNS, batch_backend_for
+from repro.engine.lns_batch import ZERO_CODE
+from repro.formats.lns import LNS_ZERO, LNSEnv
+
+
+def _all_values(env):
+    return [LNS_ZERO] + list(range(env.min_code, env.max_code + 1))
+
+
+@pytest.mark.parametrize("int_bits,frac_bits", [(2, 2), (3, 2), (4, 3)])
+def test_exhaustive_small_width(int_bits, frac_bits):
+    env = LNSEnv(int_bits, frac_bits)
+    scalar = LNSBackend(env)
+    batch = BatchLNS(scalar=scalar)
+    values = _all_values(env)
+    pairs = list(itertools.product(values, values))
+    a = np.array([batch._to_code(x) for x, _ in pairs], dtype=np.int64)
+    b = np.array([batch._to_code(y) for _, y in pairs], dtype=np.int64)
+    got_add = batch.add(a, b)
+    got_mul = batch.mul(a, b)
+    for i, (x, y) in enumerate(pairs):
+        assert batch.item(got_add, i) == scalar.add(x, y), (x, y)
+        assert batch.item(got_mul, i) == scalar.mul(x, y), (x, y)
+
+
+def test_property_full_width():
+    """lns(12,50) — the repo's default 64-bit LNS — on a seeded sample
+    covering balanced adds, deep gaps, saturation edges and zeros."""
+    env = LNSEnv(12, 50)
+    scalar = LNSBackend(env)
+    batch = BatchLNS(scalar=scalar)
+    rng = np.random.default_rng(0)
+    edges = [env.min_code, env.min_code + 1, -1, 0, 1,
+             env.max_code - 1, env.max_code]
+    codes = list(rng.integers(env.min_code, env.max_code + 1, size=60))
+    near = [int(c) for c in rng.integers(-(1 << 52), 1 << 52, size=60)]
+    pool = [int(c) for c in codes] + near + edges + [None, None]
+    rng.shuffle(pool)
+    xs = [LNS_ZERO if v is None else v for v in pool]
+    ys = list(reversed(xs))
+    a = np.array([batch._to_code(x) for x in xs], dtype=np.int64)
+    b = np.array([batch._to_code(y) for y in ys], dtype=np.int64)
+    got_add = batch.add(a, b)
+    got_mul = batch.mul(a, b)
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        assert batch.item(got_add, i) == scalar.add(x, y), (x, y)
+        assert batch.item(got_mul, i) == scalar.mul(x, y), (x, y)
+
+
+def test_sb_shortcuts_match_exact():
+    """The vectorized sb shortcuts (d == 0, certified rounds-to-zero
+    floor) must agree with the oracle-backed scalar sb."""
+    env = LNSEnv(6, 8)
+    batch = BatchLNS(env)
+    floor = int(batch._sb_floor)
+    for d in (0, -1, floor + 1, floor, floor - 1, 4 * floor):
+        got = int(batch._sb_codes(np.array([d], dtype=np.int64))[0])
+        assert got == env._sb_exact(d), d
+    # The certified region never reaches the memo.
+    assert all(k > floor for k in batch._sb_cache if k < 0)
+
+
+def test_sb_memo_reused_across_calls():
+    env = LNSEnv(12, 50)
+    batch = BatchLNS(env)
+    d = np.array([-12345, -67890, -12345], dtype=np.int64)
+    first = batch._sb_codes(d)
+    size = batch.sb_cache_size()
+    second = batch._sb_codes(d)
+    assert batch.sb_cache_size() == size  # no recomputation
+    assert (first == second).all()
+
+
+def test_sum_matches_scalar_fold():
+    env = LNSEnv(8, 20)
+    scalar = LNSBackend(env)
+    batch = BatchLNS(scalar=scalar)
+    rng = np.random.default_rng(1)
+    rows = [[int(c) for c in rng.integers(-(1 << 24), 1 << 24, size=6)]
+            for _ in range(4)]
+    rows[1][2] = None  # a zero in the middle of the fold
+    arr = np.array([[ZERO_CODE if v is None else v for v in row]
+                    for row in rows], dtype=np.int64)
+    got = batch.sum(arr, axis=1)
+    for i, row in enumerate(rows):
+        want = scalar.sum(LNS_ZERO if v is None else v for v in row)
+        assert batch.item(got, i) == want
+
+
+def test_conversions_and_identities():
+    env = LNSEnv(12, 50)
+    scalar = LNSBackend(env)
+    batch = BatchLNS(scalar=scalar)
+    probs = [0.5, 1.0, 1e-300, 0.0, 3.25]
+    arr = batch.from_floats(probs)
+    for i, p in enumerate(probs):
+        assert batch.item(arr, i) == scalar.from_float(p)
+    bfs = [BigFloat.from_float(p) for p in probs]
+    arr2 = batch.from_bigfloats(bfs)
+    assert (arr == arr2).all()
+    assert batch.is_zero(arr).tolist() == [False, False, False, True, False]
+    assert (batch.ones(3) == 0).all()
+    assert batch.is_zero(batch.zeros(3)).all()
+
+
+def test_factory_and_guards():
+    scalar = LNSBackend()
+    bb = batch_backend_for(scalar)
+    assert isinstance(bb, BatchLNS)
+    assert bb.scalar is scalar and bb.env is scalar.env
+    assert bb.name == scalar.name
+    with pytest.raises(ValueError):
+        BatchLNS(LNSEnv(12, 52))  # codes would overflow int64 sums
+    with pytest.raises(ValueError):
+        BatchLNS(LNSEnv(2, 2), scalar=LNSBackend(LNSEnv(3, 2)))
+
+
+def test_forward_batch_routes_lns_through_engine():
+    """apps.forward_batch now vectorizes LNS (it used to be a scalar
+    fallback format) — and stays bit-for-bit with the scalar forward."""
+    from repro.apps.hmm import forward, forward_batch
+    from repro.data.dirichlet import sample_hcg_like_hmm
+    hmm = sample_hcg_like_hmm(4, 10, seed=2, bits_per_step=120.0)
+    obs = np.array([hmm.observations, hmm.observations[::-1]])
+    backend = LNSBackend()
+    got = forward_batch(hmm, backend, obs)
+    want = [forward(hmm, backend, observations=tuple(int(o) for o in row))
+            for row in obs]
+    assert got == want

@@ -1,0 +1,162 @@
+"""BatchQuire vs the scalar Quire: element-exact accumulate-and-round.
+
+Exhaustive pairwise coverage at small widths (like the BatchPosit
+tests), randomized chain/dot-product coverage at 8 and 16 bits, plus
+special-value and sizing behaviour.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchQuire, fused_dot_product_batch
+from repro.engine.quire_batch import fused_sum_batch, quire_limbs
+from repro.formats.posit import PositEnv
+from repro.formats.quire import Quire, fused_dot_product
+
+
+def _scalar_fdp(env, xs, ys):
+    return fused_dot_product(env, [int(v) for v in xs],
+                             [int(v) for v in ys])
+
+
+@pytest.mark.parametrize("nbits,es", [(4, 0), (5, 1), (6, 1)])
+def test_exhaustive_pairwise_products(nbits, es):
+    """Every (a, b): quire(a*b) rounds exactly like the scalar quire."""
+    env = PositEnv(nbits, es)
+    pairs = list(itertools.product(range(1 << nbits), repeat=2))
+    a = np.array([x for x, _ in pairs], dtype=np.uint64)
+    b = np.array([y for _, y in pairs], dtype=np.uint64)
+    q = BatchQuire(env, a.shape)
+    q.add_product(a, b)
+    got = q.to_posit()
+    for i, (x, y) in enumerate(pairs):
+        want = Quire(env).add_product(x, y).to_posit()
+        assert int(got[i]) == want, (x, y)
+
+
+@pytest.mark.parametrize("nbits,es", [(5, 0), (6, 1)])
+def test_exhaustive_pairwise_sums(nbits, es):
+    """Every (a, b): quire(a + b) rounds exactly like the scalar quire
+    (covers cancellation down to exact zero and NaR absorption)."""
+    env = PositEnv(nbits, es)
+    pairs = list(itertools.product(range(1 << nbits), repeat=2))
+    a = np.array([x for x, _ in pairs], dtype=np.uint64)
+    b = np.array([y for _, y in pairs], dtype=np.uint64)
+    q = BatchQuire(env, a.shape)
+    q.add_posit(a).add_posit(b)
+    got = q.to_posit()
+    for i, (x, y) in enumerate(pairs):
+        want = Quire(env).add_posit(x).add_posit(y).to_posit()
+        assert int(got[i]) == want, (x, y)
+
+
+@pytest.mark.parametrize("nbits,es", [(8, 0), (8, 1), (16, 1)])
+def test_random_mixed_chains(nbits, es):
+    """Randomized add/sub/product chains, including sign cancellation."""
+    env = PositEnv(nbits, es)
+    rng = np.random.default_rng(nbits * 31 + es)
+    n_chains, length = 120, 8
+    xs = rng.integers(0, 1 << nbits, size=(n_chains, length)).astype(np.uint64)
+    ys = rng.integers(0, 1 << nbits, size=(n_chains, length)).astype(np.uint64)
+    q = BatchQuire(env, (n_chains,))
+    for k in range(length):
+        if k % 3 == 0:
+            q.add_product(xs[:, k], ys[:, k])
+        elif k % 3 == 1:
+            q.add_posit(xs[:, k])
+        else:
+            q.sub_posit(ys[:, k])
+    got = q.to_posit()
+    for i in range(n_chains):
+        sq = Quire(env)
+        for k in range(length):
+            if k % 3 == 0:
+                sq.add_product(int(xs[i, k]), int(ys[i, k]))
+            elif k % 3 == 1:
+                sq.add_posit(int(xs[i, k]))
+            else:
+                sq.sub_posit(int(ys[i, k]))
+        assert int(got[i]) == sq.to_posit(), i
+
+
+def test_fused_dot_product_batch_matches_scalar():
+    env = PositEnv(8, 1)
+    rng = np.random.default_rng(7)
+    xs = rng.integers(0, 256, size=(40, 12)).astype(np.uint64)
+    ys = rng.integers(0, 256, size=(40, 12)).astype(np.uint64)
+    got = fused_dot_product_batch(env, xs, ys)
+    for i in range(xs.shape[0]):
+        assert int(got[i]) == _scalar_fdp(env, xs[i], ys[i]), i
+
+
+def test_fused_sum_batch_matches_env():
+    env = PositEnv(8, 1)
+    rng = np.random.default_rng(8)
+    arr = rng.integers(0, 256, size=(30, 10)).astype(np.uint64)
+    got = fused_sum_batch(env, arr, axis=1)
+    for i in range(arr.shape[0]):
+        assert int(got[i]) == env.fused_sum(int(v) for v in arr[i]), i
+
+
+def test_specials_and_clear():
+    env = PositEnv(8, 1)
+    q = BatchQuire(env, (4,))
+    one = env.from_float(1.0)
+    bits = np.array([0, env.nar, one, one], dtype=np.uint64)
+    q.add_posit(bits)
+    q.sub_posit(np.array([0, 0, 0, one], dtype=np.uint64))
+    out = q.to_posit()
+    assert int(out[0]) == 0          # only zeros accumulated
+    assert int(out[1]) == env.nar    # NaR is sticky
+    assert int(out[2]) == one
+    assert int(out[3]) == 0          # exact cancellation
+    assert q.is_nar.tolist() == [False, True, False, False]
+    q.clear()
+    assert (q.to_posit() == 0).all()
+    assert not q.is_nar.any()
+
+
+def test_accumulation_beats_per_op_rounding():
+    """The quire's reason to exist: summing many sub-ulp terms must not
+    lose them to per-add rounding (the repo's ablation argument)."""
+    env = PositEnv(16, 1)
+    tiny = env.minpos
+    n_terms = 1 << 12
+    q = BatchQuire(env, ())
+    for _ in range(n_terms):
+        q.add_posit(np.uint64(tiny))
+    exact = Quire(env)
+    for _ in range(n_terms):
+        exact.add_posit(tiny)
+    assert int(q.to_posit()) == exact.to_posit()
+    # Per-op rounding of the same stream collapses to a different sum.
+    acc = 0
+    for _ in range(n_terms):
+        acc = env.add(acc, tiny)
+    assert acc != exact.to_posit()
+
+
+def test_wide_configurations_are_refused():
+    """posit(64, >=9) quires span thousands of limbs; the constructor
+    refuses them unless the caller raises the cap explicitly."""
+    env = PositEnv(64, 18)
+    assert quire_limbs(env) > 100_000
+    with pytest.raises(ValueError, match="impractical"):
+        BatchQuire(env, (2,))
+
+
+def test_practical_64bit_configuration():
+    """Small-ES 64-bit posits have practical quires; spot-check one."""
+    env = PositEnv(64, 2)
+    assert quire_limbs(env) <= 32
+    rng = np.random.default_rng(9)
+    floats = 2.0 ** rng.uniform(-40, 40, size=16)
+    from repro.engine import BatchPosit
+    bp = BatchPosit(env)
+    bits = bp.from_floats(floats)
+    got = fused_sum_batch(env, bits.reshape(4, 4), axis=1)
+    for i in range(4):
+        assert int(got[i]) == env.fused_sum(
+            int(v) for v in bits.reshape(4, 4)[i]), i

@@ -124,6 +124,12 @@ class TestAccuracyFigures:
 
 
 class TestRunner:
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, tmp_path, monkeypatch):
+        """The CLI caches results under .repro-cache by default; keep
+        test runs from writing into the working tree."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
     def test_registry_complete(self):
         assert set(REGISTRY) == {
             "fig1", "table1", "fig3", "table2", "fig6", "fig7", "fig8",

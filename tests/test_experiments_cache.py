@@ -1,0 +1,196 @@
+"""The on-disk result cache: keying, hit/miss behaviour, and the
+acceptance property that a second run with unchanged params performs no
+recomputation.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import cache
+from repro.experiments.runner import REGISTRY, Experiment, main, run_experiment
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    yield
+
+
+class TestKeying:
+    def test_params_change_key(self):
+        a = cache.params_key("fig3", {"scale": "test"})
+        b = cache.params_key("fig3", {"scale": "bench"})
+        c = cache.params_key("fig9", {"scale": "test"})
+        assert len({a, b, c}) == 3
+
+    def test_key_is_stable(self):
+        assert cache.params_key("fig3", {"scale": "test", "batch": True}) \
+            == cache.params_key("fig3", {"batch": True, "scale": "test"})
+
+    def test_code_digest_covers_the_package(self, monkeypatch):
+        digest = cache.code_digest()
+        assert len(digest) == 32
+        # The digest is memoized per process and deterministic.
+        assert cache.code_digest() == digest
+
+
+class TestStoreLoad:
+    def test_roundtrip(self):
+        params = {"scale": "test"}
+        assert cache.load("figX", params) is None
+        path = cache.store("figX", params, "rendered report",
+                           elapsed_seconds=1.5)
+        assert os.path.exists(path)
+        entry = cache.load("figX", params)
+        assert entry["text"] == "rendered report"
+        assert entry["experiment"] == "figX"
+        assert entry["code_digest"] == cache.code_digest()
+
+    def test_corrupt_entry_is_a_miss(self):
+        params = {"scale": "test"}
+        path = cache.store("figX", params, "ok")
+        with open(path, "w") as f:
+            f.write("{not json")
+        assert cache.load("figX", params) is None
+
+    def test_clear(self):
+        cache.store("figX", {}, "a")
+        cache.store("figY", {}, "b")
+        assert cache.clear() == 2
+        assert cache.load("figX", {}) is None
+
+
+class TestRunnerCaching:
+    @pytest.fixture
+    def counted_registry(self, monkeypatch):
+        """Wrap every experiment's run() with an invocation counter."""
+        counts = {}
+
+        def wrap(exp):
+            def run(*args, **kwargs):
+                counts[exp.experiment_id] = \
+                    counts.get(exp.experiment_id, 0) + 1
+                return exp.run(*args, **kwargs)
+            return Experiment(exp.experiment_id, exp.description, run,
+                              exp.render, exp.scalable)
+
+        wrapped = {k: wrap(v) for k, v in REGISTRY.items()}
+        monkeypatch.setattr("repro.experiments.runner.REGISTRY", wrapped)
+        return counts
+
+    def test_second_run_performs_no_recomputation(self, counted_registry):
+        first = run_experiment("table1", use_cache=True)
+        second = run_experiment("table1", use_cache=True)
+        assert counted_registry["table1"] == 1
+        assert first == second
+
+    def test_refresh_recomputes(self, counted_registry):
+        run_experiment("table1", use_cache=True)
+        run_experiment("table1", use_cache=True, refresh=True)
+        assert counted_registry["table1"] == 2
+
+    def test_no_cache_always_recomputes(self, counted_registry):
+        run_experiment("table1")
+        run_experiment("table1")
+        assert counted_registry["table1"] == 2
+
+    def test_scale_changes_miss(self, counted_registry):
+        run_experiment("fig1", scale="test", use_cache=True)
+        run_experiment("fig1", scale="test", use_cache=True)
+        run_experiment("fig1", scale="bench", use_cache=True)
+        assert counted_registry["fig1"] == 2
+
+    def test_out_dir_bypasses_cache_for_full_reports(self, tmp_path,
+                                                     counted_registry):
+        """--out needs the live result object for the structured JSON,
+        so it always recomputes (and never serves a text-only hit)."""
+        run_experiment("table1", use_cache=True)
+        out = tmp_path / "reports"
+        text = run_experiment("table1", use_cache=True, out_dir=str(out))
+        assert counted_registry["table1"] == 2
+        assert (out / "table1.txt").read_text().rstrip("\n") == text
+        assert (out / "table1.json").exists()
+
+    def test_wallclock_measuring_run_is_never_cached(self, monkeypatch):
+        """fig6 --batch measures this machine; replaying a stale timing
+        would masquerade as a fresh measurement."""
+        calls = {"n": 0}
+
+        def run(batch=False):
+            calls["n"] += 1
+            return []
+
+        fake = Experiment("fig6", "fake", run, lambda rows: "report",
+                          False, measures_wallclock=True)
+        monkeypatch.setattr("repro.experiments.runner.REGISTRY",
+                            {"fig6": fake})
+        run_experiment("fig6", batch=True, use_cache=True)
+        run_experiment("fig6", batch=True, use_cache=True)
+        assert calls["n"] == 2
+        # The model-only variant stays cacheable.
+        run_experiment("fig6", use_cache=True)
+        run_experiment("fig6", use_cache=True)
+        assert calls["n"] == 3
+
+    def test_cli_single_uses_cache(self, counted_registry, capsys):
+        assert main(["table1", "--scale", "test"]) == 0
+        capsys.readouterr()
+        assert main(["table1", "--scale", "test"]) == 0
+        assert "(cached)" in capsys.readouterr().out
+        assert counted_registry["table1"] == 1
+
+    def test_cli_all_uses_cache(self, monkeypatch, capsys):
+        """The acceptance criterion: a second ``--all`` invocation with
+        unchanged params recomputes nothing.  A two-entry registry keeps
+        the test fast; the real registry's modules are each exercised
+        end-to-end by tests/test_experiments_smoke.py."""
+        counts = {"a": 0, "b": 0}
+
+        def make(name):
+            def run(scale):
+                counts[name] += 1
+                return f"{name}@{scale}"
+            return Experiment(name, f"fake {name}", run, str, True)
+
+        monkeypatch.setattr("repro.experiments.runner.REGISTRY",
+                            {n: make(n) for n in counts})
+        assert main(["--all", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "===== a =====" in out and "===== b =====" in out
+        assert "(cached)" not in out
+        assert main(["--all", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("(cached)") == 2
+        assert counts == {"a": 1, "b": 1}
+        # The positional spelling is equivalent.
+        assert main(["all", "--scale", "test"]) == 0
+        assert counts == {"a": 1, "b": 1}
+        # --all plus a conflicting named experiment is an error, not a
+        # silent run-everything.
+        with pytest.raises(SystemExit):
+            main(["a", "--all"])
+
+    def test_cli_no_cache_flag(self, counted_registry, capsys):
+        assert main(["table1", "--no-cache"]) == 0
+        assert main(["table1", "--no-cache"]) == 0
+        assert counted_registry["table1"] == 2
+
+    def test_code_change_invalidates(self, counted_registry, monkeypatch):
+        run_experiment("table1", use_cache=True)
+        monkeypatch.setattr("repro.experiments.cache.code_digest",
+                            lambda: "deadbeef" * 4)
+        run_experiment("table1", use_cache=True)
+        assert counted_registry["table1"] == 2
+
+    def test_entries_are_json_with_metadata(self, counted_registry):
+        run_experiment("table1", use_cache=True)
+        directory = cache.cache_directory()
+        names = [n for n in os.listdir(directory)
+                 if n.startswith("table1-")]
+        assert len(names) == 1
+        with open(os.path.join(directory, names[0])) as f:
+            entry = json.load(f)
+        assert entry["elapsed_seconds"] >= 0.0
+        assert entry["params"] == {}

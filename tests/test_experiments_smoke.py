@@ -1,0 +1,64 @@
+"""Every figure/table module must run end-to-end at tiny sizes.
+
+Discovery is glob-based (``repro.experiments.fig*``/``table*``), not
+registry-based, so a newly added figure module cannot silently rot: it
+either registers and passes the smoke run, or this suite fails loudly
+telling the author to register it.
+"""
+
+import inspect
+import pkgutil
+
+import pytest
+
+import repro.experiments as experiments_pkg
+from repro.experiments.runner import REGISTRY
+
+#: Keyword overrides that keep non-``scale`` modules tiny in a smoke run.
+TINY_KWARGS = {
+    "n_datasets": 2,
+    "t": 5_000,
+}
+
+
+def _discover_modules():
+    return sorted(
+        name for _finder, name, _ispkg
+        in pkgutil.iter_modules(experiments_pkg.__path__)
+        if name.startswith(("fig", "table")))
+
+
+MODULES = _discover_modules()
+
+
+def test_discovery_found_the_suite():
+    """Guards the discovery itself (an empty glob would vacuously pass)."""
+    assert len(MODULES) >= 12
+    assert "fig3_op_accuracy" in MODULES
+    assert "table1_range" in MODULES
+
+
+def test_every_figure_module_is_registered():
+    registered = {exp.run.__module__.rsplit(".", 1)[-1]
+                  for exp in REGISTRY.values()}
+    missing = [m for m in MODULES if m not in registered]
+    assert not missing, (
+        f"experiment modules not in the runner REGISTRY: {missing}")
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_runs_end_to_end(module_name):
+    """Import, run at the smallest supported size, and render."""
+    module = __import__(f"repro.experiments.{module_name}",
+                        fromlist=[module_name])
+    assert hasattr(module, "run") and hasattr(module, "render"), module_name
+    params = inspect.signature(module.run).parameters
+    kwargs = {}
+    if "scale" in params:
+        kwargs["scale"] = "test"
+    for name, value in TINY_KWARGS.items():
+        if name in params:
+            kwargs[name] = value
+    result = module.run(**kwargs)
+    text = module.render(result)
+    assert isinstance(text, str) and text.strip(), module_name

@@ -5,7 +5,6 @@ tracing."""
 import itertools
 import math
 
-import numpy as np
 import pytest
 
 from repro.arith import (

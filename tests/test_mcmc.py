@@ -1,7 +1,5 @@
 """MCMC-over-HMM tests: the underflow-breaks-inference motivation."""
 
-import pytest
-
 from repro.apps.mcmc import ChainResult, run_chain
 from repro.arith import BigFloatBackend, Binary64Backend, LogSpaceBackend, PositBackend
 from repro.formats import PositEnv

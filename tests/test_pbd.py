@@ -13,7 +13,14 @@ from repro.arith import (
     LogSpaceBackend,
     PositBackend,
 )
-from repro.apps import complement, pbd_pmf, pbd_pvalue, pbd_pvalue_float, pbd_pvalue_log, reference_pvalue
+from repro.apps import (
+    complement,
+    pbd_pmf,
+    pbd_pvalue,
+    pbd_pvalue_float,
+    pbd_pvalue_log,
+    reference_pvalue,
+)
 from repro.bigfloat import BigFloat, relative_error
 from repro.formats import PositEnv
 

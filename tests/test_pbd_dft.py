@@ -4,7 +4,6 @@ with the recurrence in the bulk, failure in the deep tail."""
 import math
 
 import numpy as np
-import pytest
 from scipy import stats
 
 from repro.apps import (

@@ -206,7 +206,7 @@ def test_ieee_fma_bit_exact_vs_libm(a, b, c):
 def test_quire_matches_exact_sum_of_two(a, b):
     env = PositEnv(16, 1)
     da, db = env.decode(a), env.decode(b)
-    from repro.formats.posit import NAR, ZERO
+    from repro.formats.posit import NAR
     if da is NAR or db is NAR:
         return
     q = Quire(env).add_posit(a).add_posit(b)

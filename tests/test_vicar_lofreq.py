@@ -7,7 +7,7 @@ from repro.arith import LogSpaceBackend, PositBackend, standard_backends
 from repro.apps import run_vicar, scaled_config
 from repro.apps.lofreq import run_lofreq
 from repro.apps.vicar import VicarConfig, generate_instances, paper_config
-from repro.data import column_for_target_scale, stratified_columns
+from repro.data import column_for_target_scale
 from repro.formats import PositEnv
 
 import numpy as np
