@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: fail when a recorded speedup drops below
+its gate.
+
+Reads every ``BENCH_*.json`` found in the given files/directories
+(default: the repo root's committed artifacts) and enforces the
+execution plane's standing performance guarantees:
+
+* ``batch_throughput.forward_log_batch64`` — the batched log-space
+  forward algorithm must stay >= 10x the scalar loop;
+* ``apps_throughput.vicar_forward_multi*`` — the multi-model forward
+  (the ViCAR/Figure 10 shape) must stay >= 5x.
+
+CI points this script at the current run's bench artifacts *and* the
+previous successful run's (downloaded by the ``bench-gate`` job), so a
+regression in either fails the build.  Shared runners make wall-clock
+flaky, so the job lowers the floors through the same
+``REPRO_FORWARD_SPEEDUP_FLOOR`` / ``REPRO_APPS_SPEEDUP_FLOOR``
+environment variables the smoke suite uses; the committed repo-root
+JSONs (recorded on dedicated hardware) are checked at the full floors
+by ``tests/test_bench_gate.py``.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py [path ...]
+
+Paths may be ``BENCH_*.json`` files or directories to scan; missing
+paths are skipped with a note (the first CI run has no previous
+artifact), but a below-gate speedup in any file that *does* exist exits
+nonzero.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+from typing import Dict, Iterable, List, Tuple
+
+#: (benchmark name, result-key prefix) -> (env var, default floor).
+GATES: Dict[Tuple[str, str], Tuple[str, float]] = {
+    ("batch_throughput", "forward_log_batch"):
+        ("REPRO_FORWARD_SPEEDUP_FLOOR", 10.0),
+    ("apps_throughput", "vicar_forward_multi"):
+        ("REPRO_APPS_SPEEDUP_FLOOR", 5.0),
+}
+
+
+def gate_floors(env: Dict[str, str]) -> Dict[Tuple[str, str], float]:
+    """The effective floor per gate, honoring the env overrides."""
+    return {key: float(env.get(var, default))
+            for key, (var, default) in GATES.items()}
+
+
+def check_payload(payload: dict,
+                  floors: Dict[Tuple[str, str], float]) -> List[str]:
+    """Violation messages for one parsed ``BENCH_*.json`` payload."""
+    bench = payload.get("benchmark", "")
+    results = payload.get("results", {})
+    violations = []
+    for (gated_bench, prefix), floor in floors.items():
+        if bench != gated_bench:
+            continue
+        for key, record in results.items():
+            if not key.startswith(prefix):
+                continue
+            speedup = record.get("speedup")
+            if speedup is None or speedup < floor:
+                violations.append(
+                    f"{bench}.{key}: speedup {speedup} below the "
+                    f">={floor}x gate")
+    return violations
+
+
+def collect_files(paths: Iterable[str]) -> List[str]:
+    """Every BENCH_*.json under the given files/directories."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(sorted(glob.glob(os.path.join(path, "**",
+                                                       "BENCH_*.json"),
+                                          recursive=True)))
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            print(f"note: {path} does not exist; skipping "
+                  f"(first run has no previous artifacts)")
+    return files
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        args = [os.path.dirname(os.path.dirname(os.path.abspath(__file__)))]
+    files = collect_files(args)
+    if not files:
+        print("no BENCH_*.json artifacts found; nothing to gate")
+        return 0
+    floors = gate_floors(os.environ)
+    failures = []
+    for path in files:
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+        except (OSError, ValueError) as exc:
+            failures.append(f"{path}: unreadable ({exc})")
+            continue
+        for violation in check_payload(payload, floors):
+            failures.append(f"{path}: {violation}")
+        print(f"checked {path} ({payload.get('benchmark', '?')})")
+    if failures:
+        print("\nbenchmark regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nall gates met across {len(files)} artifact(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

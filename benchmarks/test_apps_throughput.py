@@ -22,7 +22,7 @@ from repro.apps.mcmc import run_chain, run_chains
 from repro.arith import LogSpaceBackend
 from repro.arith.backends import LNSBackend
 from repro.data.dirichlet import sample_hcg_like_hmm
-from repro.engine import BatchLNS, BatchQuire
+from repro.engine import BatchLNS, BatchQuire, ExecPlan
 from repro.formats.posit import PositEnv
 from repro.formats.quire import Quire
 
@@ -65,7 +65,10 @@ def test_vicar_multi_model_forward_speedup(report):
 
     scalar_subset = 2
     start = time.perf_counter()
-    scalar_values = [forward(m, backend) for m in models[:scalar_subset]]
+    # Pin the legacy scalar recurrence: the default forward() is now
+    # itself the batched kernel (B=1).
+    scalar_values = [forward(m, backend, plan=ExecPlan.serial())
+                     for m in models[:scalar_subset]]
     scalar_per_model = (time.perf_counter() - start) / scalar_subset
 
     speedup = scalar_per_model / batch_per_model
@@ -102,7 +105,8 @@ def test_mcmc_chains_speedup(report):
 
     scalar_subset = 2
     start = time.perf_counter()
-    scalar = [run_chain(backend, bases[i], steps, seeds[i])
+    scalar = [run_chain(backend, bases[i], steps, seeds[i],
+                        plan=ExecPlan.serial())
               for i in range(scalar_subset)]
     scalar_per_chain = (time.perf_counter() - start) / scalar_subset
 

@@ -21,7 +21,7 @@ import pytest
 from repro.apps.hmm import forward, forward_batch
 from repro.arith import Binary64Backend, LogSpaceBackend, PositBackend
 from repro.data.dirichlet import sample_hmm
-from repro.engine import BatchLogSpace, BatchPosit, batch_backend_for
+from repro.engine import BatchLogSpace, BatchPosit, ExecPlan, batch_backend_for
 from repro.formats import PositEnv
 from repro.formats.logspace import lse2, lse_sequential
 
@@ -193,7 +193,8 @@ class TestForwardAcceptance:
         for i in range(self.SCALAR_SEQS):
             scalar_values.append(forward(
                 hmm, backend,
-                observations=tuple(int(o) for o in obs[i])))
+                observations=tuple(int(o) for o in obs[i]),
+                plan=ExecPlan.serial()))
         scalar_per_seq = (time.perf_counter() - t0) / self.SCALAR_SEQS
 
         speedup = scalar_per_seq / batch_per_seq
@@ -219,7 +220,8 @@ class TestForwardAcceptance:
         batch_per_seq = (time.perf_counter() - t0) / self.B
         t0 = time.perf_counter()
         want = forward(hmm, backend,
-                       observations=tuple(int(o) for o in obs[0]))
+                       observations=tuple(int(o) for o in obs[0]),
+                       plan=ExecPlan.serial())
         scalar_per_seq = time.perf_counter() - t0
         _RESULTS["forward_binary64_batch64"] = {
             "scalar_s_per_seq": scalar_per_seq,
@@ -243,7 +245,8 @@ def test_forward_posit_batch_speedup(report):
     batch_values = forward_batch(hmm, backend, obs)
     batch_per_seq = (time.perf_counter() - t0) / b_sz
     t0 = time.perf_counter()
-    want = forward(hmm, backend, observations=tuple(int(o) for o in obs[0]))
+    want = forward(hmm, backend, observations=tuple(int(o) for o in obs[0]),
+                   plan=ExecPlan.serial())
     scalar_per_seq = time.perf_counter() - t0
     speedup = scalar_per_seq / batch_per_seq
     _RESULTS[f"forward_posit64_12_batch{b_sz}"] = {

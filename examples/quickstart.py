@@ -9,7 +9,7 @@ reason why.
 Run:  python examples/quickstart.py
 """
 
-from repro.arith import standard_backends
+from repro.arith import REGISTRY, standard_backends
 from repro.bigfloat import BigFloat, log10_relative_error
 from repro.core import measure_op, table1_rows
 from repro.formats import PositEnv, Real
@@ -17,6 +17,15 @@ from repro.report import render_table
 
 
 def main():
+    # ------------------------------------------------------------------
+    # 0. The execution plane: one registry entry per format.
+    # ------------------------------------------------------------------
+    print("Registered formats (scalar backend + batch mirror + flags):")
+    for name in REGISTRY.names():
+        caps = REGISTRY.capabilities(name)
+        batch = "batched" if caps.batch else "scalar-only"
+        print(f"  {name:14s} {caps.exactness:14s} {batch}")
+    print()
     # ------------------------------------------------------------------
     # 1. A probability far outside binary64's range: 2**-20_000.
     # ------------------------------------------------------------------

@@ -10,8 +10,10 @@ Package map (see DESIGN.md for the full inventory):
 
 * :mod:`repro.bigfloat` — arbitrary-precision oracle (MPFR substitute)
 * :mod:`repro.formats` — posit / IEEE / log-space number formats
-* :mod:`repro.arith` — format-generic arithmetic backends
-* :mod:`repro.engine` — vectorized batch backends + parallel sweep runner
+* :mod:`repro.arith` — format-generic arithmetic backends + the format
+  registry (construction, batch pairing, capability flags)
+* :mod:`repro.engine` — the execution plane: canonical batch kernels,
+  :class:`~repro.engine.plan.ExecPlan`, parallel sweep runner
 * :mod:`repro.core` — accuracy sweeps, bit-budget analysis, range tables
 * :mod:`repro.apps` — forward algorithm (VICAR), PBD p-values (LoFreq)
 * :mod:`repro.data` — synthetic workload generators

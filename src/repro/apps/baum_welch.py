@@ -100,8 +100,8 @@ def baum_welch(hmm: HMMData, backend: Backend, iterations: int = 5) -> TrainingT
                             backend.mul(b_vals[j][obs[t + 1]],
                                         betas[t + 1][j]))
                         xi_sum[i][j] = backend.add(xi_sum[i][j], xi)
-        if any(backend.is_zero(g) for g in gamma_sum) or \
-                any(backend.is_zero(g) for g in gamma_total):
+        if (any(backend.is_zero(g) for g in gamma_sum)
+                or any(backend.is_zero(g) for g in gamma_total)):
             return TrainingTrace(log2_likes, False, True, None)
         a_new = [[backend.div(xi_sum[i][j], gamma_sum[i]) for j in range(h)]
                  for i in range(h)]
@@ -110,8 +110,8 @@ def baum_welch(hmm: HMMData, backend: Backend, iterations: int = 5) -> TrainingT
         pi_norm = backend.sum(pi_new)
         pi_new = [backend.div(p, pi_norm) for p in pi_new]
         current = _to_hmm(backend, a_new, b_new, pi_new, obs)
-    converged = len(log2_likes) >= 2 and \
-        abs(log2_likes[-1] - log2_likes[-2]) < 1e-3 * max(1.0, abs(log2_likes[-1]))
+    converged = len(log2_likes) >= 2 and abs(
+        log2_likes[-1] - log2_likes[-2]) < 1e-3 * max(1.0, abs(log2_likes[-1]))
     return TrainingTrace(log2_likes, converged, False, current)
 
 

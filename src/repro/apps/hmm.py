@@ -1,11 +1,18 @@
 """Hidden Markov Model forward algorithm (Section V.A, Listings 1 and 3).
 
-The generic implementation follows Listing 1's structure exactly and is
-parameterized by an arithmetic :class:`~repro.arith.Backend`; with the
-log-space backend the code *is* Listing 3 (multiplications become float
-adds, the accumulation becomes the n-ary LSE of Equation 3).  Optimized
-numpy fast paths for binary64 and log-space are provided and cross-checked
-against the generic implementation in the tests.
+The *canonical* implementation is the batched kernel in
+:mod:`repro.engine.kernels`: :func:`forward` is a B=1 view over it for
+every format whose batch mirror is certified exact by the format
+registry (binary64 bit-identical; posit/LNS element-exact; log-space in
+``sequential`` sum mode).  Formats without a certified mirror — the
+BigFloat oracle, log-space's default n-ary mode, the tracing wrapper —
+run the scalar reference recurrence, which follows Listing 1's
+structure exactly and is parameterized by an arithmetic
+:class:`~repro.arith.Backend`; with the log-space backend that code *is*
+Listing 3 (multiplications become float adds, the accumulation becomes
+the n-ary LSE of Equation 3).  Optimized numpy fast paths for binary64
+and log-space are provided and cross-checked against the generic
+implementation in the tests.
 """
 
 from __future__ import annotations
@@ -17,17 +24,28 @@ import numpy as np
 from ..arith.backend import Backend
 from ..bigfloat import BigFloat
 from ..data.dirichlet import HMMData
+from ..engine.plan import ExecPlan, resolve_plan
 from ..formats.real import Real
 
 
-def forward(hmm: HMMData, backend: Backend, observations=None):
-    """Run the forward algorithm; return the likelihood P(O | lambda) as
-    a backend value (use ``backend.to_bigfloat`` to score it)."""
-    obs = hmm.observations if observations is None else observations
-    h = hmm.n_states
+def model_values(hmm: HMMData, backend: Backend) -> tuple:
+    """One HMM's parameters as backend values, converted exactly once.
+
+    Conversion is input-side methodology (the paper rounds exact MPFR
+    operands into each format), so it is hoisted out of the per-sequence
+    recurrences: repeated-sequence sweeps must not redo
+    ``from_bigfloat`` work per sequence.
+    """
     a = [[backend.from_bigfloat(x) for x in row] for row in hmm.transition]
     b = [[backend.from_bigfloat(x) for x in row] for row in hmm.emission]
     pi = [backend.from_bigfloat(x) for x in hmm.initial]
+    return a, b, pi
+
+
+def _forward_values(backend: Backend, a, b, pi, obs):
+    """Listing 1 over pre-converted parameters: the scalar reference
+    recurrence, kept for formats without a certified batch mirror."""
+    h = len(pi)
     # t = 0: alpha[q] = pi[q] * B[q][o0]
     o0 = obs[0]
     alpha_prev = [backend.mul(pi[q], b[q][o0]) for q in range(h)]
@@ -42,15 +60,53 @@ def forward(hmm: HMMData, backend: Backend, observations=None):
     return backend.sum(alpha_prev)
 
 
+def _kernel_backend(backend: Backend, plan: ExecPlan, *,
+                    certified: bool = True):
+    """The batch mirror the plan selects (see
+    :func:`repro.engine.plan_batch_backend`), or None for the scalar
+    path."""
+    from ..engine import plan_batch_backend
+    return plan_batch_backend(backend, plan, certified=certified)
+
+
+def forward(hmm: HMMData, backend: Backend, observations=None,
+            plan: Optional[ExecPlan] = None):
+    """Run the forward algorithm; return the likelihood P(O | lambda) as
+    a backend value (use ``backend.to_bigfloat`` to score it).
+
+    Runs through the batched kernel as a batch of one wherever the
+    format's batch mirror is certified exact (the canonical path);
+    ``plan=ExecPlan.serial()`` forces the legacy scalar recurrence.
+    Results are identical either way — that is the certification.
+    """
+    plan = resolve_plan(plan, where="forward")
+    obs = hmm.observations if observations is None else observations
+    bb = _kernel_backend(backend, plan)
+    if bb is not None:
+        from ..engine.kernels import forward_batch as forward_batch_kernel
+        obs_arr = np.asarray([tuple(int(o) for o in obs)], dtype=np.intp)
+        a, b, pi = batch_model_arrays(hmm, bb)
+        return bb.item(forward_batch_kernel(bb, a, b, pi, obs_arr), 0)
+    a, b, pi = model_values(hmm, backend)
+    return _forward_values(backend, a, b, pi, obs)
+
+
 def forward_alpha_trace(hmm: HMMData, backend: Backend,
-                        reduce: str = "sum") -> list:
+                        plan: Optional[ExecPlan] = None) -> list:
     """Per-iteration alpha summaries (backend values): the data behind
-    Figure 1.  ``reduce`` is ``"sum"`` (total mass) or ``"max"``."""
+    Figure 1.  A B=1 view over the batched trace kernel for certified
+    formats; scalar recurrence otherwise."""
+    plan = resolve_plan(plan, where="forward_alpha_trace")
     obs = hmm.observations
+    bb = _kernel_backend(backend, plan)
+    if bb is not None:
+        from ..engine.kernels import forward_alpha_trace_batch
+        obs_arr = np.asarray([tuple(int(o) for o in obs)], dtype=np.intp)
+        a, b, pi = batch_model_arrays(hmm, bb)
+        trace = forward_alpha_trace_batch(bb, a, b, pi, obs_arr)
+        return [bb.item(trace, (0, t)) for t in range(trace.shape[1])]
+    a, b, pi = model_values(hmm, backend)
     h = hmm.n_states
-    a = [[backend.from_bigfloat(x) for x in row] for row in hmm.transition]
-    b = [[backend.from_bigfloat(x) for x in row] for row in hmm.emission]
-    pi = [backend.from_bigfloat(x) for x in hmm.initial]
     o0 = obs[0]
     alpha_prev = [backend.mul(pi[q], b[q][o0]) for q in range(h)]
     trace = [backend.sum(alpha_prev)]
@@ -81,7 +137,8 @@ def alpha_scale_series(hmm: HMMData, prec: int = 96) -> List[int]:
 # ----------------------------------------------------------------------
 def batch_model_arrays(hmm: HMMData, batch_backend):
     """Convert one HMM's parameters into backend-value arrays, once per
-    batch (the scalar path re-converts per sequence)."""
+    batch (the scalar path hoists the same conversion via
+    :func:`model_values`)."""
     h, m = hmm.n_states, hmm.n_symbols
     a = batch_backend.from_bigfloats(
         [x for row in hmm.transition for x in row]).reshape(h, h)
@@ -91,8 +148,8 @@ def batch_model_arrays(hmm: HMMData, batch_backend):
     return a, b, pi
 
 
-def forward_batch(hmm: HMMData, backend: Backend,
-                  observations=None) -> list:
+def forward_batch(hmm: HMMData, backend: Backend, observations=None,
+                  plan: Optional[ExecPlan] = None) -> list:
     """Forward algorithm over a batch of observation sequences.
 
     ``observations`` is a ``(B, T)`` integer array (default: a batch of
@@ -102,61 +159,76 @@ def forward_batch(hmm: HMMData, backend: Backend,
     and log-space with ``sum_mode="sequential"``; for log-space's
     default n-ary mode the batched LSE matches to within an ulp (NumPy's
     SIMD ``exp`` is not libm's; see :mod:`repro.engine.batch`).  Formats
-    with an array backend in :mod:`repro.engine` run vectorized; others
-    (the BigFloat oracle) fall back to the scalar loop.
+    with an array backend run through the vectorized kernel, sliced
+    into groups of at most ``plan.batch_size``; others (the BigFloat
+    oracle) run the scalar recurrence with the model conversion hoisted
+    out of the per-sequence loop.
     """
-    from ..engine import batch_backend_for
+    plan = resolve_plan(plan, where="forward_batch")
     if observations is None:
         observations = [hmm.observations]
-    bb = batch_backend_for(backend)
+    bb = _kernel_backend(backend, plan, certified=False)
     if bb is None:
-        return [forward(hmm, backend, observations=tuple(int(o) for o in seq))
+        a, b, pi = model_values(hmm, backend)
+        return [_forward_values(backend, a, b, pi,
+                                tuple(int(o) for o in seq))
                 for seq in observations]
     from ..engine.kernels import forward_batch as forward_batch_kernel
     obs = np.asarray(observations, dtype=np.intp)
     a, b, pi = batch_model_arrays(hmm, bb)
-    out = forward_batch_kernel(bb, a, b, pi, obs)
-    return [bb.item(out, i) for i in range(obs.shape[0])]
+    values: list = []
+    for rows in plan.group_slices(obs.shape[0]):
+        out = forward_batch_kernel(bb, a, b, pi, obs[rows])
+        values.extend(bb.item(out, i) for i in range(out.shape[0]))
+    return values
 
 
-def forward_models_batch(models, backend: Backend) -> list:
+def forward_models_batch(models, backend: Backend,
+                         plan: Optional[ExecPlan] = None, *,
+                         certified: bool = False) -> list:
     """Forward likelihoods for many *models* (each with its own
     parameters and observation sequence) — the ViCAR/MCMC shape.
 
     Models are grouped by ``(H, M, T)`` and each group runs through
-    :func:`repro.engine.kernels.forward_multi_batch` in one vectorized
-    pass; the returned list matches the input order and equals calling
-    :func:`forward` per model (exactly for binary64, posit, LNS, and
-    log-space with ``sum_mode="sequential"``; within an ulp for
-    log-space's default n-ary mode).  Formats without an array backend
-    (the BigFloat oracle) fall back to the scalar loop.
+    :func:`repro.engine.kernels.forward_multi_batch` in vectorized
+    passes of at most ``plan.batch_size`` models; the returned list
+    matches the input order and equals calling :func:`forward` per
+    model (exactly for binary64, posit, LNS, and log-space with
+    ``sum_mode="sequential"``; within an ulp for log-space's default
+    n-ary mode).  Formats without an array backend (the BigFloat
+    oracle) fall back to the scalar loop.  ``certified=True`` restricts
+    the kernel to reduction-certified mirrors, so results are
+    guaranteed identical to the scalar loop (what MH acceptance
+    decisions need); n-ary log-space then takes the scalar path.
     """
-    from ..engine import batch_backend_for
+    plan = resolve_plan(plan, where="forward_models_batch")
     models = list(models)
-    bb = batch_backend_for(backend)
+    bb = _kernel_backend(backend, plan, certified=certified)
     if bb is None:
-        return [forward(hmm, backend) for hmm in models]
+        return [forward(hmm, backend, plan=plan) for hmm in models]
     from ..engine.kernels import forward_multi_batch
     groups: dict = {}
     for i, hmm in enumerate(models):
         key = (hmm.n_states, hmm.n_symbols, hmm.length)
         groups.setdefault(key, []).append(i)
     out: list = [None] * len(models)
-    for (h, m, _t), indices in groups.items():
-        a = bb.from_bigfloats(
-            [x for i in indices for row in models[i].transition
-             for x in row]).reshape(len(indices), h, h)
-        b = bb.from_bigfloats(
-            [x for i in indices for row in models[i].emission
-             for x in row]).reshape(len(indices), h, m)
-        pi = bb.from_bigfloats(
-            [x for i in indices for x in models[i].initial]
-        ).reshape(len(indices), h)
-        obs = np.array([models[i].observations for i in indices],
-                       dtype=np.intp)
-        likes = forward_multi_batch(bb, a, b, pi, obs)
-        for j, i in enumerate(indices):
-            out[i] = bb.item(likes, j)
+    for (h, m, _t), group in groups.items():
+        for rows in plan.group_slices(len(group)):
+            indices = group[rows]
+            a = bb.from_bigfloats(
+                [x for i in indices for row in models[i].transition
+                 for x in row]).reshape(len(indices), h, h)
+            b = bb.from_bigfloats(
+                [x for i in indices for row in models[i].emission
+                 for x in row]).reshape(len(indices), h, m)
+            pi = bb.from_bigfloats(
+                [x for i in indices for x in models[i].initial]
+            ).reshape(len(indices), h)
+            obs = np.array([models[i].observations for i in indices],
+                           dtype=np.intp)
+            likes = forward_multi_batch(bb, a, b, pi, obs)
+            for j, i in enumerate(indices):
+                out[i] = bb.item(likes, j)
     return out
 
 

@@ -12,20 +12,17 @@ suite strong cross-validation invariants:
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..arith.backend import Backend
 from ..data.dirichlet import HMMData
+from ..engine.plan import ExecPlan, resolve_plan
 
 
-def backward(hmm: HMMData, backend: Backend):
-    """The backward algorithm: returns the likelihood P(O | lambda)
-    computed right-to-left (must agree with :func:`repro.apps.forward`)."""
-    obs = hmm.observations
-    h = hmm.n_states
-    a = [[backend.from_bigfloat(x) for x in row] for row in hmm.transition]
-    b = [[backend.from_bigfloat(x) for x in row] for row in hmm.emission]
-    pi = [backend.from_bigfloat(x) for x in hmm.initial]
+def _backward_values(backend: Backend, a, b, pi, obs):
+    """Right-to-left recurrence over pre-converted parameters: the
+    scalar reference, kept for formats without a certified mirror."""
+    h = len(pi)
     one = backend.one()
     beta = [one] * h
     for t in range(len(obs) - 1, 0, -1):
@@ -38,35 +35,64 @@ def backward(hmm: HMMData, backend: Backend):
         backend.mul(pi[q], backend.mul(b[q][o0], beta[q])) for q in range(h))
 
 
-def backward_batch(hmm: HMMData, backend: Backend,
-                   observations=None) -> list:
-    """Backward-algorithm likelihoods over a batch of observation
-    sequences (``(B, T)`` ints; default: a batch of one, the HMM's own
-    sequence).  Same contract as :func:`repro.apps.hmm.forward_batch`:
-    formats with an array backend run vectorized and equal the scalar
-    :func:`backward` per sequence (exactly, except log-space's default
-    n-ary mode which matches within an ulp); others fall back to the
-    scalar loop.
+def backward(hmm: HMMData, backend: Backend,
+             plan: Optional[ExecPlan] = None):
+    """The backward algorithm: returns the likelihood P(O | lambda)
+    computed right-to-left (must agree with :func:`repro.apps.forward`).
+
+    A B=1 view over the batched backward kernel wherever the format's
+    mirror is *reduction-certified* (so this scalar entry point never
+    changes results); ``plan=ExecPlan.serial()`` forces the scalar
+    recurrence.
     """
     import numpy as np
 
-    from ..engine import batch_backend_for
-    from .hmm import batch_model_arrays
+    from ..engine import plan_batch_backend
+    from .hmm import batch_model_arrays, model_values
+    plan = resolve_plan(plan, where="backward")
+    bb = plan_batch_backend(backend, plan)
+    if bb is None:
+        a, b, pi = model_values(hmm, backend)
+        return _backward_values(backend, a, b, pi, hmm.observations)
+    from ..engine.kernels import backward_batch as backward_batch_kernel
+    obs = np.asarray([tuple(int(o) for o in hmm.observations)],
+                     dtype=np.intp)
+    a, b, pi = batch_model_arrays(hmm, bb)
+    return bb.item(backward_batch_kernel(bb, a, b, pi, obs), 0)
+
+
+def backward_batch(hmm: HMMData, backend: Backend,
+                   observations=None,
+                   plan: Optional[ExecPlan] = None) -> list:
+    """Backward-algorithm likelihoods over a batch of observation
+    sequences (``(B, T)`` ints; default: a batch of one, the HMM's own
+    sequence).  Same contract as :func:`repro.apps.hmm.forward_batch`:
+    formats with an array backend run the vectorized kernel in groups
+    of at most ``plan.batch_size`` and equal the scalar recurrence per
+    sequence (exactly, except log-space's default n-ary mode, which
+    matches within an ulp); others run the scalar loop with the model
+    conversion hoisted out of the per-sequence recurrence.
+    """
+    import numpy as np
+
+    from .hmm import _kernel_backend, batch_model_arrays, model_values
+    plan = resolve_plan(plan, where="backward_batch")
     if observations is None:
         observations = [hmm.observations]
-    bb = batch_backend_for(backend)
+    bb = _kernel_backend(backend, plan, certified=False)
     if bb is None:
-        out = []
-        for seq in observations:
-            clone = HMMData(hmm.transition, hmm.emission, hmm.initial,
-                            tuple(int(o) for o in seq))
-            out.append(backward(clone, backend))
-        return out
+        a, b, pi = model_values(hmm, backend)
+        return [_backward_values(backend, a, b, pi,
+                                 tuple(int(o) for o in seq))
+                for seq in observations]
     from ..engine.kernels import backward_batch as backward_batch_kernel
     obs = np.asarray(observations, dtype=np.intp)
     a, b, pi = batch_model_arrays(hmm, bb)
-    out = backward_batch_kernel(bb, a, b, pi, obs)
-    return [bb.item(out, i) for i in range(obs.shape[0])]
+    values: list = []
+    for rows in plan.group_slices(obs.shape[0]):
+        out = backward_batch_kernel(bb, a, b, pi, obs[rows])
+        values.extend(bb.item(out, i) for i in range(out.shape[0]))
+    return values
 
 
 def forward_matrix(hmm: HMMData, backend: Backend) -> List[list]:

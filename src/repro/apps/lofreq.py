@@ -17,7 +17,8 @@ from ..arith.backends import BigFloatBackend
 from ..bigfloat import BigFloat
 from ..core.accuracy import OK, OVERFLOW, UNDERFLOW, OpResult, score_value
 from ..data.genome import CALL_THRESHOLD_SCALE, Column
-from .pbd import pbd_pvalue
+from ..engine.plan import ExecPlan, resolve_plan
+from .pbd import pbd_pvalue, pbd_pvalue_batch
 
 
 @dataclass
@@ -90,24 +91,27 @@ def reference_pvalues(columns: Sequence[Column], prec: int = 256) -> List[BigFlo
 
 
 def column_pvalues(columns: Sequence[Column], backend: Backend,
-                   batch: bool = False) -> List:
+                   plan: Optional[ExecPlan] = None, **deprecated) -> List:
     """Each column's p-value as a backend value, in column order.
 
-    With ``batch=True`` columns are grouped by ``(depth, k)`` — the
-    shape a batched recurrence shares — and each group runs through
-    :func:`repro.apps.pbd.pbd_pvalue_batch` in one vectorized pass.
-    Results are identical to the scalar loop either way.
+    The canonical path groups columns by ``(depth, k)`` — the shape a
+    batched recurrence shares — and runs each group through
+    :func:`repro.apps.pbd.pbd_pvalue_batch` vectorized;
+    ``plan=ExecPlan.serial()`` forces the scalar per-column loop.
+    Results are identical either way.
     """
-    if not batch:
-        return [pbd_pvalue(c.success_probs, c.k, backend) for c in columns]
-    from .pbd import pbd_pvalue_batch
+    plan = resolve_plan(plan, deprecated, where="column_pvalues")
+    if not plan.batch:
+        return [pbd_pvalue(c.success_probs, c.k, backend, plan=plan)
+                for c in columns]
     groups: Dict[tuple, List[int]] = {}
     for i, column in enumerate(columns):
         groups.setdefault((column.depth, column.k), []).append(i)
     values: List = [None] * len(columns)
     for (_depth, k), indices in groups.items():
         batch_values = pbd_pvalue_batch(
-            [columns[i].success_probs for i in indices], k, backend)
+            [columns[i].success_probs for i in indices], k, backend,
+            plan=plan)
         for i, value in zip(indices, batch_values):
             values[i] = value
     return values
@@ -115,18 +119,21 @@ def column_pvalues(columns: Sequence[Column], backend: Backend,
 
 def run_lofreq(columns: Sequence[Column], backends: Dict[str, Backend],
                references: Optional[Sequence[BigFloat]] = None,
-               prec: int = 256, batch: bool = False) -> LoFreqResult:
+               prec: int = 256, plan: Optional[ExecPlan] = None,
+               **deprecated) -> LoFreqResult:
     """Compute every column's p-value in every format and score it.
 
-    ``batch=True`` computes p-values through the batched engine (same
-    results; see :func:`column_pvalues`)."""
+    Execution (batched grouping, group width, scalar fallback) follows
+    the :class:`~repro.engine.plan.ExecPlan`; results are identical for
+    every plan (see :func:`column_pvalues`)."""
+    plan = resolve_plan(plan, deprecated, where="run_lofreq")
     if references is None:
         references = reference_pvalues(columns, prec)
     threshold = BigFloat.exp2(CALL_THRESHOLD_SCALE)
     result = LoFreqResult()
     for fmt, backend in backends.items():
         fmt_scores: List[ColumnScore] = []
-        values = column_pvalues(columns, backend, batch=batch)
+        values = column_pvalues(columns, backend, plan=plan)
         for column, ref, value in zip(columns, references, values):
             score = score_value(backend, value, ref)
             called = _call(backend, value, threshold, score)

@@ -24,7 +24,8 @@ from typing import List, Optional
 from ..arith.backend import Backend
 from ..bigfloat import BigFloat
 from ..data.dirichlet import HMMData, sample_hcg_like_hmm
-from .hmm import forward, forward_models_batch
+from ..engine.plan import ExecPlan, resolve_plan
+from .hmm import forward_models_batch
 
 
 @dataclass
@@ -83,36 +84,20 @@ def _perturbed_model(base: HMMData, scale_jitter: float,
 def run_chain(backend: Backend, base: Optional[HMMData] = None,
               steps: int = 20, seed: int = 0,
               scale_jitter: float = 0.2,
-              bits_per_step: float = 150.0) -> ChainResult:
-    """Run a random-walk MH chain; returns acceptance statistics.
+              bits_per_step: float = 150.0,
+              plan: Optional[ExecPlan] = None) -> ChainResult:
+    """Run one random-walk MH chain; returns acceptance statistics.
 
-    The default workload's likelihood (~2**-4500 for 30 sites at 150
-    bits/site) is far below binary64's range, so the binary64 chain is
-    stuck from the first proposal.
+    A one-chain view over :func:`run_chains` — there is a single chain
+    recurrence, shared by the scalar and batched paths.  The default
+    workload's likelihood (~2**-4500 for 30 sites at 150 bits/site) is
+    far below binary64's range, so the binary64 chain is stuck from the
+    first proposal.
     """
-    rng = random.Random(seed)
-    if base is None:
-        base = sample_hcg_like_hmm(3, 30, seed=seed,
-                                   bits_per_step=bits_per_step)
-    current_model = base
-    current_like = forward(current_model, backend)
-    result = ChainResult(0, 0, 0)
-    for step in range(steps):
-        proposal = _perturbed_model(current_model, scale_jitter,
-                                    seed=seed * 1000 + step)
-        proposed_like = forward(proposal, backend)
-        ratio = _likelihood_ratio(backend, proposed_like, current_like)
-        if ratio is None:
-            result.stuck += 1
-            continue
-        if ratio >= 1.0 or rng.random() < ratio:
-            result.accepted += 1
-            current_model = proposal
-            current_like = proposed_like
-            result.samples.append(ratio)
-        else:
-            result.rejected += 1
-    return result
+    bases = None if base is None else [base]
+    return run_chains(backend, 1, bases=bases, steps=steps, seeds=[seed],
+                      scale_jitter=scale_jitter,
+                      bits_per_step=bits_per_step, plan=plan)[0]
 
 
 def run_chains(backend: Backend, n_chains: int,
@@ -120,18 +105,22 @@ def run_chains(backend: Backend, n_chains: int,
                steps: int = 20, seeds: Optional[List[int]] = None,
                scale_jitter: float = 0.2,
                bits_per_step: float = 150.0,
-               batch: bool = True) -> List[ChainResult]:
+               plan: Optional[ExecPlan] = None,
+               **deprecated) -> List[ChainResult]:
     """Run ``n_chains`` independent MH chains, evaluating every step's
     likelihoods through the vectorized multi-model forward kernel.
 
-    Chain ``c`` reproduces ``run_chain(backend, bases[c], steps,
-    seeds[c], scale_jitter)`` decision-for-decision: the proposal and
-    acceptance RNG streams are identical, and the batched likelihoods
-    equal the scalar ones (exactly for binary64/posit/LNS and
-    sequential log-space — the formats where acceptance decisions can
-    therefore never diverge).  ``batch=False`` (or a backend with no
-    array implementation) falls back to the scalar per-chain loop.
+    There is one chain recurrence: the per-step likelihood evaluation
+    flows through :func:`repro.apps.hmm.forward_models_batch` with
+    ``certified=True`` — vectorized for reduction-certified formats,
+    the scalar reference recurrence for the rest (the BigFloat oracle,
+    n-ary log-space) — so chain ``c`` is decision-for-decision
+    identical for *every* plan (the proposal and acceptance RNG streams
+    depend only on ``seeds[c]``, and likelihoods never differ between
+    paths).  ``plan=ExecPlan.serial()`` forces the scalar loop, which
+    is the throughput baseline, not a different algorithm.
     """
+    plan = resolve_plan(plan, deprecated, where="run_chains")
     if seeds is None:
         seeds = list(range(n_chains))
     if len(seeds) != n_chains:
@@ -142,19 +131,17 @@ def run_chains(backend: Backend, n_chains: int,
                  for s in seeds]
     if len(bases) != n_chains:
         raise ValueError("need one base model per chain")
-    from ..engine import batch_backend_for
-    if not batch or batch_backend_for(backend) is None:
-        return [run_chain(backend, bases[c], steps, seeds[c], scale_jitter)
-                for c in range(n_chains)]
     rngs = [random.Random(s) for s in seeds]
     current_models = list(bases)
-    current_likes = forward_models_batch(current_models, backend)
+    current_likes = forward_models_batch(current_models, backend, plan=plan,
+                                         certified=True)
     results = [ChainResult(0, 0, 0) for _ in range(n_chains)]
     for step in range(steps):
         proposals = [_perturbed_model(current_models[c], scale_jitter,
                                       seed=seeds[c] * 1000 + step)
                      for c in range(n_chains)]
-        proposed_likes = forward_models_batch(proposals, backend)
+        proposed_likes = forward_models_batch(proposals, backend, plan=plan,
+                                              certified=True)
         for c in range(n_chains):
             result = results[c]
             ratio = _likelihood_ratio(backend, proposed_likes[c],

@@ -18,12 +18,13 @@ needs a subtraction.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..arith.backend import Backend
 from ..bigfloat import BigFloat
+from ..engine.plan import ExecPlan, resolve_plan
 
 
 def complement(p: BigFloat, prec: int = 256) -> BigFloat:
@@ -38,25 +39,15 @@ def complement(p: BigFloat, prec: int = 256) -> BigFloat:
     return BigFloat.from_int(1).sub(p, prec)
 
 
-def pbd_pvalue(success_probs: Sequence[BigFloat], k: int, backend: Backend):
-    """P(X >= k) over the given trials, as a backend value.
-
-    Follows Listing 2: the PMF array ``pr`` only needs entries 0..k-1
-    because trials beyond the k-th success contribute through the
-    accumulation term.
-    """
-    if k < 1:
-        raise ValueError("k must be >= 1 (a variant needs a success)")
-    n_trials = len(success_probs)
-    if n_trials < k:
-        raise ValueError("need at least k trials")
-    pn_vals = [backend.from_bigfloat(p) for p in success_probs]
-    qn_vals = [backend.from_bigfloat(complement(p)) for p in success_probs]
+def _pbd_pvalue_values(backend: Backend, pn_vals: list, qn_vals: list,
+                       k: int):
+    """Listing 2 over pre-converted trial probabilities: the scalar
+    reference recurrence, kept for formats without a batch mirror."""
     zero = backend.zero()
     # pr[j] = P(j successes in the first n trials), tracked for j < k.
     pr_prev: List = [backend.one()] + [zero] * (k - 1)
     pvalue = zero
-    for n in range(n_trials):
+    for n in range(len(pn_vals)):
         pn, qn = pn_vals[n], qn_vals[n]
         pr = [backend.mul(pr_prev[0], qn)]
         for j in range(1, k):
@@ -66,6 +57,47 @@ def pbd_pvalue(success_probs: Sequence[BigFloat], k: int, backend: Backend):
             pvalue = backend.add(pvalue, backend.mul(pr_prev[k - 1], pn))
         pr_prev = pr
     return pvalue
+
+
+def _elementwise_backend(backend: Backend, plan: ExecPlan):
+    """The batch mirror the plan selects for the PBD kernels.
+
+    The recurrence is built from ``add``/``mul`` alone (no reductions),
+    so the elementwise pairing tier is already exact — log-space
+    qualifies in *both* sum modes (``np.logaddexp`` is bit-identical to
+    ``lse2``).
+    """
+    from ..engine import plan_batch_backend
+    return plan_batch_backend(backend, plan, certified=False)
+
+
+def pbd_pvalue(success_probs: Sequence[BigFloat], k: int, backend: Backend,
+               plan: Optional[ExecPlan] = None):
+    """P(X >= k) over the given trials, as a backend value.
+
+    Follows Listing 2: the PMF array ``pr`` only needs entries 0..k-1
+    because trials beyond the k-th success contribute through the
+    accumulation term.  Runs through the batched kernel as a batch of
+    one site wherever the format has an (elementwise-exact) array
+    backend; ``plan=ExecPlan.serial()`` forces the scalar recurrence.
+    Results are identical either way.
+    """
+    plan = resolve_plan(plan, where="pbd_pvalue")
+    if k < 1:
+        raise ValueError("k must be >= 1 (a variant needs a success)")
+    n_trials = len(success_probs)
+    if n_trials < k:
+        raise ValueError("need at least k trials")
+    bb = _elementwise_backend(backend, plan)
+    if bb is not None:
+        from ..engine.kernels import pbd_pvalue_batch as pbd_batch_kernel
+        pn = bb.from_bigfloats(success_probs).reshape(1, n_trials)
+        complements = [complement(p) for p in success_probs]
+        qn = bb.from_bigfloats(complements).reshape(1, n_trials)
+        return bb.item(pbd_batch_kernel(bb, pn, qn, k), 0)
+    pn_vals = [backend.from_bigfloat(p) for p in success_probs]
+    qn_vals = [backend.from_bigfloat(complement(p)) for p in success_probs]
+    return _pbd_pvalue_values(backend, pn_vals, qn_vals, k)
 
 
 def pbd_pmf(success_probs: Sequence[BigFloat], max_k: int, backend: Backend) -> list:
@@ -93,15 +125,18 @@ def reference_pvalue(success_probs: Sequence[BigFloat], k: int,
 
 
 def pbd_pvalue_batch(sites: Sequence[Sequence[BigFloat]], k: int,
-                     backend: Backend) -> list:
+                     backend: Backend,
+                     plan: Optional[ExecPlan] = None) -> list:
     """P(X >= k) for a batch of sites sharing trial count and ``k``.
 
     ``sites`` is a list of equal-length success-probability rows.
     Returns one backend value per site, equal element-for-element to
     calling :func:`pbd_pvalue` per site.  Formats with an array backend
-    in :mod:`repro.engine` run the recurrence vectorized over the whole
-    batch; others (the BigFloat oracle) fall back to the scalar loop.
+    in :mod:`repro.engine` run the recurrence vectorized in groups of
+    at most ``plan.batch_size`` sites; others (the BigFloat oracle)
+    fall back to the scalar loop.
     """
+    plan = resolve_plan(plan, where="pbd_pvalue_batch")
     sites = list(sites)
     if not sites:
         return []
@@ -109,18 +144,20 @@ def pbd_pvalue_batch(sites: Sequence[Sequence[BigFloat]], k: int,
     if any(len(row) != n_trials for row in sites):
         raise ValueError("batched sites must share a trial count; "
                          "group by (depth, k) first")
-    from ..engine import batch_backend_for
-    bb = batch_backend_for(backend)
+    bb = _elementwise_backend(backend, plan)
     if bb is None:
-        return [pbd_pvalue(row, k, backend) for row in sites]
+        return [pbd_pvalue(row, k, backend, plan=plan) for row in sites]
     from ..engine.kernels import pbd_pvalue_batch as pbd_batch_kernel
-    n_sites = len(sites)
-    pn = bb.from_bigfloats([p for row in sites for p in row]) \
-        .reshape(n_sites, n_trials)
-    qn = bb.from_bigfloats([complement(p) for row in sites for p in row]) \
-        .reshape(n_sites, n_trials)
-    out = pbd_batch_kernel(bb, pn, qn, k)
-    return [bb.item(out, i) for i in range(n_sites)]
+    values: list = []
+    for rows in plan.group_slices(len(sites)):
+        group = sites[rows]
+        flat = [p for row in group for p in row]
+        flat_q = [complement(p) for row in group for p in row]
+        pn = bb.from_bigfloats(flat).reshape(len(group), n_trials)
+        qn = bb.from_bigfloats(flat_q).reshape(len(group), n_trials)
+        out = pbd_batch_kernel(bb, pn, qn, k)
+        values.extend(bb.item(out, i) for i in range(len(group)))
+    return values
 
 
 # ----------------------------------------------------------------------

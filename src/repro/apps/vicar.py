@@ -19,6 +19,7 @@ from ..arith.backends import BigFloatBackend
 from ..bigfloat import BigFloat
 from ..core.accuracy import OK, OpResult, score_value
 from ..data.dirichlet import HMMData, sample_hcg_like_hmm
+from ..engine.plan import ExecPlan, resolve_plan
 from .hmm import forward, forward_models_batch
 
 
@@ -110,12 +111,15 @@ def _oracle_forward(task) -> BigFloat:
 
 
 def reference_likelihoods(instances: Sequence[HMMData], prec: int = 256,
-                          n_workers: Optional[int] = None) -> List[BigFloat]:
-    """Oracle likelihood per instance, optionally fanned across worker
-    processes (the oracle pass dominates run time; instances are
-    independent, and the merge preserves instance order)."""
+                          plan: Optional[ExecPlan] = None,
+                          **deprecated) -> List[BigFloat]:
+    """Oracle likelihood per instance, fanned across ``plan.n_workers``
+    worker processes when the plan is parallel (the oracle pass
+    dominates run time; instances are independent, and the merge
+    preserves instance order)."""
+    plan = resolve_plan(plan, deprecated, where="reference_likelihoods")
     tasks = [(hmm, prec) for hmm in instances]
-    if n_workers is None or n_workers <= 1:
+    if not plan.parallel:
         return [_oracle_forward(t) for t in tasks]
     import multiprocessing
     from concurrent.futures import ProcessPoolExecutor
@@ -123,34 +127,35 @@ def reference_likelihoods(instances: Sequence[HMMData], prec: int = 256,
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # platforms without fork
         ctx = multiprocessing.get_context("spawn")
-    with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+    with ProcessPoolExecutor(max_workers=plan.n_workers,
+                             mp_context=ctx) as pool:
         return list(pool.map(_oracle_forward, tasks, chunksize=1))
 
 
 def run_vicar(config: VicarConfig, backends: Dict[str, Backend],
               instances: Optional[Sequence[HMMData]] = None,
-              batch: bool = False,
-              n_workers: Optional[int] = None) -> VicarResult:
+              plan: Optional[ExecPlan] = None, **deprecated) -> VicarResult:
     """Run every backend over every instance; score final likelihoods
     against the oracle.
 
-    ``batch=True`` evaluates each format's likelihoods through the
-    vectorized multi-model forward kernel (grouped by H; same results —
-    see :func:`repro.apps.hmm.forward_models_batch`).  ``n_workers``
-    fans the oracle reference pass across processes; the scores are
-    order-preserving and identical for any worker count.
+    Each format's likelihoods run through the vectorized multi-model
+    forward kernel (grouped by H; equal to the per-model scalar loop —
+    exactly for binary64/posit/LNS/sequential log-space, within an ulp
+    for n-ary log-space; see
+    :func:`repro.apps.hmm.forward_models_batch`);
+    ``plan=ExecPlan.serial()`` forces the per-model scalar loop.
+    ``plan.n_workers`` fans the oracle reference pass across processes;
+    the scores are order-preserving and identical for any worker count.
     """
+    plan = resolve_plan(plan, deprecated, where="run_vicar")
     if instances is None:
         instances = generate_instances(config)
     result = VicarResult(config)
     references = reference_likelihoods(instances, config.oracle_prec,
-                                       n_workers=n_workers)
+                                       plan=plan)
     result.reference_scales.extend(ref.scale for ref in references)
     for fmt, backend in backends.items():
-        if batch:
-            values = forward_models_batch(instances, backend)
-        else:
-            values = [forward(hmm, backend) for hmm in instances]
+        values = forward_models_batch(instances, backend, plan=plan)
         result.scores[fmt] = [score_value(backend, value, ref)
                               for value, ref in zip(values, references)]
     return result

@@ -1,5 +1,10 @@
 """Format-generic arithmetic backends (binary64 / log-space / posit /
-BigFloat oracle) shared by all applications and experiments."""
+LNS / BigFloat oracle) shared by all applications and experiments.
+
+The public surface is the :class:`Backend` protocol, the concrete
+backends, and the format registry — the execution plane's single source
+of truth for scalar construction, batch pairing, and capability flags.
+"""
 
 from .backend import Backend
 from .backends import (
@@ -10,8 +15,20 @@ from .backends import (
     PositBackend,
     standard_backends,
 )
+from .registry import (
+    BIT_IDENTICAL,
+    ELEMENT_EXACT,
+    ORACLE,
+    REGISTRY,
+    STANDARD_FORMATS,
+    BatchPairing,
+    FormatCapabilities,
+    FormatRegistry,
+    FormatSpec,
+)
 
 __all__ = [
+    # protocol + concrete backends
     "Backend",
     "Binary64Backend",
     "LogSpaceBackend",
@@ -19,4 +36,14 @@ __all__ = [
     "LNSBackend",
     "BigFloatBackend",
     "standard_backends",
+    # registry (the execution plane's format table)
+    "REGISTRY",
+    "FormatRegistry",
+    "FormatSpec",
+    "FormatCapabilities",
+    "BatchPairing",
+    "STANDARD_FORMATS",
+    "BIT_IDENTICAL",
+    "ELEMENT_EXACT",
+    "ORACLE",
 ]

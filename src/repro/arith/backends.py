@@ -8,7 +8,6 @@ from typing import Iterable
 
 from ..bigfloat import BigFloat, DEFAULT_PRECISION
 from ..formats.logspace import LogSpace, log_mul, lse2, lse_n, lse_sequential
-from ..formats.posit import PositEnv
 from .backend import Backend
 
 
@@ -249,11 +248,10 @@ class BigFloatBackend(Backend):
 
 
 def standard_backends(underflow: str = "saturate") -> dict:
-    """The five formats of Figure 3: binary64, log, and three posits."""
-    return {
-        "binary64": Binary64Backend(),
-        "log": LogSpaceBackend(),
-        "posit(64,9)": PositBackend(PositEnv(64, 9, underflow)),
-        "posit(64,12)": PositBackend(PositEnv(64, 12, underflow)),
-        "posit(64,18)": PositBackend(PositEnv(64, 18, underflow)),
-    }
+    """The five formats of Figure 3: binary64, log, and three posits.
+
+    Thin view over the format registry
+    (:data:`repro.arith.registry.REGISTRY`), which owns construction.
+    """
+    from .registry import REGISTRY
+    return REGISTRY.standard(underflow)

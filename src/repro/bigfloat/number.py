@@ -390,9 +390,10 @@ class BigFloat:
             return "0"
         # Render as m * 2**scale with a short decimal mantissa.
         s = self.scale
-        lead = self.mantissa / (1 << (self.mantissa.bit_length() - 1)) \
-            if self.mantissa.bit_length() <= 1024 else 1.0 + (
-                (self.mantissa >> (self.mantissa.bit_length() - 53)) & ((1 << 52) - 1)
-            ) / (1 << 52)
+        if self.mantissa.bit_length() <= 1024:
+            lead = self.mantissa / (1 << (self.mantissa.bit_length() - 1))
+        else:
+            top = self.mantissa >> (self.mantissa.bit_length() - 53)
+            lead = 1.0 + (top & ((1 << 52) - 1)) / (1 << 52)
         sign = "-" if self.sign else ""
         return f"{sign}{lead:.6f}*2**{s}"

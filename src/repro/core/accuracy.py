@@ -79,8 +79,8 @@ def measure_ops_batch(batch_backend, op: str, pairs: Sequence,
         return []
     xs = batch_backend.from_bigfloats([p.x.to_bigfloat() for p in pairs])
     ys = batch_backend.from_bigfloats([p.y.to_bigfloat() for p in pairs])
-    computed = batch_backend.add(xs, ys) if op == "add" \
-        else batch_backend.mul(xs, ys)
+    computed = (batch_backend.add(xs, ys) if op == "add"
+                else batch_backend.mul(xs, ys))
     scalar = batch_backend.scalar
     return [score_value(scalar, batch_backend.item(computed, i),
                         pair.exact.to_bigfloat(), prec)

@@ -19,6 +19,7 @@ from .sweep import (
     binary64_skipped,
     generate_sweep,
 )
+from ..engine.plan import ExecPlan, resolve_plan
 
 
 @dataclass
@@ -92,34 +93,37 @@ def run_op_sweep(op: str, backends: Dict[str, Backend],
                  per_bin: int = 100, bins: Sequence[tuple] = FIG3_BINS,
                  seed: int = 0,
                  pairs_by_bin: Optional[dict] = None,
-                 batch: Optional[bool] = None,
-                 n_workers: Optional[int] = None) -> SweepResult:
+                 plan: Optional[ExecPlan] = None,
+                 **deprecated) -> SweepResult:
     """Measure every backend on stratified operand pairs.
 
     binary64 is skipped (not measured) in bins entirely left of its
     normal range, matching the paper's Figure 3 ('Binary64 is not shown
     in ranges to the left of 2**-1022').
 
-    ``batch=True`` routes the measured operation through the array
-    backends of :mod:`repro.engine` (bit-identical results; scalar
-    fallback per format); the default is False for the serial path
-    (the seed code's loop) and True when fanning out.  ``n_workers``
-    fans bins out across worker processes via the chunked parallel
-    runner.  Serial and chunked pair streams share chunk-0 seeds, so
-    results coincide while ``per_bin`` fits one chunk (250); beyond
-    that the chunked plan reseeds per chunk — pass ``n_workers=0``
-    for the like-for-like reference at larger scales.
+    Execution follows the :class:`~repro.engine.plan.ExecPlan`: the
+    canonical path measures through the array backends of
+    :mod:`repro.engine` (bit-identical results; scalar fallback per
+    format), and ``plan=ExecPlan.serial()`` forces the scalar per-pair
+    loop.  ``plan.n_workers`` fans bins out across worker processes via
+    the chunked parallel runner (chunk granularity ``plan.chunk_size``).
+    Serial and chunked pair streams share chunk-0 seeds, so results
+    coincide while ``per_bin`` fits one chunk (250); beyond that the
+    chunked plan reseeds per chunk — use ``plan.n_workers=0`` for the
+    like-for-like reference at larger scales.
     """
-    if n_workers is not None:
+    plan = resolve_plan(plan, deprecated, where="run_op_sweep")
+    if plan.n_workers is not None:
         if pairs_by_bin is not None:
             raise ValueError(
-                "n_workers regenerates pairs from the chunked plan and "
-                "cannot measure caller-supplied pairs_by_bin; pass one "
-                "or the other")
+                "a worker-parallel plan regenerates pairs from the chunked "
+                "plan and cannot measure caller-supplied pairs_by_bin; "
+                "pass one or the other")
         from ..engine.runner import run_sweep_parallel
         return run_sweep_parallel(op, backends, per_bin=per_bin, bins=bins,
-                                  seed=seed, n_workers=n_workers,
-                                  batch=True if batch is None else batch)
+                                  seed=seed, n_workers=plan.n_workers,
+                                  chunk_size=plan.chunk_size,
+                                  batch=plan.batch)
     if pairs_by_bin is None:
         pairs_by_bin = generate_sweep(op, bins=bins, per_bin=per_bin, seed=seed)
     result = SweepResult(op)
@@ -129,7 +133,7 @@ def run_op_sweep(op: str, backends: Dict[str, Backend],
             if binary64_skipped(fmt, bin_range):
                 continue
             cell[fmt] = _measure_cell(backend, fmt, op, bin_range, pairs,
-                                      bool(batch))
+                                      plan.batch)
         result.boxes[bin_range] = cell
     return result
 

@@ -109,8 +109,8 @@ def column_for_target_scale(rng: np.random.Generator, target_scale: int,
         k = int(rng.integers(8, 40))
     depth = max(k + 4, int(k * depth_factor))
     # Account for the combinatorial term when solving for log2(p).
-    log2_comb = math.lgamma(depth + 1) - math.lgamma(k + 1) \
-        - math.lgamma(depth - k + 1)
+    log2_comb = (math.lgamma(depth + 1) - math.lgamma(k + 1)
+                 - math.lgamma(depth - k + 1))
     log2_comb /= math.log(2)
     log2_p = (target_scale - log2_comb) / k
     if log2_p >= -1.0:

@@ -1,7 +1,11 @@
 """``repro.engine`` — vectorized batch arithmetic and parallel sweeps.
 
-The scalar backends in :mod:`repro.arith` are the reference semantics;
-this package is the throughput layer on top of them:
+The scalar backends in :mod:`repro.arith` define the reference
+semantics; this package's kernels are the *canonical implementations*
+of the application recurrences wherever the format registry certifies
+the batch mirror exact (the scalar app entry points are B=1 views over
+them — see :mod:`repro.arith.registry` and
+:mod:`repro.engine.plan`):
 
 * :class:`BatchBinary64`, :class:`BatchLogSpace` — array backends over
   float64 values/logs, bit-identical to the scalar backends (log-space
@@ -15,7 +19,10 @@ this package is the throughput layer on top of them:
 * :mod:`~repro.engine.kernels` — forward/backward algorithms over
   batches of sequences *and* batches of models, Poisson-binomial
   p-values over batches of sites;
-* :mod:`~repro.engine.runner` — the chunked multi-process sweep runner.
+* :mod:`~repro.engine.runner` — the chunked multi-process sweep runner;
+* :mod:`~repro.engine.plan` — :class:`ExecPlan`, the one object
+  carrying batch toggle, group width, worker fan-out, chunking and
+  cache policy through apps and experiments.
 
 NumPy is a hard install requirement of the distribution (setup.py), so
 the ``HAVE_NUMPY`` gate below is defensive: it keeps this module
@@ -29,6 +36,8 @@ loops, NumPy or not.
 from __future__ import annotations
 
 from typing import Optional
+
+from .plan import CACHE_POLICIES, DEFAULT_PLAN, ExecPlan, resolve_plan
 
 try:  # pragma: no cover - exercised only on numpy-less installs
     import numpy  # noqa: F401
@@ -70,40 +79,55 @@ else:  # pragma: no cover
     SUM_NARY, SUM_SEQUENTIAL = "nary", "sequential"
 
 
-def batch_backend_for(backend) -> Optional["BatchBackend"]:
+def batch_backend_for(backend, *,
+                      reductions: bool = False) -> Optional["BatchBackend"]:
     """The batch backend mirroring a scalar backend, or None.
 
-    Formats without an array implementation (the BigFloat oracle)
-    return None; callers keep the scalar loop for those.
+    Thin view over the format registry
+    (:meth:`repro.arith.registry.FormatRegistry.batch_for`), which owns
+    the pairing table.  Formats without an array implementation (the
+    BigFloat oracle) return None; callers keep the scalar loop for
+    those.  ``reductions=True`` additionally requires the mirror's
+    ``sum`` fold to be certified exact against the scalar backend —
+    what kernels with reductions (the forward algorithm) need.
     """
-    if not HAVE_NUMPY:
-        return None
-    from ..arith.backends import (
-        Binary64Backend,
-        LNSBackend,
-        LogSpaceBackend,
-        PositBackend,
-    )
-    if isinstance(backend, Binary64Backend):
-        return BatchBinary64(scalar=backend)
-    if isinstance(backend, LogSpaceBackend):
-        return BatchLogSpace(scalar=backend)
-    if isinstance(backend, PositBackend):
-        return BatchPosit(backend.env, scalar=backend)
-    if isinstance(backend, LNSBackend):
-        return BatchLNS(scalar=backend)
-    return None
+    from ..arith.registry import REGISTRY
+    return REGISTRY.batch_for(backend, reductions=reductions)
 
 
 def standard_batch_backends(underflow: str = "saturate") -> dict:
     """Batch backends for the five Figure 3 formats."""
-    from ..arith.backends import standard_backends
-    return {name: batch_backend_for(b)
-            for name, b in standard_backends(underflow).items()}
+    from ..arith.registry import REGISTRY
+    return REGISTRY.standard_batch(underflow)
+
+
+def plan_batch_backend(backend, plan: "ExecPlan", *,
+                       certified: bool = True
+                       ) -> Optional["BatchBackend"]:
+    """The batch mirror an :class:`ExecPlan` selects for a kernel, or
+    None for the scalar path (the plan says so, or no acceptable mirror
+    exists).
+
+    This is the one place the apps decide scalar-vs-vectorized.  With
+    ``certified=True`` (the B=1 scalar views: ``forward``, ``backward``,
+    ``pbd_pvalue``) the mirror must be reduction-certified, so the
+    scalar entry points never change results.  Explicitly-batched APIs
+    (``forward_batch``, ``forward_models_batch``, ``backward_batch``)
+    pass ``certified=False``: their documented contract tolerates
+    n-ary log-space's ulp-close batched LSE, and elementwise-only
+    kernels (the PBD recurrence) are exact under every pairing anyway.
+    """
+    if not plan.batch:
+        return None
+    return batch_backend_for(backend, reductions=certified)
 
 
 __all__ = [
     "HAVE_NUMPY",
+    "CACHE_POLICIES",
+    "DEFAULT_PLAN",
+    "ExecPlan",
+    "resolve_plan",
     "SUM_NARY",
     "SUM_SEQUENTIAL",
     "BatchBackend",
@@ -113,6 +137,7 @@ __all__ = [
     "BatchPosit",
     "BatchQuire",
     "batch_backend_for",
+    "plan_batch_backend",
     "standard_batch_backends",
     "backward_batch",
     "forward_batch",

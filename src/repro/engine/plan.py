@@ -1,0 +1,144 @@
+"""Execution plans: the one object that carries *how* a workload runs.
+
+Before this module, every batch-aware app and experiment grew its own
+``batch=``/``n_workers=`` kwarg pair, and the pair had to be threaded
+through each call layer by hand.  An :class:`ExecPlan` replaces those
+pairs: it names the batch toggle, the vectorized group width, the
+worker fan-out, the sweep chunk granularity, and the result-cache
+policy once, and flows unchanged from the CLI down to the kernels.
+
+The *semantics* of the plan live with the callees:
+
+* ``batch`` — run through the vectorized kernels of
+  :mod:`repro.engine.kernels` wherever the format's batch mirror is
+  certified exact (see :mod:`repro.arith.registry`); ``False`` forces
+  the legacy scalar loops (the baseline the throughput benchmarks
+  measure against).  Batch is the *default*: the scalar path is the
+  special case now.
+* ``batch_size`` — optional ceiling on how many batch elements one
+  vectorized kernel call may carry; larger workloads are sliced into
+  ``batch_size``-wide groups.  ``None`` means one pass over everything.
+* ``n_workers`` — process fan-out for the embarrassingly parallel
+  stages (the Figure 3 sweep chunks, the ViCAR oracle pass).  ``None``
+  stays serial in-process; ``0``/``1`` use the chunked code path
+  without spawning (the deterministic reference).
+* ``chunk_size`` — pair-generation granularity of the chunked sweep
+  runner (:mod:`repro.engine.runner`).
+* ``cache`` — experiment result-cache policy: ``"auto"`` (honor the
+  caller's cache setting), ``"off"`` (neither read nor write), or
+  ``"refresh"`` (recompute and overwrite).
+* ``measure`` — collect wall-clock software-throughput measurements
+  where an experiment supports them (fig6's software MMAPS columns).
+  Runs that measure wall-clock are never served from the cache.
+
+This module must stay import-light (no NumPy): plans are constructed
+by CLI/front-end code that must work even where the vectorized engine
+cannot.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional
+
+CACHE_POLICIES = ("auto", "off", "refresh")
+
+#: Kwarg names the one-release deprecation shims accept.
+_LEGACY_KEYS = ("batch", "n_workers")
+
+
+@dataclass(frozen=True)
+class ExecPlan:
+    """How to execute a workload: batching, fan-out, chunking, caching."""
+
+    batch: bool = True
+    batch_size: Optional[int] = None
+    n_workers: Optional[int] = None
+    chunk_size: int = 250
+    cache: str = "auto"
+    measure: bool = False
+
+    def __post_init__(self):
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.n_workers is not None and self.n_workers < 0:
+            raise ValueError(f"n_workers must be >= 0, got {self.n_workers}")
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.cache not in CACHE_POLICIES:
+            raise ValueError(f"unknown cache policy {self.cache!r}; "
+                             f"expected one of {CACHE_POLICIES}")
+
+    @classmethod
+    def serial(cls, **overrides) -> "ExecPlan":
+        """The legacy scalar path: no vectorized kernels, no fan-out."""
+        overrides.setdefault("batch", False)
+        return cls(**overrides)
+
+    def with_(self, **overrides) -> "ExecPlan":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    @property
+    def parallel(self) -> bool:
+        """True when the plan fans work across >1 worker process."""
+        return self.n_workers is not None and self.n_workers > 1
+
+    def group_slices(self, n: int):
+        """Slices partitioning ``n`` batch elements into groups of at
+        most ``batch_size`` (one slice covering everything when no
+        ceiling is set)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        width = self.batch_size if self.batch_size is not None else max(n, 1)
+        return [slice(lo, min(lo + width, n))
+                for lo in range(0, n, width)] or [slice(0, 0)]
+
+
+#: The canonical plan: batch kernels on, serial, cache honored.
+DEFAULT_PLAN = ExecPlan()
+
+
+def resolve_plan(plan: Optional[ExecPlan] = None,
+                 deprecated: Optional[dict] = None,
+                 *, where: str = "this function",
+                 batch_field: str = "batch") -> ExecPlan:
+    """Normalize ``plan=`` plus any legacy ``batch=``/``n_workers=``
+    kwargs into one :class:`ExecPlan`.
+
+    ``deprecated`` is the ``**deprecated`` catch-all of a shimmed
+    public function.  Unknown keys raise :class:`TypeError` (preserving
+    normal unexpected-keyword behavior); known keys emit a
+    :class:`DeprecationWarning` and are folded into the plan.
+    ``batch_field`` names the plan field a legacy ``batch=`` maps onto
+    (fig6's old ``batch=True`` meant "measure wall-clock", so it maps
+    to ``measure`` there).
+    """
+    if plan is not None and not isinstance(plan, ExecPlan):
+        raise TypeError(f"plan must be an ExecPlan, got {type(plan).__name__}")
+    resolved = plan if plan is not None else DEFAULT_PLAN
+    if not deprecated:
+        return resolved
+    unknown = set(deprecated) - set(_LEGACY_KEYS)
+    if unknown:
+        raise TypeError(f"{where}() got unexpected keyword argument(s) "
+                        f"{sorted(unknown)}")
+    warnings.warn(
+        f"{where}(): the batch=/n_workers= kwargs are deprecated; pass "
+        f"plan=ExecPlan(...) instead (see repro.engine.plan)",
+        DeprecationWarning, stacklevel=3)
+    overrides = {}
+    if deprecated.get("batch") is not None:
+        overrides[batch_field] = bool(deprecated["batch"])
+    if deprecated.get("n_workers") is not None:
+        overrides["n_workers"] = int(deprecated["n_workers"])
+    return resolved.with_(**overrides) if overrides else resolved
+
+
+__all__ = [
+    "CACHE_POLICIES",
+    "DEFAULT_PLAN",
+    "ExecPlan",
+    "resolve_plan",
+]

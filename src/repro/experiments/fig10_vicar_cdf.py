@@ -4,10 +4,11 @@ posit(64,18), at the T=100,000 and T=500,000 magnitude regimes."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from ..apps.vicar import VicarConfig, VicarResult, run_vicar
 from ..arith.backends import LogSpaceBackend, PositBackend
+from ..engine.plan import ExecPlan, resolve_plan
 from ..formats.posit import PositEnv
 from ..report.cdf import CDF, cdf_table, orders_of_magnitude_gap
 from ..report.tables import render_table
@@ -34,12 +35,13 @@ class Fig10Result:
                 for fmt in res.scores}
 
 
-def run(scale: str = "bench", seed: int = 0, batch: bool = False,
-        n_workers: int = None) -> Fig10Result:
-    """``batch=True`` evaluates the format likelihoods through the
-    vectorized multi-model forward kernel; ``n_workers`` fans the
-    oracle reference pass across processes.  Results are identical
-    either way (see :func:`repro.apps.vicar.run_vicar`)."""
+def run(scale: str = "bench", seed: int = 0,
+        plan: Optional[ExecPlan] = None, **deprecated) -> Fig10Result:
+    """Format likelihoods flow through the vectorized multi-model
+    forward kernel wherever certified exact; ``plan.n_workers`` fans
+    the oracle reference pass across processes.  Results are identical
+    for every plan (see :func:`repro.apps.vicar.run_vicar`)."""
+    plan = resolve_plan(plan, deprecated, where="fig10_vicar_cdf.run")
     length, per_h, h_values = SCALES[scale]
     backends = {
         "log": LogSpaceBackend(),
@@ -50,8 +52,7 @@ def run(scale: str = "bench", seed: int = 0, batch: bool = False,
         config = VicarConfig(length=length, h_values=h_values,
                              matrices_per_h=per_h,
                              bits_per_step=total_bits / length, seed=seed)
-        panels[name] = run_vicar(config, backends, batch=batch,
-                                 n_workers=n_workers)
+        panels[name] = run_vicar(config, backends, plan=plan)
     return Fig10Result(panels)
 
 

@@ -5,11 +5,12 @@ posit configurations."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from ..apps.lofreq import LoFreqResult, run_lofreq
 from ..arith.backends import standard_backends
 from ..data.genome import synth_dataset
+from ..engine.plan import ExecPlan, resolve_plan
 from ..report.cdf import CDF, cdf_table
 from ..report.tables import render_table
 
@@ -31,15 +32,16 @@ class Fig11Result:
 
 
 def run(scale: str = "bench", seed: int = 0,
-        batch: bool = False) -> Fig11Result:
-    """``batch=True`` computes column p-values through the batched
-    engine (identical results; see ``repro.apps.lofreq``)."""
+        plan: Optional[ExecPlan] = None, **deprecated) -> Fig11Result:
+    """Column p-values flow through the batched engine (identical
+    results for every plan; see ``repro.apps.lofreq``)."""
+    plan = resolve_plan(plan, deprecated, where="fig11_lofreq_cdf.run")
     n_columns = SCALES[scale]
     dataset = synth_dataset("fig11", n_columns, seed=seed,
                             critical_fraction=0.5, deep_fraction=0.15)
     backends = {f: b for f, b in
                 standard_backends(underflow="flush").items() if f in FORMATS}
-    return Fig11Result(run_lofreq(dataset.columns, backends, batch=batch))
+    return Fig11Result(run_lofreq(dataset.columns, backends, plan=plan))
 
 
 def render(result: Fig11Result) -> str:

@@ -33,9 +33,9 @@ class Fig1Result:
     def checkpoints(self, every: int = 0) -> List[dict]:
         n = len(self.scales)
         step = every or max(1, n // 10)
-        return [{"t": t, "alpha_exponent": self.scales[t]}
-                for t in range(0, n, step)] + \
-            [{"t": n - 1, "alpha_exponent": self.scales[-1]}]
+        return ([{"t": t, "alpha_exponent": self.scales[t]}
+                 for t in range(0, n, step)]
+                + [{"t": n - 1, "alpha_exponent": self.scales[-1]}])
 
 
 def run(scale: str = "bench", seed: int = 0) -> Fig1Result:

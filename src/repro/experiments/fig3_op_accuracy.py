@@ -13,6 +13,7 @@ from typing import Dict, Optional
 
 from ..arith.backends import standard_backends
 from ..core.analysis import SweepResult, run_op_sweep
+from ..engine.plan import ExecPlan, resolve_plan
 from ..core.sweep import FIG3_BINS, bin_label
 from ..report.boxplot import axis_bounds, render_box_panel
 from ..report.tables import render_table
@@ -31,23 +32,22 @@ class Fig3Result:
 
 def run(scale: str = "bench", seed: int = 0,
         backends: Optional[Dict] = None,
-        batch: Optional[bool] = None,
-        n_workers: Optional[int] = None) -> Fig3Result:
+        plan: Optional[ExecPlan] = None, **deprecated) -> Fig3Result:
     """Run the Figure 3 sweep.
 
-    ``batch=True`` measures through the vectorized engine backends
-    (identical results; defaults on when ``n_workers`` fans out).
-    ``n_workers`` distributes bins across worker processes via
-    :mod:`repro.engine.runner` — the path for ``full`` scale runs,
-    where the serial scalar loop dominates wall-clock.
+    The canonical path measures through the vectorized engine backends
+    (identical results); ``plan.n_workers`` distributes bins across
+    worker processes via :mod:`repro.engine.runner` — the path for
+    ``full`` scale runs, where a serial loop dominates wall-clock.
     """
+    plan = resolve_plan(plan, deprecated, where="fig3_op_accuracy.run")
     per_bin = SCALES[scale]
     if backends is None:
         backends = standard_backends()
     add = run_op_sweep("add", backends, per_bin=per_bin, seed=seed,
-                       batch=batch, n_workers=n_workers)
+                       plan=plan)
     mul = run_op_sweep("mul", backends, per_bin=per_bin, seed=seed + 1,
-                       batch=batch, n_workers=n_workers)
+                       plan=plan)
     return Fig3Result(add, mul, per_bin)
 
 
@@ -59,8 +59,8 @@ def _panel_rows(sweep: SweepResult) -> list:
         for fmt in ("binary64", "log", "posit(64,9)", "posit(64,12)",
                     "posit(64,18)"):
             stats = cell.get(fmt)
-            row[fmt] = None if stats is None or stats.median is None \
-                else round(stats.median, 2)
+            row[fmt] = (None if stats is None or stats.median is None
+                        else round(stats.median, 2))
         rows.append(row)
     return rows
 

@@ -1,11 +1,12 @@
 """Figure 6: forward-algorithm unit wall-clock time and relative
 improvement, H in {13, 32, 64, 128}, T = 500,000, 300 MHz.
 
-``batch=True`` additionally measures a *software* log-space forward
+``plan.measure`` additionally measures a *software* log-space forward
 baseline on this machine — the scalar backend loop vs the vectorized
 :mod:`repro.engine` kernel — in millions of alpha-updates per second
 (one update = one mul-add of the ``H x H`` recurrence), quantifying the
-gap the paper's accelerators close versus software emulation.
+gap the paper's accelerators close versus software emulation.  (The
+deprecated ``batch=True`` kwarg maps onto ``measure``.)
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..engine.plan import ExecPlan, resolve_plan
 from ..hw.forward_unit import ForwardUnit
 from ..hw.pe import LOG, POSIT
 from ..report.tables import render_table
@@ -62,7 +64,9 @@ def _software_mmaps(h: int, t: int = SW_T, n_batch: int = SW_BATCH) -> tuple:
     updates = h * h * (t - 1)
 
     start = time.perf_counter()
-    forward(hmm, backend)
+    # The measured baseline is the legacy scalar recurrence, so pin the
+    # serial plan (the default forward() is itself the batched kernel).
+    forward(hmm, backend, plan=ExecPlan.serial())
     scalar_rate = updates / (time.perf_counter() - start) / 1e6
 
     start = time.perf_counter()
@@ -71,14 +75,17 @@ def _software_mmaps(h: int, t: int = SW_T, n_batch: int = SW_BATCH) -> tuple:
     return scalar_rate, batch_rate
 
 
-def run(t: int = T, batch: bool = False) -> List[Fig6Row]:
+def run(t: int = T, plan: Optional[ExecPlan] = None,
+        **deprecated) -> List[Fig6Row]:
+    plan = resolve_plan(plan, deprecated, where="fig6_forward_perf.run",
+                        batch_field="measure")
     rows = []
     for h in H_VALUES:
         posit = ForwardUnit(POSIT, h)
         log = ForwardUnit(LOG, h)
         row = Fig6Row(h, posit.seconds(t), log.seconds(t),
                       posit.paper_seconds(t), log.paper_seconds(t))
-        if batch:
+        if plan.measure:
             row.sw_scalar_mmaps, row.sw_batch_mmaps = _software_mmaps(h)
         rows.append(row)
     return rows

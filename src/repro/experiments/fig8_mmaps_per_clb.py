@@ -40,5 +40,5 @@ def render(rows: List[Fig8Row]) -> str:
         "log MMAPS/CLB": r.log_mmaps_per_clb,
         "ratio": r.ratio,
     } for r in rows]
-    return render_table(table, title="Figure 8: MMAPS per CLB unit") + \
-        "\nPaper claim: posit column units deliver ~2x MMAPS per CLB."
+    return (render_table(table, title="Figure 8: MMAPS per CLB unit")
+            + "\nPaper claim: posit column units deliver ~2x MMAPS per CLB.")

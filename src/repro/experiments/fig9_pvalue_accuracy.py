@@ -6,7 +6,7 @@ counted separately, as in the paper)."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -14,6 +14,7 @@ from ..apps.lofreq import LoFreqResult, run_lofreq
 from ..arith.backends import standard_backends
 from ..core.sweep import bin_label
 from ..data.genome import FIG9_BINS, stratified_columns
+from ..engine.plan import ExecPlan, resolve_plan
 from ..report.tables import render_table
 
 #: columns per magnitude bin.
@@ -48,15 +49,16 @@ class Fig9Result:
 
 
 def run(scale: str = "bench", seed: int = 0,
-        batch: bool = False) -> Fig9Result:
-    """``batch=True`` computes column p-values through the batched
-    engine (grouped by depth and alt count; identical results)."""
+        plan: Optional[ExecPlan] = None, **deprecated) -> Fig9Result:
+    """Column p-values flow through the batched engine (grouped by
+    depth and alt count; identical results for every plan)."""
+    plan = resolve_plan(plan, deprecated, where="fig9_pvalue_accuracy.run")
     per_bin = SCALES[scale]
     columns = stratified_columns(per_bin=per_bin, seed=seed)
     backends = {f: b for f, b in
                 standard_backends(underflow="flush").items()
                 if f in FORMATS}
-    return Fig9Result(run_lofreq(columns, backends, batch=batch), per_bin)
+    return Fig9Result(run_lofreq(columns, backends, plan=plan), per_bin)
 
 
 def render(result: Fig9Result) -> str:

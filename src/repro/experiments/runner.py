@@ -5,17 +5,22 @@ Usage::
     python -m repro.experiments                   # list experiments
     python -m repro.experiments fig3              # run one (bench scale)
     python -m repro.experiments --all --scale test
-    python -m repro.experiments fig3 --batch --workers 4
+    python -m repro.experiments fig3 --workers 4
+    python -m repro.experiments fig10 --serial    # legacy scalar loops
+    python -m repro.experiments fig6 --measure    # software MMAPS columns
     python -m repro.experiments --all --refresh   # ignore cached results
 
 (``python -m repro.experiments.runner`` still works.)
 
-``--batch``/``--workers`` route experiments that support them through
-the vectorized engine (:mod:`repro.engine`); others ignore the flags.
-Rendered reports are cached under ``.repro-cache/`` keyed on code +
-params (:mod:`repro.experiments.cache`), so re-running a figure with
-unchanged inputs performs no recomputation; ``--no-cache`` bypasses the
-cache entirely and ``--refresh`` recomputes and overwrites.
+The CLI flags assemble one :class:`~repro.engine.plan.ExecPlan` that is
+threaded through every plan-aware experiment: the vectorized engine is
+the default execution plane, ``--serial`` forces the legacy scalar
+loops (results are identical — that is the certification), and
+``--workers`` fans supported sweeps across processes.  Rendered reports
+are cached under ``.repro-cache/`` keyed on code + params
+(:mod:`repro.experiments.cache`), so re-running a figure with unchanged
+inputs performs no recomputation; ``--no-cache`` bypasses the cache
+entirely and ``--refresh`` recomputes and overwrites.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ import sys
 import time
 from typing import Callable, Dict, NamedTuple, Optional
 
+from ..engine.plan import DEFAULT_PLAN, ExecPlan, resolve_plan
 from . import cache as result_cache
 
 from . import (
@@ -53,9 +59,10 @@ class Experiment(NamedTuple):
     run: Callable
     render: Callable
     scalable: bool  # whether run() takes a scale argument
-    #: True when batch=True adds wall-clock measurements to the result
-    #: (fig6's software MMAPS columns): such runs are never cached,
-    #: since replaying a stale timing would masquerade as a fresh one.
+    #: True when plan.measure adds wall-clock measurements to the
+    #: result (fig6's software MMAPS columns): such runs are never
+    #: cached, since replaying a stale timing would masquerade as a
+    #: fresh one.
     measures_wallclock: bool = False
 
 
@@ -97,61 +104,74 @@ REGISTRY: Dict[str, Experiment] = {
 }
 
 
-def _cache_params(exp: Experiment, scale: str, batch: bool) -> dict:
+def _cache_params(exp: Experiment, scale: str) -> dict:
     """The parameter dict a run's cache entry is keyed on.
 
     Only result-affecting inputs belong here: ``scale`` for scalable
-    experiments and ``batch`` where the experiment accepts it.
-    ``n_workers`` is deliberately excluded — the parallel runners are
-    deterministic and order-preserving, so worker count cannot change a
-    result.
+    experiments.  The :class:`ExecPlan` is deliberately excluded — the
+    execution plane's contract is that batching, group width and worker
+    count cannot change a result (wall-clock-*measuring* runs are never
+    cached at all).
     """
     params: dict = {}
     if exp.scalable:
         params["scale"] = scale
-    if "batch" in inspect.signature(exp.run).parameters:
-        params["batch"] = bool(batch)
     return params
 
 
 def run_experiment(experiment_id: str, scale: str = "bench",
                    out_dir: Optional[str] = None,
-                   batch: bool = False,
-                   n_workers: Optional[int] = None,
+                   plan: Optional[ExecPlan] = None,
                    use_cache: bool = False,
                    cache_dir: Optional[str] = None,
-                   refresh: bool = False) -> str:
+                   refresh: bool = False,
+                   **deprecated) -> str:
     """Run one experiment and return its rendered report; optionally
     persist text + JSON under ``out_dir``.
 
-    ``batch``/``n_workers`` are forwarded to experiments whose ``run``
-    accepts them and ignored elsewhere.  With ``use_cache=True`` the
-    rendered report is looked up in / stored to the on-disk result
-    cache (:mod:`repro.experiments.cache`); a hit skips ``run``
-    entirely.  ``refresh=True`` recomputes and overwrites the entry.
-    Two situations always recompute: ``out_dir`` (the structured JSON
-    report needs the live result object, which is not cached) and
-    wall-clock-measuring runs (fig6 with ``batch=True`` — a replayed
-    timing would masquerade as a fresh measurement).
+    The ``plan`` is forwarded to experiments whose ``run`` accepts one
+    and ignored elsewhere.  With ``use_cache=True`` the rendered report
+    is looked up in / stored to the on-disk result cache
+    (:mod:`repro.experiments.cache`); a hit skips ``run`` entirely.
+    The plan's cache policy refines that: ``"off"`` disables the cache,
+    ``"refresh"`` (or ``refresh=True``) recomputes and overwrites the
+    entry.  Two situations always recompute: ``out_dir`` (the
+    structured JSON report needs the live result object, which is not
+    cached) and wall-clock-measuring runs (fig6 with ``plan.measure`` —
+    a replayed timing would masquerade as a fresh measurement).
     """
-    text, _hit = _run_experiment(experiment_id, scale, out_dir, batch,
-                                 n_workers, use_cache, cache_dir, refresh)
+    plan = _resolve_runner_plan(plan, deprecated)
+    text, _hit = _run_experiment(experiment_id, scale, out_dir, plan,
+                                 use_cache, cache_dir, refresh)
     return text
 
 
-def _run_experiment(experiment_id, scale, out_dir, batch, n_workers,
+def _resolve_runner_plan(plan, deprecated) -> ExecPlan:
+    """The runner's deprecation shim: a legacy ``batch=True`` meant both
+    'route through the engine' and 'measure wall-clock where supported'
+    (fig6), so it maps onto ``batch`` *and* ``measure``."""
+    legacy_batch = bool(deprecated.get("batch")) if deprecated else False
+    plan = resolve_plan(plan, deprecated, where="run_experiment")
+    if legacy_batch and not plan.measure:
+        plan = plan.with_(measure=True)
+    return plan
+
+
+def _run_experiment(experiment_id, scale, out_dir, plan,
                     use_cache, cache_dir, refresh):
     """(rendered text, served-from-cache) for one experiment run."""
     exp = REGISTRY[experiment_id]
+    if plan is None:
+        plan = DEFAULT_PLAN
     kwargs = {}
-    params = inspect.signature(exp.run).parameters
-    if batch and "batch" in params:
-        kwargs["batch"] = True
-    if n_workers is not None and "n_workers" in params:
-        kwargs["n_workers"] = n_workers
-    if out_dir is not None or (exp.measures_wallclock and batch):
+    if "plan" in inspect.signature(exp.run).parameters:
+        kwargs["plan"] = plan
+    if plan.cache == "off":
         use_cache = False
-    key_params = _cache_params(exp, scale, batch)
+    refresh = refresh or plan.cache == "refresh"
+    if out_dir is not None or (exp.measures_wallclock and plan.measure):
+        use_cache = False
+    key_params = _cache_params(exp, scale)
     if use_cache and not refresh:
         entry = result_cache.load(experiment_id, key_params,
                                   cache_dir=cache_dir)
@@ -182,12 +202,22 @@ def main(argv=None) -> int:
                         choices=("test", "bench", "full"))
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="also write <id>.txt and <id>.json here")
+    parser.add_argument("--serial", action="store_true",
+                        help="force the legacy scalar loops instead of the "
+                             "vectorized repro.engine kernels (identical "
+                             "results; the throughput baseline)")
+    parser.add_argument("--measure", action="store_true",
+                        help="collect software wall-clock measurements "
+                             "where supported (fig6's MMAPS columns)")
     parser.add_argument("--batch", action="store_true",
-                        help="measure through the vectorized repro.engine "
-                             "backends where supported")
+                        help="deprecated: batching is the default now; "
+                             "kept as an alias for --measure")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="fan supported sweeps across N worker "
                              "processes (implies chunked generation)")
+    parser.add_argument("--batch-size", type=int, default=None, metavar="B",
+                        help="cap the number of elements per vectorized "
+                             "kernel call (default: one pass)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="result cache location (default .repro-cache, "
                              "or $REPRO_CACHE_DIR)")
@@ -209,14 +239,20 @@ def main(argv=None) -> int:
         targets = list(REGISTRY)
     else:
         targets = [args.experiment]
+    plan = ExecPlan(
+        batch=not args.serial,
+        batch_size=args.batch_size,
+        n_workers=args.workers,
+        measure=args.measure or args.batch,
+        cache="off" if args.no_cache
+              else ("refresh" if args.refresh else "auto"))
     for target in targets:
         if target not in REGISTRY:
             print(f"unknown experiment {target!r}", file=sys.stderr)
             return 2
         start = time.time()
         print(f"\n===== {target} =====")
-        text, hit = _run_experiment(target, args.scale, args.out,
-                                    args.batch, args.workers,
+        text, hit = _run_experiment(target, args.scale, args.out, plan,
                                     not args.no_cache, args.cache_dir,
                                     args.refresh)
         print(text)

@@ -25,8 +25,8 @@ class Claim:
 
 def _claim_table1() -> Claim:
     from ..core.rangetable import posit_row
-    ok = posit_row(9).smallest_scale == -31_744 and \
-        posit_row(18).smallest_scale == -16_252_928
+    ok = (posit_row(9).smallest_scale == -31_744
+          and posit_row(18).smallest_scale == -16_252_928)
     return Claim("table1", "posit(64,ES) ranges per Table I",
                  "minpos scales computed from the codec match all 6 rows",
                  ok)

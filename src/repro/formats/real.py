@@ -117,8 +117,8 @@ class Real:
     def __eq__(self, other):
         if not isinstance(other, Real):
             return NotImplemented
-        return (self.sign, self.mantissa, self.exponent) == \
-            (other.sign, other.mantissa, other.exponent)
+        return ((self.sign, self.mantissa, self.exponent)
+                == (other.sign, other.mantissa, other.exponent))
 
     def __hash__(self):
         return hash((self.sign, self.mantissa, self.exponent))

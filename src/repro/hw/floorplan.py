@@ -39,8 +39,8 @@ def units_per_slr(unit: Resources, slr: Resources = U250_SLR,
     column units per SLR even though a standalone unit reports 258
     blocks — logic, not memory, is the binding constraint).
     """
-    fields = ("lut", "register", "dsp", "sram") if include_sram else \
-        ("lut", "register", "dsp")
+    fields = (("lut", "register", "dsp", "sram") if include_sram
+              else ("lut", "register", "dsp"))
     limits = {}
     for field in fields:
         usage = getattr(unit, field)

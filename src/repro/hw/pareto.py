@@ -43,8 +43,8 @@ class DesignPoint:
 
     @property
     def watts(self) -> float:
-        return STATIC_WATTS + self.luts / 1000 * WATTS_PER_KLUT \
-            + self.dsps * WATTS_PER_DSP
+        return (STATIC_WATTS + self.luts / 1000 * WATTS_PER_KLUT
+                + self.dsps * WATTS_PER_DSP)
 
     @property
     def joules(self) -> float:

@@ -49,8 +49,8 @@ def render_comparison(rows: Sequence[dict], key: str, model_col: str,
     for row in rows:
         row = dict(row)
         model, paper = row.get(model_col), row.get(paper_col)
-        if isinstance(model, (int, float)) and isinstance(paper, (int, float)) \
-                and paper:
+        if (isinstance(model, (int, float))
+                and isinstance(paper, (int, float)) and paper):
             row["deviation"] = f"{100.0 * (model - paper) / paper:+.1f}%"
         else:
             row["deviation"] = "-"

@@ -1,0 +1,89 @@
+"""The benchmark-regression gate script, and the standing guarantee
+that the *committed* BENCH_*.json artifacts (recorded on dedicated
+hardware) meet the full >=10x / >=5x floors."""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "benchmarks"))
+import check_bench_regression as gate  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _payload(bench, key, speedup):
+    return {"benchmark": bench, "results": {key: {"speedup": speedup}}}
+
+
+class TestCheckPayload:
+    FLOORS = gate.gate_floors({})
+
+    def test_passing_payload(self):
+        ok = _payload("batch_throughput", "forward_log_batch64", 17.9)
+        assert gate.check_payload(ok, self.FLOORS) == []
+
+    def test_below_gate_fails(self):
+        bad = _payload("batch_throughput", "forward_log_batch64", 9.4)
+        assert len(gate.check_payload(bad, self.FLOORS)) == 1
+
+    def test_prefix_match_covers_parameterized_keys(self):
+        bad = _payload("apps_throughput", "vicar_forward_multi48_h13", 4.0)
+        assert len(gate.check_payload(bad, self.FLOORS)) == 1
+
+    def test_ungated_results_ignored(self):
+        other = _payload("apps_throughput", "lns_mul", 1.1)
+        assert gate.check_payload(other, self.FLOORS) == []
+
+    def test_missing_speedup_is_a_violation(self):
+        broken = {"benchmark": "batch_throughput",
+                  "results": {"forward_log_batch64": {}}}
+        assert len(gate.check_payload(broken, self.FLOORS)) == 1
+
+    def test_env_lowers_floor(self):
+        floors = gate.gate_floors({"REPRO_FORWARD_SPEEDUP_FLOOR": "2.0"})
+        marginal = _payload("batch_throughput", "forward_log_batch64", 3.0)
+        assert gate.check_payload(marginal, floors) == []
+
+
+class TestMain:
+    def test_missing_path_is_skipped(self, tmp_path, capsys):
+        assert gate.main([str(tmp_path / "nope")]) == 0
+        assert "skipping" in capsys.readouterr().out
+
+    def test_directory_scan_and_failure_exit(self, tmp_path, capsys):
+        good = tmp_path / "BENCH_batch.json"
+        good.write_text(json.dumps(
+            _payload("batch_throughput", "forward_log_batch64", 15.0)))
+        assert gate.main([str(tmp_path)]) == 0
+        bad = tmp_path / "BENCH_apps.json"
+        bad.write_text(json.dumps(
+            _payload("apps_throughput", "vicar_forward_multi48_h13", 2.0)))
+        assert gate.main([str(tmp_path)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_unreadable_file_fails(self, tmp_path):
+        broken = tmp_path / "BENCH_x.json"
+        broken.write_text("{not json")
+        assert gate.main([str(broken)]) == 1
+
+
+class TestCommittedArtifacts:
+    """The repo-root BENCH files are the recorded dedicated-hardware
+    results; they must meet the full gates at all times (the
+    acceptance criterion that the inversion did not cost the recorded
+    speedups)."""
+
+    @pytest.mark.parametrize("name", ["BENCH_batch.json", "BENCH_apps.json"])
+    def test_artifact_exists(self, name):
+        assert os.path.exists(os.path.join(REPO_ROOT, name))
+
+    def test_committed_artifacts_meet_full_gates(self):
+        floors = gate.gate_floors({})  # full 10x / 5x, no env lowering
+        for name in ("BENCH_batch.json", "BENCH_apps.json"):
+            with open(os.path.join(REPO_ROOT, name)) as f:
+                payload = json.load(f)
+            assert gate.check_payload(payload, floors) == [], name

@@ -10,6 +10,7 @@ from repro.core.sweep import (
     plan_chunks,
     stable_chunk_seed,
 )
+from repro.engine import ExecPlan
 from repro.engine.runner import run_sweep_parallel
 
 BINS = (FIG3_BINS[0], FIG3_BINS[4], FIG3_BINS[-1])
@@ -89,31 +90,33 @@ class TestParallelRunner:
 
 
 class TestRunOpSweepIntegration:
-    def test_batch_flag_preserves_results(self):
+    def test_serial_plan_preserves_results(self):
         backends = standard_backends()
         pairs = generate_sweep_chunked("add", BINS, per_bin=8, seed=1)
-        plain = run_op_sweep("add", backends, bins=BINS, pairs_by_bin=pairs)
+        plain = run_op_sweep("add", backends, bins=BINS, pairs_by_bin=pairs,
+                             plan=ExecPlan.serial())
         batched = run_op_sweep("add", backends, bins=BINS,
-                               pairs_by_bin=pairs, batch=True)
+                               pairs_by_bin=pairs)
         assert _rows(plain) == _rows(batched)
 
-    def test_n_workers_delegates_to_runner(self):
+    def test_worker_plan_delegates_to_runner(self):
         backends = standard_backends()
         via_sweep = run_op_sweep("add", backends, per_bin=6, bins=BINS,
-                                 seed=7, n_workers=0)
+                                 seed=7, plan=ExecPlan(n_workers=0))
         via_runner = run_sweep_parallel("add", backends, per_bin=6,
                                         bins=BINS, seed=7, n_workers=0)
         assert _rows(via_sweep) == _rows(via_runner)
 
-    def test_n_workers_with_explicit_pairs_rejected(self):
+    def test_worker_plan_with_explicit_pairs_rejected(self):
         backends = standard_backends()
         pairs = generate_sweep_chunked("add", BINS, per_bin=4, seed=0)
         with pytest.raises(ValueError):
             run_op_sweep("add", backends, bins=BINS, pairs_by_bin=pairs,
-                         n_workers=2)
+                         plan=ExecPlan(n_workers=2))
 
-    def test_fig3_accepts_runner_args(self):
+    def test_fig3_accepts_plan(self):
         from repro.experiments import fig3_op_accuracy
-        result = fig3_op_accuracy.run(scale="test", batch=True, n_workers=0)
+        result = fig3_op_accuracy.run(scale="test",
+                                      plan=ExecPlan(n_workers=0))
         assert result.per_bin == fig3_op_accuracy.SCALES["test"]
         assert set(result.add.boxes) == set(FIG3_BINS)

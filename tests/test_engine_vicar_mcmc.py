@@ -20,6 +20,7 @@ from repro.arith.backends import (
     PositBackend,
 )
 from repro.data.dirichlet import HMMData, sample_hcg_like_hmm, sample_hmm
+from repro.engine import ExecPlan
 from repro.formats.posit import PositEnv
 
 EXACT_FORMATS = ["binary64", "log-seq", "posit(64,18)", "lns"]
@@ -64,8 +65,8 @@ def test_forward_models_batch_mixed_shapes(backend):
 def test_run_vicar_batch_identical(backend):
     config = VicarConfig(length=10, h_values=(5,), matrices_per_h=3,
                          bits_per_step=60.0, seed=1, oracle_prec=192)
-    serial = run_vicar(config, {"fmt": backend})
-    batched = run_vicar(config, {"fmt": backend}, batch=True)
+    serial = run_vicar(config, {"fmt": backend}, plan=ExecPlan.serial())
+    batched = run_vicar(config, {"fmt": backend})
     assert serial.scores == batched.scores
     assert serial.reference_scales == batched.reference_scales
 
@@ -74,8 +75,8 @@ def test_run_vicar_parallel_references_identical():
     backend = LogSpaceBackend(sum_mode="sequential")
     config = VicarConfig(length=10, h_values=(4,), matrices_per_h=4,
                          bits_per_step=50.0, seed=2, oracle_prec=192)
-    serial = run_vicar(config, {"log": backend})
-    fanned = run_vicar(config, {"log": backend}, batch=True, n_workers=2)
+    serial = run_vicar(config, {"log": backend}, plan=ExecPlan.serial())
+    fanned = run_vicar(config, {"log": backend}, plan=ExecPlan(n_workers=2))
     assert serial.scores == fanned.scores
     assert serial.reference_scales == fanned.reference_scales
 
@@ -120,11 +121,12 @@ def test_run_chains_matches_run_chain(backend):
 
 
 def test_run_chains_scalar_fallback_is_default_path():
-    """batch=False must reproduce the batched decisions too (one code
+    """The serial plan must reproduce the batched decisions too (one code
     path cannot drift from the other)."""
     backend = _backend("posit(64,18)")
     batched = run_chains(backend, 2, steps=4, seeds=[1, 2])
-    scalar = run_chains(backend, 2, steps=4, seeds=[1, 2], batch=False)
+    scalar = run_chains(backend, 2, steps=4, seeds=[1, 2],
+                        plan=ExecPlan.serial())
     for g, w in zip(batched, scalar):
         assert (g.accepted, g.rejected, g.stuck, g.samples) == \
             (w.accepted, w.rejected, w.stuck, w.samples)
@@ -139,10 +141,10 @@ def test_run_chains_underflow_pathology_preserved():
         assert r.stuck == 4 and r.accepted == 0
 
 
-def test_fig10_experiment_batch_flag():
+def test_fig10_experiment_plans_identical():
     from repro.experiments import fig10_vicar_cdf
-    serial = fig10_vicar_cdf.run("test", seed=2)
-    batched = fig10_vicar_cdf.run("test", seed=2, batch=True, n_workers=2)
+    serial = fig10_vicar_cdf.run("test", seed=2, plan=ExecPlan.serial())
+    batched = fig10_vicar_cdf.run("test", seed=2, plan=ExecPlan(n_workers=2))
     for panel in serial.panels:
         # posit is element-exact through the engine; identical scores.
         assert serial.panels[panel].scores["posit(64,18)"] == \
@@ -157,7 +159,7 @@ def test_fig10_experiment_batch_flag():
 
 def test_fig6_software_baseline_rows():
     from repro.experiments import fig6_forward_perf
-    rows = fig6_forward_perf.run(batch=True)
+    rows = fig6_forward_perf.run(plan=ExecPlan(measure=True))
     assert [r.h for r in rows] == [13, 32, 64, 128]
     for r in rows:
         assert r.sw_scalar_mmaps > 0 and r.sw_batch_mmaps > 0

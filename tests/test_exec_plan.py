@@ -1,0 +1,212 @@
+"""ExecPlan: validation, plan threading, group slicing, and the
+one-release deprecation shims for the removed ``batch=``/``n_workers=``
+kwarg pairs (every shim must emit DeprecationWarning and produce the
+same results as the equivalent plan).
+"""
+
+import numpy as np
+import pytest
+
+from repro.arith import LogSpaceBackend, PositBackend, standard_backends
+from repro.bigfloat import BigFloat
+from repro.engine import DEFAULT_PLAN, ExecPlan, resolve_plan
+from repro.formats import PositEnv
+
+
+class TestExecPlan:
+    def test_default_is_batch_canonical(self):
+        assert DEFAULT_PLAN.batch is True
+        assert DEFAULT_PLAN.n_workers is None
+        assert DEFAULT_PLAN.cache == "auto"
+        assert not DEFAULT_PLAN.measure
+
+    def test_serial_constructor(self):
+        plan = ExecPlan.serial()
+        assert plan.batch is False
+        assert ExecPlan.serial(n_workers=2).n_workers == 2
+
+    def test_with_replaces_fields(self):
+        plan = DEFAULT_PLAN.with_(n_workers=4, cache="off")
+        assert (plan.n_workers, plan.cache) == (4, "off")
+        assert DEFAULT_PLAN.n_workers is None  # frozen, copy-on-write
+
+    @pytest.mark.parametrize("bad", [
+        {"batch_size": 0}, {"chunk_size": 0}, {"n_workers": -1},
+        {"cache": "sometimes"},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            ExecPlan(**bad)
+
+    def test_parallel_property(self):
+        assert not ExecPlan().parallel
+        assert not ExecPlan(n_workers=1).parallel
+        assert ExecPlan(n_workers=2).parallel
+
+    def test_group_slices(self):
+        assert ExecPlan().group_slices(5) == [slice(0, 5)]
+        assert ExecPlan(batch_size=2).group_slices(5) == \
+            [slice(0, 2), slice(2, 4), slice(4, 5)]
+        assert ExecPlan(batch_size=2).group_slices(0) == [slice(0, 0)]
+
+
+class TestResolvePlan:
+    def test_passthrough(self):
+        plan = ExecPlan(n_workers=3)
+        assert resolve_plan(plan) is plan
+        assert resolve_plan(None) is DEFAULT_PLAN
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            resolve_plan({"batch": True})
+
+    def test_legacy_kwargs_warn_and_fold(self):
+        with pytest.warns(DeprecationWarning):
+            plan = resolve_plan(None, {"batch": False, "n_workers": 2},
+                                where="test")
+        assert (plan.batch, plan.n_workers) == (False, 2)
+
+    def test_legacy_none_values_are_unset(self):
+        with pytest.warns(DeprecationWarning):
+            plan = resolve_plan(None, {"batch": None, "n_workers": 0},
+                                where="test")
+        assert plan.batch is True  # None means "not passed"
+        assert plan.n_workers == 0
+
+    def test_unknown_kwarg_raises(self):
+        with pytest.raises(TypeError):
+            resolve_plan(None, {"n_wokers": 2}, where="test")
+
+    def test_batch_field_remap(self):
+        with pytest.warns(DeprecationWarning):
+            plan = resolve_plan(None, {"batch": True}, where="fig6",
+                                batch_field="measure")
+        assert plan.measure is True and plan.batch is True
+
+
+def _columns(n=4):
+    from repro.data.genome import synth_dataset
+    return synth_dataset("shim", n, seed=0, critical_fraction=0.5,
+                         deep_fraction=0.25).columns
+
+
+class TestDeprecationShims:
+    """Every former batch=/n_workers= call site still works for one
+    release, warns, and matches the plan spelling exactly."""
+
+    def test_run_lofreq(self):
+        from repro.apps.lofreq import run_lofreq
+        backends = {"log": LogSpaceBackend()}
+        columns = _columns()
+        with pytest.warns(DeprecationWarning):
+            legacy = run_lofreq(columns, backends, batch=True)
+        planned = run_lofreq(columns, backends, plan=ExecPlan())
+        assert legacy.scores == planned.scores
+
+    def test_column_pvalues(self):
+        from repro.apps.lofreq import column_pvalues
+        backend = PositBackend(PositEnv(64, 18))
+        columns = _columns()
+        with pytest.warns(DeprecationWarning):
+            legacy = column_pvalues(columns, backend, batch=False)
+        assert legacy == column_pvalues(columns, backend,
+                                        plan=ExecPlan.serial())
+
+    def test_run_vicar(self):
+        from repro.apps.vicar import VicarConfig, run_vicar
+        config = VicarConfig(length=8, h_values=(3,), matrices_per_h=2,
+                             bits_per_step=40.0, seed=0, oracle_prec=128)
+        backends = {"log": LogSpaceBackend(sum_mode="sequential")}
+        with pytest.warns(DeprecationWarning):
+            legacy = run_vicar(config, backends, batch=True, n_workers=0)
+        planned = run_vicar(config, backends, plan=ExecPlan(n_workers=0))
+        assert legacy.scores == planned.scores
+
+    def test_run_chains(self):
+        from repro.apps.mcmc import run_chains
+        backend = PositBackend(PositEnv(64, 18))
+        with pytest.warns(DeprecationWarning):
+            legacy = run_chains(backend, 2, steps=3, seeds=[1, 2],
+                                batch=False)
+        planned = run_chains(backend, 2, steps=3, seeds=[1, 2],
+                             plan=ExecPlan.serial())
+        for g, w in zip(legacy, planned):
+            assert (g.accepted, g.rejected, g.stuck, g.samples) == \
+                (w.accepted, w.rejected, w.stuck, w.samples)
+
+    def test_run_op_sweep(self):
+        from repro.core.analysis import run_op_sweep
+        from repro.core.sweep import FIG3_BINS
+        backends = standard_backends()
+        bins = (FIG3_BINS[0], FIG3_BINS[-1])
+        with pytest.warns(DeprecationWarning):
+            legacy = run_op_sweep("add", backends, per_bin=4, bins=bins,
+                                  seed=1, batch=True)
+        planned = run_op_sweep("add", backends, per_bin=4, bins=bins, seed=1)
+        assert {b: {f: s.row() for f, s in cell.items()}
+                for b, cell in legacy.boxes.items()} == \
+            {b: {f: s.row() for f, s in cell.items()}
+             for b, cell in planned.boxes.items()}
+
+    @pytest.mark.parametrize("module, kwargs", [
+        ("fig3_op_accuracy", {"batch": True, "n_workers": 0}),
+        ("fig9_pvalue_accuracy", {"batch": True}),
+        ("fig10_vicar_cdf", {"batch": True}),
+        ("fig11_lofreq_cdf", {"batch": True}),
+    ])
+    def test_experiment_runs_warn(self, module, kwargs):
+        import importlib
+        mod = importlib.import_module(f"repro.experiments.{module}")
+        with pytest.warns(DeprecationWarning):
+            mod.run("test", **kwargs)
+
+    def test_fig6_batch_maps_to_measure(self):
+        from repro.experiments import fig6_forward_perf
+        with pytest.warns(DeprecationWarning):
+            rows = fig6_forward_perf.run(batch=True)
+        assert all(r.sw_scalar_mmaps is not None for r in rows)
+
+    def test_run_experiment_shim(self, tmp_path, monkeypatch):
+        from repro.experiments.runner import run_experiment
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        with pytest.warns(DeprecationWarning):
+            text = run_experiment("table1", batch=True)
+        assert text == run_experiment("table1", plan=ExecPlan())
+
+
+class TestBatchSizeGrouping:
+    """plan.batch_size slices the vectorized passes without changing a
+    single value."""
+
+    def test_forward_batch_grouped(self):
+        from repro.apps.hmm import forward_batch
+        from repro.data.dirichlet import sample_hmm
+        backend = LogSpaceBackend(sum_mode="sequential")
+        hmm = sample_hmm(4, 5, 12, seed=9)
+        obs = np.random.default_rng(10).integers(0, 5, size=(7, 12))
+        whole = forward_batch(hmm, backend, obs)
+        grouped = forward_batch(hmm, backend, obs,
+                                plan=ExecPlan(batch_size=3))
+        assert whole == grouped
+
+    def test_pbd_batch_grouped(self):
+        from repro.apps.pbd import pbd_pvalue_batch
+        backend = PositBackend(PositEnv(64, 12))
+        rng = np.random.default_rng(12)
+        sites = [[BigFloat.from_float(float(p))
+                  for p in rng.uniform(1e-6, 0.3, 15)] for _ in range(5)]
+        whole = pbd_pvalue_batch(sites, 2, backend)
+        grouped = pbd_pvalue_batch(sites, 2, backend,
+                                   plan=ExecPlan(batch_size=2))
+        assert whole == grouped
+
+    def test_forward_models_batch_grouped(self):
+        from repro.apps.hmm import forward_models_batch
+        from repro.data.dirichlet import sample_hcg_like_hmm
+        backend = LogSpaceBackend(sum_mode="sequential")
+        models = [sample_hcg_like_hmm(3, 8, seed=s, bits_per_step=30.0)
+                  for s in range(5)]
+        whole = forward_models_batch(models, backend)
+        grouped = forward_models_batch(models, backend,
+                                       plan=ExecPlan(batch_size=2))
+        assert whole == grouped

@@ -114,11 +114,12 @@ class TestRunnerCaching:
         assert (out / "table1.json").exists()
 
     def test_wallclock_measuring_run_is_never_cached(self, monkeypatch):
-        """fig6 --batch measures this machine; replaying a stale timing
-        would masquerade as a fresh measurement."""
+        """fig6 --measure measures this machine; replaying a stale
+        timing would masquerade as a fresh measurement."""
+        from repro.engine import ExecPlan
         calls = {"n": 0}
 
-        def run(batch=False):
+        def run(plan=None):
             calls["n"] += 1
             return []
 
@@ -126,8 +127,9 @@ class TestRunnerCaching:
                           False, measures_wallclock=True)
         monkeypatch.setattr("repro.experiments.runner.REGISTRY",
                             {"fig6": fake})
-        run_experiment("fig6", batch=True, use_cache=True)
-        run_experiment("fig6", batch=True, use_cache=True)
+        measured = ExecPlan(measure=True)
+        run_experiment("fig6", plan=measured, use_cache=True)
+        run_experiment("fig6", plan=measured, use_cache=True)
         assert calls["n"] == 2
         # The model-only variant stays cacheable.
         run_experiment("fig6", use_cache=True)
