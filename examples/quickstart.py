@@ -1,15 +1,16 @@
-"""Quickstart: the paper's core idea in 60 lines.
+"""Quickstart: the paper's core idea in 60 lines, on the repro.nd API.
 
 Statistical computations multiply probabilities until they fall below
 binary64's 2**-1074 floor.  The standard fix — log-space — trades away
 precision; posits keep both range and precision.  This example shows all
-three representations handling the same tiny number, and the bit-level
-reason why.
+three representations handling the same tiny number through
+``repro.nd`` format-tagged arrays, and the bit-level reason why.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.arith import REGISTRY, standard_backends
+import repro.nd as nd
+from repro.arith import REGISTRY
 from repro.bigfloat import BigFloat, log10_relative_error
 from repro.core import measure_op, table1_rows
 from repro.formats import PositEnv, Real
@@ -20,41 +21,55 @@ def main():
     # ------------------------------------------------------------------
     # 0. The execution plane: one registry entry per format.
     # ------------------------------------------------------------------
-    print("Registered formats (scalar backend + batch mirror + flags):")
-    for name in REGISTRY.names():
-        caps = REGISTRY.capabilities(name)
-        batch = "batched" if caps.batch else "scalar-only"
-        print(f"  {name:14s} {caps.exactness:14s} {batch}")
+    print(REGISTRY.describe())
     print()
     # ------------------------------------------------------------------
     # 1. A probability far outside binary64's range: 2**-20_000.
     # ------------------------------------------------------------------
     tiny = BigFloat.exp2(-20_000)
     print("The value 2^-20000 in each representation:")
-    for name, backend in standard_backends().items():
-        encoded = backend.from_bigfloat(tiny)
-        if backend.is_zero(encoded):
+    for name in REGISTRY.standard_names():
+        encoded = nd.asarray([tiny], name)
+        if encoded.is_zero()[0]:
             desc = "UNDERFLOW (becomes exactly 0)"
         else:
-            err = log10_relative_error(tiny, backend.to_bigfloat(encoded))
+            err = log10_relative_error(tiny, encoded.to_bigfloats()[0])
             desc = f"represented, log10(rel err) = {err:.1f}"
         print(f"  {name:14s} {desc}")
 
     # ------------------------------------------------------------------
-    # 2. Accuracy of one addition at that magnitude, per format.
+    # 2. A workload is ~10 lines of array math: joint probability of
+    #    independent events, per format, vectorized end to end.
+    # ------------------------------------------------------------------
+    print("\nproduct of 2048 probabilities of 2^-10 (= 2^-20480), "
+          "per format:")
+    probs = [BigFloat.exp2(-10)] * 2048
+    for name in REGISTRY.standard_names():
+        with nd.use_format(name):
+            joint = nd.asarray(probs)
+            # Pairwise multiplicative fold, vectorized at every level.
+            while joint.size > 1:
+                mid = joint.size // 2
+                joint = joint[:mid] * joint[mid:mid * 2]
+            status = ("underflowed to 0" if joint.is_zero()[0]
+                      else f"2^{joint.to_bigfloats()[0].scale}")
+            print(f"  {name:14s} {status}")
+
+    # ------------------------------------------------------------------
+    # 3. Accuracy of one addition at that magnitude, per format.
     # ------------------------------------------------------------------
     x = Real(0, (1 << 60) + 987_654_321, -20_000 - 60)
     y = Real(0, (1 << 60) + 123_456_789, -20_001 - 60)
     print("\nAdding two ~2^-20000 probabilities (log10 relative error):")
     rows = []
-    for name, backend in standard_backends().items():
-        res = measure_op(backend, "add", x, y)
+    for name in REGISTRY.standard_names():
+        res = measure_op(REGISTRY.create(name), "add", x, y)
         rows.append({"format": name, "status": res.status,
                      "log10 rel err": res.log10_error})
     print(render_table(rows))
 
     # ------------------------------------------------------------------
-    # 3. Why: the posit bit-field taper (the paper's Figure 2 / Table I).
+    # 4. Why: the posit bit-field taper (the paper's Figure 2 / Table I).
     # ------------------------------------------------------------------
     print("\nPosit(8,2) worked example from the paper (0_0001_10_1):")
     env = PositEnv(8, 2)

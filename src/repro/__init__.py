@@ -12,8 +12,11 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.formats` — posit / IEEE / log-space number formats
 * :mod:`repro.arith` — format-generic arithmetic backends + the format
   registry (construction, batch pairing, capability flags)
-* :mod:`repro.engine` — the execution plane: canonical batch kernels,
+* :mod:`repro.engine` — the execution plane: certified batch mirrors,
   :class:`~repro.engine.plan.ExecPlan`, parallel sweep runner
+* :mod:`repro.nd` — the NumPy-style front end: format-tagged
+  :class:`~repro.nd.FArray` arrays with registry-dispatched operators,
+  plan-aware reductions, and ambient ``use_format``/``use_plan``
 * :mod:`repro.core` — accuracy sweeps, bit-budget analysis, range tables
 * :mod:`repro.apps` — forward algorithm (VICAR), PBD p-values (LoFreq)
 * :mod:`repro.data` — synthetic workload generators
@@ -23,13 +26,28 @@ Package map (see DESIGN.md for the full inventory):
 
 Quickstart::
 
-    from repro.arith import standard_backends
-    from repro.core import run_op_sweep
-    result = run_op_sweep("add", standard_backends(), per_bin=50)
+    import repro.nd as nd
+    with nd.use_format("posit(32,2)"):
+        p = nd.asarray([0.5, 0.25, 0.125])
+        print(nd.sum(p * (1 - p)).to_floats())
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import arith, bigfloat, core, formats  # noqa: F401
 
-__all__ = ["arith", "bigfloat", "core", "formats", "__version__"]
+#: NumPy-dependent subpackages load lazily (PEP 562) so the scalar
+#: stack stays importable where the vectorized engine cannot run.
+_LAZY_SUBMODULES = ("apps", "engine", "experiments", "nd")
+
+__all__ = [  # noqa: PLE0604
+    "arith", "bigfloat", "core", "formats", "__version__",
+    *_LAZY_SUBMODULES,
+]
+
+
+def __getattr__(name):
+    if name in _LAZY_SUBMODULES:
+        import importlib
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -10,6 +10,7 @@ from .hmm import (
     forward_log,
     forward_models_batch,
     forward_rescaled,
+    model_arrays,
     trace_operands,
 )
 from .pbd import (
@@ -52,7 +53,7 @@ from .mcmc import ChainResult, run_chain, run_chains
 
 __all__ = [
     "forward", "forward_alpha_trace", "alpha_scale_series",
-    "forward_batch", "forward_models_batch",
+    "forward_batch", "forward_models_batch", "model_arrays",
     "forward_float", "forward_log", "forward_rescaled", "trace_operands",
     "pbd_pvalue", "pbd_pmf", "pbd_pvalue_batch",
     "pbd_pvalue_float", "pbd_pvalue_log",

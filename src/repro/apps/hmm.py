@@ -1,125 +1,199 @@
 """Hidden Markov Model forward algorithm (Section V.A, Listings 1 and 3).
 
-The *canonical* implementation is the batched kernel in
-:mod:`repro.engine.kernels`: :func:`forward` is a B=1 view over it for
-every format whose batch mirror is certified exact by the format
-registry (binary64 bit-identical; posit/LNS element-exact; log-space in
-``sequential`` sum mode).  Formats without a certified mirror — the
-BigFloat oracle, log-space's default n-ary mode, the tracing wrapper —
-run the scalar reference recurrence, which follows Listing 1's
-structure exactly and is parameterized by an arithmetic
-:class:`~repro.arith.Backend`; with the log-space backend that code *is*
-Listing 3 (multiplications become float adds, the accumulation becomes
-the n-ary LSE of Equation 3).  Optimized numpy fast paths for binary64
-and log-space are provided and cross-checked against the generic
+The recurrence is written *once*, as a :mod:`repro.nd` expression over
+format-tagged arrays (:func:`_forward_nd` and friends): per step,
+``alpha'[q] = sum_p(alpha[p] * A[p, q]) * B[q, o_t]`` with the format's
+``sum`` fold over ``p`` in index order.  The :class:`FArray`
+representation decides how it runs — through the registry-certified
+batch mirror (binary64 bit-identical; posit/LNS element-exact;
+log-space in ``sequential`` sum mode) or through the scalar backend
+element by element (the BigFloat oracle, log-space's default n-ary
+mode, the tracing wrapper, and every ``ExecPlan.serial()`` baseline).
+Results are identical either way — that is the registry's
+certification; with the log-space backend the same expression *is*
+Listing 3 (multiplications become float adds, the accumulation the
+n-ary LSE of Equation 3).  Optimized numpy fast paths for binary64 and
+log-space are provided and cross-checked against the generic
 implementation in the tests.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional
 
 import numpy as np
 
+from .. import nd
 from ..arith.backend import Backend
 from ..bigfloat import BigFloat
 from ..data.dirichlet import HMMData
 from ..engine.plan import ExecPlan, resolve_plan
 from ..formats.real import Real
+from ..nd.context import _resolve_format
 
 
-def model_values(hmm: HMMData, backend: Backend) -> tuple:
-    """One HMM's parameters as backend values, converted exactly once.
+def model_arrays(hmm: HMMData, backend: Optional[Backend] = None,
+                 plan: Optional[ExecPlan] = None, *,
+                 certified: bool = True):
+    """One HMM's parameters as :class:`~repro.nd.FArray`\\ s
+    ``(transition (H, H), emission (H, M), initial (H,))``, converted
+    exactly once.
 
     Conversion is input-side methodology (the paper rounds exact MPFR
     operands into each format), so it is hoisted out of the per-sequence
     recurrences: repeated-sequence sweeps must not redo
-    ``from_bigfloat`` work per sequence.
+    ``from_bigfloat`` work per sequence.  The plan + ``certified`` tier
+    select the representation (vectorized codes or scalar values); both
+    hold the same rounded parameters, so downstream results do not
+    depend on the choice.
     """
-    a = [[backend.from_bigfloat(x) for x in row] for row in hmm.transition]
-    b = [[backend.from_bigfloat(x) for x in row] for row in hmm.emission]
-    pi = [backend.from_bigfloat(x) for x in hmm.initial]
+    backend = _resolve_format(backend)
+    plan = resolve_plan(plan, where="model_arrays")
+    a = nd.asarray(hmm.transition, backend, plan=plan, certified=certified)
+    b = nd.asarray(hmm.emission, backend, plan=plan, certified=certified)
+    pi = nd.asarray(hmm.initial, backend, plan=plan, certified=certified)
     return a, b, pi
 
 
-def _forward_values(backend: Backend, a, b, pi, obs):
-    """Listing 1 over pre-converted parameters: the scalar reference
-    recurrence, kept for formats without a certified batch mirror."""
-    h = len(pi)
-    # t = 0: alpha[q] = pi[q] * B[q][o0]
-    o0 = obs[0]
-    alpha_prev = [backend.mul(pi[q], b[q][o0]) for q in range(h)]
-    for t in range(1, len(obs)):
-        ot = obs[t]
-        alpha = []
-        for q in range(h):
-            path_sum = backend.sum(
-                backend.mul(alpha_prev[p], a[p][q]) for p in range(h))
-            alpha.append(backend.mul(path_sum, b[q][ot]))
-        alpha_prev = alpha
-    return backend.sum(alpha_prev)
+def model_values(hmm: HMMData, backend: Backend) -> tuple:
+    """Deprecated: one-release shim over :func:`model_arrays`.
+
+    Returns the old nested-list form ``(a, b, pi)`` of scalar backend
+    values; new code should take the :class:`~repro.nd.FArray` triple
+    from :func:`model_arrays` instead.
+    """
+    warnings.warn(
+        "model_values() is deprecated; use model_arrays(), which returns "
+        "repro.nd FArrays (.tolist() recovers the old nested lists)",
+        DeprecationWarning, stacklevel=2)
+    a, b, pi = model_arrays(hmm, backend, plan=ExecPlan.serial())
+    return a.tolist(), b.tolist(), pi.tolist()
 
 
-def _kernel_backend(backend: Backend, plan: ExecPlan, *,
-                    certified: bool = True):
-    """The batch mirror the plan selects (see
-    :func:`repro.engine.plan_batch_backend`), or None for the scalar
-    path."""
-    from ..engine import plan_batch_backend
-    return plan_batch_backend(backend, plan, certified=certified)
+def batch_model_arrays(hmm: HMMData, batch_backend):
+    """Deprecated: one-release shim over :func:`model_arrays`.
+
+    Returns the old raw code-array triple for an explicit batch
+    backend; new code should use :func:`model_arrays` (whose FArrays
+    carry the same codes in ``.data`` on the vectorized path).
+    """
+    warnings.warn(
+        "batch_model_arrays() is deprecated; use model_arrays(), which "
+        "returns repro.nd FArrays (.data holds the packed codes)",
+        DeprecationWarning, stacklevel=2)
+    h, m = hmm.n_states, hmm.n_symbols
+    a = batch_backend.from_bigfloats(
+        [x for row in hmm.transition for x in row]).reshape(h, h)
+    b = batch_backend.from_bigfloats(
+        [x for row in hmm.emission for x in row]).reshape(h, m)
+    pi = batch_backend.from_bigfloats(list(hmm.initial))
+    return a, b, pi
 
 
-def forward(hmm: HMMData, backend: Backend, observations=None,
-            plan: Optional[ExecPlan] = None):
+# ----------------------------------------------------------------------
+# The recurrences, written once as nd expressions
+# ----------------------------------------------------------------------
+def _emission_shared(b: "nd.FArray", obs: np.ndarray, t: int) -> "nd.FArray":
+    """``B[q, o_t]`` per sequence for a shared model: ``(B, H)``."""
+    return b[:, obs[:, t]].T
+
+
+def _forward_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
+    """Forward likelihoods for a batch of sequences sharing one model:
+    ``a (H, H)``, ``b (H, M)``, ``pi (H,)`` FArrays, ``obs (B, T)``
+    ints; returns ``(B,)``.  Listing 1, vectorized across sequences."""
+    obs = np.asarray(obs)
+    if obs.ndim != 2:
+        raise ValueError("obs must have shape (batch, T)")
+    alpha = pi * _emission_shared(b, obs, 0)
+    for t in range(1, obs.shape[1]):
+        # path_sum[s, q] = sum_p(alpha[s, p] * A[p, q]), fold over p in
+        # index order.
+        path_sum = nd.sum(alpha[:, :, None] * a, axis=1)
+        alpha = path_sum * _emission_shared(b, obs, t)
+    return nd.sum(alpha, axis=1)
+
+
+def _forward_trace_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
+    """Per-iteration total alpha mass, shape ``(B, T)`` — the data
+    behind Figure 1."""
+    obs = np.asarray(obs)
+    alpha = pi * _emission_shared(b, obs, 0)
+    trace = [nd.sum(alpha, axis=1)]
+    for t in range(1, obs.shape[1]):
+        path_sum = nd.sum(alpha[:, :, None] * a, axis=1)
+        alpha = path_sum * _emission_shared(b, obs, t)
+        trace.append(nd.sum(alpha, axis=1))
+    return nd.stack(trace, axis=1)
+
+
+def _forward_models_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
+    """Forward likelihoods for a batch of *models* (the ViCAR/MCMC
+    shape): ``a (B, H, H)``, ``b (B, H, M)``, ``pi (B, H)``,
+    ``obs (B, T)``; returns ``(B,)``."""
+    obs = np.asarray(obs)
+    if obs.ndim != 2:
+        raise ValueError("obs must have shape (batch, T)")
+    if a.ndim != 3 or b.ndim != 3 or pi.ndim != 2:
+        raise ValueError("need per-model params: a (B,H,H), b (B,H,M), "
+                         "pi (B,H)")
+
+    def emission(t):
+        # b[s, :, obs[s, t]] for every model s, shape (B, H).
+        return nd.take_along_axis(
+            b, obs[:, t][:, None, None], axis=2)[..., 0]
+
+    alpha = pi * emission(0)
+    for t in range(1, obs.shape[1]):
+        # prod[s, p, q] = alpha[s, p] * A[s, p, q]
+        path_sum = nd.sum(alpha[:, :, None] * a, axis=1)
+        alpha = path_sum * emission(t)
+    return nd.sum(alpha, axis=1)
+
+
+def _seq_rows(observations) -> list:
+    """Observation sequences as integer tuples (lengths may differ)."""
+    return [tuple(int(o) for o in seq) for seq in observations]
+
+
+def _obs_rows(observations) -> np.ndarray:
+    rows = _seq_rows(observations)
+    if len({len(r) for r in rows}) > 1:
+        raise ValueError("observation sequences must share one length "
+                         "for a rectangular (batch, T) array")
+    return np.asarray(rows, dtype=np.intp)
+
+
+# ----------------------------------------------------------------------
+# Public entry points (B=1 views and explicit batches)
+# ----------------------------------------------------------------------
+def forward(hmm: HMMData, backend: Optional[Backend] = None,
+            observations=None, plan: Optional[ExecPlan] = None):
     """Run the forward algorithm; return the likelihood P(O | lambda) as
     a backend value (use ``backend.to_bigfloat`` to score it).
 
-    Runs through the batched kernel as a batch of one wherever the
-    format's batch mirror is certified exact (the canonical path);
-    ``plan=ExecPlan.serial()`` forces the legacy scalar recurrence.
-    Results are identical either way — that is the certification.
+    ``backend`` defaults to the ambient :func:`repro.nd.use_format`
+    format; ``plan`` to the ambient :func:`repro.nd.use_plan` plan.  A
+    B=1 view over :func:`_forward_nd` with the *reduction-certified*
+    representation tier, so the result never depends on the plan;
+    ``plan=ExecPlan.serial()`` merely forces the scalar baseline.
     """
     plan = resolve_plan(plan, where="forward")
     obs = hmm.observations if observations is None else observations
-    bb = _kernel_backend(backend, plan)
-    if bb is not None:
-        from ..engine.kernels import forward_batch as forward_batch_kernel
-        obs_arr = np.asarray([tuple(int(o) for o in obs)], dtype=np.intp)
-        a, b, pi = batch_model_arrays(hmm, bb)
-        return bb.item(forward_batch_kernel(bb, a, b, pi, obs_arr), 0)
-    a, b, pi = model_values(hmm, backend)
-    return _forward_values(backend, a, b, pi, obs)
+    a, b, pi = model_arrays(hmm, backend, plan=plan, certified=True)
+    return _forward_nd(a, b, pi, _obs_rows([obs])).item(0)
 
 
-def forward_alpha_trace(hmm: HMMData, backend: Backend,
+def forward_alpha_trace(hmm: HMMData, backend: Optional[Backend] = None,
                         plan: Optional[ExecPlan] = None) -> list:
     """Per-iteration alpha summaries (backend values): the data behind
-    Figure 1.  A B=1 view over the batched trace kernel for certified
-    formats; scalar recurrence otherwise."""
+    Figure 1.  A B=1 view over :func:`_forward_trace_nd` in the
+    reduction-certified tier."""
     plan = resolve_plan(plan, where="forward_alpha_trace")
-    obs = hmm.observations
-    bb = _kernel_backend(backend, plan)
-    if bb is not None:
-        from ..engine.kernels import forward_alpha_trace_batch
-        obs_arr = np.asarray([tuple(int(o) for o in obs)], dtype=np.intp)
-        a, b, pi = batch_model_arrays(hmm, bb)
-        trace = forward_alpha_trace_batch(bb, a, b, pi, obs_arr)
-        return [bb.item(trace, (0, t)) for t in range(trace.shape[1])]
-    a, b, pi = model_values(hmm, backend)
-    h = hmm.n_states
-    o0 = obs[0]
-    alpha_prev = [backend.mul(pi[q], b[q][o0]) for q in range(h)]
-    trace = [backend.sum(alpha_prev)]
-    for t in range(1, len(obs)):
-        ot = obs[t]
-        alpha = []
-        for q in range(h):
-            path_sum = backend.sum(
-                backend.mul(alpha_prev[p], a[p][q]) for p in range(h))
-            alpha.append(backend.mul(path_sum, b[q][ot]))
-        alpha_prev = alpha
-        trace.append(backend.sum(alpha_prev))
-    return trace
+    a, b, pi = model_arrays(hmm, backend, plan=plan, certified=True)
+    trace = _forward_trace_nd(a, b, pi, _obs_rows([hmm.observations]))
+    return [trace.item((0, t)) for t in range(trace.shape[1])]
 
 
 def alpha_scale_series(hmm: HMMData, prec: int = 96) -> List[int]:
@@ -132,23 +206,8 @@ def alpha_scale_series(hmm: HMMData, prec: int = 96) -> List[int]:
     return [v.scale for v in trace]
 
 
-# ----------------------------------------------------------------------
-# Batched execution (repro.engine): many sequences per call
-# ----------------------------------------------------------------------
-def batch_model_arrays(hmm: HMMData, batch_backend):
-    """Convert one HMM's parameters into backend-value arrays, once per
-    batch (the scalar path hoists the same conversion via
-    :func:`model_values`)."""
-    h, m = hmm.n_states, hmm.n_symbols
-    a = batch_backend.from_bigfloats(
-        [x for row in hmm.transition for x in row]).reshape(h, h)
-    b = batch_backend.from_bigfloats(
-        [x for row in hmm.emission for x in row]).reshape(h, m)
-    pi = batch_backend.from_bigfloats(list(hmm.initial))
-    return a, b, pi
-
-
-def forward_batch(hmm: HMMData, backend: Backend, observations=None,
+def forward_batch(hmm: HMMData, backend: Optional[Backend] = None,
+                  observations=None,
                   plan: Optional[ExecPlan] = None) -> list:
     """Forward algorithm over a batch of observation sequences.
 
@@ -158,77 +217,70 @@ def forward_batch(hmm: HMMData, backend: Backend, observations=None,
     :func:`forward` per sequence — exactly so for binary64, posit, LNS,
     and log-space with ``sum_mode="sequential"``; for log-space's
     default n-ary mode the batched LSE matches to within an ulp (NumPy's
-    SIMD ``exp`` is not libm's; see :mod:`repro.engine.batch`).  Formats
-    with an array backend run through the vectorized kernel, sliced
-    into groups of at most ``plan.batch_size``; others (the BigFloat
-    oracle) run the scalar recurrence with the model conversion hoisted
-    out of the per-sequence loop.
+    SIMD ``exp`` is not libm's; see :mod:`repro.engine.batch`).  The
+    vectorized passes are sliced into groups of at most
+    ``plan.batch_size``; formats without an array backend (the BigFloat
+    oracle) run the same expression through the scalar representation,
+    with the model conversion hoisted out of the per-sequence loop.
     """
     plan = resolve_plan(plan, where="forward_batch")
     if observations is None:
         observations = [hmm.observations]
-    bb = _kernel_backend(backend, plan, certified=False)
-    if bb is None:
-        a, b, pi = model_values(hmm, backend)
-        return [_forward_values(backend, a, b, pi,
-                                tuple(int(o) for o in seq))
-                for seq in observations]
-    from ..engine.kernels import forward_batch as forward_batch_kernel
-    obs = np.asarray(observations, dtype=np.intp)
-    a, b, pi = batch_model_arrays(hmm, bb)
+    a, b, pi = model_arrays(hmm, backend, plan=plan, certified=False)
+    seqs = _seq_rows(observations)
+    if len({len(s) for s in seqs}) > 1:
+        # Ragged batch: per-sequence B=1 passes over the hoisted model.
+        return [_forward_nd(a, b, pi,
+                            np.asarray([s], dtype=np.intp)).item(0)
+                for s in seqs]
+    obs = np.asarray(seqs, dtype=np.intp)
     values: list = []
     for rows in plan.group_slices(obs.shape[0]):
-        out = forward_batch_kernel(bb, a, b, pi, obs[rows])
-        values.extend(bb.item(out, i) for i in range(out.shape[0]))
+        out = _forward_nd(a, b, pi, obs[rows])
+        values.extend(out.item(i) for i in range(out.shape[0]))
     return values
 
 
-def forward_models_batch(models, backend: Backend,
+def forward_models_batch(models, backend: Optional[Backend] = None,
                          plan: Optional[ExecPlan] = None, *,
                          certified: bool = False) -> list:
     """Forward likelihoods for many *models* (each with its own
     parameters and observation sequence) — the ViCAR/MCMC shape.
 
     Models are grouped by ``(H, M, T)`` and each group runs through
-    :func:`repro.engine.kernels.forward_multi_batch` in vectorized
-    passes of at most ``plan.batch_size`` models; the returned list
-    matches the input order and equals calling :func:`forward` per
-    model (exactly for binary64, posit, LNS, and log-space with
+    :func:`_forward_models_nd` in passes of at most
+    ``plan.batch_size`` models; the returned list matches the input
+    order and equals calling :func:`forward` per model (exactly for
+    binary64, posit, LNS, and log-space with
     ``sum_mode="sequential"``; within an ulp for log-space's default
-    n-ary mode).  Formats without an array backend (the BigFloat
-    oracle) fall back to the scalar loop.  ``certified=True`` restricts
-    the kernel to reduction-certified mirrors, so results are
+    n-ary mode).  ``certified=True`` restricts the vectorized
+    representation to reduction-certified mirrors, so results are
     guaranteed identical to the scalar loop (what MH acceptance
-    decisions need); n-ary log-space then takes the scalar path.
+    decisions need); n-ary log-space and the oracle then run the same
+    expression through the scalar representation.
     """
+    backend = _resolve_format(backend)
     plan = resolve_plan(plan, where="forward_models_batch")
     models = list(models)
-    bb = _kernel_backend(backend, plan, certified=certified)
-    if bb is None:
-        return [forward(hmm, backend, plan=plan) for hmm in models]
-    from ..engine.kernels import forward_multi_batch
     groups: dict = {}
     for i, hmm in enumerate(models):
         key = (hmm.n_states, hmm.n_symbols, hmm.length)
         groups.setdefault(key, []).append(i)
     out: list = [None] * len(models)
-    for (h, m, _t), group in groups.items():
+    for _key, group in groups.items():
         for rows in plan.group_slices(len(group)):
             indices = group[rows]
-            a = bb.from_bigfloats(
-                [x for i in indices for row in models[i].transition
-                 for x in row]).reshape(len(indices), h, h)
-            b = bb.from_bigfloats(
-                [x for i in indices for row in models[i].emission
-                 for x in row]).reshape(len(indices), h, m)
-            pi = bb.from_bigfloats(
-                [x for i in indices for x in models[i].initial]
-            ).reshape(len(indices), h)
+            a = nd.asarray([models[i].transition for i in indices],
+                           backend, plan=plan, certified=certified)
+            b = nd.asarray([models[i].emission for i in indices],
+                           backend, plan=plan, certified=certified)
+            pi = nd.asarray([models[i].initial for i in indices],
+                            backend, plan=plan, certified=certified)
             obs = np.array([models[i].observations for i in indices],
                            dtype=np.intp)
-            likes = forward_multi_batch(bb, a, b, pi, obs)
+            likes = _forward_models_nd(a, b, pi, obs)
             for j, i in enumerate(indices):
-                out[i] = bb.item(likes, j)
+                out[i] = likes.item(j)
     return out
 
 
@@ -333,7 +385,10 @@ def trace_operands(hmm: HMMData, prec: int = 256,
                    max_records: Optional[int] = None) -> list:
     """Collect (op, x, y) operand triples from a forward-algorithm run in
     oracle arithmetic — the 'operands collected from a real phylogenetics
-    application' input source for the Figure 3 sweep."""
+    application' input source for the Figure 3 sweep.  (The tracing
+    wrapper is unknown to the registry, so the nd expression runs it
+    through the scalar representation — every recorded op is a real
+    scalar oracle op.)"""
     from ..arith.backends import BigFloatBackend
     tracer = _TracingBackend(BigFloatBackend(prec))
     forward(hmm, tracer)

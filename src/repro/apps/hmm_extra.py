@@ -14,84 +14,77 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+import numpy as np
+
+from .. import nd
 from ..arith.backend import Backend
 from ..data.dirichlet import HMMData
 from ..engine.plan import ExecPlan, resolve_plan
 
 
-def _backward_values(backend: Backend, a, b, pi, obs):
-    """Right-to-left recurrence over pre-converted parameters: the
-    scalar reference, kept for formats without a certified mirror."""
-    h = len(pi)
-    one = backend.one()
-    beta = [one] * h
-    for t in range(len(obs) - 1, 0, -1):
-        ot = obs[t]
-        beta = [backend.sum(
-            backend.mul(a[p][q], backend.mul(b[q][ot], beta[q]))
-            for q in range(h)) for p in range(h)]
-    o0 = obs[0]
-    return backend.sum(
-        backend.mul(pi[q], backend.mul(b[q][o0], beta[q])) for q in range(h))
+def _backward_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
+    """Right-to-left recurrence over a batch of sequences sharing one
+    model, written once as an nd expression: ``beta[p] = sum_q(A[p, q]
+    * (B[q, o_t] * beta[q]))`` with the ``sum`` fold over ``q`` in
+    index order.  Returns the ``(B,)`` likelihoods."""
+    from .hmm import _emission_shared
+    obs = np.asarray(obs)
+    if obs.ndim != 2:
+        raise ValueError("obs must have shape (batch, T)")
+    n_batch, t_len = obs.shape
+    beta = nd.ones_like(a, (n_batch, len(pi)))
+    for t in range(t_len - 1, 0, -1):
+        inner = _emission_shared(b, obs, t) * beta
+        beta = nd.sum(a * inner[:, None, :], axis=2)
+    terms = nd.broadcast_to(pi, beta.shape) \
+        * (_emission_shared(b, obs, 0) * beta)
+    return nd.sum(terms, axis=1)
 
 
-def backward(hmm: HMMData, backend: Backend,
+def backward(hmm: HMMData, backend: Optional[Backend] = None,
              plan: Optional[ExecPlan] = None):
     """The backward algorithm: returns the likelihood P(O | lambda)
     computed right-to-left (must agree with :func:`repro.apps.forward`).
 
-    A B=1 view over the batched backward kernel wherever the format's
-    mirror is *reduction-certified* (so this scalar entry point never
-    changes results); ``plan=ExecPlan.serial()`` forces the scalar
-    recurrence.
+    A B=1 view over :func:`_backward_nd` in the *reduction-certified*
+    representation tier (so this scalar entry point never changes
+    results); ``plan=ExecPlan.serial()`` forces the scalar baseline.
     """
-    import numpy as np
-
-    from ..engine import plan_batch_backend
-    from .hmm import batch_model_arrays, model_values
+    from .hmm import _obs_rows, model_arrays
     plan = resolve_plan(plan, where="backward")
-    bb = plan_batch_backend(backend, plan)
-    if bb is None:
-        a, b, pi = model_values(hmm, backend)
-        return _backward_values(backend, a, b, pi, hmm.observations)
-    from ..engine.kernels import backward_batch as backward_batch_kernel
-    obs = np.asarray([tuple(int(o) for o in hmm.observations)],
-                     dtype=np.intp)
-    a, b, pi = batch_model_arrays(hmm, bb)
-    return bb.item(backward_batch_kernel(bb, a, b, pi, obs), 0)
+    a, b, pi = model_arrays(hmm, backend, plan=plan, certified=True)
+    return _backward_nd(a, b, pi, _obs_rows([hmm.observations])).item(0)
 
 
-def backward_batch(hmm: HMMData, backend: Backend,
+def backward_batch(hmm: HMMData, backend: Optional[Backend] = None,
                    observations=None,
                    plan: Optional[ExecPlan] = None) -> list:
     """Backward-algorithm likelihoods over a batch of observation
     sequences (``(B, T)`` ints; default: a batch of one, the HMM's own
     sequence).  Same contract as :func:`repro.apps.hmm.forward_batch`:
-    formats with an array backend run the vectorized kernel in groups
-    of at most ``plan.batch_size`` and equal the scalar recurrence per
+    vectorized in groups of at most ``plan.batch_size`` where the
+    format has an array mirror, equal to the scalar recurrence per
     sequence (exactly, except log-space's default n-ary mode, which
-    matches within an ulp); others run the scalar loop with the model
-    conversion hoisted out of the per-sequence recurrence.
+    matches within an ulp); other formats run the same expression
+    through the scalar representation with the model conversion hoisted
+    out of the per-sequence recurrence.
     """
-    import numpy as np
-
-    from .hmm import _kernel_backend, batch_model_arrays, model_values
+    from .hmm import _seq_rows, model_arrays
     plan = resolve_plan(plan, where="backward_batch")
     if observations is None:
         observations = [hmm.observations]
-    bb = _kernel_backend(backend, plan, certified=False)
-    if bb is None:
-        a, b, pi = model_values(hmm, backend)
-        return [_backward_values(backend, a, b, pi,
-                                 tuple(int(o) for o in seq))
-                for seq in observations]
-    from ..engine.kernels import backward_batch as backward_batch_kernel
-    obs = np.asarray(observations, dtype=np.intp)
-    a, b, pi = batch_model_arrays(hmm, bb)
+    a, b, pi = model_arrays(hmm, backend, plan=plan, certified=False)
+    seqs = _seq_rows(observations)
+    if len({len(s) for s in seqs}) > 1:
+        # Ragged batch: per-sequence B=1 passes over the hoisted model.
+        return [_backward_nd(a, b, pi,
+                             np.asarray([s], dtype=np.intp)).item(0)
+                for s in seqs]
+    obs = np.asarray(seqs, dtype=np.intp)
     values: list = []
     for rows in plan.group_slices(obs.shape[0]):
-        out = backward_batch_kernel(bb, a, b, pi, obs[rows])
-        values.extend(bb.item(out, i) for i in range(out.shape[0]))
+        out = _backward_nd(a, b, pi, obs[rows])
+        values.extend(out.item(i) for i in range(out.shape[0]))
     return values
 
 

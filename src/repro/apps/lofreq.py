@@ -91,7 +91,7 @@ def reference_pvalues(columns: Sequence[Column], prec: int = 256) -> List[BigFlo
 
 
 def column_pvalues(columns: Sequence[Column], backend: Backend,
-                   plan: Optional[ExecPlan] = None, **deprecated) -> List:
+                   plan: Optional[ExecPlan] = None) -> List:
     """Each column's p-value as a backend value, in column order.
 
     The canonical path groups columns by ``(depth, k)`` — the shape a
@@ -100,7 +100,7 @@ def column_pvalues(columns: Sequence[Column], backend: Backend,
     ``plan=ExecPlan.serial()`` forces the scalar per-column loop.
     Results are identical either way.
     """
-    plan = resolve_plan(plan, deprecated, where="column_pvalues")
+    plan = resolve_plan(plan, where="column_pvalues")
     if not plan.batch:
         return [pbd_pvalue(c.success_probs, c.k, backend, plan=plan)
                 for c in columns]
@@ -119,14 +119,14 @@ def column_pvalues(columns: Sequence[Column], backend: Backend,
 
 def run_lofreq(columns: Sequence[Column], backends: Dict[str, Backend],
                references: Optional[Sequence[BigFloat]] = None,
-               prec: int = 256, plan: Optional[ExecPlan] = None,
-               **deprecated) -> LoFreqResult:
+               prec: int = 256,
+               plan: Optional[ExecPlan] = None) -> LoFreqResult:
     """Compute every column's p-value in every format and score it.
 
     Execution (batched grouping, group width, scalar fallback) follows
     the :class:`~repro.engine.plan.ExecPlan`; results are identical for
     every plan (see :func:`column_pvalues`)."""
-    plan = resolve_plan(plan, deprecated, where="run_lofreq")
+    plan = resolve_plan(plan, where="run_lofreq")
     if references is None:
         references = reference_pvalues(columns, prec)
     threshold = BigFloat.exp2(CALL_THRESHOLD_SCALE)

@@ -105,8 +105,7 @@ def run_chains(backend: Backend, n_chains: int,
                steps: int = 20, seeds: Optional[List[int]] = None,
                scale_jitter: float = 0.2,
                bits_per_step: float = 150.0,
-               plan: Optional[ExecPlan] = None,
-               **deprecated) -> List[ChainResult]:
+               plan: Optional[ExecPlan] = None) -> List[ChainResult]:
     """Run ``n_chains`` independent MH chains, evaluating every step's
     likelihoods through the vectorized multi-model forward kernel.
 
@@ -120,7 +119,7 @@ def run_chains(backend: Backend, n_chains: int,
     paths).  ``plan=ExecPlan.serial()`` forces the scalar loop, which
     is the throughput baseline, not a different algorithm.
     """
-    plan = resolve_plan(plan, deprecated, where="run_chains")
+    plan = resolve_plan(plan, where="run_chains")
     if seeds is None:
         seeds = list(range(n_chains))
     if len(seeds) != n_chains:

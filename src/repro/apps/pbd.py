@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import nd
 from ..arith.backend import Backend
 from ..bigfloat import BigFloat
 from ..engine.plan import ExecPlan, resolve_plan
@@ -39,65 +40,66 @@ def complement(p: BigFloat, prec: int = 256) -> BigFloat:
     return BigFloat.from_int(1).sub(p, prec)
 
 
-def _pbd_pvalue_values(backend: Backend, pn_vals: list, qn_vals: list,
-                       k: int):
-    """Listing 2 over pre-converted trial probabilities: the scalar
-    reference recurrence, kept for formats without a batch mirror."""
-    zero = backend.zero()
-    # pr[j] = P(j successes in the first n trials), tracked for j < k.
-    pr_prev: List = [backend.one()] + [zero] * (k - 1)
-    pvalue = zero
-    for n in range(len(pn_vals)):
-        pn, qn = pn_vals[n], qn_vals[n]
-        pr = [backend.mul(pr_prev[0], qn)]
-        for j in range(1, k):
-            pr.append(backend.add(backend.mul(pr_prev[j], qn),
-                                  backend.mul(pr_prev[j - 1], pn)))
+def _pbd_nd(pn: "nd.FArray", qn: "nd.FArray", k: int) -> "nd.FArray":
+    """Listing 2 over a batch of sites, written once as an nd
+    expression: ``pn``/``qn`` are ``(S, N)`` success probabilities and
+    their exact complements; returns the ``(S,)`` p-values.
+
+    The per-``j`` recurrence is vectorized over sites *and* PMF
+    entries, which is value-preserving because ``add(x, 0)`` and
+    ``mul(0, p)`` are exact in every backend.  Built from ``add`` and
+    ``mul`` alone (no reductions), so the elementwise certification
+    tier suffices — log-space qualifies in *both* sum modes
+    (``np.logaddexp`` is bit-identical to ``lse2``).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1 (a variant needs a success)")
+    n_sites, n_trials = pn.shape
+    if n_trials < k:
+        raise ValueError("need at least k trials")
+    # pr[s, j] = P(j successes in the first n trials), tracked for j < k.
+    pr = nd.concatenate([nd.ones_like(pn, (n_sites, 1)),
+                         nd.zeros_like(pn, (n_sites, k - 1))], axis=1)
+    pvalue = nd.zeros_like(pn, (n_sites,))
+    zero_col = nd.zeros_like(pn, (n_sites, 1))
+    for n in range(n_trials):
         if n >= k - 1:
-            pvalue = backend.add(pvalue, backend.mul(pr_prev[k - 1], pn))
-        pr_prev = pr
+            pvalue = pvalue + pr[:, k - 1] * pn[:, n]
+        shifted = nd.concatenate([zero_col, pr[:, :-1]], axis=1)
+        pr = pr * qn[:, n:n + 1] + shifted * pn[:, n:n + 1]
     return pvalue
 
 
-def _elementwise_backend(backend: Backend, plan: ExecPlan):
-    """The batch mirror the plan selects for the PBD kernels.
+def _site_arrays(sites: Sequence[Sequence[BigFloat]], backend, plan):
+    """(pn, qn) FArrays for a group of equal-length sites; complements
+    are formed exactly on the input side (LoFreq precomputes
+    ``ln(1 - p_n)`` the same way) so log-space never subtracts."""
+    flat = [p for row in sites for p in row]
+    flat_q = [complement(p) for row in sites for p in row]
+    shape = (len(sites), len(sites[0]))
+    pn = nd.asarray(flat, backend, plan=plan).reshape(shape)
+    qn = nd.asarray(flat_q, backend, plan=plan).reshape(shape)
+    return pn, qn
 
-    The recurrence is built from ``add``/``mul`` alone (no reductions),
-    so the elementwise pairing tier is already exact — log-space
-    qualifies in *both* sum modes (``np.logaddexp`` is bit-identical to
-    ``lse2``).
-    """
-    from ..engine import plan_batch_backend
-    return plan_batch_backend(backend, plan, certified=False)
 
-
-def pbd_pvalue(success_probs: Sequence[BigFloat], k: int, backend: Backend,
+def pbd_pvalue(success_probs: Sequence[BigFloat], k: int,
+               backend: Optional[Backend] = None,
                plan: Optional[ExecPlan] = None):
     """P(X >= k) over the given trials, as a backend value.
 
     Follows Listing 2: the PMF array ``pr`` only needs entries 0..k-1
     because trials beyond the k-th success contribute through the
-    accumulation term.  Runs through the batched kernel as a batch of
-    one site wherever the format has an (elementwise-exact) array
-    backend; ``plan=ExecPlan.serial()`` forces the scalar recurrence.
+    accumulation term.  A one-site view over :func:`_pbd_nd`;
+    ``plan=ExecPlan.serial()`` forces the scalar representation.
     Results are identical either way.
     """
     plan = resolve_plan(plan, where="pbd_pvalue")
     if k < 1:
         raise ValueError("k must be >= 1 (a variant needs a success)")
-    n_trials = len(success_probs)
-    if n_trials < k:
+    if len(success_probs) < k:
         raise ValueError("need at least k trials")
-    bb = _elementwise_backend(backend, plan)
-    if bb is not None:
-        from ..engine.kernels import pbd_pvalue_batch as pbd_batch_kernel
-        pn = bb.from_bigfloats(success_probs).reshape(1, n_trials)
-        complements = [complement(p) for p in success_probs]
-        qn = bb.from_bigfloats(complements).reshape(1, n_trials)
-        return bb.item(pbd_batch_kernel(bb, pn, qn, k), 0)
-    pn_vals = [backend.from_bigfloat(p) for p in success_probs]
-    qn_vals = [backend.from_bigfloat(complement(p)) for p in success_probs]
-    return _pbd_pvalue_values(backend, pn_vals, qn_vals, k)
+    pn, qn = _site_arrays([list(success_probs)], backend, plan)
+    return _pbd_nd(pn, qn, k).item(0)
 
 
 def pbd_pmf(success_probs: Sequence[BigFloat], max_k: int, backend: Backend) -> list:
@@ -125,7 +127,7 @@ def reference_pvalue(success_probs: Sequence[BigFloat], k: int,
 
 
 def pbd_pvalue_batch(sites: Sequence[Sequence[BigFloat]], k: int,
-                     backend: Backend,
+                     backend: Optional[Backend] = None,
                      plan: Optional[ExecPlan] = None) -> list:
     """P(X >= k) for a batch of sites sharing trial count and ``k``.
 
@@ -134,7 +136,7 @@ def pbd_pvalue_batch(sites: Sequence[Sequence[BigFloat]], k: int,
     calling :func:`pbd_pvalue` per site.  Formats with an array backend
     in :mod:`repro.engine` run the recurrence vectorized in groups of
     at most ``plan.batch_size`` sites; others (the BigFloat oracle)
-    fall back to the scalar loop.
+    run the same expression through the scalar representation.
     """
     plan = resolve_plan(plan, where="pbd_pvalue_batch")
     sites = list(sites)
@@ -144,19 +146,12 @@ def pbd_pvalue_batch(sites: Sequence[Sequence[BigFloat]], k: int,
     if any(len(row) != n_trials for row in sites):
         raise ValueError("batched sites must share a trial count; "
                          "group by (depth, k) first")
-    bb = _elementwise_backend(backend, plan)
-    if bb is None:
-        return [pbd_pvalue(row, k, backend, plan=plan) for row in sites]
-    from ..engine.kernels import pbd_pvalue_batch as pbd_batch_kernel
     values: list = []
     for rows in plan.group_slices(len(sites)):
         group = sites[rows]
-        flat = [p for row in group for p in row]
-        flat_q = [complement(p) for row in group for p in row]
-        pn = bb.from_bigfloats(flat).reshape(len(group), n_trials)
-        qn = bb.from_bigfloats(flat_q).reshape(len(group), n_trials)
-        out = pbd_batch_kernel(bb, pn, qn, k)
-        values.extend(bb.item(out, i) for i in range(len(group)))
+        pn, qn = _site_arrays(group, backend, plan)
+        out = _pbd_nd(pn, qn, k)
+        values.extend(out.item(i) for i in range(len(group)))
     return values
 
 

@@ -111,13 +111,12 @@ def _oracle_forward(task) -> BigFloat:
 
 
 def reference_likelihoods(instances: Sequence[HMMData], prec: int = 256,
-                          plan: Optional[ExecPlan] = None,
-                          **deprecated) -> List[BigFloat]:
+                          plan: Optional[ExecPlan] = None) -> List[BigFloat]:
     """Oracle likelihood per instance, fanned across ``plan.n_workers``
     worker processes when the plan is parallel (the oracle pass
     dominates run time; instances are independent, and the merge
     preserves instance order)."""
-    plan = resolve_plan(plan, deprecated, where="reference_likelihoods")
+    plan = resolve_plan(plan, where="reference_likelihoods")
     tasks = [(hmm, prec) for hmm in instances]
     if not plan.parallel:
         return [_oracle_forward(t) for t in tasks]
@@ -134,7 +133,7 @@ def reference_likelihoods(instances: Sequence[HMMData], prec: int = 256,
 
 def run_vicar(config: VicarConfig, backends: Dict[str, Backend],
               instances: Optional[Sequence[HMMData]] = None,
-              plan: Optional[ExecPlan] = None, **deprecated) -> VicarResult:
+              plan: Optional[ExecPlan] = None) -> VicarResult:
     """Run every backend over every instance; score final likelihoods
     against the oracle.
 
@@ -147,7 +146,7 @@ def run_vicar(config: VicarConfig, backends: Dict[str, Backend],
     ``plan.n_workers`` fans the oracle reference pass across processes;
     the scores are order-preserving and identical for any worker count.
     """
-    plan = resolve_plan(plan, deprecated, where="run_vicar")
+    plan = resolve_plan(plan, where="run_vicar")
     if instances is None:
         instances = generate_instances(config)
     result = VicarResult(config)

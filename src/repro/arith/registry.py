@@ -80,6 +80,17 @@ class FormatCapabilities:
     #: Widest datapath in bits (None for the unbounded oracle).
     max_width: Optional[int] = None
 
+    def __repr__(self):
+        parts = [self.exactness,
+                 "batched" if self.batch else "scalar-only"]
+        if self.reductions_certified:
+            parts.append("reductions-certified")
+        if self.fused_ops:
+            parts.append(f"fused={','.join(self.fused_ops)}")
+        if self.max_width is not None:
+            parts.append(f"width<={self.max_width}")
+        return f"<caps {' '.join(parts)}>"
+
 
 @dataclass(frozen=True)
 class FormatSpec:
@@ -90,6 +101,10 @@ class FormatSpec:
     caps: FormatCapabilities
     #: Part of the standard Figure 3 comparison set?
     standard: bool = False
+
+    def __repr__(self):
+        star = " standard" if self.standard else ""
+        return f"<FormatSpec {self.name}{star} {self.caps!r}>"
 
 
 @dataclass(frozen=True)
@@ -148,6 +163,35 @@ class FormatRegistry:
 
     def capabilities(self, name: str) -> FormatCapabilities:
         return self.spec(name).caps
+
+    def describe(self) -> str:
+        """The registry as an aligned text table (one row per
+        registered format): exactness class, batch mirror, reduction
+        certification, fused ops, datapath width.  This is what
+        ``python -m repro.experiments --formats`` prints."""
+        from ..report.tables import render_table
+        rows = []
+        for name in self.names():
+            spec = self._specs[name]
+            caps = spec.caps
+            rows.append({
+                "format": name,
+                "exactness": caps.exactness,
+                "batch": "yes" if caps.batch else "-",
+                "reductions": "certified" if caps.reductions_certified
+                              else ("mode-dependent" if caps.batch else "-"),
+                "fused ops": ", ".join(caps.fused_ops) or "-",
+                "width": caps.max_width if caps.max_width is not None
+                         else "unbounded",
+                "fig3 set": "*" if spec.standard else "",
+            })
+        return render_table(
+            rows, title="Registered formats (dynamic names — "
+                        "posit(N,ES), lns(I,F), bigfloatP — parse too)")
+
+    def __repr__(self):
+        return (f"<FormatRegistry {len(self._specs)} formats, "
+                f"{len(self._pairings)} batch pairings>")
 
     # ------------------------------------------------------------------
     # Construction

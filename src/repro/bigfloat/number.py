@@ -350,27 +350,41 @@ class BigFloat:
     def __hash__(self):
         return hash((self.sign, self.mantissa, self.exponent))
 
-    # Operator sugar at default precision ------------------------------
+    # Operator sugar at default precision.  Non-coercible operands
+    # yield NotImplemented so Python tries the reflected operator
+    # (repro.nd.FArray relies on this for `BigFloat <op> FArray`).
     def __add__(self, other):
+        if not isinstance(other, _COERCIBLE):
+            return NotImplemented
         return self.add(other)
 
     __radd__ = __add__
 
     def __sub__(self, other):
+        if not isinstance(other, _COERCIBLE):
+            return NotImplemented
         return self.sub(other)
 
     def __rsub__(self, other):
+        if not isinstance(other, _COERCIBLE):
+            return NotImplemented
         return BigFloat.coerce(other).sub(self)
 
     def __mul__(self, other):
+        if not isinstance(other, _COERCIBLE):
+            return NotImplemented
         return self.mul(other)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other):
+        if not isinstance(other, _COERCIBLE):
+            return NotImplemented
         return self.div(other)
 
     def __rtruediv__(self, other):
+        if not isinstance(other, _COERCIBLE):
+            return NotImplemented
         return BigFloat.coerce(other).div(self)
 
     def __neg__(self):
@@ -397,3 +411,8 @@ class BigFloat:
             lead = 1.0 + (top & ((1 << 52) - 1)) / (1 << 52)
         sign = "-" if self.sign else ""
         return f"{sign}{lead:.6f}*2**{s}"
+
+
+#: Types the operator sugar coerces; anything else makes the operators
+#: return NotImplemented so the other operand's reflected op runs.
+_COERCIBLE = (BigFloat, int, float)

@@ -93,8 +93,7 @@ def run_op_sweep(op: str, backends: Dict[str, Backend],
                  per_bin: int = 100, bins: Sequence[tuple] = FIG3_BINS,
                  seed: int = 0,
                  pairs_by_bin: Optional[dict] = None,
-                 plan: Optional[ExecPlan] = None,
-                 **deprecated) -> SweepResult:
+                 plan: Optional[ExecPlan] = None) -> SweepResult:
     """Measure every backend on stratified operand pairs.
 
     binary64 is skipped (not measured) in bins entirely left of its
@@ -112,7 +111,7 @@ def run_op_sweep(op: str, backends: Dict[str, Backend],
     chunked plan reseeds per chunk — use ``plan.n_workers=0`` for the
     like-for-like reference at larger scales.
     """
-    plan = resolve_plan(plan, deprecated, where="run_op_sweep")
+    plan = resolve_plan(plan, where="run_op_sweep")
     if plan.n_workers is not None:
         if pairs_by_bin is not None:
             raise ValueError(

@@ -37,7 +37,14 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .plan import CACHE_POLICIES, DEFAULT_PLAN, ExecPlan, resolve_plan
+from .plan import (
+    CACHE_POLICIES,
+    DEFAULT_PLAN,
+    ExecPlan,
+    current_plan,
+    resolve_plan,
+    use_plan,
+)
 
 try:  # pragma: no cover - exercised only on numpy-less installs
     import numpy  # noqa: F401
@@ -127,7 +134,9 @@ __all__ = [
     "CACHE_POLICIES",
     "DEFAULT_PLAN",
     "ExecPlan",
+    "current_plan",
     "resolve_plan",
+    "use_plan",
     "SUM_NARY",
     "SUM_SEQUENTIAL",
     "BatchBackend",

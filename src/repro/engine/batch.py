@@ -82,6 +82,13 @@ class BatchBackend(abc.ABC):
         """One element as a scalar-backend value (for scoring)."""
         return np.asarray(arr)[index].item()
 
+    def from_items(self, values, shape=None) -> np.ndarray:
+        """Scalar-backend values back into a code array — the inverse
+        of :meth:`item` (used by :mod:`repro.nd` to re-enter the
+        vectorized plane after a scalar-fallback op)."""
+        arr = np.array(list(values), dtype=self.dtype)
+        return arr if shape is None else arr.reshape(shape)
+
     # ------------------------------------------------------------------
     # Array constructors
     # ------------------------------------------------------------------

@@ -1,10 +1,20 @@
-"""Batched application kernels, generic over a :class:`BatchBackend`.
+"""Raw-array views over the application recurrences.
 
-These mirror the scalar kernels in :mod:`repro.apps` *operation for
-operation*: every elementwise op and every reduction happens in the same
-order and through the same primitive as the scalar code, so the results
-are bit-identical (binary64, log-space in matching ``sum_mode``) or
-element-exact (posit) — only vectorized across a batch dimension.
+Since the :mod:`repro.nd` redesign there is exactly *one*
+implementation of each application recurrence — the format-tagged
+array expressions in :mod:`repro.apps` (``_forward_nd``,
+``_backward_nd``, ``_pbd_nd``, ...).  This module keeps the original
+kernel surface for callers that already hold a
+:class:`~repro.engine.batch.BatchBackend` plus packed code arrays
+(benchmarks, equivalence tests, external users of PR 1/2): each
+function wraps the raw arrays into :class:`~repro.nd.FArray`\\ s over
+the given backend, runs the shared expression, and hands the packed
+result array back.
+
+Every elementwise op and every reduction happens in the same order and
+through the same primitive as the scalar backends, so the results are
+bit-identical (binary64, log-space in matching ``sum_mode``) or
+element-exact (posit, LNS) — only vectorized across a batch dimension.
 """
 
 from __future__ import annotations
@@ -12,6 +22,11 @@ from __future__ import annotations
 import numpy as np
 
 from .batch import BatchBackend
+
+
+def _wrap3(backend: BatchBackend, a, b, pi):
+    from ..nd import wrap
+    return wrap(a, bb=backend), wrap(b, bb=backend), wrap(pi, bb=backend)
 
 
 def forward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
@@ -32,22 +47,9 @@ def forward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
     ``alpha'[q] = sum_p(alpha[p] * A[p, q]) * B[q, o_t]`` with the
     backend's ``sum`` reduction over ``p`` in index order.
     """
-    a = np.asarray(a)
-    b = np.asarray(b)
-    pi = np.asarray(pi)
-    obs = np.asarray(obs)
-    if obs.ndim != 2:
-        raise ValueError("obs must have shape (batch, T)")
-    n_batch, t_len = obs.shape
-    # t = 0: alpha[q] = pi[q] * B[q][o0]
-    alpha = backend.mul(np.broadcast_to(pi, (n_batch, pi.shape[0])),
-                        b[:, obs[:, 0]].T)
-    for t in range(1, t_len):
-        # prod[s, p, q] = alpha[s, p] * A[p, q]
-        prod = backend.mul(alpha[:, :, None], a[None, :, :])
-        path_sum = backend.sum(prod, axis=1)
-        alpha = backend.mul(path_sum, b[:, obs[:, t]].T)
-    return backend.sum(alpha, axis=1)
+    from ..apps.hmm import _forward_nd
+    fa, fb, fpi = _wrap3(backend, a, b, pi)
+    return np.asarray(_forward_nd(fa, fb, fpi, obs).data)
 
 
 def forward_alpha_trace_batch(backend: BatchBackend, a: np.ndarray,
@@ -55,20 +57,9 @@ def forward_alpha_trace_batch(backend: BatchBackend, a: np.ndarray,
                               obs: np.ndarray) -> np.ndarray:
     """Per-iteration total alpha mass for a batch of sequences, shape
     ``(B, T)`` — the batched counterpart of ``forward_alpha_trace``."""
-    a = np.asarray(a)
-    b = np.asarray(b)
-    pi = np.asarray(pi)
-    obs = np.asarray(obs)
-    n_batch, t_len = obs.shape
-    alpha = backend.mul(np.broadcast_to(pi, (n_batch, pi.shape[0])),
-                        b[:, obs[:, 0]].T)
-    trace = [backend.sum(alpha, axis=1)]
-    for t in range(1, t_len):
-        prod = backend.mul(alpha[:, :, None], a[None, :, :])
-        path_sum = backend.sum(prod, axis=1)
-        alpha = backend.mul(path_sum, b[:, obs[:, t]].T)
-        trace.append(backend.sum(alpha, axis=1))
-    return np.stack(trace, axis=1)
+    from ..apps.hmm import _forward_trace_nd
+    fa, fb, fpi = _wrap3(backend, a, b, pi)
+    return np.asarray(_forward_trace_nd(fa, fb, fpi, obs).data)
 
 
 def forward_multi_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
@@ -85,33 +76,11 @@ def forward_multi_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
         Integer observation symbols, shape ``(B, T)``.
 
     Returns the likelihoods, shape ``(B,)``.  Op-for-op identical to
-    running :func:`repro.apps.hmm.forward` once per model: per step,
-    ``alpha'[q] = sum_p(alpha[p] * A[p, q]) * B[q, o_t]`` with the
-    backend's ``sum`` reduction over ``p`` in index order.
+    running :func:`repro.apps.hmm.forward` once per model.
     """
-    a = np.asarray(a)
-    b = np.asarray(b)
-    pi = np.asarray(pi)
-    obs = np.asarray(obs)
-    if obs.ndim != 2:
-        raise ValueError("obs must have shape (batch, T)")
-    if a.ndim != 3 or b.ndim != 3 or pi.ndim != 2:
-        raise ValueError("need per-model params: a (B,H,H), b (B,H,M), "
-                         "pi (B,H)")
-    n_batch, t_len = obs.shape
-
-    def emission(t):
-        # b[s, :, obs[s, t]] for every model s, shape (B, H).
-        return np.take_along_axis(
-            b, obs[:, t][:, None, None], axis=2)[..., 0]
-
-    alpha = backend.mul(pi, emission(0))
-    for t in range(1, t_len):
-        # prod[s, p, q] = alpha[s, p] * A[s, p, q]
-        prod = backend.mul(alpha[:, :, None], a)
-        path_sum = backend.sum(prod, axis=1)
-        alpha = backend.mul(path_sum, emission(t))
-    return backend.sum(alpha, axis=1)
+    from ..apps.hmm import _forward_models_nd
+    fa, fb, fpi = _wrap3(backend, a, b, pi)
+    return np.asarray(_forward_models_nd(fa, fb, fpi, obs).data)
 
 
 def backward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
@@ -121,21 +90,9 @@ def backward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
     of :func:`repro.apps.hmm_extra.backward`, op-for-op:
     ``beta[p] = sum_q(A[p, q] * (B[q, o_t] * beta[q]))`` with the
     ``sum`` reduction over ``q`` in index order."""
-    a = np.asarray(a)
-    b = np.asarray(b)
-    pi = np.asarray(pi)
-    obs = np.asarray(obs)
-    if obs.ndim != 2:
-        raise ValueError("obs must have shape (batch, T)")
-    n_batch, t_len = obs.shape
-    beta = backend.ones((n_batch, a.shape[0]))
-    for t in range(t_len - 1, 0, -1):
-        inner = backend.mul(b[:, obs[:, t]].T, beta)
-        prod = backend.mul(a[None, :, :], inner[:, None, :])
-        beta = backend.sum(prod, axis=2)
-    terms = backend.mul(np.broadcast_to(pi, beta.shape),
-                        backend.mul(b[:, obs[:, 0]].T, beta))
-    return backend.sum(terms, axis=1)
+    from ..apps.hmm_extra import _backward_nd
+    fa, fb, fpi = _wrap3(backend, a, b, pi)
+    return np.asarray(_backward_nd(fa, fb, fpi, obs).data)
 
 
 def pbd_pvalue_batch(backend: BatchBackend, pn: np.ndarray, qn: np.ndarray,
@@ -155,25 +112,8 @@ def pbd_pvalue_batch(backend: BatchBackend, pn: np.ndarray, qn: np.ndarray,
     recurrence is vectorized over sites *and* PMF entries, which is
     value-preserving because ``add(x, 0)`` is exact in every backend.
     """
-    if k < 1:
-        raise ValueError("k must be >= 1 (a variant needs a success)")
-    pn = np.asarray(pn)
-    qn = np.asarray(qn)
-    n_sites, n_trials = pn.shape
-    if n_trials < k:
-        raise ValueError("need at least k trials")
-    # pr[s, j] = P(j successes in the first n trials), tracked for j < k.
-    pr = np.concatenate([backend.ones((n_sites, 1)),
-                         backend.zeros((n_sites, k - 1))], axis=1)
-    pvalue = backend.zeros((n_sites,))
-    zero_col = backend.zeros((n_sites, 1))
-    for n in range(n_trials):
-        p_col = pn[:, n:n + 1]
-        q_col = qn[:, n:n + 1]
-        if n >= k - 1:
-            pvalue = backend.add(pvalue,
-                                 backend.mul(pr[:, k - 1], pn[:, n]))
-        shifted = np.concatenate([zero_col, pr[:, :-1]], axis=1)
-        pr = backend.add(backend.mul(pr, q_col),
-                         backend.mul(shifted, p_col))
-    return pvalue
+    from ..apps.pbd import _pbd_nd
+    from ..nd import wrap
+    fpn = wrap(np.asarray(pn), bb=backend)
+    fqn = wrap(np.asarray(qn), bb=backend)
+    return np.asarray(_pbd_nd(fpn, fqn, k).data)

@@ -106,6 +106,10 @@ class BatchLNS(BatchBackend):
     def _to_code(value) -> int:
         return ZERO_CODE if value == LNS_ZERO else int(value)
 
+    def from_items(self, values, shape=None) -> np.ndarray:
+        arr = np.array([self._to_code(v) for v in values], dtype=self.dtype)
+        return arr if shape is None else arr.reshape(shape)
+
     def zeros(self, shape) -> np.ndarray:
         return np.full(shape, ZERO_CODE, dtype=self.dtype)
 

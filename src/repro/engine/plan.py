@@ -7,6 +7,15 @@ pairs: it names the batch toggle, the vectorized group width, the
 worker fan-out, the sweep chunk granularity, and the result-cache
 policy once, and flows unchanged from the CLI down to the kernels.
 
+Plans travel two ways:
+
+* **explicitly** — every plan-aware function takes ``plan=``;
+* **ambiently** — ``with use_plan(plan): ...`` installs a plan for the
+  dynamic extent of a block, and :func:`resolve_plan` (which every
+  plan-aware entry point calls) picks it up when no explicit ``plan=``
+  was passed.  This is how :mod:`repro.nd` expressions and nested app
+  calls agree on one plan without threading it positionally.
+
 The *semantics* of the plan live with the callees:
 
 * ``batch`` — run through the vectorized kernels of
@@ -38,14 +47,12 @@ cannot.
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, replace
-from typing import Optional
+import contextlib
+import contextvars
+from dataclasses import dataclass, fields, replace
+from typing import Iterator, Optional
 
 CACHE_POLICIES = ("auto", "off", "refresh")
-
-#: Kwarg names the one-release deprecation shims accept.
-_LEGACY_KEYS = ("batch", "n_workers")
 
 
 @dataclass(frozen=True)
@@ -95,50 +102,78 @@ class ExecPlan:
         return [slice(lo, min(lo + width, n))
                 for lo in range(0, n, width)] or [slice(0, 0)]
 
+    def __repr__(self):
+        """Non-default fields only: ``ExecPlan()`` is the canonical
+        plan, ``ExecPlan(batch=False)`` the serial baseline."""
+        shown = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                shown.append(f"{f.name}={value!r}")
+        return f"ExecPlan({', '.join(shown)})"
+
 
 #: The canonical plan: batch kernels on, serial, cache honored.
 DEFAULT_PLAN = ExecPlan()
 
+#: The ambient plan installed by :func:`use_plan` (``None`` outside any
+#: ``with use_plan(...)`` block).  Context-variable semantics make the
+#: ambient plan task- and thread-local.
+_AMBIENT_PLAN: contextvars.ContextVar[Optional[ExecPlan]] = \
+    contextvars.ContextVar("repro_ambient_plan", default=None)
 
-def resolve_plan(plan: Optional[ExecPlan] = None,
-                 deprecated: Optional[dict] = None,
-                 *, where: str = "this function",
-                 batch_field: str = "batch") -> ExecPlan:
-    """Normalize ``plan=`` plus any legacy ``batch=``/``n_workers=``
-    kwargs into one :class:`ExecPlan`.
 
-    ``deprecated`` is the ``**deprecated`` catch-all of a shimmed
-    public function.  Unknown keys raise :class:`TypeError` (preserving
-    normal unexpected-keyword behavior); known keys emit a
-    :class:`DeprecationWarning` and are folded into the plan.
-    ``batch_field`` names the plan field a legacy ``batch=`` maps onto
-    (fig6's old ``batch=True`` meant "measure wall-clock", so it maps
-    to ``measure`` there).
+def current_plan() -> ExecPlan:
+    """The ambient :class:`ExecPlan` (innermost :func:`use_plan` block),
+    or :data:`DEFAULT_PLAN` outside any block."""
+    plan = _AMBIENT_PLAN.get()
+    return plan if plan is not None else DEFAULT_PLAN
+
+
+@contextlib.contextmanager
+def use_plan(plan: ExecPlan) -> Iterator[ExecPlan]:
+    """Install ``plan`` as the ambient plan for the enclosed block.
+
+    Every plan-aware entry point called without an explicit ``plan=``
+    (and every :mod:`repro.nd` array built without one) picks it up::
+
+        with use_plan(ExecPlan(n_workers=4)):
+            run_vicar(config, backends)   # fans the oracle pass out
+
+    Blocks nest; the innermost plan wins.
     """
-    if plan is not None and not isinstance(plan, ExecPlan):
+    if not isinstance(plan, ExecPlan):
         raise TypeError(f"plan must be an ExecPlan, got {type(plan).__name__}")
-    resolved = plan if plan is not None else DEFAULT_PLAN
-    if not deprecated:
-        return resolved
-    unknown = set(deprecated) - set(_LEGACY_KEYS)
-    if unknown:
-        raise TypeError(f"{where}() got unexpected keyword argument(s) "
-                        f"{sorted(unknown)}")
-    warnings.warn(
-        f"{where}(): the batch=/n_workers= kwargs are deprecated; pass "
-        f"plan=ExecPlan(...) instead (see repro.engine.plan)",
-        DeprecationWarning, stacklevel=3)
-    overrides = {}
-    if deprecated.get("batch") is not None:
-        overrides[batch_field] = bool(deprecated["batch"])
-    if deprecated.get("n_workers") is not None:
-        overrides["n_workers"] = int(deprecated["n_workers"])
-    return resolved.with_(**overrides) if overrides else resolved
+    token = _AMBIENT_PLAN.set(plan)
+    try:
+        yield plan
+    finally:
+        _AMBIENT_PLAN.reset(token)
+
+
+def resolve_plan(plan: Optional[ExecPlan] = None, *,
+                 where: str = "this function") -> ExecPlan:
+    """Normalize an optional ``plan=`` argument into one
+    :class:`ExecPlan`: an explicit plan wins, otherwise the ambient
+    :func:`use_plan` plan, otherwise :data:`DEFAULT_PLAN`.
+
+    (The PR 3 ``batch=``/``n_workers=`` deprecation shims that this
+    helper used to fold in are gone; those kwargs now raise
+    :class:`TypeError` like any other unknown keyword.)
+    """
+    if plan is None:
+        return current_plan()
+    if not isinstance(plan, ExecPlan):
+        raise TypeError(f"{where}(): plan must be an ExecPlan, "
+                        f"got {type(plan).__name__}")
+    return plan
 
 
 __all__ = [
     "CACHE_POLICIES",
     "DEFAULT_PLAN",
     "ExecPlan",
+    "current_plan",
     "resolve_plan",
+    "use_plan",
 ]

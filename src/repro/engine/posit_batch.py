@@ -334,6 +334,11 @@ class BatchPosit(BatchBackend):
     # ------------------------------------------------------------------
     def mul(self, a, b) -> np.ndarray:
         a, b = np.broadcast_arrays(_u64(a), _u64(b))
+        if a.ndim == 0:
+            # 0-d lanes run as length-1 vectors: NumPy warns on the
+            # intended two's-complement wraparound for *scalar* uint64
+            # ops only.
+            return self.mul(a[None], b[None]).reshape(())
         za, na, sa, fa, ea = self._decode(a)
         zb, nb, sb, fb, eb = self._decode(b)
         hi, lo = _umul64(fa, fb)  # product of [2**63, 2**64)^2
@@ -347,6 +352,8 @@ class BatchPosit(BatchBackend):
 
     def add(self, a, b) -> np.ndarray:
         a, b = np.broadcast_arrays(_u64(a), _u64(b))
+        if a.ndim == 0:
+            return self.add(a[None], b[None]).reshape(())
         za, na, sa, fa, ea = self._decode(a)
         zb, nb, sb, fb, eb = self._decode(b)
         # Dominant operand first (larger magnitude).

@@ -36,12 +36,12 @@ class Fig10Result:
 
 
 def run(scale: str = "bench", seed: int = 0,
-        plan: Optional[ExecPlan] = None, **deprecated) -> Fig10Result:
+        plan: Optional[ExecPlan] = None) -> Fig10Result:
     """Format likelihoods flow through the vectorized multi-model
     forward kernel wherever certified exact; ``plan.n_workers`` fans
     the oracle reference pass across processes.  Results are identical
     for every plan (see :func:`repro.apps.vicar.run_vicar`)."""
-    plan = resolve_plan(plan, deprecated, where="fig10_vicar_cdf.run")
+    plan = resolve_plan(plan, where="fig10_vicar_cdf.run")
     length, per_h, h_values = SCALES[scale]
     backends = {
         "log": LogSpaceBackend(),

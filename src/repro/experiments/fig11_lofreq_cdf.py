@@ -32,10 +32,10 @@ class Fig11Result:
 
 
 def run(scale: str = "bench", seed: int = 0,
-        plan: Optional[ExecPlan] = None, **deprecated) -> Fig11Result:
+        plan: Optional[ExecPlan] = None) -> Fig11Result:
     """Column p-values flow through the batched engine (identical
     results for every plan; see ``repro.apps.lofreq``)."""
-    plan = resolve_plan(plan, deprecated, where="fig11_lofreq_cdf.run")
+    plan = resolve_plan(plan, where="fig11_lofreq_cdf.run")
     n_columns = SCALES[scale]
     dataset = synth_dataset("fig11", n_columns, seed=seed,
                             critical_fraction=0.5, deep_fraction=0.15)

@@ -32,7 +32,7 @@ class Fig3Result:
 
 def run(scale: str = "bench", seed: int = 0,
         backends: Optional[Dict] = None,
-        plan: Optional[ExecPlan] = None, **deprecated) -> Fig3Result:
+        plan: Optional[ExecPlan] = None) -> Fig3Result:
     """Run the Figure 3 sweep.
 
     The canonical path measures through the vectorized engine backends
@@ -40,7 +40,7 @@ def run(scale: str = "bench", seed: int = 0,
     worker processes via :mod:`repro.engine.runner` — the path for
     ``full`` scale runs, where a serial loop dominates wall-clock.
     """
-    plan = resolve_plan(plan, deprecated, where="fig3_op_accuracy.run")
+    plan = resolve_plan(plan, where="fig3_op_accuracy.run")
     per_bin = SCALES[scale]
     if backends is None:
         backends = standard_backends()

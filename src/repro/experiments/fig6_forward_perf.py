@@ -6,7 +6,7 @@ baseline on this machine — the scalar backend loop vs the vectorized
 :mod:`repro.engine` kernel — in millions of alpha-updates per second
 (one update = one mul-add of the ``H x H`` recurrence), quantifying the
 gap the paper's accelerators close versus software emulation.  (The
-deprecated ``batch=True`` kwarg maps onto ``measure``.)
+legacy ``batch=True`` kwarg is gone; use ``measure``.)
 """
 
 from __future__ import annotations
@@ -75,10 +75,8 @@ def _software_mmaps(h: int, t: int = SW_T, n_batch: int = SW_BATCH) -> tuple:
     return scalar_rate, batch_rate
 
 
-def run(t: int = T, plan: Optional[ExecPlan] = None,
-        **deprecated) -> List[Fig6Row]:
-    plan = resolve_plan(plan, deprecated, where="fig6_forward_perf.run",
-                        batch_field="measure")
+def run(t: int = T, plan: Optional[ExecPlan] = None) -> List[Fig6Row]:
+    plan = resolve_plan(plan, where="fig6_forward_perf.run")
     rows = []
     for h in H_VALUES:
         posit = ForwardUnit(POSIT, h)

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.experiments                   # list experiments
+    python -m repro.experiments --formats         # format registry table
     python -m repro.experiments fig3              # run one (bench scale)
     python -m repro.experiments --all --scale test
     python -m repro.experiments fig3 --workers 4
@@ -124,8 +125,7 @@ def run_experiment(experiment_id: str, scale: str = "bench",
                    plan: Optional[ExecPlan] = None,
                    use_cache: bool = False,
                    cache_dir: Optional[str] = None,
-                   refresh: bool = False,
-                   **deprecated) -> str:
+                   refresh: bool = False) -> str:
     """Run one experiment and return its rendered report; optionally
     persist text + JSON under ``out_dir``.
 
@@ -140,21 +140,10 @@ def run_experiment(experiment_id: str, scale: str = "bench",
     cached) and wall-clock-measuring runs (fig6 with ``plan.measure`` —
     a replayed timing would masquerade as a fresh measurement).
     """
-    plan = _resolve_runner_plan(plan, deprecated)
+    plan = resolve_plan(plan, where="run_experiment")
     text, _hit = _run_experiment(experiment_id, scale, out_dir, plan,
                                  use_cache, cache_dir, refresh)
     return text
-
-
-def _resolve_runner_plan(plan, deprecated) -> ExecPlan:
-    """The runner's deprecation shim: a legacy ``batch=True`` meant both
-    'route through the engine' and 'measure wall-clock where supported'
-    (fig6), so it maps onto ``batch`` *and* ``measure``."""
-    legacy_batch = bool(deprecated.get("batch")) if deprecated else False
-    plan = resolve_plan(plan, deprecated, where="run_experiment")
-    if legacy_batch and not plan.measure:
-        plan = plan.with_(measure=True)
-    return plan
 
 
 def _run_experiment(experiment_id, scale, out_dir, plan,
@@ -198,6 +187,10 @@ def main(argv=None) -> int:
     parser.add_argument("--all", action="store_true", dest="run_all",
                         help="run every figure/table (same as the 'all' "
                              "positional)")
+    parser.add_argument("--formats", action="store_true",
+                        help="print the format registry table "
+                             "(exactness class, batch mirror, fused ops) "
+                             "and exit")
     parser.add_argument("--scale", default="bench",
                         choices=("test", "bench", "full"))
     parser.add_argument("--out", default=None, metavar="DIR",
@@ -209,9 +202,6 @@ def main(argv=None) -> int:
     parser.add_argument("--measure", action="store_true",
                         help="collect software wall-clock measurements "
                              "where supported (fig6's MMAPS columns)")
-    parser.add_argument("--batch", action="store_true",
-                        help="deprecated: batching is the default now; "
-                             "kept as an alias for --measure")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="fan supported sweeps across N worker "
                              "processes (implies chunked generation)")
@@ -227,6 +217,10 @@ def main(argv=None) -> int:
                         help="recompute even on a cache hit, overwriting "
                              "the entry")
     args = parser.parse_args(argv)
+    if args.formats:
+        from ..arith.registry import REGISTRY as FORMATS
+        print(FORMATS.describe())
+        return 0
     if args.run_all and args.experiment not in (None, "all"):
         parser.error(f"--all conflicts with the named experiment "
                      f"{args.experiment!r}; pass one or the other")
@@ -243,7 +237,7 @@ def main(argv=None) -> int:
         batch=not args.serial,
         batch_size=args.batch_size,
         n_workers=args.workers,
-        measure=args.measure or args.batch,
+        measure=args.measure,
         cache="off" if args.no_cache
               else ("refresh" if args.refresh else "auto"))
     for target in targets:

@@ -1,0 +1,663 @@
+"""``FArray``: a format-tagged array over the registry + ExecPlan plane.
+
+An :class:`FArray` is the NumPy-style front end of the execution plane
+built in PRs 1-3: it pairs a scalar :class:`~repro.arith.Backend` (the
+*format*: binary64, log-space, posit, LNS, the BigFloat oracle) with an
+array of that format's values and dispatches every operation the way
+the plan and the format registry allow:
+
+* **vectorized** — when the active :class:`~repro.engine.plan.ExecPlan`
+  has ``batch=True`` and the registry pairs the format with a batch
+  mirror, ``_data`` holds the mirror's *packed code representation*
+  (float64 values/logs, int64 LNS codes, uint64 posit patterns) and
+  ``+``/``*``/reductions run through the mirror's certified array
+  kernels — the canonical path;
+* **scalar fallback** — otherwise (the BigFloat oracle, a serial plan,
+  a reduction-certified requirement the mirror cannot meet), ``_data``
+  is an object array of scalar backend values and every op loops
+  through the scalar backend — the reference path.
+
+The two representations hold *the same values* (that is the registry's
+certification), so an expression's result never depends on which one
+ran — only its speed does.  Operations not offered by a mirror
+(``-``/``/`` today) decode to scalar values, apply the scalar backend's
+op, and re-encode, preserving exactness.
+
+Certification tiers (``certified=`` on the constructors) mirror
+:meth:`repro.arith.registry.FormatRegistry.batch_for`: the default
+``certified=False`` asks only for elementwise exactness, so log-space's
+default ``nary`` sum mode stays vectorized (its batched n-ary LSE is
+ulp-close to the scalar fold — the documented array-API contract since
+PR 1).  ``certified=True`` demands bit/element-identical *reductions*
+too; formats that cannot certify that (n-ary log-space) then take the
+scalar representation, which is how the B=1 scalar app views guarantee
+their results never change.
+
+Values are immutable by convention: no ``__setitem__``; build new
+arrays with expressions, ``concatenate``, or ``where`` you write
+yourself from masks.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..arith.backend import Backend
+from ..arith.registry import REGISTRY
+from ..bigfloat import BigFloat, DEFAULT_PRECISION
+from ..engine.plan import ExecPlan, resolve_plan
+from .context import _resolve_format
+
+__all__ = [
+    "FArray",
+    "asarray",
+    "broadcast_to",
+    "concatenate",
+    "dot",
+    "fused_dot",
+    "fused_sum",
+    "full",
+    "logsumexp",
+    "ones",
+    "ones_like",
+    "stack",
+    "sum",
+    "take_along_axis",
+    "wrap",
+    "zeros",
+    "zeros_like",
+]
+
+
+def _mirror(backend: Backend, plan: ExecPlan, certified: bool):
+    """The batch mirror the plan + certification tier select (or None
+    for the scalar representation).  Thin view over
+    :func:`repro.engine.plan_batch_backend` — the one place the
+    scalar-vs-vectorized decision lives (imported lazily: the engine
+    package's kernels import this module at call time)."""
+    from ..engine import plan_batch_backend
+    return plan_batch_backend(backend, plan, certified=certified)
+
+
+def _same_numerics(a: Backend, b: Backend) -> bool:
+    """Whether two scalar backends define the same arithmetic.
+
+    Name equality is not enough: log-space's ``sum_mode`` changes the
+    reduction fold and posit's ``underflow`` mode changes rounding,
+    neither appearing in the format name; and two backends of one name
+    must also be the same implementation class.  Backends passing this
+    test may share arrays freely (their code spaces and op results
+    coincide).
+    """
+    if a is b:
+        return True
+    return (type(a) is type(b) and a.name == b.name
+            and getattr(a, "sum_mode", None) == getattr(b, "sum_mode", None)
+            and getattr(getattr(a, "env", None), "underflow", None)
+            == getattr(getattr(b, "env", None), "underflow", None))
+
+
+def _exact(value) -> BigFloat:
+    """One input as an exact BigFloat (the paper's input-side
+    methodology: operands are exact, rounding happens on format entry)."""
+    if isinstance(value, BigFloat):
+        return value
+    if isinstance(value, numbers.Integral):
+        return BigFloat.from_int(int(value))
+    if isinstance(value, numbers.Real):
+        return BigFloat.from_float(float(value))
+    raise TypeError(f"cannot convert {type(value).__name__} to a "
+                    f"probability value")
+
+
+class FArray:
+    """A format-tagged N-dimensional array of probabilities.
+
+    Build with :func:`asarray` / :func:`zeros` / :func:`ones` /
+    :func:`wrap`; combine with ``+ - * / @``, slicing, and the
+    reductions in this module.  ``item``/``tolist``/``to_bigfloats``
+    exit back to scalar-backend values.
+    """
+
+    __slots__ = ("_backend", "_bb", "_data")
+    #: NumPy must not try to handle ``ndarray <op> FArray`` itself.
+    __array_ufunc__ = None
+    __array_priority__ = 1000
+
+    def __init__(self, data: np.ndarray, backend: Backend, bb=None):
+        self._backend = backend
+        self._bb = bb
+        self._data = data
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def format(self) -> str:
+        """The registry format name this array is tagged with."""
+        return self._backend.name
+
+    @property
+    def backend(self) -> Backend:
+        """The scalar backend defining this array's numerics."""
+        return self._backend
+
+    @property
+    def batch(self) -> bool:
+        """True when backed by the vectorized batch mirror (packed
+        codes); False on the scalar-fallback representation."""
+        return self._bb is not None
+
+    @property
+    def data(self) -> np.ndarray:
+        """The raw storage: packed codes (batch) or scalar backend
+        values in an object array (fallback)."""
+        return self._data
+
+    @property
+    def shape(self):
+        return self._data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self._data.ndim
+
+    @property
+    def size(self) -> int:
+        return self._data.size
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self):
+        mode = "batch" if self._bb is not None else "scalar"
+        return (f"<FArray {self.format} shape={self.shape} {mode}>")
+
+    # ------------------------------------------------------------------
+    # Shape manipulation (never touches values)
+    # ------------------------------------------------------------------
+    def __getitem__(self, key) -> "FArray":
+        if isinstance(key, FArray):
+            key = key._data
+        out = self._data[key]
+        if not isinstance(out, np.ndarray):  # full index -> 0-d view
+            out = np.asarray(out, dtype=self._data.dtype)
+        return FArray(out, self._backend, self._bb)
+
+    @property
+    def T(self) -> "FArray":
+        return FArray(self._data.T, self._backend, self._bb)
+
+    def reshape(self, *shape) -> "FArray":
+        return FArray(self._data.reshape(*shape), self._backend, self._bb)
+
+    def ravel(self) -> "FArray":
+        return FArray(self._data.ravel(), self._backend, self._bb)
+
+    # ------------------------------------------------------------------
+    # Exits (scalar values / exact values / floats)
+    # ------------------------------------------------------------------
+    def item(self, index=()):
+        """One element as a scalar-backend value (for scoring, ratio
+        tests, ``backend.to_bigfloat`` ...)."""
+        if self._bb is not None:
+            return self._bb.item(self._data, index)
+        return self._data[index]
+
+    def tolist(self):
+        """Nested lists of scalar-backend values (row-major)."""
+        if self._bb is None:
+            return self._data.tolist()
+        out = np.empty(self.shape, dtype=object)
+        for idx in np.ndindex(*self.shape):
+            out[idx] = self._bb.item(self._data, idx)
+        return out.tolist()
+
+    def to_bigfloats(self) -> List[BigFloat]:
+        """Exact (or correctly rounded) values, flattened row-major."""
+        if self._bb is not None:
+            return self._bb.to_bigfloats(self._data)
+        return [self._backend.to_bigfloat(v) for v in self._data.ravel()]
+
+    def to_floats(self) -> np.ndarray:
+        """Lossy float64 readout (underflows below 2**-1074 — which is
+        often the point).  Raises where an element has no value (NaR)."""
+        return np.array([bf.to_float() for bf in self.to_bigfloats()],
+                        dtype=np.float64).reshape(self.shape)
+
+    def is_zero(self) -> np.ndarray:
+        """Boolean mask of exactly-zero probabilities."""
+        if self._bb is not None:
+            return np.asarray(self._bb.is_zero(self._data), dtype=bool)
+        out = np.frompyfunc(self._backend.is_zero, 1, 1)(self._data)
+        return np.asarray(out, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Representation plumbing
+    # ------------------------------------------------------------------
+    def _items_flat(self) -> list:
+        """Every element as a scalar-backend value, row-major."""
+        if self._bb is None:
+            return list(self._data.ravel())
+        flat = self._data.ravel()
+        return [self._bb.item(flat, i) for i in range(flat.size)]
+
+    def _as_mode(self, bb) -> "FArray":
+        """This array re-encoded for another representation (same
+        format, so values are preserved exactly)."""
+        if bb is self._bb:
+            return self
+        if bb is not None and self._bb is not None:
+            # Two mirrors of one format share the code space; retag.
+            return FArray(self._data, self._backend, bb)
+        items = self._items_flat()
+        if bb is None:
+            out = np.empty(self.shape, dtype=object)
+            out.reshape(-1)[:] = items
+            return FArray(out, self._backend, None)
+        return FArray(bb.from_items(items, self.shape), self._backend, bb)
+
+    def _coerce(self, other) -> Optional["FArray"]:
+        """``other`` as an FArray in this array's format and
+        representation (None when the type is not coercible)."""
+        if isinstance(other, FArray):
+            if not _same_numerics(self._backend, other._backend):
+                raise TypeError(
+                    f"format mismatch: {self.format} vs {other.format} "
+                    f"(or differing backend modes, e.g. log sum_mode); "
+                    f"convert explicitly with astype()")
+            return other._as_mode(self._bb)
+        if isinstance(other, (BigFloat, numbers.Number)):
+            bf = _exact(other)
+            if self._bb is not None:
+                return FArray(self._bb.from_bigfloats([bf]).reshape(()),
+                              self._backend, self._bb)
+            out = np.empty((), dtype=object)
+            out[()] = self._backend.from_bigfloat(bf)
+            return FArray(out, self._backend, None)
+        if isinstance(other, (list, tuple, np.ndarray)):
+            return _convert(other, self._backend, self._bb)
+        return None
+
+    # ------------------------------------------------------------------
+    # Arithmetic (dispatch: batch mirror op -> scalar fallback)
+    # ------------------------------------------------------------------
+    def _binary(self, other, op: str, reflected: bool = False):
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        a, b = (rhs, self) if reflected else (self, rhs)
+        if self._bb is not None:
+            fn = getattr(self._bb, op, None)
+            if fn is not None:
+                return FArray(fn(a._data, b._data), self._backend, self._bb)
+            return self._scalar_binary(a, b, op)
+        return self._scalar_binary(a, b, op)
+
+    def _scalar_binary(self, a: "FArray", b: "FArray", op: str) -> "FArray":
+        """Elementwise op through the scalar backend (the fallback for
+        formats/ops without a batch implementation)."""
+        fn = getattr(self._backend, op)
+        if self._bb is None:
+            out = np.frompyfunc(fn, 2, 1)(a._data, b._data)
+            return FArray(np.asarray(out, dtype=object), self._backend, None)
+        da, db = np.broadcast_arrays(a._data, b._data)
+        items = [fn(self._bb.item(da, idx), self._bb.item(db, idx))
+                 for idx in np.ndindex(*da.shape)]
+        return FArray(self._bb.from_items(items, da.shape),
+                      self._backend, self._bb)
+
+    def __add__(self, other):
+        return self._binary(other, "add")
+
+    def __radd__(self, other):
+        return self._binary(other, "add", reflected=True)
+
+    def __mul__(self, other):
+        return self._binary(other, "mul")
+
+    def __rmul__(self, other):
+        return self._binary(other, "mul", reflected=True)
+
+    def __sub__(self, other):
+        return self._binary(other, "sub")
+
+    def __rsub__(self, other):
+        return self._binary(other, "sub", reflected=True)
+
+    def __truediv__(self, other):
+        return self._binary(other, "div")
+
+    def __rtruediv__(self, other):
+        return self._binary(other, "div", reflected=True)
+
+    def __matmul__(self, other):
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return _matmul(self, rhs)
+
+    def __rmatmul__(self, other):
+        lhs = self._coerce(other)
+        if lhs is None:
+            return NotImplemented
+        return _matmul(lhs, self)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[int] = None) -> "FArray":
+        """Reduce along ``axis`` (or everything) in index order with the
+        format's ``sum`` fold — vectorized through the batch mirror,
+        scalar backend fold otherwise (n-ary LSE for n-ary log-space).
+        """
+        if axis is None:
+            return self.ravel().sum(axis=0)
+        if self._bb is not None:
+            out = self._bb.sum(self._data, axis=axis)
+            return FArray(np.asarray(out), self._backend, self._bb)
+        moved = np.moveaxis(self._data, axis, -1)
+        out = np.empty(moved.shape[:-1], dtype=object)
+        for idx in np.ndindex(*out.shape):
+            out[idx] = self._backend.sum(list(moved[idx]))
+        return FArray(out, self._backend, None)
+
+    def dot(self, other, axis: int = -1) -> "FArray":
+        """Sum of elementwise products along ``axis`` (mul then the
+        ``sum`` fold — the forward algorithm's inner kernel)."""
+        return (self * other).sum(axis=axis)
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def astype(self, format, *, plan: Optional[ExecPlan] = None,
+               certified: bool = False, **format_kwargs) -> "FArray":
+        """This array's values rounded into another registry format.
+
+        Conversion is exact on the way out (``to_bigfloat``) and
+        correctly rounded on the way in (``from_bigfloat``) — the same
+        input-side methodology every app uses, so ``astype`` composes
+        with the registry's exactness classes: converting *into* the
+        oracle is exact, converting between finite formats rounds once.
+        """
+        target = _resolve_format(format, **format_kwargs)
+        plan = resolve_plan(plan, where="FArray.astype")
+        bb = _mirror(target, plan, certified)
+        if _same_numerics(target, self._backend):
+            if (self._bb is None) == (bb is None):
+                return self
+            return self._as_mode(bb)
+        return _from_bigfloats(self.to_bigfloats(), self.shape, target, bb)
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+def _from_bigfloats(values: Sequence[BigFloat], shape, backend: Backend,
+                    bb) -> FArray:
+    if bb is not None:
+        return FArray(bb.from_bigfloats(values).reshape(shape), backend, bb)
+    out = np.empty(shape, dtype=object)
+    out.reshape(-1)[:] = [backend.from_bigfloat(v) for v in values]
+    return FArray(out, backend, None)
+
+
+def _convert(values, backend: Backend, bb) -> FArray:
+    """Nested numbers/BigFloats into an FArray with the given
+    representation."""
+    src = np.asarray(values, dtype=object)
+    flat = [_exact(v) for v in src.ravel()]
+    return _from_bigfloats(flat, src.shape, backend, bb)
+
+
+def asarray(values, format=None, *, plan: Optional[ExecPlan] = None,
+            certified: bool = False, **format_kwargs) -> FArray:
+    """``values`` (numbers, BigFloats, nested lists, NumPy arrays, or
+    an FArray) as an :class:`FArray` in the given format.
+
+    ``format`` is a registry name or scalar backend; omitted, the
+    ambient :func:`~repro.nd.use_format` format applies.  ``plan``
+    (default: the ambient :func:`~repro.nd.use_plan` plan) and
+    ``certified`` select the representation — see the module docstring
+    for the certification tiers.  Conversion is input-side and exact:
+    every element becomes an exact BigFloat first, then rounds once
+    into the format.
+    """
+    backend = _resolve_format(format, **format_kwargs)
+    plan = resolve_plan(plan, where="nd.asarray")
+    bb = _mirror(backend, plan, certified)
+    if isinstance(values, FArray):
+        if _same_numerics(values._backend, backend):
+            if (values._bb is None) == (bb is None):
+                return values
+            return values._as_mode(bb)
+        return values.astype(backend, plan=plan, certified=certified)
+    return _convert(values, backend, bb)
+
+
+array = asarray
+
+
+def wrap(data, format=None, *, bb=None) -> FArray:
+    """An :class:`FArray` over *already-encoded* storage (no value
+    conversion): ``bb`` + a packed code array for the vectorized
+    representation, or a format + an object array of scalar backend
+    values.  This is the kernel-facing constructor; most callers want
+    :func:`asarray`.
+    """
+    if bb is not None:
+        return FArray(np.asarray(data, dtype=bb.dtype), bb.scalar, bb)
+    backend = _resolve_format(format)
+    return FArray(np.asarray(data, dtype=object), backend, None)
+
+
+def _fill(shape, method: str, backend: Backend, bb) -> FArray:
+    """The shared identity-array body: ``method`` is "zeros"/"ones"."""
+    if bb is not None:
+        return FArray(getattr(bb, method)(shape), backend, bb)
+    out = np.empty(shape, dtype=object)
+    out[...] = getattr(backend, "zero" if method == "zeros" else "one")()
+    return FArray(out, backend, None)
+
+
+def _filled(shape, method: str, format, plan, certified,
+            format_kwargs) -> FArray:
+    backend = _resolve_format(format, **format_kwargs)
+    plan = resolve_plan(plan, where=f"nd.{method}")
+    return _fill(shape, method, backend, _mirror(backend, plan, certified))
+
+
+def zeros(shape, format=None, *, plan: Optional[ExecPlan] = None,
+          certified: bool = False, **format_kwargs) -> FArray:
+    """An array of the additive identity (probability 0)."""
+    return _filled(shape, "zeros", format, plan, certified, format_kwargs)
+
+
+def ones(shape, format=None, *, plan: Optional[ExecPlan] = None,
+         certified: bool = False, **format_kwargs) -> FArray:
+    """An array of the multiplicative identity (probability 1)."""
+    return _filled(shape, "ones", format, plan, certified, format_kwargs)
+
+
+def full(shape, value, format=None, *, plan: Optional[ExecPlan] = None,
+         certified: bool = False, **format_kwargs) -> FArray:
+    """An array with every element the given probability value."""
+    scalar = asarray([value], format, plan=plan, certified=certified,
+                     **format_kwargs)
+    data = np.broadcast_to(scalar._data.reshape(()), shape)
+    return FArray(data, scalar._backend, scalar._bb)
+
+
+def _like(x: FArray, method: str, shape) -> FArray:
+    return _fill(x.shape if shape is None else shape, method,
+                 x._backend, x._bb)
+
+
+def zeros_like(x: FArray, shape=None) -> FArray:
+    """Probability-0 array in ``x``'s format *and* representation."""
+    return _like(x, "zeros", shape)
+
+
+def ones_like(x: FArray, shape=None) -> FArray:
+    """Probability-1 array in ``x``'s format *and* representation."""
+    return _like(x, "ones", shape)
+
+
+# ----------------------------------------------------------------------
+# Structural ops
+# ----------------------------------------------------------------------
+def _common(arrays: Sequence[FArray]) -> Sequence[FArray]:
+    if not arrays:
+        raise ValueError("need at least one FArray")
+    first = arrays[0]
+    if not isinstance(first, FArray):
+        raise TypeError("nd structural ops take FArrays; build with "
+                        "nd.asarray first")
+    return [first] + [first._coerce(a) for a in arrays[1:]]
+
+
+def concatenate(arrays: Sequence[FArray], axis: int = 0) -> FArray:
+    arrays = _common(arrays)
+    data = np.concatenate([a._data for a in arrays], axis=axis)
+    return FArray(data, arrays[0]._backend, arrays[0]._bb)
+
+
+def stack(arrays: Sequence[FArray], axis: int = 0) -> FArray:
+    arrays = _common(arrays)
+    data = np.stack([a._data for a in arrays], axis=axis)
+    return FArray(data, arrays[0]._backend, arrays[0]._bb)
+
+
+def broadcast_to(x: FArray, shape) -> FArray:
+    return FArray(np.broadcast_to(x._data, shape), x._backend, x._bb)
+
+
+def take_along_axis(x: FArray, indices: np.ndarray, axis: int) -> FArray:
+    data = np.take_along_axis(x._data, np.asarray(indices), axis=axis)
+    return FArray(data, x._backend, x._bb)
+
+
+# ----------------------------------------------------------------------
+# Reductions (module-level spellings)
+# ----------------------------------------------------------------------
+def sum(x: FArray, axis: Optional[int] = None) -> FArray:  # noqa: A001
+    """Index-order probability sum along ``axis`` (see
+    :meth:`FArray.sum`)."""
+    return x.sum(axis=axis)
+
+
+def dot(x: FArray, y, axis: int = -1) -> FArray:
+    """Sum of elementwise products along ``axis``."""
+    return x.dot(y, axis=axis)
+
+
+def _matmul(a: FArray, b: FArray) -> FArray:
+    """NumPy ``@`` semantics built from mul + the ``sum`` fold (so the
+    contraction is certified exactly like every other reduction)."""
+    if a.ndim == 0 or b.ndim == 0:
+        raise ValueError("matmul needs at least 1-d operands")
+    if a.ndim == 1 and b.ndim == 1:
+        return (a * b).sum(axis=0)
+    if b.ndim == 1:
+        return (a * b).sum(axis=-1)
+    if a.ndim == 1:
+        return (a[:, None] * b).sum(axis=-2)
+    return (a[..., :, None] * b[..., None, :, :]).sum(axis=-2)
+
+
+def logsumexp(x: FArray, axis: Optional[int] = None,
+              prec: int = DEFAULT_PRECISION) -> np.ndarray:
+    """Natural log of the probability sum along ``axis``, as float64.
+
+    For the ``log`` format this is exactly the code array of
+    :func:`sum` (the LSE dataflow the format's fold already *is* —
+    sequential Equation-2 folds or the n-ary Equation-3 reduction,
+    per the backend's ``sum_mode``).  Other formats sum in their own
+    arithmetic, then take the log through the exact BigFloat plane
+    (``-inf`` for exact zeros).
+    """
+    total = x.sum(axis=axis)
+    if x.format == "log":
+        if total._bb is not None:
+            return np.asarray(total._data, dtype=np.float64)
+        return np.array(total._data.tolist(),
+                        dtype=np.float64).reshape(total.shape)
+    from ..bigfloat import functions as bf
+    out = np.empty(total.shape, dtype=np.float64)
+    flat = out.reshape(-1)
+    for i, value in enumerate(total.to_bigfloats()):
+        flat[i] = -np.inf if value.is_zero() else \
+            bf.log(value, prec).to_float()
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fused ops (registry-certified)
+# ----------------------------------------------------------------------
+def _require_fused(x: FArray, op: str):
+    caps = REGISTRY.capabilities(x.format)
+    if op not in caps.fused_ops:
+        raise ValueError(
+            f"format {x.format!r} does not certify {op!r} "
+            f"(registry fused_ops: {caps.fused_ops or '()'})")
+
+
+def fused_sum(x: FArray, axis: Optional[int] = None, *,
+              max_limbs: int = 1024) -> FArray:
+    """Exact (quire) accumulation along ``axis``, rounded once per
+    output element.  Only formats whose registry entry certifies
+    ``quire_fused_sum`` (posits) accept this; others raise.
+    ``max_limbs`` bounds the accumulator width (large-ES posits need
+    multi-thousand-limb quires; raise the bound to force them).
+    """
+    _require_fused(x, "quire_fused_sum")
+    if axis is None:
+        return fused_sum(x.ravel(), axis=0, max_limbs=max_limbs)
+    if x.ndim == 1 and x._bb is not None:
+        # Keep the batched quire on >=1-d lanes (0-d uint64 scalars
+        # trip NumPy's scalar-overflow warning on intended wraparound).
+        out = fused_sum(x.reshape(1, -1), axis=1, max_limbs=max_limbs)
+        return out.reshape(())
+    env = x.backend.env
+    if x._bb is not None:
+        from ..engine.quire_batch import fused_sum_batch
+        return FArray(fused_sum_batch(env, x._data, axis=axis,
+                                      max_limbs=max_limbs),
+                      x._backend, x._bb)
+    moved = np.moveaxis(x._data, axis, -1)
+    out = np.empty(moved.shape[:-1], dtype=object)
+    for idx in np.ndindex(*out.shape):
+        out[idx] = env.fused_sum(list(moved[idx]))
+    return FArray(out, x._backend, None)
+
+
+def fused_dot(x: FArray, y, axis: int = -1, *,
+              max_limbs: int = 1024) -> FArray:
+    """Correctly rounded dot product along ``axis`` through the quire
+    (one rounding total per output element).  Registry-gated like
+    :func:`fused_sum`."""
+    _require_fused(x, "quire_fused_dot")
+    rhs = x._coerce(y)
+    if x.ndim == 1 and rhs.ndim <= 1 and x._bb is not None:
+        out = fused_dot(x.reshape(1, -1), rhs.reshape(1, -1), axis=1,
+                        max_limbs=max_limbs)
+        return out.reshape(())
+    env = x.backend.env
+    if x._bb is not None:
+        from ..engine.quire_batch import fused_dot_product_batch
+        return FArray(fused_dot_product_batch(env, x._data, rhs._data,
+                                              axis=axis,
+                                              max_limbs=max_limbs),
+                      x._backend, x._bb)
+    from ..formats.quire import fused_dot_product
+    da, db = np.broadcast_arrays(x._data, rhs._data)
+    moved_a = np.moveaxis(da, axis, -1)
+    moved_b = np.moveaxis(db, axis, -1)
+    out = np.empty(moved_a.shape[:-1], dtype=object)
+    for idx in np.ndindex(*out.shape):
+        out[idx] = fused_dot_product(env, list(moved_a[idx]),
+                                     list(moved_b[idx]))
+    return FArray(out, x._backend, None)

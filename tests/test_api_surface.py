@@ -1,0 +1,72 @@
+"""Public-API surface snapshot: the ``__all__`` of each public package
+must match the checked-in manifest (``tests/api_surface.json``), so any
+future API churn shows up as an explicit, reviewable diff.
+
+To accept an intentional change, regenerate the manifest::
+
+    PYTHONPATH=src python tests/test_api_surface.py --regen
+"""
+
+import importlib
+import json
+import os
+
+import pytest
+
+MANIFEST_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "api_surface.json")
+
+#: The packages whose surfaces are pinned.
+MODULES = ("repro", "repro.arith", "repro.engine", "repro.nd", "repro.apps")
+
+
+def load_manifest() -> dict:
+    with open(MANIFEST_PATH) as f:
+        return json.load(f)
+
+
+def current_surface(module_name: str) -> list:
+    return sorted(importlib.import_module(module_name).__all__)
+
+
+def test_manifest_covers_exactly_the_pinned_modules():
+    assert sorted(load_manifest()) == sorted(MODULES)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_surface_matches_manifest(module_name):
+    expected = load_manifest()[module_name]
+    actual = current_surface(module_name)
+    added = sorted(set(actual) - set(expected))
+    removed = sorted(set(expected) - set(actual))
+    assert actual == expected, (
+        f"{module_name}.__all__ drifted from tests/api_surface.json "
+        f"(added: {added or 'none'}; removed: {removed or 'none'}). "
+        f"If intentional, regenerate with: "
+        f"PYTHONPATH=src python tests/test_api_surface.py --regen")
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_every_name_resolves(module_name):
+    """__all__ must not advertise names that don't exist (import-star
+    correctness; complements the F822/PLE0604 lint)."""
+    mod = importlib.import_module(module_name)
+    for name in mod.__all__:
+        assert getattr(mod, name, None) is not None or name in vars(mod), \
+            f"{module_name}.{name} is in __all__ but unresolvable"
+
+
+def _regen():
+    manifest = {m: current_surface(m) for m in MODULES}
+    with open(MANIFEST_PATH, "w") as f:
+        json.dump(manifest, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {MANIFEST_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

@@ -1,7 +1,7 @@
-"""ExecPlan: validation, plan threading, group slicing, and the
-one-release deprecation shims for the removed ``batch=``/``n_workers=``
-kwarg pairs (every shim must emit DeprecationWarning and produce the
-same results as the equivalent plan).
+"""ExecPlan: validation, plan threading (explicit and ambient), group
+slicing, and the *removal* of the PR 3 ``batch=``/``n_workers=``
+deprecation shims — one release on, every former shim site must reject
+the legacy kwargs with a plain :class:`TypeError`.
 """
 
 import numpy as np
@@ -9,7 +9,8 @@ import pytest
 
 from repro.arith import LogSpaceBackend, PositBackend, standard_backends
 from repro.bigfloat import BigFloat
-from repro.engine import DEFAULT_PLAN, ExecPlan, resolve_plan
+from repro.engine import (DEFAULT_PLAN, ExecPlan, current_plan,
+                          resolve_plan, use_plan)
 from repro.formats import PositEnv
 
 
@@ -60,28 +61,53 @@ class TestResolvePlan:
         with pytest.raises(TypeError):
             resolve_plan({"batch": True})
 
-    def test_legacy_kwargs_warn_and_fold(self):
-        with pytest.warns(DeprecationWarning):
-            plan = resolve_plan(None, {"batch": False, "n_workers": 2},
-                                where="test")
-        assert (plan.batch, plan.n_workers) == (False, 2)
 
-    def test_legacy_none_values_are_unset(self):
-        with pytest.warns(DeprecationWarning):
-            plan = resolve_plan(None, {"batch": None, "n_workers": 0},
-                                where="test")
-        assert plan.batch is True  # None means "not passed"
-        assert plan.n_workers == 0
+class TestAmbientPlan:
+    """with use_plan(...): installs the plan every plan-aware call
+    picks up when no explicit plan= is passed."""
 
-    def test_unknown_kwarg_raises(self):
+    def test_current_plan_defaults(self):
+        assert current_plan() is DEFAULT_PLAN
+
+    def test_use_plan_scopes_and_nests(self):
+        outer = ExecPlan(n_workers=2)
+        inner = ExecPlan.serial()
+        with use_plan(outer):
+            assert current_plan() is outer
+            assert resolve_plan(None) is outer
+            with use_plan(inner):
+                assert resolve_plan(None) is inner
+            assert current_plan() is outer
+        assert current_plan() is DEFAULT_PLAN
+
+    def test_explicit_plan_beats_ambient(self):
+        explicit = ExecPlan(batch_size=7)
+        with use_plan(ExecPlan.serial()):
+            assert resolve_plan(explicit) is explicit
+
+    def test_use_plan_type_check(self):
         with pytest.raises(TypeError):
-            resolve_plan(None, {"n_wokers": 2}, where="test")
+            with use_plan("serial"):
+                pass
 
-    def test_batch_field_remap(self):
-        with pytest.warns(DeprecationWarning):
-            plan = resolve_plan(None, {"batch": True}, where="fig6",
-                                batch_field="measure")
-        assert plan.measure is True and plan.batch is True
+    def test_ambient_plan_reaches_apps(self):
+        from repro.apps.hmm import forward
+        from repro.data.dirichlet import sample_hmm
+        hmm = sample_hmm(3, 4, 6, seed=3)
+        backend = LogSpaceBackend(sum_mode="sequential")
+        default = forward(hmm, backend)
+        with use_plan(ExecPlan.serial()):
+            assert forward(hmm, backend) == default
+
+
+class TestExecPlanRepr:
+    def test_default_is_bare(self):
+        assert repr(ExecPlan()) == "ExecPlan()"
+
+    def test_non_defaults_only(self):
+        assert repr(ExecPlan.serial()) == "ExecPlan(batch=False)"
+        text = repr(ExecPlan(n_workers=4, cache="off"))
+        assert text == "ExecPlan(n_workers=4, cache='off')"
 
 
 def _columns(n=4):
@@ -90,63 +116,43 @@ def _columns(n=4):
                          deep_fraction=0.25).columns
 
 
-class TestDeprecationShims:
-    """Every former batch=/n_workers= call site still works for one
-    release, warns, and matches the plan spelling exactly."""
+class TestLegacyKwargsRemoved:
+    """The PR 3 one-release deprecation shims are gone: every former
+    batch=/n_workers= call site now rejects the legacy kwargs with a
+    plain TypeError (unexpected keyword argument)."""
 
     def test_run_lofreq(self):
         from repro.apps.lofreq import run_lofreq
         backends = {"log": LogSpaceBackend()}
-        columns = _columns()
-        with pytest.warns(DeprecationWarning):
-            legacy = run_lofreq(columns, backends, batch=True)
-        planned = run_lofreq(columns, backends, plan=ExecPlan())
-        assert legacy.scores == planned.scores
+        with pytest.raises(TypeError):
+            run_lofreq(_columns(), backends, batch=True)
 
     def test_column_pvalues(self):
         from repro.apps.lofreq import column_pvalues
         backend = PositBackend(PositEnv(64, 18))
-        columns = _columns()
-        with pytest.warns(DeprecationWarning):
-            legacy = column_pvalues(columns, backend, batch=False)
-        assert legacy == column_pvalues(columns, backend,
-                                        plan=ExecPlan.serial())
+        with pytest.raises(TypeError):
+            column_pvalues(_columns(), backend, batch=False)
 
     def test_run_vicar(self):
         from repro.apps.vicar import VicarConfig, run_vicar
         config = VicarConfig(length=8, h_values=(3,), matrices_per_h=2,
                              bits_per_step=40.0, seed=0, oracle_prec=128)
         backends = {"log": LogSpaceBackend(sum_mode="sequential")}
-        with pytest.warns(DeprecationWarning):
-            legacy = run_vicar(config, backends, batch=True, n_workers=0)
-        planned = run_vicar(config, backends, plan=ExecPlan(n_workers=0))
-        assert legacy.scores == planned.scores
+        with pytest.raises(TypeError):
+            run_vicar(config, backends, batch=True, n_workers=0)
 
     def test_run_chains(self):
         from repro.apps.mcmc import run_chains
         backend = PositBackend(PositEnv(64, 18))
-        with pytest.warns(DeprecationWarning):
-            legacy = run_chains(backend, 2, steps=3, seeds=[1, 2],
-                                batch=False)
-        planned = run_chains(backend, 2, steps=3, seeds=[1, 2],
-                             plan=ExecPlan.serial())
-        for g, w in zip(legacy, planned):
-            assert (g.accepted, g.rejected, g.stuck, g.samples) == \
-                (w.accepted, w.rejected, w.stuck, w.samples)
+        with pytest.raises(TypeError):
+            run_chains(backend, 2, steps=3, seeds=[1, 2], batch=False)
 
     def test_run_op_sweep(self):
         from repro.core.analysis import run_op_sweep
         from repro.core.sweep import FIG3_BINS
-        backends = standard_backends()
-        bins = (FIG3_BINS[0], FIG3_BINS[-1])
-        with pytest.warns(DeprecationWarning):
-            legacy = run_op_sweep("add", backends, per_bin=4, bins=bins,
-                                  seed=1, batch=True)
-        planned = run_op_sweep("add", backends, per_bin=4, bins=bins, seed=1)
-        assert {b: {f: s.row() for f, s in cell.items()}
-                for b, cell in legacy.boxes.items()} == \
-            {b: {f: s.row() for f, s in cell.items()}
-             for b, cell in planned.boxes.items()}
+        with pytest.raises(TypeError):
+            run_op_sweep("add", standard_backends(), per_bin=4,
+                         bins=(FIG3_BINS[0],), seed=1, batch=True)
 
     @pytest.mark.parametrize("module, kwargs", [
         ("fig3_op_accuracy", {"batch": True, "n_workers": 0}),
@@ -154,24 +160,27 @@ class TestDeprecationShims:
         ("fig10_vicar_cdf", {"batch": True}),
         ("fig11_lofreq_cdf", {"batch": True}),
     ])
-    def test_experiment_runs_warn(self, module, kwargs):
+    def test_experiment_runs_reject(self, module, kwargs):
         import importlib
         mod = importlib.import_module(f"repro.experiments.{module}")
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError):
             mod.run("test", **kwargs)
 
-    def test_fig6_batch_maps_to_measure(self):
+    def test_fig6_rejects_legacy_batch(self):
         from repro.experiments import fig6_forward_perf
-        with pytest.warns(DeprecationWarning):
-            rows = fig6_forward_perf.run(batch=True)
-        assert all(r.sw_scalar_mmaps is not None for r in rows)
+        with pytest.raises(TypeError):
+            fig6_forward_perf.run(batch=True)
 
-    def test_run_experiment_shim(self, tmp_path, monkeypatch):
+    def test_run_experiment_rejects_legacy_batch(self, tmp_path,
+                                                 monkeypatch):
         from repro.experiments.runner import run_experiment
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-        with pytest.warns(DeprecationWarning):
-            text = run_experiment("table1", batch=True)
-        assert text == run_experiment("table1", plan=ExecPlan())
+        with pytest.raises(TypeError):
+            run_experiment("table1", batch=True)
+
+    def test_resolve_plan_has_no_legacy_path(self):
+        with pytest.raises(TypeError):
+            resolve_plan(None, {"batch": True}, where="test")
 
 
 class TestBatchSizeGrouping:

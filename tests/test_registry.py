@@ -102,6 +102,90 @@ class TestRoundTrip:
         assert canonical == legacy
 
 
+@pytest.mark.parametrize("name", ALL_FORMATS)
+class TestNdFrontEndEquivalence:
+    """The api-redesign acceptance property: hand-written ``repro.nd``
+    expressions reproduce the app entry points bit-identically
+    (binary64, sequential log) / element-exactly (posit, LNS) — under
+    the canonical plan *and* the serial baseline."""
+
+    def _workload(self):
+        from repro.data.dirichlet import sample_hcg_like_hmm
+        return sample_hcg_like_hmm(4, 12, seed=3, bits_per_step=150.0)
+
+    def _forward_expression(self, hmm, backend, plan):
+        import repro.nd as nd
+        from repro.apps.hmm import model_arrays
+        a, b, pi = model_arrays(hmm, backend, plan=plan, certified=True)
+        obs = list(hmm.observations)
+        alpha = pi * b[:, obs[0]]
+        for ot in obs[1:]:
+            alpha = nd.sum(alpha[:, None] * a, axis=0) * b[:, ot]
+        return nd.sum(alpha).item()
+
+    def test_nd_forward_matches_app_both_plans(self, name):
+        from repro.apps.hmm import forward
+        backend = _equivalence_backend(name)
+        hmm = self._workload()
+        reference = forward(hmm, backend)
+        for plan in (ExecPlan(), ExecPlan.serial()):
+            assert self._forward_expression(hmm, backend, plan) == reference
+
+    def test_nd_backward_matches_app_both_plans(self, name):
+        import repro.nd as nd
+        from repro.apps.hmm import model_arrays
+        from repro.apps.hmm_extra import backward
+        backend = _equivalence_backend(name)
+        hmm = self._workload()
+        reference = backward(hmm, backend)
+        obs = list(hmm.observations)
+        for plan in (ExecPlan(), ExecPlan.serial()):
+            a, b, pi = model_arrays(hmm, backend, plan=plan, certified=True)
+            beta = nd.ones_like(a, (len(pi),))
+            for t in range(len(obs) - 1, 0, -1):
+                beta = nd.sum(a * (b[:, obs[t]] * beta)[None, :], axis=1)
+            got = nd.sum(pi * (b[:, obs[0]] * beta)).item()
+            assert got == reference
+
+    def test_nd_pbd_matches_app_both_plans(self, name):
+        import repro.nd as nd
+        from repro.apps.pbd import complement, pbd_pvalue
+        backend = _equivalence_backend(name)
+        rng = np.random.default_rng(11)
+        probs = [BigFloat.from_float(float(p))
+                 for p in rng.uniform(1e-8, 0.2, 25)]
+        k = 3
+        reference = pbd_pvalue(probs, k, backend)
+        for plan in (ExecPlan(), ExecPlan.serial()):
+            pn = nd.asarray(probs, backend, plan=plan)
+            qn = nd.asarray([complement(p) for p in probs], backend,
+                            plan=plan)
+            pr = nd.concatenate([nd.ones_like(pn, (1,)),
+                                 nd.zeros_like(pn, (k - 1,))])
+            pvalue = nd.zeros_like(pn, ())
+            for n in range(len(probs)):
+                if n >= k - 1:
+                    pvalue = pvalue + pr[k - 1] * pn[n]
+                shifted = nd.concatenate([nd.zeros_like(pn, (1,)),
+                                          pr[:-1]])
+                pr = pr * qn[n] + shifted * pn[n]
+            assert pvalue.item() == reference
+
+
+class TestRegistryDescribe:
+    def test_describe_lists_every_format(self):
+        table = REGISTRY.describe()
+        for name in ALL_FORMATS:
+            assert name in table
+        assert "element-exact" in table and "oracle" in table
+
+    def test_reprs_are_informative(self):
+        assert "7 formats" in repr(REGISTRY)
+        spec = REGISTRY.spec("posit(64,9)")
+        assert "posit(64,9)" in repr(spec) and "standard" in repr(spec)
+        assert "quire_fused_sum" in repr(spec.caps)
+
+
 class TestCapabilityTable:
     def test_posit_flags(self):
         caps = REGISTRY.capabilities("posit(64,12)")
