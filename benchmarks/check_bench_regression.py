@@ -44,7 +44,63 @@ GATES: Dict[Tuple[str, str], Tuple[str, float]] = {
         ("REPRO_FORWARD_SPEEDUP_FLOOR", 10.0),
     ("apps_throughput", "vicar_forward_multi"):
         ("REPRO_APPS_SPEEDUP_FLOOR", 5.0),
+    # The posit-gap gates: decoded-plane kernels must keep the batch
+    # posit path fast (add/mul microbench and the fused forward).
+    ("batch_throughput", "posit64_12_add"):
+        ("REPRO_POSIT_SPEEDUP_FLOOR", 15.0),
+    ("batch_throughput", "posit64_12_mul"):
+        ("REPRO_POSIT_SPEEDUP_FLOOR", 15.0),
+    ("batch_throughput", "forward_posit64_12_batch"):
+        ("REPRO_POSIT_FORWARD_SPEEDUP_FLOOR", 7.0),
+    ("apps_throughput", "quire_accumulate"):
+        ("REPRO_QUIRE_SPEEDUP_FLOOR", 10.0),
+    # Native batch sub/div coverage: every recorded entry must beat the
+    # scalar loop by a healthy margin (they measure far above this).
+    ("batch_throughput", "binary64_sub"):
+        ("REPRO_BATCH_OP_SPEEDUP_FLOOR", 3.0),
+    ("batch_throughput", "binary64_div"):
+        ("REPRO_BATCH_OP_SPEEDUP_FLOOR", 3.0),
+    ("batch_throughput", "logspace_sub"):
+        ("REPRO_BATCH_OP_SPEEDUP_FLOOR", 3.0),
+    ("batch_throughput", "logspace_div"):
+        ("REPRO_BATCH_OP_SPEEDUP_FLOOR", 3.0),
+    ("batch_throughput", "posit64_9_sub"):
+        ("REPRO_BATCH_OP_SPEEDUP_FLOOR", 3.0),
+    ("batch_throughput", "posit64_9_div"):
+        ("REPRO_BATCH_OP_SPEEDUP_FLOOR", 3.0),
+    ("batch_throughput", "posit64_12_sub"):
+        ("REPRO_BATCH_OP_SPEEDUP_FLOOR", 3.0),
+    ("batch_throughput", "posit64_12_div"):
+        ("REPRO_BATCH_OP_SPEEDUP_FLOOR", 3.0),
+    ("batch_throughput", "lns6_8_sub"):
+        ("REPRO_BATCH_OP_SPEEDUP_FLOOR", 3.0),
+    ("batch_throughput", "lns12_50_div"):
+        ("REPRO_BATCH_OP_SPEEDUP_FLOOR", 3.0),
 }
+
+#: Result keys (by prefix) the *committed* repo-root artifacts must
+#: contain — prefix matching tolerates parameterized suffixes.  CI's
+#: freshly measured / previous-run artifacts are exempt (older runs
+#: predate newer entries); ``tests/test_bench_gate.py`` enforces this
+#: on the committed JSONs.
+REQUIRED_RESULTS: Dict[str, Tuple[str, ...]] = {
+    "batch_throughput": (
+        "forward_log_batch", "forward_posit64_12_batch",
+        "posit64_12_add", "posit64_12_mul",
+        "binary64_sub", "binary64_div", "logspace_sub", "logspace_div",
+        "posit64_9_sub", "posit64_9_div", "posit64_12_sub",
+        "posit64_12_div", "lns6_8_sub", "lns12_50_div",
+    ),
+    "apps_throughput": ("vicar_forward_multi", "quire_accumulate"),
+}
+
+
+def missing_required(payload: dict) -> List[str]:
+    """Required result prefixes absent from a committed payload."""
+    bench = payload.get("benchmark", "")
+    results = payload.get("results", {})
+    return [prefix for prefix in REQUIRED_RESULTS.get(bench, ())
+            if not any(key.startswith(prefix) for key in results)]
 
 
 def gate_floors(env: Dict[str, str]) -> Dict[Tuple[str, str], float]:

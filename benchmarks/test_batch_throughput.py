@@ -20,8 +20,15 @@ import pytest
 
 from repro.apps.hmm import forward, forward_batch
 from repro.arith import Binary64Backend, LogSpaceBackend, PositBackend
+from repro.arith.backends import LNSBackend
 from repro.data.dirichlet import sample_hmm
-from repro.engine import BatchLogSpace, BatchPosit, ExecPlan, batch_backend_for
+from repro.engine import (
+    BatchLNS,
+    BatchLogSpace,
+    BatchPosit,
+    ExecPlan,
+    batch_backend_for,
+)
 from repro.formats import PositEnv
 from repro.formats.logspace import lse2, lse_sequential
 
@@ -142,7 +149,7 @@ def test_posit_scalar_vs_batch(op):
     bp = BatchPosit(env)
     rng = np.random.default_rng(2)
     # Probability-magnitude operands (the workload regime).
-    floats = 2.0 ** rng.uniform(-600, 0, 4_000)
+    floats = 2.0 ** rng.uniform(-600, 0, 16_000)
     a = bp.from_floats(floats)
     b = bp.from_floats(floats[::-1])
     sub_a = [int(x) for x in a[:150]]
@@ -163,6 +170,92 @@ def test_posit_scalar_vs_batch(op):
         "speedup": batch_rate / scalar_rate,
     }
     assert batch_rate > scalar_rate
+
+
+def _op_entry(key, scalar_fn, scalar_pairs, batch_fn, a, b):
+    """One (scalar loop vs batch kernel) measurement -> _RESULTS[key]."""
+    def scalar():
+        out = None
+        for x, y in scalar_pairs:
+            out = scalar_fn(x, y)
+        return out
+
+    scalar_rate = _rate(scalar, len(scalar_pairs))
+    batch_rate = _rate(lambda: batch_fn(a, b), np.asarray(a).size)
+    _RESULTS[key] = {
+        "scalar_ops_per_s": scalar_rate, "batch_ops_per_s": batch_rate,
+        "speedup": batch_rate / scalar_rate,
+    }
+    assert batch_rate > scalar_rate, key
+
+
+def test_binary64_sub_div_scalar_vs_batch():
+    rng = np.random.default_rng(21)
+    a = rng.uniform(0.5, 1.0, 50_000)
+    b = rng.uniform(0.0, 0.5, 50_000)
+    backend = Binary64Backend()
+    bb = batch_backend_for(backend)
+    pairs = list(zip(a[:5_000].tolist(), b[:5_000].tolist()))
+    _op_entry("binary64_sub", backend.sub, pairs, bb.sub, a, b)
+    divisors = b + 0.25  # bounded away from the zero-divisor error
+    pairs_div = list(zip(a[:5_000].tolist(), divisors[:5_000].tolist()))
+    _op_entry("binary64_div", backend.div, pairs_div, bb.div, a, divisors)
+
+
+def test_logspace_sub_div_scalar_vs_batch(log_operands):
+    a, b = log_operands
+    hi = np.maximum(a, b)
+    lo = np.minimum(a, b) - 1e-6
+    backend = LogSpaceBackend()
+    bb = batch_backend_for(backend)
+    pairs = list(zip(hi[:2_000].tolist(), lo[:2_000].tolist()))
+    _op_entry("logspace_sub", backend.sub, pairs, bb.sub, hi, lo)
+    _op_entry("logspace_div", backend.div, pairs, bb.div, hi, lo)
+
+
+@pytest.mark.parametrize("es", [9, 12])
+def test_posit_sub_div_scalar_vs_batch(es):
+    """Native batch posit subtraction (decoded-plane add of the
+    negation) and division (vectorized exact long division) vs the
+    scalar environment's big-int/BigFloat paths."""
+    env = PositEnv(64, es)
+    bp = BatchPosit(env)
+    rng = np.random.default_rng(22 + es)
+    floats = 2.0 ** rng.uniform(-600, 0, 16_000)
+    a = bp.from_floats(floats)
+    b = bp.from_floats(floats[::-1])
+    pairs_sub = [(int(x), int(y)) for x, y in zip(a[:150], b[:150])]
+    pairs_div = [(int(x), int(y)) for x, y in zip(a[:60], b[:60])]
+    _op_entry(f"posit64_{es}_sub", env.sub, pairs_sub, bp.sub, a, b)
+    _op_entry(f"posit64_{es}_div", env.div, pairs_div, bp.div, a, b)
+
+
+def test_lns_sub_div_scalar_vs_batch():
+    """LNS subtraction through the *full-table* mode (the lookup table
+    the paper's Section VII rules out at 64 bits — affordable in
+    software at lns(6,8)'s 2.5k entries) and lns(12,50) division
+    (pure saturating fixed-point subtract)."""
+    from repro.formats.lns import LNSEnv
+
+    small = LNSBackend(LNSEnv(6, 8))
+    bb_small = BatchLNS(scalar=small, sb_table=True)
+    env = small.env
+    rng = np.random.default_rng(24)
+    hi = rng.integers(env.min_code // 2, env.max_code, 20_000,
+                      dtype=np.int64)
+    gap = rng.integers(0, -int(bb_small._sb_floor), 20_000, dtype=np.int64)
+    lo = np.maximum(hi - gap, np.int64(env.min_code))
+    pairs = list(zip(hi[:100].tolist(), lo[:100].tolist()))
+    _op_entry("lns6_8_sub", small.sub, pairs, bb_small.sub, hi, lo)
+
+    wide = LNSBackend()
+    bb_wide = batch_backend_for(wide)
+    env_w = wide.env
+    a = rng.integers(env_w.min_code // 2, env_w.max_code // 2, 20_000
+                     ).astype(np.int64)
+    b = a[::-1].copy()
+    pairs = list(zip(a[:2_000].tolist(), b[:2_000].tolist()))
+    _op_entry("lns12_50_div", wide.div, pairs, bb_wide.div, a, b)
 
 
 class TestForwardAcceptance:

@@ -19,7 +19,6 @@ implementation in the tests.
 
 from __future__ import annotations
 
-import warnings
 from typing import List, Optional
 
 import numpy as np
@@ -56,41 +55,6 @@ def model_arrays(hmm: HMMData, backend: Optional[Backend] = None,
     return a, b, pi
 
 
-def model_values(hmm: HMMData, backend: Backend) -> tuple:
-    """Deprecated: one-release shim over :func:`model_arrays`.
-
-    Returns the old nested-list form ``(a, b, pi)`` of scalar backend
-    values; new code should take the :class:`~repro.nd.FArray` triple
-    from :func:`model_arrays` instead.
-    """
-    warnings.warn(
-        "model_values() is deprecated; use model_arrays(), which returns "
-        "repro.nd FArrays (.tolist() recovers the old nested lists)",
-        DeprecationWarning, stacklevel=2)
-    a, b, pi = model_arrays(hmm, backend, plan=ExecPlan.serial())
-    return a.tolist(), b.tolist(), pi.tolist()
-
-
-def batch_model_arrays(hmm: HMMData, batch_backend):
-    """Deprecated: one-release shim over :func:`model_arrays`.
-
-    Returns the old raw code-array triple for an explicit batch
-    backend; new code should use :func:`model_arrays` (whose FArrays
-    carry the same codes in ``.data`` on the vectorized path).
-    """
-    warnings.warn(
-        "batch_model_arrays() is deprecated; use model_arrays(), which "
-        "returns repro.nd FArrays (.data holds the packed codes)",
-        DeprecationWarning, stacklevel=2)
-    h, m = hmm.n_states, hmm.n_symbols
-    a = batch_backend.from_bigfloats(
-        [x for row in hmm.transition for x in row]).reshape(h, h)
-    b = batch_backend.from_bigfloats(
-        [x for row in hmm.emission for x in row]).reshape(h, m)
-    pi = batch_backend.from_bigfloats(list(hmm.initial))
-    return a, b, pi
-
-
 # ----------------------------------------------------------------------
 # The recurrences, written once as nd expressions
 # ----------------------------------------------------------------------
@@ -109,8 +73,9 @@ def _forward_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
     alpha = pi * _emission_shared(b, obs, 0)
     for t in range(1, obs.shape[1]):
         # path_sum[s, q] = sum_p(alpha[s, p] * A[p, q]), fold over p in
-        # index order.
-        path_sum = nd.sum(alpha[:, :, None] * a, axis=1)
+        # index order (nd.dot == mul + the sum fold; decoded-plane
+        # mirrors fuse it so each operand decodes once per step).
+        path_sum = nd.dot(alpha[:, :, None], a, axis=1)
         alpha = path_sum * _emission_shared(b, obs, t)
     return nd.sum(alpha, axis=1)
 
@@ -122,7 +87,7 @@ def _forward_trace_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
     alpha = pi * _emission_shared(b, obs, 0)
     trace = [nd.sum(alpha, axis=1)]
     for t in range(1, obs.shape[1]):
-        path_sum = nd.sum(alpha[:, :, None] * a, axis=1)
+        path_sum = nd.dot(alpha[:, :, None], a, axis=1)
         alpha = path_sum * _emission_shared(b, obs, t)
         trace.append(nd.sum(alpha, axis=1))
     return nd.stack(trace, axis=1)
@@ -146,8 +111,8 @@ def _forward_models_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
 
     alpha = pi * emission(0)
     for t in range(1, obs.shape[1]):
-        # prod[s, p, q] = alpha[s, p] * A[s, p, q]
-        path_sum = nd.sum(alpha[:, :, None] * a, axis=1)
+        # path_sum[s, q] = sum_p(alpha[s, p] * A[s, p, q])
+        path_sum = nd.dot(alpha[:, :, None], a, axis=1)
         alpha = path_sum * emission(t)
     return nd.sum(alpha, axis=1)
 

@@ -35,7 +35,7 @@ def _backward_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
     beta = nd.ones_like(a, (n_batch, len(pi)))
     for t in range(t_len - 1, 0, -1):
         inner = _emission_shared(b, obs, t) * beta
-        beta = nd.sum(a * inner[:, None, :], axis=2)
+        beta = nd.dot(a, inner[:, None, :], axis=2)
     terms = nd.broadcast_to(pi, beta.shape) \
         * (_emission_shared(b, obs, 0) * beta)
     return nd.sum(terms, axis=1)

@@ -64,9 +64,9 @@ def _pbd_nd(pn: "nd.FArray", qn: "nd.FArray", k: int) -> "nd.FArray":
     zero_col = nd.zeros_like(pn, (n_sites, 1))
     for n in range(n_trials):
         if n >= k - 1:
-            pvalue = pvalue + pr[:, k - 1] * pn[:, n]
+            pvalue = nd.multiply_add(pr[:, k - 1], pn[:, n], pvalue)
         shifted = nd.concatenate([zero_col, pr[:, :-1]], axis=1)
-        pr = pr * qn[:, n:n + 1] + shifted * pn[:, n:n + 1]
+        pr = nd.multiply_add(shifted, pn[:, n:n + 1], pr * qn[:, n:n + 1])
     return pvalue
 
 

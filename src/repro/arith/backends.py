@@ -10,6 +10,11 @@ from ..bigfloat import BigFloat, DEFAULT_PRECISION
 from ..formats.logspace import LogSpace, log_mul, lse2, lse_n, lse_sequential
 from .backend import Backend
 
+try:  # Optional here: the scalar stack must import without NumPy.
+    import numpy as _np
+except ImportError:  # pragma: no cover - NumPy-less installs
+    _np = None
+
 
 class Binary64Backend(Backend):
     """Native IEEE binary64 (Python floats are exactly that).
@@ -93,6 +98,13 @@ class LogSpaceBackend(Backend):
         the numerically stable companion of Equation (2).  Probabilities
         are non-negative, so ``b > a`` (a negative result) is a domain
         error, and ``a == b`` yields exact probability zero (``-inf``).
+
+        The interior evaluates through NumPy's scalar ``exp``/``log1p``
+        kernels (elementwise-consistent with the array kernels), so
+        :meth:`BatchLogSpace.sub <repro.engine.batch.BatchLogSpace.sub>`
+        is bit-identical by construction; without NumPy the ``math``
+        fallback may differ from a batch result in the last ulp — moot,
+        since no batch plane exists there.
         """
         if b == -math.inf:
             return a
@@ -101,7 +113,9 @@ class LogSpaceBackend(Backend):
                 "log-space subtraction would produce a negative probability")
         if a == b:
             return -math.inf
-        return a + math.log1p(-math.exp(b - a))
+        if _np is not None:
+            return float(a + _np.log1p(-_np.exp(_np.float64(b - a))))
+        return a + math.log1p(-math.exp(b - a))  # pragma: no cover
 
     def div(self, a: float, b: float) -> float:
         if b == -math.inf:
@@ -191,6 +205,9 @@ class LNSBackend(Backend):
 
     def mul(self, a, b):
         return self.env.mul(a, b)
+
+    def sub(self, a, b):
+        return self.env.sub(a, b)
 
     def div(self, a, b):
         from ..formats.lns import LNS_ZERO

@@ -84,8 +84,8 @@ class BatchBackend(abc.ABC):
 
     def from_items(self, values, shape=None) -> np.ndarray:
         """Scalar-backend values back into a code array — the inverse
-        of :meth:`item` (used by :mod:`repro.nd` to re-enter the
-        vectorized plane after a scalar-fallback op)."""
+        of :meth:`item` (used by :mod:`repro.nd` when an object-mode
+        array re-enters the vectorized representation)."""
         arr = np.array(list(values), dtype=self.dtype)
         return arr if shape is None else arr.reshape(shape)
 
@@ -114,6 +114,35 @@ class BatchBackend(abc.ABC):
     @abc.abstractmethod
     def is_zero(self, arr: np.ndarray) -> np.ndarray:
         """Boolean mask of exact zero probabilities."""
+
+    def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise probability subtraction ``a - b``.
+
+        Every registered mirror implements this natively (element-exact
+        against the scalar backend's ``sub``); the default mirrors the
+        scalar protocol and raises for exotic mirrors without one.
+        """
+        raise NotImplementedError(
+            f"{self.name} batch backend does not support subtraction")
+
+    def div(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise probability division ``a / b`` (see :meth:`sub`
+        for the native-coverage contract)."""
+        raise NotImplementedError(
+            f"{self.name} batch backend does not support division")
+
+    def recip(self, arr: np.ndarray) -> np.ndarray:
+        """Elementwise reciprocal: ``div(1, x)`` through the native
+        division kernel."""
+        return self.div(self.ones(np.shape(arr)), arr)
+
+    def axpy(self, a: np.ndarray, x: np.ndarray, y: np.ndarray
+             ) -> np.ndarray:
+        """``a*x + y`` with both intermediate roundings — exactly
+        ``add(mul(a, x), y)``.  Mirrors with a decoded plane
+        (:class:`~repro.engine.posit_batch.BatchPosit`) override this
+        with a fused kernel that decodes each operand once."""
+        return self.add(self.mul(a, x), y)
 
     def sum(self, arr: np.ndarray, axis: int = -1) -> np.ndarray:
         """Reduce along ``axis`` in index order, matching the scalar
@@ -162,6 +191,20 @@ class BatchBinary64(BatchBackend):
 
     def mul(self, a, b) -> np.ndarray:
         return np.multiply(a, b)
+
+    def sub(self, a, b) -> np.ndarray:
+        return np.subtract(a, b)
+
+    def div(self, a, b) -> np.ndarray:
+        """Bit-identical to the scalar ``a / b``, including Python's
+        division-by-zero error (any zero divisor lane raises)."""
+        b = np.asarray(b, dtype=self.dtype)
+        if (b == 0.0).any():
+            raise ZeroDivisionError("float division by zero")
+        with np.errstate(over="ignore", under="ignore"):
+            # Finite/finite overflow returns inf silently, as CPython's
+            # float division does.
+            return np.divide(a, b)
 
     def is_zero(self, arr) -> np.ndarray:
         return np.asarray(arr) == 0.0
@@ -226,6 +269,41 @@ class BatchLogSpace(BatchBackend):
         if neg_inf.any():
             out = np.where(neg_inf, -np.inf, out)
         return out
+
+    def sub(self, a, b) -> np.ndarray:
+        """Probability subtraction via log-diff-exp:
+        ``a + log1p(-exp(b - a))`` for ``b < a``.
+
+        Bit-identical to :meth:`LogSpaceBackend.sub
+        <repro.arith.backends.LogSpaceBackend.sub>` by construction —
+        both evaluate the interior through NumPy's ``exp``/``log1p``
+        kernels, which are elementwise-consistent between scalars and
+        arrays.  The scalar's domain errors are preserved: any lane
+        that would produce a negative probability raises.
+        """
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        zb = np.isneginf(b)
+        bad = ~zb & (np.isneginf(a) | (b > a))
+        if bad.any():
+            raise ValueError(
+                "log-space subtraction would produce a negative probability")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            # a == b lanes: log1p(-1) = -inf, the exact-zero result.
+            out = a + np.log1p(-np.exp(b - a))
+        # b == -inf lanes return a unchanged (the scalar short-circuit;
+        # also guards the a == b == -inf lane, where b - a is NaN).
+        return np.where(zb, a, out)
+
+    def div(self, a, b) -> np.ndarray:
+        """Probability division: float subtraction of the logs, with
+        the scalar's division-by-zero error (any zero divisor lane
+        raises)."""
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        if np.isneginf(b).any():
+            raise ZeroDivisionError("log-space division by zero probability")
+        return a - b
 
     def is_zero(self, arr) -> np.ndarray:
         return np.isneginf(arr)

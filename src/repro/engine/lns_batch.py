@@ -8,25 +8,41 @@ mirrors it on whole NumPy arrays, element-exactly:
 * codes live in ``int64`` (any practical LNS fits: a 64-bit LNS code
   spans at most 62 bits); probability zero is the sentinel
   ``iinfo(int64).min``, which no clamped code can collide with;
-* multiplication is the same saturating fixed-point add, fully
-  vectorized;
-* addition needs the Gaussian logarithm ``sb(d) = log2(1 + 2**d)`` on
-  the code grid.  A batched float64 evaluation cannot certify the final
-  rounding at realistic fraction widths (an error of a fraction of a
-  code unit at ``frac_bits ~ 50`` straddles rounding boundaries), so
-  the exact values come from the scalar environment's oracle-backed
-  :meth:`~repro.formats.lns.LNSEnv._sb_exact` — evaluated **once per
-  distinct** ``d`` in the batch and memoized across calls.  Two
-  vectorized shortcuts are certified exactly: ``d = 0`` gives
+* multiplication/division are the same saturating fixed-point add/sub,
+  fully vectorized;
+* addition and subtraction need the Gaussian logarithms
+  ``sb(d) = log2(1 + 2**d)`` and ``db(d) = log2(1 - 2**d)`` on the code
+  grid.  A batched float64 evaluation cannot certify the final rounding
+  at realistic fraction widths (an error of a fraction of a code unit
+  at ``frac_bits ~ 50`` straddles rounding boundaries), so the exact
+  values come from the scalar environment's oracle-backed
+  :meth:`~repro.formats.lns.LNSEnv._sb_exact` /
+  :meth:`~repro.formats.lns.LNSEnv._db_exact`.  Two vectorized
+  shortcuts are certified exactly: ``d = 0`` gives
   ``sb = 2**frac_bits`` (``log2 2 = 1``), and
-  ``d <= -(frac_bits + 2) * 2**frac_bits`` gives ``sb = 0`` (since
-  ``sb(d) < 2**d / ln 2`` rounds to zero strictly before that point).
+  ``d <= -(frac_bits + 2) * 2**frac_bits`` gives ``sb = db = 0``
+  (since ``|sb(d)|, |db(d)| < 2**d / (ln 2 * (1 - 2**d))`` rounds to
+  zero strictly before that point).
 
-This is the honest vectorization of the paper's Section VII argument:
-the *mul* path is free, while the *add* path is bottlenecked by a
-transcendental per distinct operand gap — exactly why LNS lookup tables
-are impractical at 64 bits.  Element-for-element equality with
-``LNSEnv`` is enforced by ``tests/test_engine_lns_batch.py``.
+**Gap store modes.**  For the interior gaps two strategies exist:
+
+* *memo* (the default for wide formats): evaluate once per **distinct**
+  gap in the batch and memoize across calls — the honest vectorization
+  of the paper's Section VII argument that a full table is impractical
+  at 64 bits;
+* *full table* (automatic for small formats, forceable up to
+  :data:`BatchLNS.SB_TABLE_MAX` entries): lazily precompute the exact
+  sb/db tables once through the BigFloat plane and replace the
+  per-unique-gap Python loop with a single fancy-index — the very
+  lookup table the paper says hardware cannot afford at 64 bits, but
+  software can afford below ~2**20 entries (16 MiB of int64).  The
+  build is oracle-priced (~0.1 ms/entry), so ``"auto"`` only engages
+  below :data:`BatchLNS.SB_TABLE_AUTO_MAX` (sub-second builds);
+  mid-size formats keep the memo unless the caller opts in with
+  ``sb_table=True`` and pays the one-time build.
+
+Element-for-element equality with ``LNSEnv`` (both modes, all four
+operations) is enforced by ``tests/test_engine_lns_batch.py``.
 """
 
 from __future__ import annotations
@@ -49,13 +65,26 @@ class BatchLNS(BatchBackend):
     """Batched LNS arithmetic, element-exact against ``LNSEnv``.
 
     Values are arrays of fixed-point log2 codes in ``int64``;
-    probability zero is :data:`ZERO_CODE`.
+    probability zero is :data:`ZERO_CODE`.  ``sb_table`` selects the
+    gap store: ``"auto"`` (full table when it fits, memo otherwise),
+    ``True`` (force the table), ``False`` (force the memo).
     """
 
     dtype = np.dtype(np.int64)
 
+    #: Hard memory bound for the full-table mode (entries per table);
+    #: ~16 MiB of int64 at the bound.  ``sb_table=True`` may build up
+    #: to this.
+    SB_TABLE_MAX = 1 << 20
+    #: Auto-mode bound: the lazy build evaluates one BigFloat oracle
+    #: call per entry (~0.1 ms), so ``"auto"`` only precomputes tables
+    #: it can build in well under a second; larger domains keep the
+    #: per-distinct-gap memo unless forced.
+    SB_TABLE_AUTO_MAX = 1 << 12
+
     def __init__(self, env: Optional[LNSEnv] = None,
-                 scalar: Optional[LNSBackend] = None):
+                 scalar: Optional[LNSBackend] = None,
+                 sb_table="auto"):
         if scalar is not None:
             if env is not None and env is not scalar.env:
                 raise ValueError("env contradicts the scalar backend's env")
@@ -70,12 +99,35 @@ class BatchLNS(BatchBackend):
         self._scalar = scalar if scalar is not None else LNSBackend(env)
         self._min_code = np.int64(env.min_code)
         self._max_code = np.int64(env.max_code)
-        #: sb(d) rounds to exactly 0 at or below this gap (see module
+        #: sb/db round to exactly 0 at or below this gap (see module
         #: docstring for the certification).
         self._sb_floor = np.int64(-(env.frac_bits + 2) << env.frac_bits)
         self._sb_one = np.int64(1 << env.frac_bits)
-        #: Memoized exact sb values: {d_code: sb_code}.
+        #: db codes below this are equivalent (the subtraction result
+        #: saturates at ``min_code`` either way); clamping here keeps
+        #: every stored value — and every ``hi + db`` sum — inside
+        #: int64.
+        self._db_clamp = int(env.min_code) - int(env.max_code)
+        if sb_table == "auto":
+            self._table_mode = (env.sb_table_entries()
+                                <= self.SB_TABLE_AUTO_MAX)
+        else:
+            self._table_mode = bool(sb_table)
+            if self._table_mode and (env.sb_table_entries()
+                                     > self.SB_TABLE_MAX):
+                raise ValueError(
+                    f"{env.name}: a full sb/db table needs "
+                    f"{env.sb_table_entries()} entries "
+                    f"(> SB_TABLE_MAX={self.SB_TABLE_MAX}); that is the "
+                    f"impractical-at-64-bit table of Section VII — use "
+                    f"the memo mode")
+        #: Lazily built full tables, indexed by ``-d - 1`` for interior
+        #: gaps ``d`` (table mode only).
+        self._sb_table: Optional[np.ndarray] = None
+        self._db_table: Optional[np.ndarray] = None
+        #: Memoized exact values: {d_code: code} (memo mode only).
         self._sb_cache: Dict[int, int] = {0: 1 << env.frac_bits}
+        self._db_cache: Dict[int, int] = {}
 
     @property
     def scalar(self) -> Backend:
@@ -133,6 +185,18 @@ class BatchLNS(BatchBackend):
         out = np.clip(safe_a + safe_b, self._min_code, self._max_code)
         return np.where(zero, np.int64(ZERO_CODE), out)
 
+    def div(self, a, b) -> np.ndarray:
+        """Saturating fixed-point subtract of the log codes (exact),
+        with the scalar's division-by-zero error."""
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        za = a == ZERO_CODE
+        if (b == ZERO_CODE).any():
+            raise ZeroDivisionError("LNS division by zero probability")
+        safe_a = np.where(za, np.int64(0), a)
+        out = np.clip(safe_a - b, self._min_code, self._max_code)
+        return np.where(za, np.int64(ZERO_CODE), out)
+
     def add(self, a, b) -> np.ndarray:
         """LNS addition: ``hi + sb(lo - hi)``, saturating (exact sb)."""
         a = np.asarray(a, dtype=self.dtype)
@@ -151,39 +215,115 @@ class BatchLNS(BatchBackend):
         out = np.where(za & ~zb, b, out)
         return np.where(zb & ~za, a, out)
 
+    def sub(self, a, b) -> np.ndarray:
+        """LNS subtraction: ``a + db(b - a)``, saturating (exact db).
+
+        The scalar domain contract is preserved: any lane where ``b``
+        exceeds ``a`` (a negative probability) raises; ``a == b`` lanes
+        yield exact probability zero.
+        """
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        a, b = np.broadcast_arrays(a, b)
+        za = a == ZERO_CODE
+        zb = b == ZERO_CODE
+        bad = ~zb & (za | (b > a))
+        if bad.any():
+            raise ValueError(
+                "LNS subtraction would produce a negative probability")
+        safe_a = np.where(za, np.int64(0), a)
+        d = np.where(zb, np.int64(0), b - safe_a)  # <= 0 on live lanes
+        db = self._db_codes(d)
+        # Per-lane floor keeps the sum inside int64; any db at or below
+        # it saturates the result to min_code identically.
+        db = np.maximum(db, self._min_code - safe_a)
+        out = np.clip(safe_a + db, self._min_code, self._max_code)
+        out = np.where((a == b) & ~zb, np.int64(ZERO_CODE), out)
+        return np.where(zb, a, out)
+
+    # ------------------------------------------------------------------
+    # Exact Gaussian logarithms on the code grid
+    # ------------------------------------------------------------------
+    def _gauss_table(self, kind: str) -> np.ndarray:
+        """The lazily built full sb/db table over the interior gap
+        domain ``(sb_floor, 0)``, indexed by ``-d - 1`` — every entry
+        computed once, exactly, through the BigFloat plane."""
+        table = self._sb_table if kind == "sb" else self._db_table
+        if table is None:
+            exact = (self.env._sb_exact if kind == "sb"
+                     else self.env._db_exact)
+            floor = int(self._sb_floor)
+            values = [exact(d) for d in range(-1, floor, -1)]
+            if kind == "db":
+                values = [max(v, self._db_clamp) for v in values]
+            table = np.array(values, dtype=self.dtype)
+            if kind == "sb":
+                self._sb_table = table
+            else:
+                self._db_table = table
+        return table
+
+    def _interior_codes(self, gaps: np.ndarray, kind: str) -> np.ndarray:
+        """Exact sb/db for strictly interior gaps (``sb_floor < d < 0``)."""
+        if self._table_mode:
+            return self._gauss_table(kind)[-gaps - 1]
+        uniques, inverse = np.unique(gaps, return_inverse=True)
+        cache = self._sb_cache if kind == "sb" else self._db_cache
+        exact = self.env._sb_exact if kind == "sb" else self.env._db_exact
+        table = np.empty(uniques.shape, dtype=self.dtype)
+        for i, u in enumerate(uniques):
+            key = int(u)
+            value = cache.get(key)
+            if value is None:
+                value = exact(key)
+                if kind == "db":
+                    value = max(value, self._db_clamp)
+                cache[key] = value
+            table[i] = value
+        return table[inverse]
+
     def _sb_codes(self, d: np.ndarray) -> np.ndarray:
         """Exact ``sb`` on the code grid for an array of gaps ``d <= 0``.
 
         Vectorized shortcuts handle ``d == 0`` and the certified
-        rounds-to-zero region; the remainder is evaluated once per
-        distinct gap through the scalar environment and memoized.
+        rounds-to-zero region; the remainder is a single table gather
+        (table mode) or one exact evaluation per distinct gap (memo
+        mode).
         """
         sb = np.zeros(d.shape, dtype=self.dtype)
         sb[d == 0] = self._sb_one
         interior = (d < 0) & (d > self._sb_floor)
         if interior.any():
-            gaps = d[interior]
-            uniques, inverse = np.unique(gaps, return_inverse=True)
-            cache = self._sb_cache
-            exact = self.env._sb_exact
-            table = np.empty(uniques.shape, dtype=self.dtype)
-            for i, u in enumerate(uniques):
-                key = int(u)
-                value = cache.get(key)
-                if value is None:
-                    value = cache[key] = exact(key)
-                table[i] = value
-            sb[interior] = table[inverse]
+            sb[interior] = self._interior_codes(d[interior], "sb")
         return sb
+
+    def _db_codes(self, d: np.ndarray) -> np.ndarray:
+        """Exact ``db`` on the code grid for gaps ``d <= 0`` (``d == 0``
+        lanes are the callers' exact-zero results and read 0 here)."""
+        db = np.zeros(d.shape, dtype=self.dtype)
+        interior = (d < 0) & (d > self._sb_floor)
+        if interior.any():
+            db[interior] = self._interior_codes(d[interior], "db")
+        return db
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def sb_cache_size(self) -> int:
-        """Distinct gaps memoized so far (the would-be lookup table the
-        paper's Section VII shows cannot be built in full)."""
-        return len(self._sb_cache)
+        """Size of the exact Gaussian-log store.
+
+        Memo mode: distinct sb *and* db gaps memoized so far (the
+        growing prefix of the lookup table the paper's Section VII
+        shows cannot be built in full at 64 bits).  Table mode: the
+        number of precomputed table entries (0 until the first interior
+        gap triggers a lazy build).
+        """
+        if self._table_mode:
+            return sum(len(t) for t in (self._sb_table, self._db_table)
+                       if t is not None)
+        return len(self._sb_cache) + len(self._db_cache)
 
     def __repr__(self):
+        mode = "table" if self._table_mode else "memo"
         return (f"<BatchLNS {self.name} "
-                f"sb_cache={len(self._sb_cache)}>")
+                f"sb_store={mode}:{self.sb_cache_size()}>")

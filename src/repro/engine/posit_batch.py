@@ -13,16 +13,31 @@ only fixed-width integer array operations:
   final rounding position is always within ``nbits - 1`` bits of the
   result's leading bit, and alignment can only discard bits when the
   operands are too far apart to cancel;
+* quotients are produced by a restoring long division, one exact bit per
+  step, with the remainder as the sticky;
 * the encoding string (regime + exponent + fraction) is reassembled in a
   128-bit window and rounded exactly as the scalar ``_round_pattern``.
 
+Beyond the packed bit-pattern API (``add``/``mul``/``sub``/``div``),
+the backend exposes a **decoded plane** representation
+(:class:`Unpacked`: ``zero``/``nar``/``sign``/``frac64``/``scale``
+arrays) with ``decode_once``/``encode_once`` entry points and fused
+kernels (``mul_unpacked``/``add_unpacked``/``mul_acc``/``axpy``/
+``dot_unpacked``).  Chained kernels — the forward recurrence's
+mul-then-fold, the PBD update — decode each operand *once* and keep
+intermediates in the plane form, paying one re-parse of the rounded
+magnitude per op instead of two full pattern decodes.  Every
+intermediate is still rounded to the posit grid exactly as the scalar
+chain rounds it, so the fused kernels remain element-exact.
+
 Element-for-element equality with ``PositEnv`` is enforced by
-``tests/test_engine_posit_batch.py``.
+``tests/test_engine_posit_batch.py`` (exhaustively at 8 bits, for all
+four operations and the plane round-trip).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, NamedTuple, Optional
 
 import numpy as np
 
@@ -33,9 +48,13 @@ from ..formats.posit import FLUSH, PositEnv
 from .batch import BatchBackend
 
 _U64 = np.uint64
+_I64 = np.int64
 _FULL64 = np.uint64(0xFFFFFFFFFFFFFFFF)
 _TOP64 = np.uint64(1) << np.uint64(63)
+_BELOW_TOP = _TOP64 - _U64(1)
 _M32 = np.uint64(0xFFFFFFFF)
+_ONE = np.uint64(1)
+_SIXTY_THREE = np.uint64(63)
 
 
 def _u64(x) -> np.ndarray:
@@ -59,15 +78,31 @@ def _bit_length64_portable(x: np.ndarray) -> np.ndarray:
     return n + (x != 0).astype(np.int64)
 
 
-if hasattr(np, "bitwise_count"):  # NumPy >= 2.0: popcount of a smear
-    def _bit_length64(x: np.ndarray) -> np.ndarray:
-        """Per-element bit length of uint64 values (0 -> 0), as int64."""
-        x = _u64(x).copy()
-        for s in (1, 2, 4, 8, 16, 32):
-            x |= x >> _U64(s)
-        return np.bitwise_count(x).astype(np.int64)
-else:  # pragma: no cover - exercised on NumPy 1.x installs
-    _bit_length64 = _bit_length64_portable
+def _bit_length64(x: np.ndarray) -> np.ndarray:
+    """Per-element bit length of uint64 values (0 -> 0), as int64.
+
+    Split at 32 bits so each half converts to float64 exactly, then read
+    the bit length off ``frexp``'s exponent — a handful of cheap ufunc
+    passes instead of a shift cascade, on any NumPy version.
+    """
+    x = _u64(x)
+    hi = x >> _U64(32)
+    big = hi != 0
+    _, e = np.frexp(np.where(big, hi, x).astype(np.float64))
+    return np.where(big, e + 32, e).astype(np.int64)
+
+
+_I63 = np.int64(63)
+_I0 = np.int64(0)
+
+
+def _clamp63(n: np.ndarray) -> np.ndarray:
+    """``n`` clamped to [0, 63] as uint64 (shift-count domain).
+
+    minimum/maximum instead of np.clip: the hot kernels call this on
+    small arrays where np.clip's dispatch overhead dominates.
+    """
+    return np.minimum(np.maximum(n, _I0), _I63).astype(np.uint64)
 
 
 def _shl64(x: np.ndarray, n: np.ndarray) -> np.ndarray:
@@ -77,48 +112,35 @@ def _shl64(x: np.ndarray, n: np.ndarray) -> np.ndarray:
     ``where`` discards) are clamped so the shift itself stays defined.
     """
     n = _i64(n)
-    safe = np.clip(n, 0, 63).astype(np.uint64)
-    return np.where(n >= 64, _U64(0), _u64(x) << safe)
+    return np.where(n >= 64, _U64(0), _u64(x) << _clamp63(n))
 
 
 def _shr64(x: np.ndarray, n: np.ndarray) -> np.ndarray:
     """``x >> n`` with per-element ``n``; 0 once ``n >= 64``."""
     n = _i64(n)
-    safe = np.clip(n, 0, 63).astype(np.uint64)
-    return np.where(n >= 64, _U64(0), _u64(x) >> safe)
+    return np.where(n >= 64, _U64(0), _u64(x) >> _clamp63(n))
 
 
 def _low_mask(n: np.ndarray) -> np.ndarray:
     """``(1 << n) - 1`` per element; all-ones once ``n >= 64``."""
     n = _i64(n)
-    safe = np.clip(n, 0, 63).astype(np.uint64)
-    return np.where(n >= 64, _FULL64, (_U64(1) << safe) - _U64(1))
+    return np.where(n >= 64, _FULL64,
+                    (_U64(1) << _clamp63(n)) - _U64(1))
 
 
 def _shr128_sticky(hi, lo, n):
     """Right-shift the 128-bit pair ``(hi, lo)`` by ``n >= 0``.
 
     Returns ``(hi', lo', sticky)`` where ``sticky`` flags any 1-bits
-    shifted out below the window.
+    shifted out below the window.  Any ``n`` (including >= 128) is
+    handled through the clamped shift helpers.
     """
     hi, lo, n = _u64(hi), _u64(lo), _i64(n)
-    hi, lo, n = np.broadcast_arrays(hi, lo, n)
-    # n < 64 branch
-    lo_a = _shr64(lo, n) | _shl64(hi, 64 - n)
-    hi_a = _shr64(hi, n)
-    st_a = (lo & _low_mask(n)) != 0
-    # 64 <= n < 128 branch
-    m = n - 64
-    lo_b = _shr64(hi, m)
-    hi_b = np.zeros_like(hi)
-    st_b = (lo != 0) | ((hi & _low_mask(m)) != 0)
-    # n >= 128 branch
-    st_c = (hi != 0) | (lo != 0)
     small = n < 64
-    mid = (n >= 64) & (n < 128)
-    hi2 = np.where(small, hi_a, np.where(mid, hi_b, _U64(0)))
-    lo2 = np.where(small, lo_a, np.where(mid, lo_b, _U64(0)))
-    sticky = np.where(small, st_a, np.where(mid, st_b, st_c))
+    hi2 = _shr64(hi, n)
+    lo2 = np.where(small, _shr64(lo, n) | _shl64(hi, 64 - n),
+                   _shr64(hi, n - 64))
+    sticky = ((lo & _low_mask(n)) != 0) | ((hi & _low_mask(n - 64)) != 0)
     return hi2, lo2, sticky
 
 
@@ -126,24 +148,11 @@ def _shl128(hi, lo, n):
     """Left-shift the 128-bit pair by ``0 <= n < 128`` (no overflow
     tracking; callers guarantee the top bits are clear)."""
     hi, lo, n = _u64(hi), _u64(lo), _i64(n)
-    hi, lo, n = np.broadcast_arrays(hi, lo, n)
-    hi_a = _shl64(hi, n) | _shr64(lo, 64 - n)
-    lo_a = _shl64(lo, n)
-    hi_b = _shl64(lo, n - 64)
     small = n < 64
-    return (np.where(small, hi_a, hi_b),
-            np.where(small, lo_a, np.zeros_like(lo)))
-
-
-def _add128(ahi, alo, bhi, blo):
-    """128-bit add; returns ``(hi, lo, carry_out)``."""
-    lo = alo + blo
-    c0 = (lo < alo).astype(np.uint64)
-    hi1 = ahi + bhi
-    c1 = hi1 < ahi
-    hi = hi1 + c0
-    c2 = hi < hi1
-    return hi, lo, c1 | c2
+    hi2 = np.where(small, _shl64(hi, n) | _shr64(lo, 64 - n),
+                   _shl64(lo, n - 64))
+    lo2 = np.where(small, _shl64(lo, n), _U64(0))
+    return hi2, lo2
 
 
 def _sub128(ahi, alo, bhi, blo, extra):
@@ -176,6 +185,37 @@ def _umul64(a, b):
     return hi, lo
 
 
+class Unpacked(NamedTuple):
+    """A posit array in the decoded plane: per-element flags plus a
+    left-aligned significand and base-2 scale.
+
+    The element value is ``(-1)**sign * frac64 * 2**(scale - 63)`` with
+    ``frac64``'s leading 1 at bit 63; ``zero``/``nar`` lanes carry
+    well-defined but meaningless ``sign``/``frac64``/``scale`` planes —
+    every consumer must (and every kernel here does) honor the flags.
+    """
+
+    zero: np.ndarray
+    nar: np.ndarray
+    sign: np.ndarray
+    frac64: np.ndarray
+    scale: np.ndarray
+
+    @property
+    def shape(self):
+        return np.broadcast_shapes(*(np.shape(p) for p in self))
+
+    def broadcast_to(self, shape) -> "Unpacked":
+        return Unpacked(*(np.broadcast_to(p, shape) for p in self))
+
+    def moveaxis(self, src, dst) -> "Unpacked":
+        return Unpacked(*(np.moveaxis(p, src, dst) for p in self))
+
+    def take(self, index) -> "Unpacked":
+        """The planes at ``[..., index]`` (for fold kernels)."""
+        return Unpacked(*(p[..., index] for p in self))
+
+
 class BatchPosit(BatchBackend):
     """Batched posit arithmetic, element-exact against ``PositEnv``.
 
@@ -195,11 +235,24 @@ class BatchPosit(BatchBackend):
         self._scalar = scalar if scalar is not None else PositBackend(env)
         self._mask = _U64(env.mask)
         self._sign_bit = _U64(env.sign_bit)
+        self._body_mask = _U64(env.sign_bit - 1)
         self._nar = _U64(env.nar)
         self._maxpos = _U64(env.maxpos)
         self._minpos = _U64(env.minpos)
         self._body_len = env.nbits - 1
         self._one = _U64(env.from_float(1.0))
+        # Hoisted per-environment constants (regime/exponent masks and
+        # shift counts are fixed by the configuration, so no kernel
+        # recomputes them per element).
+        self._top_shift = _U64(self._body_len - 1)
+        self._e_mask = _U64((1 << env.es) - 1)
+        self._kept_shift = _U64(64 - self._body_len)
+        self._guard_shift = _U64(63 - self._body_len)
+        self._below_mask = _U64((1 << (63 - self._body_len)) - 1)
+        self._max_scale = np.int64(env.max_scale)
+        self._useed_log2 = np.int64(env.useed_log2)
+        self._es_u = _U64(env.es)
+        self._body_len_u = _U64(self._body_len)
 
     @property
     def scalar(self) -> Backend:
@@ -234,6 +287,32 @@ class BatchPosit(BatchBackend):
     # ------------------------------------------------------------------
     # Decode: bit patterns -> (zero, nar, sign, frac64, scale)
     # ------------------------------------------------------------------
+    def _parse_body(self, body: np.ndarray):
+        """``(frac64, scale)`` of a magnitude body (sign bit clear).
+
+        ``body == 0`` lanes produce well-defined garbage; callers mask
+        them with their own zero flags.
+        """
+        es = self.env.es
+        body_len_u = self._body_len_u
+        r1 = (body >> self._top_shift) != 0
+        val = np.where(r1, body ^ self._body_mask, body)
+        bl = _bit_length64(val)
+        run_u = body_len_u - _u64(bl)
+        rem_u = body_len_u - np.minimum(run_u + _ONE, body_len_u)
+        run_i = run_u.astype(np.int64)
+        k = np.where(r1, run_i - _I64(1), -run_i)
+        if es:
+            e_bits = np.minimum(self._es_u, rem_u)
+            f_bits = rem_u - e_bits
+            e = ((body >> f_bits) << (self._es_u - e_bits)) & self._e_mask
+            scale = k * self._useed_log2 + e.astype(np.int64)
+        else:
+            f_bits = rem_u
+            scale = k
+        frac64 = _TOP64 | ((body << (_SIXTY_THREE - f_bits)) & _BELOW_TOP)
+        return frac64, scale
+
     def _decode(self, bits):
         """Decode patterns to left-aligned exact significands.
 
@@ -241,37 +320,30 @@ class BatchPosit(BatchBackend):
         value is ``(-1)**sign * frac64 * 2**(scale - 63)`` and ``frac64``
         has its leading 1 at bit 63.
         """
-        env = self.env
-        bits = _u64(bits) & self._mask
+        bits = _u64(bits)
+        if self._mask != _FULL64:
+            bits = bits & self._mask
         zero = bits == 0
         nar = bits == self._nar
-        sign = (bits & self._sign_bit) != 0
-        mag = np.where(sign, (_U64(0) - bits) & self._mask, bits)
-        body_len = self._body_len
-        body = mag & (self._sign_bit - _U64(1))
-        body_mask = self._sign_bit - _U64(1)
-        top = _U64(body_len - 1)
-        r = (body >> top) & _U64(1)
-        val = np.where(r == 1, ~body & body_mask, body)
-        run = body_len - _bit_length64(val)  # int64; val==0 -> body_len
-        k = np.where(r == 1, run - 1, -run)
-        consumed = np.minimum(run + 1, body_len)
-        rem = body_len - consumed
-        e_bits = np.minimum(env.es, rem)
-        e_field = _shr64(body, rem - e_bits) & _low_mask(e_bits)
-        e = _shl64(e_field, env.es - e_bits).astype(np.int64)
-        f_bits = rem - e_bits
-        f_field = body & _low_mask(f_bits)
-        scale = k * env.useed_log2 + e
-        mantissa = _shl64(np.ones_like(body), f_bits) | f_field
-        frac64 = _shl64(mantissa, 63 - f_bits)
+        sign = bits >= self._sign_bit
+        mag = np.where(sign, _U64(0) - bits, bits)
+        body = mag & self._body_mask
+        frac64, scale = self._parse_body(body)
         return zero, nar, sign, frac64, scale
+
+    def decode_once(self, bits) -> Unpacked:
+        """The decoded-plane form of a pattern array (see
+        :class:`Unpacked`) — decode each operand once, then chain fused
+        kernels on the planes."""
+        with np.errstate(over="ignore"):
+            return Unpacked(*self._decode(bits))
 
     # ------------------------------------------------------------------
     # Encode: (sign, scale, frac64, sticky) -> rounded bit patterns
     # ------------------------------------------------------------------
-    def _encode(self, sign, scale, frac64, sticky):
-        """Round-to-nearest-even on the encoding string, vectorized.
+    def _encode_mag(self, scale, frac64, sticky):
+        """Round-to-nearest-even on the encoding string, vectorized;
+        returns the *magnitude* pattern (sign not yet applied).
 
         Mirrors ``PositEnv.encode_real``/``_round_pattern``: the string
         is regime + exponent + fraction; we materialize its top 128 bits
@@ -280,82 +352,96 @@ class BatchPosit(BatchBackend):
         """
         env = self.env
         es = env.es
-        body_len = self._body_len
         scale = _i64(scale)
         frac64 = _u64(frac64)
         sticky = np.asarray(sticky, dtype=bool)
-        sat = scale > env.max_scale
+        sat = scale > self._max_scale
 
         k = scale >> np.int64(es)  # arithmetic shift = floor division
         e = _u64(scale - (k << np.int64(es)))
         pos_k = k >= 0
-        run = np.where(pos_k, k + 1, -k)
-        regime_len = run + 1
-        # Regime, top-aligned in a 128-bit window.
-        #   k >= 0: run ones then a zero  -> value 2**(run+1) - 2
-        #   k <  0: run zeros then a one  -> a single 1 at depth ``run``
-        r_pos_hi = _shl64((_shl64(np.ones_like(frac64), run + 1)
-                           - _U64(2)) & _FULL64, 64 - regime_len)
-        one_hi, one_lo, st_r = _shr128_sticky(
-            np.full_like(frac64, _TOP64), np.zeros_like(frac64),
-            np.where(pos_k, 0, run))
-        e_hi = np.where(pos_k, r_pos_hi, one_hi)
-        e_lo = np.where(pos_k, np.zeros_like(frac64), one_lo)
-        st_r = np.where(pos_k, False, st_r)
-        # Exponent + fraction tail: es + 63 bits, top-aligned then
-        # dropped below the regime.
-        fraction = frac64 & ~_TOP64
-        t_hi = e >> _U64(1)
-        t_lo = ((e & _U64(1)) << _U64(63)) | fraction
-        t_hi, t_lo = _shl128(t_hi, t_lo, 128 - (es + 63))
-        t_hi, t_lo, st_t = _shr128_sticky(t_hi, t_lo, regime_len)
+        # Ones (k >= 0) or zeros (k < 0) then the terminator; clamp the
+        # run so every shift below stays defined (lanes needing a longer
+        # run are saturation/underflow lanes whose value the final
+        # clamps and the sticky already determine).
+        run = np.minimum(np.where(pos_k, k + _I64(1), -k), _I64(192))
+        full = np.broadcast_to(_FULL64, run.shape)
+        top = np.broadcast_to(_TOP64, run.shape)
+        e_hi = np.where(pos_k, _shl64(full, 64 - run), _shr64(top, run))
+        e_lo = np.where(pos_k | (run < 64), _U64(0),
+                        _shr64(top, run - 64))
+        st_r = ~pos_k & (run >= 128)
+        # Exponent + fraction tail: es + 63 bits, top-aligned (constant
+        # shifts — es is fixed per environment) then dropped below the
+        # regime.
+        fraction = frac64 & _BELOW_TOP
+        if es == 0:
+            t_hi = fraction << _ONE
+            t_lo = np.zeros_like(t_hi)
+        elif es == 1:
+            t_hi = (e << _SIXTY_THREE) | fraction
+            t_lo = np.zeros_like(t_hi)
+        else:
+            t_hi = (e << _U64(64 - es)) | (fraction >> _U64(es - 1))
+            t_lo = fraction << _U64(65 - es)
+        t_hi, t_lo, st_t = _shr128_sticky(t_hi, t_lo, run + _I64(1))
         e_hi = e_hi | t_hi
         e_lo = e_lo | t_lo
-        sticky_all = sticky | st_r | st_t
 
-        kept = e_hi >> _U64(64 - body_len)
-        guard = (e_hi >> _U64(63 - body_len)) & _U64(1)
-        below_hi = (e_hi & _low_mask(np.full_like(run, 63 - body_len))) != 0
-        below = below_hi | (e_lo != 0) | sticky_all
-        round_up = (guard == 1) & (below | ((kept & _U64(1)) == 1))
-        pattern = kept + round_up.astype(np.uint64)
-
-        pattern = np.where(pattern > self._maxpos, self._maxpos, pattern)
+        kept = e_hi >> self._kept_shift
+        guard = (e_hi >> self._guard_shift) & _ONE
+        below = (((e_hi & self._below_mask) != 0) | (e_lo != 0)
+                 | sticky | st_r | st_t)
+        round_up = (guard != 0) & (below | ((kept & _ONE) != 0))
+        pattern = kept + round_up
+        pattern = np.minimum(pattern, self._maxpos)
         if env.underflow != FLUSH:
             # Saturate mode: a nonzero real never rounds to zero.  In
             # flush mode a rounded-to-zero pattern simply stays zero.
             pattern = np.where(pattern == 0, self._minpos, pattern)
-        pattern = np.where(sat, self._maxpos, pattern)
-        pattern = np.where(sign, (_U64(0) - pattern) & self._mask, pattern)
-        return pattern
+        return np.where(sat, self._maxpos, pattern)
+
+    def _encode(self, sign, scale, frac64, sticky):
+        pattern = self._encode_mag(scale, frac64, sticky)
+        return np.where(sign, (_U64(0) - pattern) & self._mask, pattern)
+
+    def encode_once(self, u: Unpacked) -> np.ndarray:
+        """Decoded planes back to rounded bit patterns (the inverse of
+        :meth:`decode_once`; exact — rounding happened when the planes
+        were produced)."""
+        with np.errstate(over="ignore"):
+            pattern = self._encode(u.sign, u.scale, u.frac64, False)
+            pattern = np.where(u.zero, _U64(0), pattern)
+            return np.where(u.nar, self._nar, pattern)
+
+    def _round_to_planes(self, sign, scale, frac64, sticky):
+        """Round an exact (sign, scale, frac64, sticky) result and
+        return it re-decoded: ``(mag_pattern, frac64', scale')``.
+        The one extra magnitude parse replaces the two full pattern
+        decodes the next op in a chain would otherwise pay."""
+        pm = self._encode_mag(scale, frac64, sticky)
+        f2, s2 = self._parse_body(pm)
+        return pm, f2, s2
 
     # ------------------------------------------------------------------
-    # Arithmetic
+    # Arithmetic cores (decoded-plane in, exact pre-rounding result out)
     # ------------------------------------------------------------------
-    def mul(self, a, b) -> np.ndarray:
-        a, b = np.broadcast_arrays(_u64(a), _u64(b))
-        if a.ndim == 0:
-            # 0-d lanes run as length-1 vectors: NumPy warns on the
-            # intended two's-complement wraparound for *scalar* uint64
-            # ops only.
-            return self.mul(a[None], b[None]).reshape(())
-        za, na, sa, fa, ea = self._decode(a)
-        zb, nb, sb, fb, eb = self._decode(b)
-        hi, lo = _umul64(fa, fb)  # product of [2**63, 2**64)^2
-        top = ((hi >> _U64(63)) & _U64(1)).astype(np.int64)
-        frac = np.where(top == 1, hi, (hi << _U64(1)) | (lo >> _U64(63)))
-        low = np.where(top == 1, lo, lo << _U64(1))
-        scale = ea + eb + top
-        pattern = self._encode(sa ^ sb, scale, frac, low != 0)
-        pattern = np.where(za | zb, _U64(0), pattern)
-        return np.where(na | nb, self._nar, pattern)
+    def _mul_core(self, ua: Unpacked, ub: Unpacked):
+        """Exact product: ``(sign, scale, frac64, sticky)``."""
+        hi, lo = _umul64(ua.frac64, ub.frac64)
+        top = (hi >> _SIXTY_THREE) & _ONE
+        top1 = top != 0
+        frac = np.where(top1, hi, (hi << _ONE) | (lo >> _SIXTY_THREE))
+        low = np.where(top1, lo, lo << _ONE)
+        scale = ua.scale + ub.scale + top.astype(np.int64)
+        return ua.sign ^ ub.sign, scale, frac, low != 0
 
-    def add(self, a, b) -> np.ndarray:
-        a, b = np.broadcast_arrays(_u64(a), _u64(b))
-        if a.ndim == 0:
-            return self.add(a[None], b[None]).reshape(())
-        za, na, sa, fa, ea = self._decode(a)
-        zb, nb, sb, fb, eb = self._decode(b)
+    def _add_core(self, ua: Unpacked, ub: Unpacked):
+        """Exact sum: ``(sign, scale, frac64, sticky, cancelled,
+        same)`` — ``cancelled`` flags exact zero results of
+        opposite-sign adds, ``same`` whether the signs agreed."""
+        sa, fa, ea = ua.sign, ua.frac64, ua.scale
+        sb, fb, eb = ub.sign, ub.frac64, ub.scale
         # Dominant operand first (larger magnitude).
         a_small = (ea < eb) | ((ea == eb) & (fa < fb))
         s1 = np.where(a_small, sb, sa)
@@ -363,66 +449,254 @@ class BatchPosit(BatchBackend):
         e1 = np.where(a_small, eb, ea)
         s2 = np.where(a_small, sa, sb)
         f2 = np.where(a_small, fa, fb)
-        e2 = np.where(a_small, ea, eb)
-        gap = e1 - e2
-        b_hi, b_lo, st_b = _shr128_sticky(f2, np.zeros_like(f2), gap)
+        gap = e1 - np.where(a_small, ea, eb)
+        # Align the small operand: (f2, 0) >> gap with a sticky.
+        b_hi = _shr64(f2, gap)
+        b_lo = np.where(gap < 64, _shl64(f2, 64 - gap),
+                        _shr64(f2, gap - 64))
+        st_b = (f2 & _low_mask(gap - 64)) != 0
         same = s1 == s2
-        zero_lo = np.zeros_like(f1)
+        # Operand-dependent gating: probability workloads are almost
+        # always sign-uniform (all positive), so compute each branch
+        # only where some lane needs it.  Results are identical either
+        # way (the merge selects per lane); the exhaustive suites cover
+        # mixed batches.
+        any_diff = not bool(same.all())
+        # The same-sign path also serves the empty-array case (both
+        # ``any`` flags false), where every op below is a no-op anyway.
+        any_same = bool(same.any()) or not any_diff
 
-        # Same sign: (f1, 0) + aligned B, renormalizing one carry bit.
-        hi_s, lo_s, carry = _add128(f1, zero_lo, b_hi, b_lo)
-        carry_on = carry != 0
-        st_s = st_b | (carry_on & ((lo_s & _U64(1)) != 0))
-        lo_s = np.where(carry_on, (lo_s >> _U64(1)) | (hi_s << _U64(63)),
-                        lo_s)
-        hi_s = np.where(carry_on, (hi_s >> _U64(1)) | _TOP64, hi_s)
-        scale_s = e1 + carry.astype(np.int64)
+        if any_same:
+            # Same sign: (f1, 0) + aligned B, renormalizing one carry
+            # bit.
+            lo_s = b_lo
+            hi_s = f1 + b_hi
+            carry = hi_s < f1
+            st_s = st_b | (carry & ((lo_s & _ONE) != 0))
+            lo_s = np.where(carry, (lo_s >> _ONE) | (hi_s << _SIXTY_THREE),
+                            lo_s)
+            hi_s = np.where(carry, (hi_s >> _ONE) | _TOP64, hi_s)
+            scale_s = e1 + carry.astype(np.int64)
 
-        # Opposite sign: (f1, 0) - aligned B, minus a borrow when the
-        # alignment lost bits (true B is larger than its truncation; the
-        # lost fraction survives as the sticky).
-        hi_d, lo_d = _sub128(f1, zero_lo, b_hi, b_lo,
-                             st_b.astype(np.uint64))
-        cancelled = (hi_d == 0) & (lo_d == 0) & ~st_b
-        msb = np.where(hi_d != 0, 64 + _bit_length64(hi_d),
-                       _bit_length64(lo_d)) - 1
-        shift_up = np.where(cancelled, 0, 127 - msb)
-        hi_d, lo_d = _shl128(hi_d, lo_d, shift_up)
-        scale_d = e1 - shift_up
+        if any_diff:
+            # Opposite sign: (f1, 0) - aligned B, minus a borrow when
+            # the alignment lost bits (true B is larger than its
+            # truncation; the lost fraction survives as the sticky).
+            hi_d, lo_d = _sub128(f1, np.zeros_like(f1), b_hi, b_lo,
+                                 st_b.astype(np.uint64))
+            cancelled = (hi_d == 0) & (lo_d == 0) & ~st_b
+            msb = np.where(hi_d != 0, 64 + _bit_length64(hi_d),
+                           _bit_length64(lo_d)) - 1
+            shift_up = np.where(cancelled, 0, 127 - msb)
+            hi_d, lo_d = _shl128(hi_d, lo_d, shift_up)
+            scale_d = e1 - shift_up
+        else:
+            cancelled = np.zeros_like(same)
 
-        frac = np.where(same, hi_s, hi_d)
-        low = np.where(same, lo_s, lo_d)
-        sticky = np.where(same, st_s, st_b) | (low != 0)
-        scale = np.where(same, scale_s, scale_d)
-        pattern = self._encode(s1, scale, frac, sticky)
-        pattern = np.where(~same & cancelled, _U64(0), pattern)
-        pattern = np.where(za, b & self._mask, pattern)
-        pattern = np.where(zb & ~za, a & self._mask, pattern)
-        return np.where(na | nb, self._nar, pattern)
+        if not any_diff:
+            frac, low, sticky, scale = hi_s, lo_s, st_s, scale_s
+        elif not any_same:
+            frac, low, sticky, scale = hi_d, lo_d, st_b, scale_d
+        else:
+            frac = np.where(same, hi_s, hi_d)
+            low = np.where(same, lo_s, lo_d)
+            sticky = np.where(same, st_s, st_b)
+            scale = np.where(same, scale_s, scale_d)
+        sticky = sticky | (low != 0)
+        return s1, scale, frac, sticky, cancelled, same
+
+    def _divide_frac(self, fa: np.ndarray, fb: np.ndarray):
+        """Normalized exact quotient of two left-aligned significands:
+        ``(frac64, sticky, dec)`` with value ``frac64 * 2**-63 *
+        2**-dec`` and a sticky for the (possibly infinite) tail.
+
+        Restoring long division, one exact quotient bit per step; the
+        invariant ``rem < fb`` keeps every intermediate in one limb
+        (the shifted-out top bit is folded into the compare/subtract).
+        """
+        ge0 = fa >= fb
+        rem = np.where(ge0, fa - fb, fa)
+        q = ge0.astype(np.uint64)
+        for _ in range(63):
+            top = rem >> _SIXTY_THREE
+            rem = rem << _ONE
+            bit = (top != 0) | (rem >= fb)
+            rem = np.where(bit, rem - fb, rem)
+            q = (q << _ONE) | bit
+        # One more bit for quotients in (1/2, 1).
+        top = rem >> _SIXTY_THREE
+        rem2 = rem << _ONE
+        bit = (top != 0) | (rem2 >= fb)
+        rem2 = np.where(bit, rem2 - fb, rem2)
+        q2 = (q << _ONE) | bit
+        frac = np.where(ge0, q, q2)
+        sticky = np.where(ge0, rem, rem2) != 0
+        dec = (~ge0).astype(np.int64)
+        return frac, sticky, dec
+
+    # ------------------------------------------------------------------
+    # Packed-pattern arithmetic
+    # ------------------------------------------------------------------
+    def mul(self, a, b) -> np.ndarray:
+        with np.errstate(over="ignore"):
+            a, b = _u64(a), _u64(b)
+            za, na, sa, fa, ea = self._decode(a)
+            zb, nb, sb, fb, eb = self._decode(b)
+            ua = Unpacked(za, na, sa, fa, ea)
+            ub = Unpacked(zb, nb, sb, fb, eb)
+            sign, scale, frac, sticky = self._mul_core(ua, ub)
+            pattern = self._encode(sign, scale, frac, sticky)
+            pattern = np.where(za | zb, _U64(0), pattern)
+            return np.where(na | nb, self._nar, pattern)
+
+    def add(self, a, b) -> np.ndarray:
+        with np.errstate(over="ignore"):
+            a, b = _u64(a), _u64(b)
+            am = a & self._mask
+            bm = b & self._mask
+            za, na, sa, fa, ea = self._decode(am)
+            zb, nb, sb, fb, eb = self._decode(bm)
+            ua = Unpacked(za, na, sa, fa, ea)
+            ub = Unpacked(zb, nb, sb, fb, eb)
+            s1, scale, frac, sticky, cancelled, same = \
+                self._add_core(ua, ub)
+            pattern = self._encode(s1, scale, frac, sticky)
+            pattern = np.where(~same & cancelled, _U64(0), pattern)
+            pattern = np.where(za, bm, pattern)
+            pattern = np.where(zb & ~za, am, pattern)
+            return np.where(na | nb, self._nar, pattern)
+
+    def neg(self, a) -> np.ndarray:
+        """Pattern negation (exact; zero and NaR are fixed points)."""
+        with np.errstate(over="ignore"):
+            return (_U64(0) - _u64(a)) & self._mask
+
+    def sub(self, a, b) -> np.ndarray:
+        """``a - b`` — exactly the scalar environment's
+        ``add(a, neg(b))``."""
+        return self.add(a, self.neg(b))
+
+    def div(self, a, b) -> np.ndarray:
+        """Correctly rounded quotient (exact long division + one
+        rounding), element-exact against ``PositEnv.div``."""
+        with np.errstate(over="ignore"):
+            a, b = _u64(a), _u64(b)
+            za, na, sa, fa, ea = self._decode(a)
+            zb, nb, sb, fb, eb = self._decode(b)
+            fa, fb = np.broadcast_arrays(fa, fb)
+            frac, sticky, dec = self._divide_frac(fa, fb)
+            scale = ea - eb - dec
+            pattern = self._encode(sa ^ sb, scale, frac, sticky)
+            pattern = np.where(za, _U64(0), pattern)
+            return np.where(na | nb | zb, self._nar, pattern)
+
+    # ------------------------------------------------------------------
+    # Decoded-plane fused kernels
+    # ------------------------------------------------------------------
+    def zeros_unpacked(self, shape) -> Unpacked:
+        """Probability-0 planes (the fold identity)."""
+        shape = (shape,) if isinstance(shape, int) else tuple(shape)
+        return Unpacked(np.ones(shape, dtype=bool),
+                        np.zeros(shape, dtype=bool),
+                        np.zeros(shape, dtype=bool),
+                        np.full(shape, _TOP64, dtype=np.uint64),
+                        np.zeros(shape, dtype=np.int64))
+
+    def mul_unpacked(self, ua: Unpacked, ub: Unpacked) -> Unpacked:
+        """Rounded product in the decoded plane (element-exact)."""
+        sign, scale, frac, sticky = self._mul_core(ua, ub)
+        pm, f2, s2 = self._round_to_planes(sign, scale, frac, sticky)
+        zero = ua.zero | ub.zero | (pm == 0)
+        return Unpacked(zero, ua.nar | ub.nar, sign, f2, s2)
+
+    def add_unpacked(self, ua: Unpacked, ub: Unpacked) -> Unpacked:
+        """Rounded sum in the decoded plane (element-exact)."""
+        za, zb = ua.zero, ub.zero
+        s1, scale, frac, sticky, cancelled, same = self._add_core(ua, ub)
+        pm, f2, s2 = self._round_to_planes(s1, scale, frac, sticky)
+        live = ~za & ~zb
+        zero = (za & zb) | (live & ((~same & cancelled) | (pm == 0)))
+        sign = np.where(za, ub.sign, np.where(zb, ua.sign, s1))
+        frac64 = np.where(za, ub.frac64, np.where(zb, ua.frac64, f2))
+        sc = np.where(za, ub.scale, np.where(zb, ua.scale, s2))
+        return Unpacked(zero, ua.nar | ub.nar, sign, frac64, sc)
+
+    def mul_acc(self, acc: Unpacked, x: Unpacked, y: Unpacked) -> Unpacked:
+        """``acc + x*y`` with both roundings, all in the decoded plane
+        (the forward recurrence's inner step)."""
+        return self.add_unpacked(acc, self.mul_unpacked(x, y))
+
+    def dot_unpacked(self, ua: Unpacked, ub: Unpacked,
+                     axis: int = -1) -> Unpacked:
+        """Sum of products along ``axis``, op-for-op the base
+        ``sum(mul(a, b))`` fold — but each operand is decoded once and
+        every intermediate stays in the plane form."""
+        shape = np.broadcast_shapes(ua.shape, ub.shape)
+        # One rounding pass over the whole broadcast product (identical
+        # per-element roundings, far better ufunc amortization than one
+        # pass per fold slice), then the index-order add fold.
+        prod = self.mul_unpacked(ua.broadcast_to(shape),
+                                 ub.broadcast_to(shape)).moveaxis(axis, -1)
+        acc = self.zeros_unpacked(prod.frac64.shape[:-1])
+        for i in range(prod.frac64.shape[-1]):
+            acc = self.add_unpacked(acc, prod.take(i))
+        return acc
+
+    def dot(self, a, b, axis: int = -1) -> np.ndarray:
+        """Fused decoded-plane dot product (element-exact against the
+        base mul-then-fold, enforced by the engine tests)."""
+        with np.errstate(over="ignore"):
+            ua = Unpacked(*self._decode(_u64(a)))
+            ub = Unpacked(*self._decode(_u64(b)))
+            return self.encode_once(self.dot_unpacked(ua, ub, axis=axis))
+
+    def sum(self, arr: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Index-order fold through the decoded plane (one decode for
+        the whole array; op-for-op the base ``add`` fold)."""
+        with np.errstate(over="ignore"):
+            u = Unpacked(*self._decode(_u64(arr))).moveaxis(axis, -1)
+            acc = self.zeros_unpacked(u.frac64.shape[:-1])
+            for i in range(u.frac64.shape[-1]):
+                acc = self.add_unpacked(acc, u.take(i))
+            return self.encode_once(acc)
+
+    def axpy(self, a, x, y) -> np.ndarray:
+        """``a*x + y`` with one decode per operand (both intermediate
+        roundings preserved — element-exact against ``add(mul(a, x),
+        y)``)."""
+        with np.errstate(over="ignore"):
+            ua = Unpacked(*self._decode(_u64(a)))
+            ux = Unpacked(*self._decode(_u64(x)))
+            uy = Unpacked(*self._decode(_u64(y)))
+            prod = self.mul_unpacked(ua, ux)
+            return self.encode_once(self.add_unpacked(prod, uy))
 
     # ------------------------------------------------------------------
     # Float conversions (convenience; encode side is exact)
     # ------------------------------------------------------------------
     def from_floats(self, values) -> np.ndarray:
         """Exact float64 -> posit conversion (vectorized encode)."""
-        x = np.asarray(values, dtype=np.float64)
-        m, e = np.frexp(np.where(np.isfinite(x), x, 0.0))
-        mant = np.abs(m * 9007199254740992.0).astype(np.uint64)  # 2**53
-        bl = _bit_length64(mant)
-        frac64 = _shl64(mant, 64 - bl)
-        scale = e.astype(np.int64) - 54 + bl
-        pattern = self._encode(np.signbit(x), scale, frac64,
-                               np.zeros(x.shape, dtype=bool))
-        pattern = np.where(x == 0.0, _U64(0), pattern)
-        return np.where(~np.isfinite(x), self._nar, pattern)
+        with np.errstate(over="ignore"):
+            x = np.asarray(values, dtype=np.float64)
+            m, e = np.frexp(np.where(np.isfinite(x), x, 0.0))
+            mant = np.abs(m * 9007199254740992.0).astype(np.uint64)  # 2**53
+            bl = _bit_length64(mant)
+            frac64 = _shl64(mant, 64 - bl)
+            scale = e.astype(np.int64) - 54 + bl
+            pattern = self._encode(np.signbit(x), scale, frac64,
+                                   np.zeros(x.shape, dtype=bool))
+            pattern = np.where(x == 0.0, _U64(0), pattern)
+            return np.where(~np.isfinite(x), self._nar, pattern)
 
     def to_floats(self, arr) -> np.ndarray:
         """Posit -> float64, rounding the (up to 62-bit) significand to
         double precision.  Values beyond double range overflow/underflow
         as IEEE does; unlike the scalar ``to_float`` this path may
         double-round in the subnormal range."""
-        zero, nar, sign, frac64, scale = self._decode(arr)
-        x = np.ldexp(frac64.astype(np.float64), (scale - 63).astype(np.int32))
-        x = np.where(sign, -x, x)
-        x = np.where(zero, 0.0, x)
-        return np.where(nar, np.nan, x)
+        with np.errstate(over="ignore"):
+            zero, nar, sign, frac64, scale = self._decode(arr)
+            x = np.ldexp(frac64.astype(np.float64),
+                         (scale - 63).astype(np.int32))
+            x = np.where(sign, -x, x)
+            x = np.where(zero, 0.0, x)
+            return np.where(nar, np.nan, x)

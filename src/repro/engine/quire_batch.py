@@ -79,6 +79,9 @@ class BatchQuire:
         self._batch = batch if batch is not None else BatchPosit(env)
         self._value = np.zeros(self.shape + (self.n_limbs,), dtype=np.uint64)
         self._nar = np.zeros(self.shape, dtype=bool)
+        #: Scratch addend reused across accumulate calls (chained
+        #: ``add_posit``/``add_product`` must not reallocate per term).
+        self._addend = np.zeros_like(self._value)
 
     # ------------------------------------------------------------------
     def clear(self) -> "BatchQuire":
@@ -102,43 +105,55 @@ class BatchQuire:
         return np.where((idx < 0) | (idx >= self.n_limbs), _U64(0), out)
 
     def _scatter_chunks(self, bitpos: np.ndarray, chunks) -> np.ndarray:
-        """Addend limb array with ``chunks[j]`` placed at bit offset
-        ``bitpos + 64*j``.  ``bitpos`` must be >= 0; writes beyond the
-        top limb carry no set bits (guard sizing) and are dropped."""
-        addend = np.zeros(self.shape + (self.n_limbs,), dtype=np.uint64)
+        """The reusable addend limb array with ``chunks[j]`` placed at
+        bit offset ``bitpos + 64*j``.  ``bitpos`` must be >= 0; writes
+        beyond the top limb carry no set bits (guard sizing) and are
+        dropped.
+
+        Each piece lands in its own limb per element (offsets are
+        ``limb + i`` for distinct ``i``), so pieces scatter straight
+        into the preallocated addend — processed highest-first so a
+        clamped out-of-range write never clobbers an in-range one.
+        """
         limb = (bitpos // 64).astype(np.intp)
-        off = _u64(bitpos - limb * 64)
+        off = _u64(bitpos - limb * 64)  # in [0, 63]: plain shifts apply
+        off_zero = off == 0
+        spill = (_U64(64) - off) & _U64(63)  # shift count for the carry
         prev_hi = np.zeros(self.shape, dtype=np.uint64)
         pieces = []
         for chunk in chunks:
-            pieces.append(_shl64(chunk, off) | prev_hi)
-            prev_hi = _shr64(chunk, _U64(64) - off)
+            chunk = _u64(chunk)
+            pieces.append((chunk << off) | prev_hi)
+            # off == 0 spills nothing (spill is 0 there, a no-op shift
+            # that the mask discards).
+            prev_hi = np.where(off_zero, _U64(0), chunk >> spill)
         pieces.append(prev_hi)
-        scratch = np.zeros_like(addend)
-        for j, piece in enumerate(pieces):
+        addend = self._addend
+        addend[...] = 0
+        top = self.n_limbs - 1
+        for j in range(len(pieces) - 1, -1, -1):
             idx = limb + j
-            in_range = idx < self.n_limbs
-            scratch[...] = 0
+            in_range = idx <= top
             np.put_along_axis(
-                scratch, np.minimum(idx, self.n_limbs - 1)[..., None],
-                np.where(in_range, piece, _U64(0))[..., None], axis=-1)
-            addend |= scratch
+                addend, np.minimum(idx, top)[..., None],
+                np.where(in_range, pieces[j], _U64(0))[..., None], axis=-1)
         return addend
 
     def _accumulate(self, addend: np.ndarray, negate: np.ndarray) -> None:
         """``value += addend`` (or ``-= `` on negated lanes), two's
         complement across limbs; wraparound is precluded by the guard
-        sizing."""
+        sizing.  Runs in place on the limb views (no per-term
+        temporaries beyond the carry lane)."""
         negate = np.broadcast_to(negate, self.shape)
-        addend = np.where(negate[..., None], ~addend, addend)
         carry = negate.astype(np.uint64)
         value = self._value
         for i in range(self.n_limbs):
-            s = value[..., i] + addend[..., i]
-            c1 = s < addend[..., i]
-            s2 = s + carry
-            c2 = s2 < s
-            value[..., i] = s2
+            a_i = np.where(negate, ~addend[..., i], addend[..., i])
+            v_i = value[..., i]
+            np.add(v_i, a_i, out=v_i)
+            c1 = v_i < a_i
+            np.add(v_i, carry, out=v_i)
+            c2 = v_i < carry
             carry = (c1 | c2).astype(np.uint64)
 
     # ------------------------------------------------------------------
@@ -146,22 +161,23 @@ class BatchQuire:
     # ------------------------------------------------------------------
     def add_posit(self, bits, negate=False) -> "BatchQuire":
         """Accumulate one array of posit values exactly."""
-        bits = np.broadcast_to(_u64(bits), self.shape)
-        zero, nar, sign, frac64, scale = self._batch._decode(bits)
-        self._nar |= nar
-        dead = zero | nar
-        frac64 = np.where(dead, _U64(0), frac64)
-        # Value = frac64 * 2**(scale - 63): bit 0 of frac64 sits at
-        # fixed-point position frac_bits + scale - 63.  When that is
-        # negative the low frac64 bits there are zeros by construction
-        # (a decoded posit has <= nbits-2 significant bits), so the
-        # pre-shift is exact.
-        bitpos = np.where(dead, 0, self.frac_bits + scale - 63)
-        under = np.maximum(-bitpos, 0)
-        frac64 = _shr64(frac64, under)
-        bitpos = np.maximum(bitpos, 0)
-        addend = self._scatter_chunks(bitpos, [frac64])
-        self._accumulate(addend, np.asarray(sign) ^ bool(negate))
+        with np.errstate(over="ignore"):
+            bits = np.broadcast_to(_u64(bits), self.shape)
+            zero, nar, sign, frac64, scale = self._batch._decode(bits)
+            self._nar |= nar
+            dead = zero | nar
+            frac64 = np.where(dead, _U64(0), frac64)
+            # Value = frac64 * 2**(scale - 63): bit 0 of frac64 sits at
+            # fixed-point position frac_bits + scale - 63.  When that is
+            # negative the low frac64 bits there are zeros by
+            # construction (a decoded posit has <= nbits-2 significant
+            # bits), so the pre-shift is exact.
+            bitpos = np.where(dead, 0, self.frac_bits + scale - 63)
+            under = np.maximum(-bitpos, 0)
+            frac64 = _shr64(frac64, under)
+            bitpos = np.maximum(bitpos, 0)
+            addend = self._scatter_chunks(bitpos, [frac64])
+            self._accumulate(addend, np.asarray(sign) ^ bool(negate))
         return self
 
     def sub_posit(self, bits) -> "BatchQuire":
@@ -169,24 +185,25 @@ class BatchQuire:
 
     def add_product(self, a_bits, b_bits, negate=False) -> "BatchQuire":
         """Fused multiply-accumulate: += (or -=) a*b, exactly."""
-        a_bits = np.broadcast_to(_u64(a_bits), self.shape)
-        b_bits = np.broadcast_to(_u64(b_bits), self.shape)
-        za, na, sa, fa, ea = self._batch._decode(a_bits)
-        zb, nb, sb, fb, eb = self._batch._decode(b_bits)
-        self._nar |= na | nb
-        dead = za | zb | na | nb
-        hi, lo = _umul64(fa, fb)
-        hi = np.where(dead, _U64(0), hi)
-        lo = np.where(dead, _U64(0), lo)
-        # Product = (hi, lo) * 2**(ea + eb - 126); the two factors carry
-        # at most 2*(nbits - 2) significant bits between them, so a
-        # negative bit position only ever shifts out zeros.
-        bitpos = np.where(dead, 0, self.frac_bits + ea + eb - 126)
-        under = np.maximum(-bitpos, 0)
-        hi, lo, _lost = _shr128_sticky(hi, lo, under)
-        bitpos = np.maximum(bitpos, 0)
-        addend = self._scatter_chunks(bitpos, [lo, hi])
-        self._accumulate(addend, np.asarray(sa ^ sb) ^ bool(negate))
+        with np.errstate(over="ignore"):
+            a_bits = np.broadcast_to(_u64(a_bits), self.shape)
+            b_bits = np.broadcast_to(_u64(b_bits), self.shape)
+            za, na, sa, fa, ea = self._batch._decode(a_bits)
+            zb, nb, sb, fb, eb = self._batch._decode(b_bits)
+            self._nar |= na | nb
+            dead = za | zb | na | nb
+            hi, lo = _umul64(fa, fb)
+            hi = np.where(dead, _U64(0), hi)
+            lo = np.where(dead, _U64(0), lo)
+            # Product = (hi, lo) * 2**(ea + eb - 126); the two factors
+            # carry at most 2*(nbits - 2) significant bits between them,
+            # so a negative bit position only ever shifts out zeros.
+            bitpos = np.where(dead, 0, self.frac_bits + ea + eb - 126)
+            under = np.maximum(-bitpos, 0)
+            hi, lo, _lost = _shr128_sticky(hi, lo, under)
+            bitpos = np.maximum(bitpos, 0)
+            addend = self._scatter_chunks(bitpos, [lo, hi])
+            self._accumulate(addend, np.asarray(sa ^ sb) ^ bool(negate))
         return self
 
     # ------------------------------------------------------------------
@@ -194,6 +211,10 @@ class BatchQuire:
     # ------------------------------------------------------------------
     def to_posit(self) -> np.ndarray:
         """Round every accumulator to a posit (the only rounding)."""
+        with np.errstate(over="ignore"):
+            return self._to_posit()
+
+    def _to_posit(self) -> np.ndarray:
         value = self._value
         sign = (value[..., -1] & _TOP64) != 0
         # |value| limbs: two's-complement negate the negative lanes.
@@ -204,11 +225,15 @@ class BatchQuire:
             carry = (s < carry).astype(np.uint64)
             mag[..., i] = s
         nonzero = mag != 0
-        msb = np.full(self.shape, -1, dtype=np.int64)
-        for i in range(self.n_limbs - 1, -1, -1):
-            found = (msb < 0) & nonzero[..., i]
-            msb = np.where(found, i * 64 + _bit_length64(mag[..., i]) - 1,
-                           msb)
+        # Highest nonzero limb via one argmax over the reversed limb
+        # axis, then one bit-length on that limb alone.
+        any_nz = nonzero.any(axis=-1)
+        top_idx = (self.n_limbs - 1
+                   - np.argmax(nonzero[..., ::-1], axis=-1).astype(np.int64))
+        top_limb = np.take_along_axis(mag, top_idx[..., None],
+                                      axis=-1)[..., 0]
+        msb = np.where(any_nz, top_idx * 64 + _bit_length64(top_limb) - 1,
+                       np.int64(-1))
         is_zero = msb < 0
         scale = msb - self.frac_bits
         # 64-bit window [msb-63, msb] + sticky for everything below.

@@ -139,6 +139,48 @@ class LNSEnv:
         sb = bf_log1p(pow2_d, work).div(bf_ln2(work), work)
         return self._round_code(sb)
 
+    def _db_exact(self, d_code: int) -> int:
+        """db(d) = log2(1 - 2**d) on the code grid for ``d < 0``,
+        correctly rounded — the Gaussian-log *difference* companion of
+        :meth:`_sb_exact` (the other half of a classical LNS table).
+
+        Always negative; grows like ``-(frac_bits + 0.53) * 2**frac_bits``
+        as ``d -> 0-`` (the cancellation is benign: ``1 - 2**d`` is
+        computed at ``prec + 16`` working bits, far below the half-code
+        rounding threshold for any supported width).
+        """
+        if d_code >= 0:
+            raise ValueError("db(d) needs d < 0 (1 - 2**d must be positive)")
+        from ..bigfloat import exp as bf_exp
+        from ..bigfloat import ln2 as bf_ln2
+        from ..bigfloat import log1p as bf_log1p
+        work = self.prec + 16
+        d = BigFloat(1, abs(d_code), -self.frac_bits)
+        pow2_d = bf_exp(d.mul(bf_ln2(work), work), work)
+        db = bf_log1p(pow2_d.neg(), work).div(bf_ln2(work), work)
+        return self._round_code(db)
+
+    def sub(self, a: _Value, b: _Value) -> _Value:
+        """Probability subtraction ``a - b`` via the difference Gaussian
+        logarithm:
+
+            log2(x - y) = max + db(min - max),  db(d) = log2(1 - 2**d)
+
+        evaluated exactly (ideal-table model) and rounded to the code
+        grid once, saturating at the range edge like :meth:`add`.
+        Probabilities are non-negative, so ``b > a`` is a domain error;
+        ``a == b`` yields exact probability zero.
+        """
+        if b == LNS_ZERO:
+            return a
+        if a == LNS_ZERO or b > a:
+            raise ValueError(
+                "LNS subtraction would produce a negative probability")
+        if a == b:
+            return LNS_ZERO
+        db = self._db_exact(b - a)
+        return max(self.min_code, min(self.max_code, a + db))
+
     # ------------------------------------------------------------------
     # The impracticality argument (Section VII)
     # ------------------------------------------------------------------

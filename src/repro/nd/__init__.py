@@ -38,6 +38,7 @@ from .farray import (
     fused_sum,
     full,
     logsumexp,
+    multiply_add,
     ones,
     ones_like,
     stack,
@@ -61,6 +62,7 @@ __all__ = [
     "fused_sum",
     "full",
     "logsumexp",
+    "multiply_add",
     "ones",
     "ones_like",
     "stack",

@@ -19,9 +19,12 @@ the plan and the format registry allow:
 
 The two representations hold *the same values* (that is the registry's
 certification), so an expression's result never depends on which one
-ran — only its speed does.  Operations not offered by a mirror
-(``-``/``/`` today) decode to scalar values, apply the scalar backend's
-op, and re-encode, preserving exactness.
+ran — only its speed does.  Every registry mirror implements the full
+elementwise op set natively (``+ - * /`` plus the fused
+:func:`multiply_add`), so a vectorized array never drops into a
+per-element decode loop; the scalar loop survives only for the
+object-array representation (the oracle, serial plans, uncertified
+reductions).
 
 Certification tiers (``certified=`` on the constructors) mirror
 :meth:`repro.arith.registry.FormatRegistry.batch_for`: the default
@@ -61,6 +64,7 @@ __all__ = [
     "fused_sum",
     "full",
     "logsumexp",
+    "multiply_add",
     "ones",
     "ones_like",
     "stack",
@@ -291,24 +295,20 @@ class FArray:
             return NotImplemented
         a, b = (rhs, self) if reflected else (self, rhs)
         if self._bb is not None:
-            fn = getattr(self._bb, op, None)
-            if fn is not None:
-                return FArray(fn(a._data, b._data), self._backend, self._bb)
-            return self._scalar_binary(a, b, op)
+            # Every registry mirror implements the full op set natively
+            # (``BatchBackend.sub``/``div`` raise for exotic mirrors
+            # without one — there is no silent per-element fallback on
+            # the vectorized representation).
+            fn = getattr(self._bb, op)
+            return FArray(fn(a._data, b._data), self._backend, self._bb)
         return self._scalar_binary(a, b, op)
 
     def _scalar_binary(self, a: "FArray", b: "FArray", op: str) -> "FArray":
-        """Elementwise op through the scalar backend (the fallback for
-        formats/ops without a batch implementation)."""
+        """Elementwise op through the scalar backend (the object-array
+        representation's path)."""
         fn = getattr(self._backend, op)
-        if self._bb is None:
-            out = np.frompyfunc(fn, 2, 1)(a._data, b._data)
-            return FArray(np.asarray(out, dtype=object), self._backend, None)
-        da, db = np.broadcast_arrays(a._data, b._data)
-        items = [fn(self._bb.item(da, idx), self._bb.item(db, idx))
-                 for idx in np.ndindex(*da.shape)]
-        return FArray(self._bb.from_items(items, da.shape),
-                      self._backend, self._bb)
+        out = np.frompyfunc(fn, 2, 1)(a._data, b._data)
+        return FArray(np.asarray(out, dtype=object), self._backend, None)
 
     def __add__(self, other):
         return self._binary(other, "add")
@@ -367,8 +367,22 @@ class FArray:
 
     def dot(self, other, axis: int = -1) -> "FArray":
         """Sum of elementwise products along ``axis`` (mul then the
-        ``sum`` fold — the forward algorithm's inner kernel)."""
-        return (self * other).sum(axis=axis)
+        ``sum`` fold — the forward algorithm's inner kernel).
+
+        On the vectorized representation this dispatches to the batch
+        mirror's ``dot``, which mirrors with a decoded plane (posit)
+        override with a fused kernel: each operand is decoded once per
+        call instead of once per elementwise op, with every
+        intermediate still rounded op-for-op like the fold.
+        """
+        rhs = self._coerce(other)
+        if rhs is None:
+            raise TypeError(f"cannot dot {type(other).__name__} with an "
+                            f"FArray")
+        if self._bb is not None:
+            out = self._bb.dot(self._data, rhs._data, axis=axis)
+            return FArray(np.asarray(out), self._backend, self._bb)
+        return (self * rhs).sum(axis=axis)
 
     # ------------------------------------------------------------------
     # Conversion
@@ -554,6 +568,23 @@ def dot(x: FArray, y, axis: int = -1) -> FArray:
     return x.dot(y, axis=axis)
 
 
+def multiply_add(x: FArray, y, z) -> FArray:
+    """Fused ``x*y + z`` — identical results to the spelled-out
+    expression (both intermediate roundings preserved), but routed
+    through the batch mirror's ``axpy`` so decoded-plane mirrors
+    (posit) decode each operand once (the PBD recurrence's inner
+    step)."""
+    ry = x._coerce(y)
+    rz = x._coerce(z)
+    if ry is None or rz is None:
+        raise TypeError("multiply_add operands must be coercible to "
+                        "the FArray's format")
+    if x._bb is not None:
+        return FArray(x._bb.axpy(x._data, ry._data, rz._data),
+                      x._backend, x._bb)
+    return x * ry + rz
+
+
 def _matmul(a: FArray, b: FArray) -> FArray:
     """NumPy ``@`` semantics built from mul + the ``sum`` fold (so the
     contraction is certified exactly like every other reduction)."""
@@ -616,11 +647,6 @@ def fused_sum(x: FArray, axis: Optional[int] = None, *,
     _require_fused(x, "quire_fused_sum")
     if axis is None:
         return fused_sum(x.ravel(), axis=0, max_limbs=max_limbs)
-    if x.ndim == 1 and x._bb is not None:
-        # Keep the batched quire on >=1-d lanes (0-d uint64 scalars
-        # trip NumPy's scalar-overflow warning on intended wraparound).
-        out = fused_sum(x.reshape(1, -1), axis=1, max_limbs=max_limbs)
-        return out.reshape(())
     env = x.backend.env
     if x._bb is not None:
         from ..engine.quire_batch import fused_sum_batch
@@ -641,10 +667,6 @@ def fused_dot(x: FArray, y, axis: int = -1, *,
     :func:`fused_sum`."""
     _require_fused(x, "quire_fused_dot")
     rhs = x._coerce(y)
-    if x.ndim == 1 and rhs.ndim <= 1 and x._bb is not None:
-        out = fused_dot(x.reshape(1, -1), rhs.reshape(1, -1), axis=1,
-                        max_limbs=max_limbs)
-        return out.reshape(())
     env = x.backend.env
     if x._bb is not None:
         from ..engine.quire_batch import fused_dot_product_batch

@@ -119,8 +119,16 @@ class TestLogSpaceSub:
                              self.backend.from_float(0.5)))
 
     def test_base_class_sub_still_raises_elsewhere(self):
+        # Every *registered* backend now implements sub natively; the
+        # protocol default still raises for backends that opt out.
+        class NoSub(Binary64Backend):
+            sub = Backend.sub
+            div = Backend.div
+
         with pytest.raises(NotImplementedError):
-            LNSBackend().sub(0, 0)
+            NoSub().sub(0.5, 0.25)
+        with pytest.raises(NotImplementedError):
+            NoSub().div(0.5, 0.25)
 
 
 class TestLNSBackend:

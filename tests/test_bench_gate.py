@@ -48,6 +48,33 @@ class TestCheckPayload:
         marginal = _payload("batch_throughput", "forward_log_batch64", 3.0)
         assert gate.check_payload(marginal, floors) == []
 
+    def test_posit_gap_floors(self):
+        """The PR 5 posit-gap gates: add/mul >= 15x, fused forward
+        >= 7x, quire accumulation >= 10x."""
+        ok = _payload("batch_throughput", "posit64_12_add", 16.0)
+        assert gate.check_payload(ok, self.FLOORS) == []
+        bad = _payload("batch_throughput", "posit64_12_mul", 14.0)
+        assert len(gate.check_payload(bad, self.FLOORS)) == 1
+        bad = _payload("batch_throughput", "forward_posit64_12_batch64", 6.0)
+        assert len(gate.check_payload(bad, self.FLOORS)) == 1
+        bad = _payload("apps_throughput", "quire_accumulate_posit16_1", 9.0)
+        assert len(gate.check_payload(bad, self.FLOORS)) == 1
+
+    def test_sub_div_entries_gated(self):
+        for key in ("binary64_sub", "logspace_div", "posit64_12_div",
+                    "lns6_8_sub", "lns12_50_div"):
+            bad = _payload("batch_throughput", key, 2.0)
+            assert len(gate.check_payload(bad, self.FLOORS)) == 1, key
+            ok = _payload("batch_throughput", key, 8.0)
+            assert gate.check_payload(ok, self.FLOORS) == [], key
+
+    def test_missing_required_detects_absent_entries(self):
+        partial = _payload("batch_throughput", "forward_log_batch64", 20.0)
+        missing = gate.missing_required(partial)
+        assert "posit64_12_sub" in missing and "lns6_8_sub" in missing
+        assert gate.missing_required(
+            _payload("other_bench", "x", 1.0)) == []
+
 
 class TestMain:
     def test_missing_path_is_skipped(self, tmp_path, capsys):
@@ -82,8 +109,17 @@ class TestCommittedArtifacts:
         assert os.path.exists(os.path.join(REPO_ROOT, name))
 
     def test_committed_artifacts_meet_full_gates(self):
-        floors = gate.gate_floors({})  # full 10x / 5x, no env lowering
+        floors = gate.gate_floors({})  # full floors, no env lowering
         for name in ("BENCH_batch.json", "BENCH_apps.json"):
             with open(os.path.join(REPO_ROOT, name)) as f:
                 payload = json.load(f)
             assert gate.check_payload(payload, floors) == [], name
+
+    def test_committed_artifacts_contain_required_entries(self):
+        """The recorded artifacts must carry every gated entry —
+        including the PR 5 sub/div coverage for all batched formats
+        (absence would silently skip the speedup gate)."""
+        for name in ("BENCH_batch.json", "BENCH_apps.json"):
+            with open(os.path.join(REPO_ROOT, name)) as f:
+                payload = json.load(f)
+            assert gate.missing_required(payload) == [], name

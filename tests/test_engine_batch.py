@@ -176,3 +176,121 @@ class TestScalarLogSpaceSumModes:
     def test_scalar_bad_mode_rejected(self):
         with pytest.raises(ValueError):
             LogSpaceBackend(sum_mode="pairwise")
+
+
+class TestBatchBinary64SubDiv:
+    def test_sub_bitwise(self):
+        bb = BatchBinary64()
+        scalar = Binary64Backend()
+        rng = np.random.default_rng(11)
+        a = rng.uniform(0.0, 1.0, 200)
+        b = rng.uniform(0.0, 1.0, 200)
+        got = bb.sub(a, b)
+        for i in range(a.size):
+            assert got[i] == scalar.sub(float(a[i]), float(b[i]))
+
+    def test_div_bitwise_and_zero_raises(self):
+        bb = BatchBinary64()
+        scalar = Binary64Backend()
+        rng = np.random.default_rng(12)
+        a = rng.uniform(0.0, 1.0, 200)
+        b = rng.uniform(1e-12, 1.0, 200)
+        got = bb.div(a, b)
+        for i in range(a.size):
+            assert got[i] == scalar.div(float(a[i]), float(b[i]))
+        with pytest.raises(ZeroDivisionError):
+            bb.div(a, np.where(b > 0.5, 0.0, b))
+        with pytest.raises(ZeroDivisionError):
+            scalar.div(0.5, 0.0)
+
+    def test_recip_is_div_by_one(self):
+        bb = BatchBinary64()
+        arr = np.array([0.5, 0.25, 2.0])
+        assert (bb.recip(arr) == 1.0 / arr).all()
+
+
+class TestBatchLogSpaceSubDiv:
+    """Native log-diff-exp subtraction: bit-identical to the scalar
+    backend (both route the interior through NumPy's exp/log1p), with
+    the scalar's probability-domain errors vectorized."""
+
+    def setup_method(self):
+        self.bb = BatchLogSpace()
+        self.scalar = LogSpaceBackend()
+
+    def test_sub_bitwise_vs_scalar(self):
+        rng = np.random.default_rng(13)
+        a = rng.uniform(-2000.0, 0.0, 500)
+        b = a - rng.uniform(0.0, 60.0, 500)  # b <= a
+        got = self.bb.sub(a, b)
+        for i in range(a.size):
+            assert got[i] == self.scalar.sub(float(a[i]), float(b[i])), i
+
+    def test_sub_domain_edges(self):
+        ninf = -math.inf
+        a = np.array([-1.0, -5.0, ninf, -3.0])
+        b = np.array([-1.0, ninf, ninf, -3.0 - 1e-9])
+        got = self.bb.sub(a, b)
+        # a == b -> exact zero; b == zero -> a; zero - zero -> zero.
+        assert got[0] == ninf
+        assert got[1] == -5.0
+        assert got[2] == ninf
+        assert got[3] == self.scalar.sub(-3.0, -3.0 - 1e-9)
+        # Deep magnitudes far below binary64's value range.
+        deep_a, deep_b = -70000.0, -70000.5
+        assert self.bb.sub(np.array([deep_a]), np.array([deep_b]))[0] == \
+            self.scalar.sub(deep_a, deep_b)
+
+    def test_sub_negative_result_raises(self):
+        with pytest.raises(ValueError):
+            self.bb.sub(np.array([-2.0]), np.array([-1.0]))
+        with pytest.raises(ValueError):
+            self.bb.sub(np.array([-math.inf]), np.array([-1.0]))
+        with pytest.raises(ValueError):
+            self.scalar.sub(-2.0, -1.0)
+
+    def test_div_is_float_sub_with_zero_guard(self):
+        a = np.array([-1.0, -math.inf, -3.5])
+        b = np.array([-2.0, -2.0, -0.5])
+        got = self.bb.div(a, b)
+        for i in range(a.size):
+            assert got[i] == self.scalar.div(float(a[i]), float(b[i]))
+        with pytest.raises(ZeroDivisionError):
+            self.bb.div(a, np.array([-2.0, -math.inf, -0.5]))
+        with pytest.raises(ZeroDivisionError):
+            self.scalar.div(-1.0, -math.inf)
+
+
+class TestBatchProtocolDefaults:
+    def test_sub_div_default_raise_for_exotic_mirrors(self):
+        from repro.engine.batch import BatchBackend
+
+        class NoOps(BatchBinary64):
+            sub = BatchBackend.sub
+            div = BatchBackend.div
+
+        bb = NoOps()
+        with pytest.raises(NotImplementedError):
+            bb.sub(np.zeros(2), np.zeros(2))
+        with pytest.raises(NotImplementedError):
+            bb.div(np.zeros(2), np.ones(2))
+
+    def test_axpy_default_is_add_mul(self):
+        bb = BatchLogSpace()
+        rng = np.random.default_rng(14)
+        a, x, y = (rng.uniform(-50.0, 0.0, 64) for _ in range(3))
+        assert (bb.axpy(a, x, y) == bb.add(bb.mul(a, x), y)).all()
+
+    def test_every_standard_mirror_has_native_sub_div(self):
+        """The registry capability flag is backed by real kernels: no
+        standard batch backend inherits the raising defaults."""
+        from repro.arith.registry import FULL_BATCH_OPS, REGISTRY
+        from repro.engine.batch import BatchBackend
+        for name, bb in standard_batch_backends().items():
+            caps = REGISTRY.capabilities(name)
+            assert caps.batch_ops == FULL_BATCH_OPS, name
+            assert type(bb).sub is not BatchBackend.sub, name
+            assert type(bb).div is not BatchBackend.div, name
+        lns = batch_backend_for(LNSBackend())
+        assert type(lns).sub is not BatchBackend.sub
+        assert type(lns).div is not BatchBackend.div

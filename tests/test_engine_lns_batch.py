@@ -141,3 +141,128 @@ def test_forward_batch_routes_lns_through_engine():
     want = [forward(hmm, backend, observations=tuple(int(o) for o in row))
             for row in obs]
     assert got == want
+
+
+def _valid_sub_pairs(values):
+    return [(x, y) for x, y in itertools.product(values, values)
+            if y == LNS_ZERO or (x != LNS_ZERO and y <= x)]
+
+
+@pytest.mark.parametrize("int_bits,frac_bits", [(2, 2), (3, 2), (4, 3)])
+@pytest.mark.parametrize("table", [True, False], ids=["table", "memo"])
+def test_exhaustive_small_width_sub_div(int_bits, frac_bits, table):
+    """Every valid code pair for the new native sub and div, in both
+    gap-store modes, element-exact against the scalar backend."""
+    env = LNSEnv(int_bits, frac_bits)
+    scalar = LNSBackend(env)
+    batch = BatchLNS(env, sb_table=table)
+    assert batch._table_mode == table
+    values = _all_values(env)
+    pairs = _valid_sub_pairs(values)
+    a = np.array([batch._to_code(x) for x, _ in pairs], dtype=np.int64)
+    b = np.array([batch._to_code(y) for _, y in pairs], dtype=np.int64)
+    got_sub = batch.sub(a, b)
+    for i, (x, y) in enumerate(pairs):
+        assert batch.item(got_sub, i) == scalar.sub(x, y), (x, y)
+    pairs_d = [(x, y) for x, y in itertools.product(values, values)
+               if y != LNS_ZERO]
+    a = np.array([batch._to_code(x) for x, _ in pairs_d], dtype=np.int64)
+    b = np.array([batch._to_code(y) for _, y in pairs_d], dtype=np.int64)
+    got_div = batch.div(a, b)
+    for i, (x, y) in enumerate(pairs_d):
+        assert batch.item(got_div, i) == scalar.div(x, y), (x, y)
+
+
+@pytest.mark.parametrize("int_bits,frac_bits", [(2, 2), (3, 2), (4, 3)])
+def test_table_mode_equals_memo_mode(int_bits, frac_bits):
+    """The lazily built full sb/db tables must agree entry-for-entry
+    with the memoized per-gap evaluation (same exact BigFloat plane)."""
+    env = LNSEnv(int_bits, frac_bits)
+    bt = BatchLNS(env, sb_table=True)
+    floor = int(bt._sb_floor)
+    gaps = np.arange(-1, floor, -1, dtype=np.int64)
+    bm = BatchLNS(env, sb_table=False)
+    assert (bt._sb_codes(gaps) == bm._sb_codes(gaps)).all()
+    assert (bt._db_codes(gaps) == bm._db_codes(gaps)).all()
+    # Table sizes: one entry per interior gap, both tables built.
+    assert bt.sb_cache_size() == 2 * (-floor - 1)
+    # And both agree with the scalar oracle entry-for-entry.
+    for d in (-1, floor // 2, floor + 1):
+        assert int(bt._sb_codes(np.array([d]))[0]) == env._sb_exact(d)
+        assert int(bt._db_codes(np.array([d]))[0]) == \
+            max(env._db_exact(d), bt._db_clamp)
+
+
+def test_default_auto_mode_selection():
+    """auto: full table only for small formats whose build is
+    sub-second (<= SB_TABLE_AUTO_MAX oracle calls); mid-size formats
+    keep the memo unless the caller opts into the one-time build; and
+    a forced table beyond the SB_TABLE_MAX memory bound is refused
+    (lns(12,50)'s gap domain is astronomically larger — the paper's
+    Section VII point)."""
+    assert BatchLNS(LNSEnv(4, 3))._table_mode
+    mid = LNSEnv(6, 15)  # 557k entries: affordable memory, slow build
+    assert mid.sb_table_entries() <= BatchLNS.SB_TABLE_MAX
+    assert not BatchLNS(mid)._table_mode
+    assert BatchLNS(mid, sb_table=True)._table_mode  # opt-in allowed
+    big = BatchLNS(LNSEnv(12, 50))
+    assert not big._table_mode
+    assert LNSEnv(12, 50).sb_table_entries() > BatchLNS.SB_TABLE_MAX
+    with pytest.raises(ValueError, match="SB_TABLE_MAX"):
+        BatchLNS(LNSEnv(12, 50), sb_table=True)
+
+
+def test_sub_domain_and_zero_semantics():
+    env = LNSEnv(4, 3)
+    scalar = LNSBackend(env)
+    batch = BatchLNS(env)
+    a = np.array([5, 5, batch._to_code(LNS_ZERO)], dtype=np.int64)
+    # b > a on a live lane -> the scalar ValueError, vectorized.
+    with pytest.raises(ValueError):
+        batch.sub(a, np.array([1, 7, 1], dtype=np.int64))
+    with pytest.raises(ValueError):
+        scalar.sub(5, 7)
+    # a == b -> exact probability zero; b == zero -> a unchanged.
+    out = batch.sub(np.array([5, 5], dtype=np.int64),
+                    np.array([5, batch._to_code(LNS_ZERO)], dtype=np.int64))
+    assert batch.item(out, 0) == LNS_ZERO
+    assert batch.item(out, 1) == 5
+    # Deep-gap subtraction saturates at min_code exactly like scalar.
+    got = batch.sub(np.array([env.min_code + 1], dtype=np.int64),
+                    np.array([env.min_code], dtype=np.int64))
+    assert batch.item(got, 0) == scalar.sub(env.min_code + 1, env.min_code)
+
+
+def test_div_zero_raises_like_scalar():
+    env = LNSEnv(4, 3)
+    batch = BatchLNS(env)
+    scalar = LNSBackend(env)
+    with pytest.raises(ZeroDivisionError):
+        batch.div(np.array([3], dtype=np.int64),
+                  np.array([ZERO_CODE], dtype=np.int64))
+    with pytest.raises(ZeroDivisionError):
+        scalar.div(3, LNS_ZERO)
+    out = batch.div(np.array([ZERO_CODE], dtype=np.int64),
+                    np.array([3], dtype=np.int64))
+    assert batch.item(out, 0) == LNS_ZERO
+
+
+def test_property_full_width_sub():
+    """lns(12,50) sub (memo mode) on sampled valid pairs: balanced,
+    near-cancelling, saturating, and zero operands."""
+    env = LNSEnv(12, 50)
+    scalar = LNSBackend(env)
+    batch = BatchLNS(scalar=scalar)
+    rng = np.random.default_rng(7)
+    xs = [int(v) for v in rng.integers(env.min_code, env.max_code, 50)]
+    near = [(x, x - int(g)) for x, g in
+            zip(xs[:20], rng.integers(1, 1 << 52, 20))]
+    pairs = ([(max(x, y), min(x, y)) for x, y in zip(xs, reversed(xs))]
+             + near
+             + [(x, x) for x in xs[:5]]
+             + [(x, LNS_ZERO) for x in xs[:5]])
+    a = np.array([batch._to_code(x) for x, _ in pairs], dtype=np.int64)
+    b = np.array([batch._to_code(y) for _, y in pairs], dtype=np.int64)
+    got = batch.sub(a, b)
+    for i, (x, y) in enumerate(pairs):
+        assert batch.item(got, i) == scalar.sub(x, y), (x, y)

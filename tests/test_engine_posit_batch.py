@@ -154,3 +154,137 @@ def test_portable_bit_length_matches_python():
     assert _bit_length64_portable(arr).tolist() == want
     # The fast path (np.bitwise_count when available) must agree.
     assert _bit_length64(arr).tolist() == want
+
+
+@pytest.mark.parametrize("underflow", [SATURATE, FLUSH])
+def test_exhaustive_posit8_sub_div(underflow):
+    """Every posit(8,0) pattern pair for the new native sub and div,
+    in both underflow modes — sub must equal add(a, neg(b)) and div the
+    correctly rounded quotient (NaR for zero/NaR divisors), exactly as
+    the scalar environment computes them."""
+    env = PositEnv(8, 0, underflow)
+    bp = BatchPosit(env)
+    pats = np.arange(256, dtype=np.uint64)
+    a, b = [g.ravel() for g in np.meshgrid(pats, pats)]
+    got_sub = bp.sub(a, b)
+    got_div = bp.div(a, b)
+    want_sub = np.fromiter(
+        (env.sub(int(x), int(y)) for x, y in zip(a, b)),
+        dtype=np.uint64, count=a.size)
+    want_div = np.fromiter(
+        (env.div(int(x), int(y)) for x, y in zip(a, b)),
+        dtype=np.uint64, count=a.size)
+    assert (got_sub == want_sub).all()
+    assert (got_div == want_div).all()
+
+
+@pytest.mark.parametrize("nbits,es", [(64, 9), (64, 12), (32, 2), (16, 1)])
+def test_random_sub_div_element_exact(nbits, es):
+    env = PositEnv(nbits, es)
+    bp = BatchPosit(env)
+    n = 200
+    a_list = _random_patterns(env, n, seed=nbits * 7 + es)
+    b_list = _random_patterns(env, n, seed=nbits * 7 + es + 1)
+    spec = _special_patterns(env)
+    a_list, b_list = a_list + spec, b_list + list(reversed(spec))
+    a = np.array(a_list, dtype=np.uint64)
+    b = np.array(b_list, dtype=np.uint64)
+    got_sub = bp.sub(a, b)
+    got_div = bp.div(a, b)
+    for i, (pa, pb) in enumerate(zip(a_list, b_list)):
+        assert int(got_sub[i]) == env.sub(pa, pb), \
+            f"sub({pa:#x}, {pb:#x}) in {env!r}"
+        assert int(got_div[i]) == env.div(pa, pb), \
+            f"div({pa:#x}, {pb:#x}) in {env!r}"
+
+
+@pytest.mark.parametrize("underflow", [SATURATE, FLUSH])
+def test_unpacked_roundtrip_all_8bit_patterns(underflow):
+    """decode_once -> encode_once is the identity on every posit(8,0)
+    pattern (the decoded-plane entry/exit contract), in both modes."""
+    env = PositEnv(8, 0, underflow)
+    bp = BatchPosit(env)
+    pats = np.arange(256, dtype=np.uint64)
+    u = bp.decode_once(pats)
+    assert (bp.encode_once(u) == pats).all()
+
+
+class TestFusedPlaneKernels:
+    """dot/sum/axpy run through the decoded plane; they must stay
+    op-for-op identical to the base mul-then-fold implementations,
+    zeros and NaR lanes included."""
+
+    def _operands(self, env, shape, seed):
+        rng = np.random.default_rng(seed)
+        arr = rng.integers(0, 1 << env.nbits, shape, dtype=np.uint64)
+        flat = arr.reshape(-1)
+        flat[0] = 0
+        flat[1 % flat.size] = env.nar
+        flat[2 % flat.size] = env.minpos
+        return arr
+
+    @pytest.mark.parametrize("underflow", [SATURATE, FLUSH])
+    def test_dot_matches_base_fold(self, underflow):
+        from repro.engine.batch import BatchBackend
+        env = PositEnv(16, 1, underflow)
+        bp = BatchPosit(env)
+        a = self._operands(env, (6, 5), 1)
+        b = self._operands(env, (6, 5), 2)
+        for axis in (-1, 0, 1):
+            want = BatchBackend.dot(bp, a, b, axis=axis)
+            assert (bp.dot(a, b, axis=axis) == want).all(), axis
+        # Broadcasting contraction (the forward algorithm's shape).
+        alpha = self._operands(env, (4, 3, 1), 3)
+        trans = self._operands(env, (3, 3), 4)
+        want = BatchBackend.dot(bp, alpha, trans, axis=1)
+        assert (bp.dot(alpha, trans, axis=1) == want).all()
+
+    def test_sum_matches_base_fold(self):
+        from repro.engine.batch import BatchBackend
+        env = PositEnv(16, 1)
+        bp = BatchPosit(env)
+        arr = self._operands(env, (5, 7), 5)
+        for axis in (0, 1, -1):
+            want = BatchBackend.sum(bp, arr, axis=axis)
+            assert (bp.sum(arr, axis=axis) == want).all(), axis
+
+    def test_axpy_matches_two_ops(self):
+        env = PositEnv(16, 1)
+        bp = BatchPosit(env)
+        a = self._operands(env, (40,), 6)
+        x = self._operands(env, (40,), 7)
+        y = self._operands(env, (40,), 8)
+        assert (bp.axpy(a, x, y) == bp.add(bp.mul(a, x), y)).all()
+
+    def test_mul_acc_chain_matches_pattern_chain(self):
+        env = PositEnv(8, 0)
+        bp = BatchPosit(env)
+        rng = np.random.default_rng(9)
+        cols = [rng.integers(0, 256, 50, dtype=np.uint64)
+                for _ in range(4)]
+        acc_u = bp.zeros_unpacked((50,))
+        acc_p = bp.zeros((50,))
+        for c in cols:
+            cu = bp.decode_once(c)
+            acc_u = bp.mul_acc(acc_u, cu, cu)
+            acc_p = bp.add(acc_p, bp.mul(c, c))
+        assert (bp.encode_once(acc_u) == acc_p).all()
+
+
+def test_zero_d_ops_are_warning_free():
+    """0-d operands run without the PR 4 lift workaround: the intended
+    uint64 wraparound is silenced by targeted np.errstate suppression,
+    so user-level warning filters stay clean."""
+    import warnings
+
+    env = PositEnv(64, 12)
+    bp = BatchPosit(env)
+    x = np.asarray(np.uint64(env.from_float(0.3)))
+    y = np.asarray(np.uint64(env.from_float(-0.7)))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert int(bp.add(x, y)) == env.add(int(x), int(y))
+        assert int(bp.mul(x, y)) == env.mul(int(x), int(y))
+        assert int(bp.sub(x, y)) == env.sub(int(x), int(y))
+        assert int(bp.div(x, y)) == env.div(int(x), int(y))
+        assert bp.add(x, y).shape == ()

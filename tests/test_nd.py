@@ -131,12 +131,67 @@ class TestOperators:
                        for a, b in zip(x.tolist(), y.tolist())]
 
     def test_sub_matches_scalar_backend(self):
-        for fmt in ["binary64", "log", "bigfloat256"]:
+        for fmt in FORMATS:
             backend = REGISTRY.create(fmt)
             x = nd.asarray([0.5, 0.5], backend)
             y = nd.asarray([0.25, 0.125], backend)
             assert (x - y).tolist() == \
                 [backend.sub(a, b) for a, b in zip(x.tolist(), y.tolist())]
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    @pytest.mark.parametrize("op", ["sub", "div"])
+    def test_sub_div_native_batch_no_scalar_loop(self, fmt, op, monkeypatch):
+        """Registry formats dispatch - and / to the native batch
+        kernels: the result stays on the vectorized representation and
+        no per-element decode (``BatchBackend.from_items``) ever runs,
+        and it is element-exact vs the serial (object-mode) expression.
+        """
+        backend = REGISTRY.create(fmt)
+        x = nd.asarray(VALUES, backend)
+        y = nd.asarray([v / 2 for v in VALUES], backend)
+        from repro.engine.batch import BatchBackend
+
+        def boom(self, values, shape=None):  # pragma: no cover
+            raise AssertionError("scalar from_items fallback ran")
+
+        monkeypatch.setattr(BatchBackend, "from_items", boom)
+        got = x - y if op == "sub" else x / y
+        if fmt != "bigfloat256":
+            assert x.batch and got.batch
+        serial = ExecPlan.serial()
+        xs = nd.asarray(VALUES, backend, plan=serial)
+        ys = nd.asarray([v / 2 for v in VALUES], backend, plan=serial)
+        want = xs - ys if op == "sub" else xs / ys
+        assert not want.batch
+        assert got.tolist() == want.tolist()
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_multiply_add_matches_expression(self, fmt):
+        backend = REGISTRY.create(fmt)
+        x = nd.asarray(VALUES, backend)
+        y = nd.asarray(list(reversed(VALUES)), backend)
+        z = nd.asarray([v / 4 for v in VALUES], backend)
+        fused = nd.multiply_add(x, y, z)
+        spelled = x * y + z
+        assert fused.tolist() == spelled.tolist()
+        assert fused.batch == x.batch
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_dot_dispatch_matches_mul_sum(self, fmt):
+        backend = REGISTRY.create(fmt)
+        x = nd.asarray([VALUES, list(reversed(VALUES))], backend)
+        y = nd.asarray([v / 2 for v in VALUES], backend)
+        got = nd.dot(x, y, axis=-1)
+        want = (x * y).sum(axis=-1)
+        assert got.tolist() == want.tolist()
+
+    def test_batch_sub_domain_errors_match_scalar(self):
+        x = nd.asarray([0.25], "log")
+        y = nd.asarray([0.5], "log")
+        with pytest.raises(ValueError):
+            x - y
+        with pytest.raises(ZeroDivisionError):
+            x / nd.zeros((1,), "log")
 
     def test_reflected_ops_with_scalars(self):
         x = nd.asarray([0.5, 0.25], "binary64")
@@ -408,14 +463,13 @@ class TestAppEquivalence:
         with nd.use_format(backend):
             assert forward(hmm) == forward(hmm, backend)
 
-    def test_model_arrays_shims_warn(self):
-        from repro.apps.hmm import batch_model_arrays, model_values
-        hmm = self._hmm()
-        backend = REGISTRY.create("binary64")
-        with pytest.warns(DeprecationWarning):
-            a, b, pi = model_values(hmm, backend)
-        assert len(a) == hmm.n_states
-        bb = REGISTRY.batch_for(backend)
-        with pytest.warns(DeprecationWarning):
-            ba, _bb_, bpi = batch_model_arrays(hmm, bb)
-        assert ba.shape == (hmm.n_states, hmm.n_states)
+    def test_model_arrays_shims_removed(self):
+        """The PR 4 one-release DeprecationWarning shims are gone: the
+        names now fail hard instead of warning."""
+        from repro.apps import hmm as hmm_module
+        with pytest.raises(AttributeError):
+            hmm_module.model_values
+        with pytest.raises(AttributeError):
+            hmm_module.batch_model_arrays
+        with pytest.raises(ImportError):
+            from repro.apps.hmm import model_values  # noqa: F401
