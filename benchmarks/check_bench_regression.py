@@ -9,7 +9,10 @@ execution plane's standing performance guarantees:
 * ``batch_throughput.forward_log_batch64`` — the batched log-space
   forward algorithm must stay >= 10x the scalar loop;
 * ``apps_throughput.vicar_forward_multi*`` — the multi-model forward
-  (the ViCAR/Figure 10 shape) must stay >= 5x.
+  (the ViCAR/Figure 10 shape) must stay >= 5x;
+* ``telemetry_overhead.forward_disabled_overhead`` — disabled
+  telemetry hooks must cost < 3% of the batched forward run (a
+  *ceiling* gate on ``overhead_frac`` rather than a speedup floor).
 
 CI points this script at the current run's bench artifacts *and* the
 previous successful run's (downloaded by the ``bench-gate`` job), so a
@@ -36,7 +39,7 @@ import glob
 import json
 import os
 import sys
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 #: (benchmark name, result-key prefix) -> (env var, default floor).
 GATES: Dict[Tuple[str, str], Tuple[str, float]] = {
@@ -78,6 +81,15 @@ GATES: Dict[Tuple[str, str], Tuple[str, float]] = {
         ("REPRO_BATCH_OP_SPEEDUP_FLOOR", 3.0),
 }
 
+#: (benchmark name, result-key prefix) -> (env var, default ceiling).
+#: Ceiling gates bound a recorded *cost fraction* (the entry's
+#: ``overhead_frac``) from above instead of a speedup from below.
+CEILINGS: Dict[Tuple[str, str], Tuple[str, float]] = {
+    # The telemetry layer's zero-cost-when-disabled guarantee.
+    ("telemetry_overhead", "forward_disabled_overhead"):
+        ("REPRO_TELEMETRY_OVERHEAD_CEILING", 0.03),
+}
+
 #: Result keys (by prefix) the *committed* repo-root artifacts must
 #: contain — prefix matching tolerates parameterized suffixes.  CI's
 #: freshly measured / previous-run artifacts are exempt (older runs
@@ -92,6 +104,7 @@ REQUIRED_RESULTS: Dict[str, Tuple[str, ...]] = {
         "posit64_12_div", "lns6_8_sub", "lns12_50_div",
     ),
     "apps_throughput": ("vicar_forward_multi", "quire_accumulate"),
+    "telemetry_overhead": ("forward_disabled_overhead",),
 }
 
 
@@ -109,8 +122,16 @@ def gate_floors(env: Dict[str, str]) -> Dict[Tuple[str, str], float]:
             for key, (var, default) in GATES.items()}
 
 
+def gate_ceilings(env: Dict[str, str]) -> Dict[Tuple[str, str], float]:
+    """The effective ceiling per cost gate, honoring env overrides."""
+    return {key: float(env.get(var, default))
+            for key, (var, default) in CEILINGS.items()}
+
+
 def check_payload(payload: dict,
-                  floors: Dict[Tuple[str, str], float]) -> List[str]:
+                  floors: Dict[Tuple[str, str], float],
+                  ceilings: Optional[Dict[Tuple[str, str], float]] = None,
+                  ) -> List[str]:
     """Violation messages for one parsed ``BENCH_*.json`` payload."""
     bench = payload.get("benchmark", "")
     results = payload.get("results", {})
@@ -126,6 +147,17 @@ def check_payload(payload: dict,
                 violations.append(
                     f"{bench}.{key}: speedup {speedup} below the "
                     f">={floor}x gate")
+    for (gated_bench, prefix), ceiling in (ceilings or {}).items():
+        if bench != gated_bench:
+            continue
+        for key, record in results.items():
+            if not key.startswith(prefix):
+                continue
+            frac = record.get("overhead_frac")
+            if frac is None or frac >= ceiling:
+                violations.append(
+                    f"{bench}.{key}: overhead_frac {frac} at or above "
+                    f"the <{ceiling} ceiling")
     return violations
 
 
@@ -154,6 +186,7 @@ def main(argv=None) -> int:
         print("no BENCH_*.json artifacts found; nothing to gate")
         return 0
     floors = gate_floors(os.environ)
+    ceilings = gate_ceilings(os.environ)
     failures = []
     for path in files:
         try:
@@ -162,7 +195,7 @@ def main(argv=None) -> int:
         except (OSError, ValueError) as exc:
             failures.append(f"{path}: unreadable ({exc})")
             continue
-        for violation in check_payload(payload, floors):
+        for violation in check_payload(payload, floors, ceilings):
             failures.append(f"{path}: {violation}")
         print(f"checked {path} ({payload.get('benchmark', '?')})")
     if failures:

@@ -8,6 +8,14 @@ each on a realistic probability-magnitude operand array.  This is the
 tool that located the PR 5 posit gap (decode/encode dominated every
 op), and the CI artifact that keeps the stage balance visible.
 
+The numbers come from :mod:`repro.telemetry`: the engine's built-in
+stage spans (``posit.decode`` / ``posit.core.*`` / ``posit.encode``)
+time the stage rows, and explicit ``posit.op.*`` spans time the packed
+ops; ``seconds_per_call`` is the best (minimum) span duration over the
+repeats.  Whole-op rows therefore include the active collector's small
+tally overhead — the stage balance, which is what this profile is for,
+is unaffected.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/profile_posit.py
@@ -24,21 +32,42 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
+
+#: Stage rows read the engine's own telemetry spans; the remaining rows
+#: (whole packed ops) get an explicit ``posit.op.*`` span per call.
+SPAN_FOR = {
+    "decode": "posit.decode",
+    "encode": "posit.encode",
+    "add_core": "posit.core.add",
+    "mul_core": "posit.core.mul",
+    "div_core": "posit.core.div",
+}
 
 
-def _best_seconds(fn, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+def _span_best(telemetry, fn, name: str, repeats: int) -> float:
+    """Best (min) duration of span ``name`` over ``repeats`` runs of
+    ``fn`` inside a fresh collector.
+
+    Stage callables fire exactly one engine span per call; whole ops
+    are wrapped in their own span here.  The warm call runs outside
+    the scope so only steady-state durations reach the aggregate.
+    """
+    fn()  # warm ufunc/loop caches once; we time steady state
+    explicit = name not in SPAN_FOR.values()
+    with telemetry.collect() as t:
+        for _ in range(repeats):
+            if explicit:
+                with telemetry.span(name):
+                    fn()
+            else:
+                fn()
+    return t.spans[name][2]
 
 
 def profile(nbits: int, es: int, size: int, repeats: int) -> dict:
     import numpy as np
 
+    from repro import telemetry
     from repro.engine.posit_batch import BatchPosit
     from repro.formats.posit import PositEnv
 
@@ -68,8 +97,8 @@ def profile(nbits: int, es: int, size: int, repeats: int) -> dict:
     }
     results = {}
     for name, fn in stages.items():
-        fn()  # warm ufunc/loop caches once; we time steady state
-        seconds = _best_seconds(fn, repeats)
+        span_name = SPAN_FOR.get(name, f"posit.op.{name}")
+        seconds = _span_best(telemetry, fn, span_name, repeats)
         results[name] = {
             "seconds_per_call": seconds,
             "ops_per_s": size / seconds,

@@ -34,14 +34,15 @@ Quickstart::
 
 __version__ = "1.2.0"
 
-from . import arith, bigfloat, core, formats  # noqa: F401
+from . import arith, bigfloat, core, formats, telemetry  # noqa: F401
 
 #: NumPy-dependent subpackages load lazily (PEP 562) so the scalar
 #: stack stays importable where the vectorized engine cannot run.
+#: (:mod:`repro.telemetry` is stdlib-only, so it loads eagerly.)
 _LAZY_SUBMODULES = ("apps", "engine", "experiments", "nd")
 
 __all__ = [  # noqa: PLE0604
-    "arith", "bigfloat", "core", "formats", "__version__",
+    "arith", "bigfloat", "core", "formats", "telemetry", "__version__",
     *_LAZY_SUBMODULES,
 ]
 

@@ -24,6 +24,7 @@ from typing import List, Optional
 import numpy as np
 
 from .. import nd
+from .. import telemetry as _tele
 from ..arith.backend import Backend
 from ..bigfloat import BigFloat
 from ..data.dirichlet import HMMData
@@ -70,27 +71,30 @@ def _forward_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
     obs = np.asarray(obs)
     if obs.ndim != 2:
         raise ValueError("obs must have shape (batch, T)")
-    alpha = pi * _emission_shared(b, obs, 0)
-    for t in range(1, obs.shape[1]):
-        # path_sum[s, q] = sum_p(alpha[s, p] * A[p, q]), fold over p in
-        # index order (nd.dot == mul + the sum fold; decoded-plane
-        # mirrors fuse it so each operand decodes once per step).
-        path_sum = nd.dot(alpha[:, :, None], a, axis=1)
-        alpha = path_sum * _emission_shared(b, obs, t)
-    return nd.sum(alpha, axis=1)
+    with _tele.span("app.hmm.forward"):
+        alpha = pi * _emission_shared(b, obs, 0)
+        for t in range(1, obs.shape[1]):
+            # path_sum[s, q] = sum_p(alpha[s, p] * A[p, q]), fold over p
+            # in index order (nd.dot == mul + the sum fold;
+            # decoded-plane mirrors fuse it so each operand decodes once
+            # per step).
+            path_sum = nd.dot(alpha[:, :, None], a, axis=1)
+            alpha = path_sum * _emission_shared(b, obs, t)
+        return nd.sum(alpha, axis=1)
 
 
 def _forward_trace_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
     """Per-iteration total alpha mass, shape ``(B, T)`` — the data
     behind Figure 1."""
     obs = np.asarray(obs)
-    alpha = pi * _emission_shared(b, obs, 0)
-    trace = [nd.sum(alpha, axis=1)]
-    for t in range(1, obs.shape[1]):
-        path_sum = nd.dot(alpha[:, :, None], a, axis=1)
-        alpha = path_sum * _emission_shared(b, obs, t)
-        trace.append(nd.sum(alpha, axis=1))
-    return nd.stack(trace, axis=1)
+    with _tele.span("app.hmm.forward_trace"):
+        alpha = pi * _emission_shared(b, obs, 0)
+        trace = [nd.sum(alpha, axis=1)]
+        for t in range(1, obs.shape[1]):
+            path_sum = nd.dot(alpha[:, :, None], a, axis=1)
+            alpha = path_sum * _emission_shared(b, obs, t)
+            trace.append(nd.sum(alpha, axis=1))
+        return nd.stack(trace, axis=1)
 
 
 def _forward_models_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
@@ -109,12 +113,13 @@ def _forward_models_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
         return nd.take_along_axis(
             b, obs[:, t][:, None, None], axis=2)[..., 0]
 
-    alpha = pi * emission(0)
-    for t in range(1, obs.shape[1]):
-        # path_sum[s, q] = sum_p(alpha[s, p] * A[s, p, q])
-        path_sum = nd.dot(alpha[:, :, None], a, axis=1)
-        alpha = path_sum * emission(t)
-    return nd.sum(alpha, axis=1)
+    with _tele.span("app.hmm.forward_models"):
+        alpha = pi * emission(0)
+        for t in range(1, obs.shape[1]):
+            # path_sum[s, q] = sum_p(alpha[s, p] * A[s, p, q])
+            path_sum = nd.dot(alpha[:, :, None], a, axis=1)
+            alpha = path_sum * emission(t)
+        return nd.sum(alpha, axis=1)
 
 
 def _seq_rows(observations) -> list:

@@ -17,6 +17,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from .. import nd
+from .. import telemetry as _tele
 from ..arith.backend import Backend
 from ..data.dirichlet import HMMData
 from ..engine.plan import ExecPlan, resolve_plan
@@ -32,13 +33,14 @@ def _backward_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
     if obs.ndim != 2:
         raise ValueError("obs must have shape (batch, T)")
     n_batch, t_len = obs.shape
-    beta = nd.ones_like(a, (n_batch, len(pi)))
-    for t in range(t_len - 1, 0, -1):
-        inner = _emission_shared(b, obs, t) * beta
-        beta = nd.dot(a, inner[:, None, :], axis=2)
-    terms = nd.broadcast_to(pi, beta.shape) \
-        * (_emission_shared(b, obs, 0) * beta)
-    return nd.sum(terms, axis=1)
+    with _tele.span("app.hmm.backward"):
+        beta = nd.ones_like(a, (n_batch, len(pi)))
+        for t in range(t_len - 1, 0, -1):
+            inner = _emission_shared(b, obs, t) * beta
+            beta = nd.dot(a, inner[:, None, :], axis=2)
+        terms = nd.broadcast_to(pi, beta.shape) \
+            * (_emission_shared(b, obs, 0) * beta)
+        return nd.sum(terms, axis=1)
 
 
 def backward(hmm: HMMData, backend: Optional[Backend] = None,

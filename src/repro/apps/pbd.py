@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .. import nd
+from .. import telemetry as _tele
 from ..arith.backend import Backend
 from ..bigfloat import BigFloat
 from ..engine.plan import ExecPlan, resolve_plan
@@ -57,17 +58,20 @@ def _pbd_nd(pn: "nd.FArray", qn: "nd.FArray", k: int) -> "nd.FArray":
     n_sites, n_trials = pn.shape
     if n_trials < k:
         raise ValueError("need at least k trials")
-    # pr[s, j] = P(j successes in the first n trials), tracked for j < k.
-    pr = nd.concatenate([nd.ones_like(pn, (n_sites, 1)),
-                         nd.zeros_like(pn, (n_sites, k - 1))], axis=1)
-    pvalue = nd.zeros_like(pn, (n_sites,))
-    zero_col = nd.zeros_like(pn, (n_sites, 1))
-    for n in range(n_trials):
-        if n >= k - 1:
-            pvalue = nd.multiply_add(pr[:, k - 1], pn[:, n], pvalue)
-        shifted = nd.concatenate([zero_col, pr[:, :-1]], axis=1)
-        pr = nd.multiply_add(shifted, pn[:, n:n + 1], pr * qn[:, n:n + 1])
-    return pvalue
+    with _tele.span("app.pbd"):
+        # pr[s, j] = P(j successes in the first n trials), tracked for
+        # j < k.
+        pr = nd.concatenate([nd.ones_like(pn, (n_sites, 1)),
+                             nd.zeros_like(pn, (n_sites, k - 1))], axis=1)
+        pvalue = nd.zeros_like(pn, (n_sites,))
+        zero_col = nd.zeros_like(pn, (n_sites, 1))
+        for n in range(n_trials):
+            if n >= k - 1:
+                pvalue = nd.multiply_add(pr[:, k - 1], pn[:, n], pvalue)
+            shifted = nd.concatenate([zero_col, pr[:, :-1]], axis=1)
+            pr = nd.multiply_add(shifted, pn[:, n:n + 1],
+                                 pr * qn[:, n:n + 1])
+        return pvalue
 
 
 def _site_arrays(sites: Sequence[Sequence[BigFloat]], backend, plan):

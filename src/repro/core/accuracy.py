@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from .. import telemetry as _tele
 from ..arith.backend import Backend
 from ..bigfloat import BigFloat, log10 as bf_log10, relative_error
 from ..formats.real import Real
@@ -102,8 +103,12 @@ def measure_pairs(backend: Backend, op: str, pairs: Sequence,
         from ..engine import batch_backend_for
         bb = batch_backend_for(backend)
     if bb is not None:
+        if _tele.current() is not None:
+            _tele.count(f"sweep.{op}.{backend.name}.batch", len(pairs))
         results = measure_ops_batch(bb, op, pairs)
     else:
+        if _tele.current() is not None:
+            _tele.count(f"sweep.{op}.{backend.name}.scalar", len(pairs))
         results = [measure_op(backend, op, p.x, p.y, exact=p.exact)
                    for p in pairs]
     errors, n_uf, n_of = [], 0, 0

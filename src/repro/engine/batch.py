@@ -34,6 +34,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from .. import telemetry as _tele
 from ..arith.backend import Backend
 from ..arith.backends import Binary64Backend, LogSpaceBackend
 from ..bigfloat import BigFloat, DEFAULT_PRECISION
@@ -268,6 +269,12 @@ class BatchLogSpace(BatchBackend):
         neg_inf = np.isneginf(a) | np.isneginf(b)
         if neg_inf.any():
             out = np.where(neg_inf, -np.inf, out)
+        if _tele.current() is not None:
+            # Lanes driven to -inf by the float sum itself: the log
+            # representation ran out of range (probability underflow).
+            n = int(np.count_nonzero(np.isneginf(out) & ~neg_inf))
+            if n:
+                _tele.event("log.underflow", n)
         return out
 
     def sub(self, a, b) -> np.ndarray:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import telemetry as _tele
 from .batch import BatchBackend
 
 
@@ -48,8 +49,9 @@ def forward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
     backend's ``sum`` reduction over ``p`` in index order.
     """
     from ..apps.hmm import _forward_nd
-    fa, fb, fpi = _wrap3(backend, a, b, pi)
-    return np.asarray(_forward_nd(fa, fb, fpi, obs).data)
+    with _tele.span("kernel.forward_batch"):
+        fa, fb, fpi = _wrap3(backend, a, b, pi)
+        return np.asarray(_forward_nd(fa, fb, fpi, obs).data)
 
 
 def forward_alpha_trace_batch(backend: BatchBackend, a: np.ndarray,
@@ -58,8 +60,9 @@ def forward_alpha_trace_batch(backend: BatchBackend, a: np.ndarray,
     """Per-iteration total alpha mass for a batch of sequences, shape
     ``(B, T)`` — the batched counterpart of ``forward_alpha_trace``."""
     from ..apps.hmm import _forward_trace_nd
-    fa, fb, fpi = _wrap3(backend, a, b, pi)
-    return np.asarray(_forward_trace_nd(fa, fb, fpi, obs).data)
+    with _tele.span("kernel.forward_alpha_trace_batch"):
+        fa, fb, fpi = _wrap3(backend, a, b, pi)
+        return np.asarray(_forward_trace_nd(fa, fb, fpi, obs).data)
 
 
 def forward_multi_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
@@ -79,8 +82,9 @@ def forward_multi_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
     running :func:`repro.apps.hmm.forward` once per model.
     """
     from ..apps.hmm import _forward_models_nd
-    fa, fb, fpi = _wrap3(backend, a, b, pi)
-    return np.asarray(_forward_models_nd(fa, fb, fpi, obs).data)
+    with _tele.span("kernel.forward_multi_batch"):
+        fa, fb, fpi = _wrap3(backend, a, b, pi)
+        return np.asarray(_forward_models_nd(fa, fb, fpi, obs).data)
 
 
 def backward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
@@ -91,8 +95,9 @@ def backward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
     ``beta[p] = sum_q(A[p, q] * (B[q, o_t] * beta[q]))`` with the
     ``sum`` reduction over ``q`` in index order."""
     from ..apps.hmm_extra import _backward_nd
-    fa, fb, fpi = _wrap3(backend, a, b, pi)
-    return np.asarray(_backward_nd(fa, fb, fpi, obs).data)
+    with _tele.span("kernel.backward_batch"):
+        fa, fb, fpi = _wrap3(backend, a, b, pi)
+        return np.asarray(_backward_nd(fa, fb, fpi, obs).data)
 
 
 def pbd_pvalue_batch(backend: BatchBackend, pn: np.ndarray, qn: np.ndarray,
@@ -114,6 +119,7 @@ def pbd_pvalue_batch(backend: BatchBackend, pn: np.ndarray, qn: np.ndarray,
     """
     from ..apps.pbd import _pbd_nd
     from ..nd import wrap
-    fpn = wrap(np.asarray(pn), bb=backend)
-    fqn = wrap(np.asarray(qn), bb=backend)
-    return np.asarray(_pbd_nd(fpn, fqn, k).data)
+    with _tele.span("kernel.pbd_pvalue_batch"):
+        fpn = wrap(np.asarray(pn), bb=backend)
+        fqn = wrap(np.asarray(qn), bb=backend)
+        return np.asarray(_pbd_nd(fpn, fqn, k).data)

@@ -51,6 +51,7 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from .. import telemetry as _tele
 from ..arith.backend import Backend
 from ..arith.backends import LNSBackend
 from ..bigfloat import BigFloat
@@ -257,6 +258,8 @@ class BatchLNS(BatchBackend):
             if kind == "db":
                 values = [max(v, self._db_clamp) for v in values]
             table = np.array(values, dtype=self.dtype)
+            if _tele.current() is not None:
+                _tele.count(f"lns.{kind}.table_build", len(values))
             if kind == "sb":
                 self._sb_table = table
             else:
@@ -266,10 +269,22 @@ class BatchLNS(BatchBackend):
     def _interior_codes(self, gaps: np.ndarray, kind: str) -> np.ndarray:
         """Exact sb/db for strictly interior gaps (``sb_floor < d < 0``)."""
         if self._table_mode:
+            if _tele.current() is not None:
+                _tele.count(f"lns.{kind}.table_hit", int(gaps.size))
             return self._gauss_table(kind)[-gaps - 1]
         uniques, inverse = np.unique(gaps, return_inverse=True)
         cache = self._sb_cache if kind == "sb" else self._db_cache
         exact = self.env._sb_exact if kind == "sb" else self.env._db_exact
+        tally = _tele.current() is not None
+        if tally:
+            # Per-element hit/miss against the memo as of call entry
+            # (every element of a freshly-memoized gap counts as a
+            # miss for this call).
+            hit_u = np.array([int(u) in cache for u in uniques])
+            hits = int(np.bincount(inverse, minlength=len(uniques))
+                       [hit_u].sum())
+            _tele.count(f"lns.{kind}.memo_hit", hits)
+            _tele.count(f"lns.{kind}.memo_miss", int(gaps.size) - hits)
         table = np.empty(uniques.shape, dtype=self.dtype)
         for i, u in enumerate(uniques):
             key = int(u)

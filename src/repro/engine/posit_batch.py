@@ -41,6 +41,7 @@ from typing import Iterable, List, NamedTuple, Optional
 
 import numpy as np
 
+from .. import telemetry as _tele
 from ..arith.backend import Backend
 from ..arith.backends import PositBackend
 from ..bigfloat import BigFloat
@@ -320,16 +321,17 @@ class BatchPosit(BatchBackend):
         value is ``(-1)**sign * frac64 * 2**(scale - 63)`` and ``frac64``
         has its leading 1 at bit 63.
         """
-        bits = _u64(bits)
-        if self._mask != _FULL64:
-            bits = bits & self._mask
-        zero = bits == 0
-        nar = bits == self._nar
-        sign = bits >= self._sign_bit
-        mag = np.where(sign, _U64(0) - bits, bits)
-        body = mag & self._body_mask
-        frac64, scale = self._parse_body(body)
-        return zero, nar, sign, frac64, scale
+        with _tele.span("posit.decode"):
+            bits = _u64(bits)
+            if self._mask != _FULL64:
+                bits = bits & self._mask
+            zero = bits == 0
+            nar = bits == self._nar
+            sign = bits >= self._sign_bit
+            mag = np.where(sign, _U64(0) - bits, bits)
+            body = mag & self._body_mask
+            frac64, scale = self._parse_body(body)
+            return zero, nar, sign, frac64, scale
 
     def decode_once(self, bits) -> Unpacked:
         """The decoded-plane form of a pattern array (see
@@ -341,7 +343,7 @@ class BatchPosit(BatchBackend):
     # ------------------------------------------------------------------
     # Encode: (sign, scale, frac64, sticky) -> rounded bit patterns
     # ------------------------------------------------------------------
-    def _encode_mag(self, scale, frac64, sticky):
+    def _encode_mag(self, scale, frac64, sticky, live=None):
         """Round-to-nearest-even on the encoding string, vectorized;
         returns the *magnitude* pattern (sign not yet applied).
 
@@ -349,60 +351,102 @@ class BatchPosit(BatchBackend):
         is regime + exponent + fraction; we materialize its top 128 bits
         with a sticky for the rest, keep ``nbits - 1`` bits, and round
         on the guard bit + below-mask.
+
+        ``live``, when given, masks the finite-nonzero result lanes and
+        enables the ``posit.saturate``/``posit.flush`` event tallies
+        (callers only build it while a telemetry collector is active).
         """
-        env = self.env
-        es = env.es
-        scale = _i64(scale)
-        frac64 = _u64(frac64)
-        sticky = np.asarray(sticky, dtype=bool)
-        sat = scale > self._max_scale
+        with _tele.span("posit.encode"):
+            env = self.env
+            es = env.es
+            scale = _i64(scale)
+            frac64 = _u64(frac64)
+            sticky = np.asarray(sticky, dtype=bool)
+            sat = scale > self._max_scale
 
-        k = scale >> np.int64(es)  # arithmetic shift = floor division
-        e = _u64(scale - (k << np.int64(es)))
-        pos_k = k >= 0
-        # Ones (k >= 0) or zeros (k < 0) then the terminator; clamp the
-        # run so every shift below stays defined (lanes needing a longer
-        # run are saturation/underflow lanes whose value the final
-        # clamps and the sticky already determine).
-        run = np.minimum(np.where(pos_k, k + _I64(1), -k), _I64(192))
-        full = np.broadcast_to(_FULL64, run.shape)
-        top = np.broadcast_to(_TOP64, run.shape)
-        e_hi = np.where(pos_k, _shl64(full, 64 - run), _shr64(top, run))
-        e_lo = np.where(pos_k | (run < 64), _U64(0),
-                        _shr64(top, run - 64))
-        st_r = ~pos_k & (run >= 128)
-        # Exponent + fraction tail: es + 63 bits, top-aligned (constant
-        # shifts — es is fixed per environment) then dropped below the
-        # regime.
-        fraction = frac64 & _BELOW_TOP
-        if es == 0:
-            t_hi = fraction << _ONE
-            t_lo = np.zeros_like(t_hi)
-        elif es == 1:
-            t_hi = (e << _SIXTY_THREE) | fraction
-            t_lo = np.zeros_like(t_hi)
-        else:
-            t_hi = (e << _U64(64 - es)) | (fraction >> _U64(es - 1))
-            t_lo = fraction << _U64(65 - es)
-        t_hi, t_lo, st_t = _shr128_sticky(t_hi, t_lo, run + _I64(1))
-        e_hi = e_hi | t_hi
-        e_lo = e_lo | t_lo
+            k = scale >> np.int64(es)  # arithmetic shift = floor division
+            e = _u64(scale - (k << np.int64(es)))
+            pos_k = k >= 0
+            # Ones (k >= 0) or zeros (k < 0) then the terminator; clamp
+            # the run so every shift below stays defined (lanes needing a
+            # longer run are saturation/underflow lanes whose value the
+            # final clamps and the sticky already determine).
+            run = np.minimum(np.where(pos_k, k + _I64(1), -k), _I64(192))
+            full = np.broadcast_to(_FULL64, run.shape)
+            top = np.broadcast_to(_TOP64, run.shape)
+            e_hi = np.where(pos_k, _shl64(full, 64 - run), _shr64(top, run))
+            e_lo = np.where(pos_k | (run < 64), _U64(0),
+                            _shr64(top, run - 64))
+            st_r = ~pos_k & (run >= 128)
+            # Exponent + fraction tail: es + 63 bits, top-aligned
+            # (constant shifts — es is fixed per environment) then
+            # dropped below the regime.
+            fraction = frac64 & _BELOW_TOP
+            if es == 0:
+                t_hi = fraction << _ONE
+                t_lo = np.zeros_like(t_hi)
+            elif es == 1:
+                t_hi = (e << _SIXTY_THREE) | fraction
+                t_lo = np.zeros_like(t_hi)
+            else:
+                t_hi = (e << _U64(64 - es)) | (fraction >> _U64(es - 1))
+                t_lo = fraction << _U64(65 - es)
+            t_hi, t_lo, st_t = _shr128_sticky(t_hi, t_lo, run + _I64(1))
+            e_hi = e_hi | t_hi
+            e_lo = e_lo | t_lo
 
-        kept = e_hi >> self._kept_shift
-        guard = (e_hi >> self._guard_shift) & _ONE
-        below = (((e_hi & self._below_mask) != 0) | (e_lo != 0)
-                 | sticky | st_r | st_t)
-        round_up = (guard != 0) & (below | ((kept & _ONE) != 0))
-        pattern = kept + round_up
-        pattern = np.minimum(pattern, self._maxpos)
-        if env.underflow != FLUSH:
-            # Saturate mode: a nonzero real never rounds to zero.  In
-            # flush mode a rounded-to-zero pattern simply stays zero.
-            pattern = np.where(pattern == 0, self._minpos, pattern)
-        return np.where(sat, self._maxpos, pattern)
+            kept = e_hi >> self._kept_shift
+            guard = (e_hi >> self._guard_shift) & _ONE
+            below = (((e_hi & self._below_mask) != 0) | (e_lo != 0)
+                     | sticky | st_r | st_t)
+            round_up = (guard != 0) & (below | ((kept & _ONE) != 0))
+            pattern = kept + round_up
+            pattern = np.minimum(pattern, self._maxpos)
+            if live is not None:
+                self._tally_rounding(live, sat, scale, frac64, sticky,
+                                     pattern)
+            if env.underflow != FLUSH:
+                # Saturate mode: a nonzero real never rounds to zero.  In
+                # flush mode a rounded-to-zero pattern simply stays zero.
+                pattern = np.where(pattern == 0, self._minpos, pattern)
+            return np.where(sat, self._maxpos, pattern)
 
-    def _encode(self, sign, scale, frac64, sticky):
-        pattern = self._encode_mag(scale, frac64, sticky)
+    def _tally_rounding(self, live, sat, scale, frac64, sticky, pattern):
+        """Tally ``posit.saturate``/``posit.flush`` on live result lanes.
+
+        Only reached when the caller built a ``live`` mask, i.e. while a
+        collector was active; re-checks in case the scope closed."""
+        c = _tele.current()
+        if c is None:
+            return
+        # |exact| > maxpos == 2**max_scale: either the scale overflows
+        # outright, or it sits exactly at max_scale with anything below
+        # the leading significand bit set (frac64's leading 1 is bit 63,
+        # so the value is frac64 * 2**(scale-63) plus the sticky tail).
+        over = live & (sat | ((scale == self._max_scale)
+                              & ((frac64 != _TOP64) | sticky)))
+        n = int(np.count_nonzero(over))
+        if n:
+            c.event("posit.saturate", n)
+        # Magnitude rounded to zero (kept in flush mode, clamped back to
+        # minpos in saturate mode — the rounding event is the same).
+        under = live & ~sat & (pattern == 0)
+        n = int(np.count_nonzero(under))
+        if n:
+            c.event("posit.flush", n)
+
+    def _tally_nar(self, nar, dead):
+        """Tally ``posit.nar`` result lanes and return the live mask
+        (neither NaR nor an exact-zero passthrough lane) for the
+        rounding-event tallies.  Only called while a collector is
+        active."""
+        n = int(np.count_nonzero(nar))
+        if n:
+            _tele.event("posit.nar", n)
+        return ~(nar | dead)
+
+    def _encode(self, sign, scale, frac64, sticky, live=None):
+        pattern = self._encode_mag(scale, frac64, sticky, live)
         return np.where(sign, (_U64(0) - pattern) & self._mask, pattern)
 
     def encode_once(self, u: Unpacked) -> np.ndarray:
@@ -414,12 +458,12 @@ class BatchPosit(BatchBackend):
             pattern = np.where(u.zero, _U64(0), pattern)
             return np.where(u.nar, self._nar, pattern)
 
-    def _round_to_planes(self, sign, scale, frac64, sticky):
+    def _round_to_planes(self, sign, scale, frac64, sticky, live=None):
         """Round an exact (sign, scale, frac64, sticky) result and
         return it re-decoded: ``(mag_pattern, frac64', scale')``.
         The one extra magnitude parse replaces the two full pattern
         decodes the next op in a chain would otherwise pay."""
-        pm = self._encode_mag(scale, frac64, sticky)
+        pm = self._encode_mag(scale, frac64, sticky, live)
         f2, s2 = self._parse_body(pm)
         return pm, f2, s2
 
@@ -428,82 +472,87 @@ class BatchPosit(BatchBackend):
     # ------------------------------------------------------------------
     def _mul_core(self, ua: Unpacked, ub: Unpacked):
         """Exact product: ``(sign, scale, frac64, sticky)``."""
-        hi, lo = _umul64(ua.frac64, ub.frac64)
-        top = (hi >> _SIXTY_THREE) & _ONE
-        top1 = top != 0
-        frac = np.where(top1, hi, (hi << _ONE) | (lo >> _SIXTY_THREE))
-        low = np.where(top1, lo, lo << _ONE)
-        scale = ua.scale + ub.scale + top.astype(np.int64)
-        return ua.sign ^ ub.sign, scale, frac, low != 0
+        with _tele.span("posit.core.mul"):
+            hi, lo = _umul64(ua.frac64, ub.frac64)
+            top = (hi >> _SIXTY_THREE) & _ONE
+            top1 = top != 0
+            frac = np.where(top1, hi, (hi << _ONE) | (lo >> _SIXTY_THREE))
+            low = np.where(top1, lo, lo << _ONE)
+            scale = ua.scale + ub.scale + top.astype(np.int64)
+            return ua.sign ^ ub.sign, scale, frac, low != 0
 
     def _add_core(self, ua: Unpacked, ub: Unpacked):
         """Exact sum: ``(sign, scale, frac64, sticky, cancelled,
         same)`` — ``cancelled`` flags exact zero results of
         opposite-sign adds, ``same`` whether the signs agreed."""
-        sa, fa, ea = ua.sign, ua.frac64, ua.scale
-        sb, fb, eb = ub.sign, ub.frac64, ub.scale
-        # Dominant operand first (larger magnitude).
-        a_small = (ea < eb) | ((ea == eb) & (fa < fb))
-        s1 = np.where(a_small, sb, sa)
-        f1 = np.where(a_small, fb, fa)
-        e1 = np.where(a_small, eb, ea)
-        s2 = np.where(a_small, sa, sb)
-        f2 = np.where(a_small, fa, fb)
-        gap = e1 - np.where(a_small, ea, eb)
-        # Align the small operand: (f2, 0) >> gap with a sticky.
-        b_hi = _shr64(f2, gap)
-        b_lo = np.where(gap < 64, _shl64(f2, 64 - gap),
-                        _shr64(f2, gap - 64))
-        st_b = (f2 & _low_mask(gap - 64)) != 0
-        same = s1 == s2
-        # Operand-dependent gating: probability workloads are almost
-        # always sign-uniform (all positive), so compute each branch
-        # only where some lane needs it.  Results are identical either
-        # way (the merge selects per lane); the exhaustive suites cover
-        # mixed batches.
-        any_diff = not bool(same.all())
-        # The same-sign path also serves the empty-array case (both
-        # ``any`` flags false), where every op below is a no-op anyway.
-        any_same = bool(same.any()) or not any_diff
+        with _tele.span("posit.core.add"):
+            sa, fa, ea = ua.sign, ua.frac64, ua.scale
+            sb, fb, eb = ub.sign, ub.frac64, ub.scale
+            # Dominant operand first (larger magnitude).
+            a_small = (ea < eb) | ((ea == eb) & (fa < fb))
+            s1 = np.where(a_small, sb, sa)
+            f1 = np.where(a_small, fb, fa)
+            e1 = np.where(a_small, eb, ea)
+            s2 = np.where(a_small, sa, sb)
+            f2 = np.where(a_small, fa, fb)
+            gap = e1 - np.where(a_small, ea, eb)
+            # Align the small operand: (f2, 0) >> gap with a sticky.
+            b_hi = _shr64(f2, gap)
+            b_lo = np.where(gap < 64, _shl64(f2, 64 - gap),
+                            _shr64(f2, gap - 64))
+            st_b = (f2 & _low_mask(gap - 64)) != 0
+            same = s1 == s2
+            # Operand-dependent gating: probability workloads are almost
+            # always sign-uniform (all positive), so compute each branch
+            # only where some lane needs it.  Results are identical
+            # either way (the merge selects per lane); the exhaustive
+            # suites cover mixed batches.
+            any_diff = not bool(same.all())
+            # The same-sign path also serves the empty-array case (both
+            # ``any`` flags false), where every op below is a no-op
+            # anyway.
+            any_same = bool(same.any()) or not any_diff
 
-        if any_same:
-            # Same sign: (f1, 0) + aligned B, renormalizing one carry
-            # bit.
-            lo_s = b_lo
-            hi_s = f1 + b_hi
-            carry = hi_s < f1
-            st_s = st_b | (carry & ((lo_s & _ONE) != 0))
-            lo_s = np.where(carry, (lo_s >> _ONE) | (hi_s << _SIXTY_THREE),
-                            lo_s)
-            hi_s = np.where(carry, (hi_s >> _ONE) | _TOP64, hi_s)
-            scale_s = e1 + carry.astype(np.int64)
+            if any_same:
+                # Same sign: (f1, 0) + aligned B, renormalizing one
+                # carry bit.
+                lo_s = b_lo
+                hi_s = f1 + b_hi
+                carry = hi_s < f1
+                st_s = st_b | (carry & ((lo_s & _ONE) != 0))
+                lo_s = np.where(carry,
+                                (lo_s >> _ONE) | (hi_s << _SIXTY_THREE),
+                                lo_s)
+                hi_s = np.where(carry, (hi_s >> _ONE) | _TOP64, hi_s)
+                scale_s = e1 + carry.astype(np.int64)
 
-        if any_diff:
-            # Opposite sign: (f1, 0) - aligned B, minus a borrow when
-            # the alignment lost bits (true B is larger than its
-            # truncation; the lost fraction survives as the sticky).
-            hi_d, lo_d = _sub128(f1, np.zeros_like(f1), b_hi, b_lo,
-                                 st_b.astype(np.uint64))
-            cancelled = (hi_d == 0) & (lo_d == 0) & ~st_b
-            msb = np.where(hi_d != 0, 64 + _bit_length64(hi_d),
-                           _bit_length64(lo_d)) - 1
-            shift_up = np.where(cancelled, 0, 127 - msb)
-            hi_d, lo_d = _shl128(hi_d, lo_d, shift_up)
-            scale_d = e1 - shift_up
-        else:
-            cancelled = np.zeros_like(same)
+            if any_diff:
+                # Opposite sign: (f1, 0) - aligned B, minus a borrow
+                # when the alignment lost bits (true B is larger than
+                # its truncation; the lost fraction survives as the
+                # sticky).
+                hi_d, lo_d = _sub128(f1, np.zeros_like(f1), b_hi, b_lo,
+                                     st_b.astype(np.uint64))
+                cancelled = (hi_d == 0) & (lo_d == 0) & ~st_b
+                msb = np.where(hi_d != 0, 64 + _bit_length64(hi_d),
+                               _bit_length64(lo_d)) - 1
+                shift_up = np.where(cancelled, 0, 127 - msb)
+                hi_d, lo_d = _shl128(hi_d, lo_d, shift_up)
+                scale_d = e1 - shift_up
+            else:
+                cancelled = np.zeros_like(same)
 
-        if not any_diff:
-            frac, low, sticky, scale = hi_s, lo_s, st_s, scale_s
-        elif not any_same:
-            frac, low, sticky, scale = hi_d, lo_d, st_b, scale_d
-        else:
-            frac = np.where(same, hi_s, hi_d)
-            low = np.where(same, lo_s, lo_d)
-            sticky = np.where(same, st_s, st_b)
-            scale = np.where(same, scale_s, scale_d)
-        sticky = sticky | (low != 0)
-        return s1, scale, frac, sticky, cancelled, same
+            if not any_diff:
+                frac, low, sticky, scale = hi_s, lo_s, st_s, scale_s
+            elif not any_same:
+                frac, low, sticky, scale = hi_d, lo_d, st_b, scale_d
+            else:
+                frac = np.where(same, hi_s, hi_d)
+                low = np.where(same, lo_s, lo_d)
+                sticky = np.where(same, st_s, st_b)
+                scale = np.where(same, scale_s, scale_d)
+            sticky = sticky | (low != 0)
+            return s1, scale, frac, sticky, cancelled, same
 
     def _divide_frac(self, fa: np.ndarray, fb: np.ndarray):
         """Normalized exact quotient of two left-aligned significands:
@@ -514,25 +563,26 @@ class BatchPosit(BatchBackend):
         invariant ``rem < fb`` keeps every intermediate in one limb
         (the shifted-out top bit is folded into the compare/subtract).
         """
-        ge0 = fa >= fb
-        rem = np.where(ge0, fa - fb, fa)
-        q = ge0.astype(np.uint64)
-        for _ in range(63):
+        with _tele.span("posit.core.div"):
+            ge0 = fa >= fb
+            rem = np.where(ge0, fa - fb, fa)
+            q = ge0.astype(np.uint64)
+            for _ in range(63):
+                top = rem >> _SIXTY_THREE
+                rem = rem << _ONE
+                bit = (top != 0) | (rem >= fb)
+                rem = np.where(bit, rem - fb, rem)
+                q = (q << _ONE) | bit
+            # One more bit for quotients in (1/2, 1).
             top = rem >> _SIXTY_THREE
-            rem = rem << _ONE
-            bit = (top != 0) | (rem >= fb)
-            rem = np.where(bit, rem - fb, rem)
-            q = (q << _ONE) | bit
-        # One more bit for quotients in (1/2, 1).
-        top = rem >> _SIXTY_THREE
-        rem2 = rem << _ONE
-        bit = (top != 0) | (rem2 >= fb)
-        rem2 = np.where(bit, rem2 - fb, rem2)
-        q2 = (q << _ONE) | bit
-        frac = np.where(ge0, q, q2)
-        sticky = np.where(ge0, rem, rem2) != 0
-        dec = (~ge0).astype(np.int64)
-        return frac, sticky, dec
+            rem2 = rem << _ONE
+            bit = (top != 0) | (rem2 >= fb)
+            rem2 = np.where(bit, rem2 - fb, rem2)
+            q2 = (q << _ONE) | bit
+            frac = np.where(ge0, q, q2)
+            sticky = np.where(ge0, rem, rem2) != 0
+            dec = (~ge0).astype(np.int64)
+            return frac, sticky, dec
 
     # ------------------------------------------------------------------
     # Packed-pattern arithmetic
@@ -545,7 +595,10 @@ class BatchPosit(BatchBackend):
             ua = Unpacked(za, na, sa, fa, ea)
             ub = Unpacked(zb, nb, sb, fb, eb)
             sign, scale, frac, sticky = self._mul_core(ua, ub)
-            pattern = self._encode(sign, scale, frac, sticky)
+            live = None
+            if _tele.current() is not None:
+                live = self._tally_nar(na | nb, za | zb)
+            pattern = self._encode(sign, scale, frac, sticky, live)
             pattern = np.where(za | zb, _U64(0), pattern)
             return np.where(na | nb, self._nar, pattern)
 
@@ -560,7 +613,11 @@ class BatchPosit(BatchBackend):
             ub = Unpacked(zb, nb, sb, fb, eb)
             s1, scale, frac, sticky, cancelled, same = \
                 self._add_core(ua, ub)
-            pattern = self._encode(s1, scale, frac, sticky)
+            live = None
+            if _tele.current() is not None:
+                live = self._tally_nar(na | nb,
+                                       za | zb | (~same & cancelled))
+            pattern = self._encode(s1, scale, frac, sticky, live)
             pattern = np.where(~same & cancelled, _U64(0), pattern)
             pattern = np.where(za, bm, pattern)
             pattern = np.where(zb & ~za, am, pattern)
@@ -586,7 +643,10 @@ class BatchPosit(BatchBackend):
             fa, fb = np.broadcast_arrays(fa, fb)
             frac, sticky, dec = self._divide_frac(fa, fb)
             scale = ea - eb - dec
-            pattern = self._encode(sa ^ sb, scale, frac, sticky)
+            live = None
+            if _tele.current() is not None:
+                live = self._tally_nar(na | nb | zb, np.asarray(za))
+            pattern = self._encode(sa ^ sb, scale, frac, sticky, live)
             pattern = np.where(za, _U64(0), pattern)
             return np.where(na | nb | zb, self._nar, pattern)
 
@@ -605,7 +665,11 @@ class BatchPosit(BatchBackend):
     def mul_unpacked(self, ua: Unpacked, ub: Unpacked) -> Unpacked:
         """Rounded product in the decoded plane (element-exact)."""
         sign, scale, frac, sticky = self._mul_core(ua, ub)
-        pm, f2, s2 = self._round_to_planes(sign, scale, frac, sticky)
+        live = None
+        if _tele.current() is not None:
+            live = self._tally_nar(ua.nar | ub.nar, ua.zero | ub.zero)
+        pm, f2, s2 = self._round_to_planes(sign, scale, frac, sticky,
+                                           live)
         zero = ua.zero | ub.zero | (pm == 0)
         return Unpacked(zero, ua.nar | ub.nar, sign, f2, s2)
 
@@ -613,7 +677,11 @@ class BatchPosit(BatchBackend):
         """Rounded sum in the decoded plane (element-exact)."""
         za, zb = ua.zero, ub.zero
         s1, scale, frac, sticky, cancelled, same = self._add_core(ua, ub)
-        pm, f2, s2 = self._round_to_planes(s1, scale, frac, sticky)
+        live = None
+        if _tele.current() is not None:
+            live = self._tally_nar(ua.nar | ub.nar,
+                                   za | zb | (~same & cancelled))
+        pm, f2, s2 = self._round_to_planes(s1, scale, frac, sticky, live)
         live = ~za & ~zb
         zero = (za & zb) | (live & ((~same & cancelled) | (pm == 0)))
         sign = np.where(za, ub.sign, np.where(zb, ua.sign, s1))

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import telemetry as _tele
 from ..formats.posit import PositEnv
 from .posit_batch import (
     BatchPosit,
@@ -164,6 +165,8 @@ class BatchQuire:
         with np.errstate(over="ignore"):
             bits = np.broadcast_to(_u64(bits), self.shape)
             zero, nar, sign, frac64, scale = self._batch._decode(bits)
+            if _tele.current() is not None:
+                self._tally(nar)
             self._nar |= nar
             dead = zero | nar
             frac64 = np.where(dead, _U64(0), frac64)
@@ -190,6 +193,8 @@ class BatchQuire:
             b_bits = np.broadcast_to(_u64(b_bits), self.shape)
             za, na, sa, fa, ea = self._batch._decode(a_bits)
             zb, nb, sb, fb, eb = self._batch._decode(b_bits)
+            if _tele.current() is not None:
+                self._tally(na | nb)
             self._nar |= na | nb
             dead = za | zb | na | nb
             hi, lo = _umul64(fa, fb)
@@ -206,11 +211,22 @@ class BatchQuire:
             self._accumulate(addend, np.asarray(sa ^ sb) ^ bool(negate))
         return self
 
+    def _tally(self, nar_in: np.ndarray) -> None:
+        """Count accumulated terms and newly NaR-poisoned lanes (only
+        called while a telemetry collector is active)."""
+        _tele.count("quire.accumulate", int(np.prod(self.shape or (1,))))
+        n = int(np.count_nonzero(nar_in & ~self._nar))
+        if n:
+            _tele.event("quire.nar", n)
+
     # ------------------------------------------------------------------
     # Rounding
     # ------------------------------------------------------------------
     def to_posit(self) -> np.ndarray:
         """Round every accumulator to a posit (the only rounding)."""
+        if _tele.current() is not None:
+            _tele.count("quire.to_posit",
+                        int(np.prod(self.shape or (1,))))
         with np.errstate(over="ignore"):
             return self._to_posit()
 

@@ -25,6 +25,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..arith.backend import Backend
 from ..core.accuracy import measure_pairs
 from ..core.sweep import FIG3_BINS, SweepChunk, binary64_skipped, plan_chunks
@@ -33,17 +34,33 @@ from ..core.sweep import FIG3_BINS, SweepChunk, binary64_skipped, plan_chunks
 ChunkTally = Dict[str, Tuple[List[float], int, int]]
 
 
-def _measure_chunk(task) -> Tuple[tuple, int, ChunkTally]:
+def _measure_chunk(task):
     """Worker entry: regenerate one chunk's pairs and measure every
-    backend on them.  Must stay module-level (pickled by the pool)."""
-    chunk, backends, batch = task
-    pairs = chunk.generate()
-    tally: ChunkTally = {}
-    for fmt, backend in backends.items():
-        if binary64_skipped(fmt, chunk.bin_range):
-            continue
-        tally[fmt] = measure_pairs(backend, chunk.op, pairs, batch=batch)
-    return chunk.bin_range, chunk.chunk_index, tally
+    backend on them.  Must stay module-level (pickled by the pool).
+
+    When the parent had an active collector (the ``collect`` flag in
+    the task tuple), the chunk runs inside a fresh child collector —
+    picklable, shipped back as the fourth element for the parent to
+    merge — wrapped in a ``runner.chunk`` span so per-chunk worker
+    timings survive the process boundary."""
+    chunk, backends, batch, collect = task
+    child = None
+    scope = telemetry.collect() if collect else None
+    try:
+        if scope is not None:
+            child = scope.__enter__()
+        with telemetry.span("runner.chunk"):
+            pairs = chunk.generate()
+            tally: ChunkTally = {}
+            for fmt, backend in backends.items():
+                if binary64_skipped(fmt, chunk.bin_range):
+                    continue
+                tally[fmt] = measure_pairs(backend, chunk.op, pairs,
+                                           batch=batch)
+    finally:
+        if scope is not None:
+            scope.__exit__(None, None, None)
+    return chunk.bin_range, chunk.chunk_index, tally, child
 
 
 def default_workers() -> int:
@@ -68,23 +85,30 @@ def run_sweep_parallel(op: str, backends: Dict[str, Backend],
 
     if n_workers is None:
         n_workers = default_workers()
-    chunks = plan_chunks(op, bins, per_bin, seed, chunk_size)
-    tasks = [(chunk, backends, batch) for chunk in chunks]
-    if n_workers <= 1:
-        outcomes = [_measure_chunk(t) for t in tasks]
-    else:
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # platforms without fork
-            ctx = multiprocessing.get_context("spawn")
-        with ProcessPoolExecutor(max_workers=n_workers,
-                                 mp_context=ctx) as pool:
-            outcomes = list(pool.map(_measure_chunk, tasks, chunksize=1))
+    collector = telemetry.current()
+    with telemetry.span("runner.sweep"):
+        chunks = plan_chunks(op, bins, per_bin, seed, chunk_size)
+        tasks = [(chunk, backends, batch, collector is not None)
+                 for chunk in chunks]
+        if n_workers <= 1:
+            outcomes = [_measure_chunk(t) for t in tasks]
+        else:
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # platforms without fork
+                ctx = multiprocessing.get_context("spawn")
+            with ProcessPoolExecutor(max_workers=n_workers,
+                                     mp_context=ctx) as pool:
+                outcomes = list(pool.map(_measure_chunk, tasks,
+                                         chunksize=1))
 
     # pool.map preserves task order, and the per-cell tallies commute,
-    # so the merge is deterministic without re-sorting.
+    # so the merge is deterministic without re-sorting — including the
+    # per-chunk child collectors folded back into the parent scope.
     merged: Dict[tuple, Dict[str, List]] = {b: {} for b in bins}
-    for bin_range, _index, tally in outcomes:
+    for bin_range, _index, tally, child in outcomes:
+        if collector is not None and child is not None:
+            collector.merge(child)
         cell = merged[bin_range]
         for fmt, (errors, n_uf, n_of) in tally.items():
             acc = cell.setdefault(fmt, [[], 0, 0])

@@ -27,6 +27,8 @@ import os
 import time
 from typing import Optional
 
+from .. import telemetry as _tele
+
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -82,9 +84,13 @@ def load(experiment_id: str, params: dict,
         with open(path) as f:
             entry = json.load(f)
     except (OSError, ValueError):
+        _tele.count("cache.miss")
         return None
     if entry.get("experiment") != experiment_id:
+        _tele.count("cache.miss")
         return None
+    _tele.count("cache.hit")
+    _tele.count("cache.hit_bytes", len(entry.get("text") or ""))
     return entry
 
 
@@ -108,6 +114,8 @@ def store(experiment_id: str, params: dict, text: str,
     with open(tmp, "w") as f:
         json.dump(entry, f, indent=1)
     os.replace(tmp, path)  # atomic: concurrent runners can't tear entries
+    _tele.count("cache.store")
+    _tele.count("cache.store_bytes", len(text))
     return path
 
 

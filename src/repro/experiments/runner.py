@@ -32,6 +32,7 @@ import sys
 import time
 from typing import Callable, Dict, NamedTuple, Optional
 
+from .. import telemetry
 from ..engine.plan import DEFAULT_PLAN, ExecPlan, resolve_plan
 from . import cache as result_cache
 
@@ -166,13 +167,13 @@ def _run_experiment(experiment_id, scale, out_dir, plan,
                                   cache_dir=cache_dir)
         if entry is not None:
             return entry["text"], True
-    start = time.time()
+    start = time.perf_counter()
     result = exp.run(scale, **kwargs) if exp.scalable else exp.run(**kwargs)
     text = exp.render(result)
     if use_cache:
         result_cache.store(experiment_id, key_params, text,
                            cache_dir=cache_dir,
-                           elapsed_seconds=time.time() - start)
+                           elapsed_seconds=time.perf_counter() - start)
     if out_dir is not None:
         save_report(out_dir, experiment_id, text, result, scale)
     return text, False
@@ -216,6 +217,13 @@ def main(argv=None) -> int:
     parser.add_argument("--refresh", action="store_true",
                         help="recompute even on a cache hit, overwriting "
                              "the entry")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="collect telemetry and write a JSONL span "
+                             "trace (one line per closed span plus a "
+                             "final summary line) to PATH")
+    parser.add_argument("--stats", action="store_true",
+                        help="collect telemetry and print the aggregate "
+                             "counter/span/event table after the run")
     args = parser.parse_args(argv)
     if args.formats:
         from ..arith.registry import REGISTRY as FORMATS
@@ -244,14 +252,29 @@ def main(argv=None) -> int:
         if target not in REGISTRY:
             print(f"unknown experiment {target!r}", file=sys.stderr)
             return 2
-        start = time.time()
-        print(f"\n===== {target} =====")
-        text, hit = _run_experiment(target, args.scale, args.out, plan,
-                                    not args.no_cache, args.cache_dir,
-                                    args.refresh)
-        print(text)
-        note = " (cached)" if hit else ""
-        print(f"[{target} finished in {time.time() - start:.1f}s{note}]")
+    collecting = args.trace is not None or args.stats
+    scope = telemetry.collect(trace=args.trace) if collecting else None
+    collector = scope.__enter__() if scope is not None else None
+    try:
+        for target in targets:
+            start = time.perf_counter()
+            print(f"\n===== {target} =====")
+            with telemetry.span(f"experiment.{target}"):
+                text, hit = _run_experiment(target, args.scale, args.out,
+                                            plan, not args.no_cache,
+                                            args.cache_dir, args.refresh)
+            print(text)
+            note = " (cached)" if hit else ""
+            print(f"[{target} finished in "
+                  f"{time.perf_counter() - start:.1f}s{note}]")
+    finally:
+        if scope is not None:
+            scope.__exit__(None, None, None)
+    if collector is not None and args.stats:
+        print("\n===== telemetry =====")
+        print(collector.report())
+    if collector is not None and args.trace is not None:
+        print(f"[telemetry trace written to {args.trace}]")
     return 0
 
 

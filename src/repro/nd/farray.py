@@ -48,6 +48,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry as _tele
 from ..arith.backend import Backend
 from ..arith.registry import REGISTRY
 from ..bigfloat import BigFloat, DEFAULT_PRECISION
@@ -74,6 +75,14 @@ __all__ = [
     "zeros",
     "zeros_like",
 ]
+
+
+def _tally_nd(op: str, fmt: str, plane: str, data) -> None:
+    """Count ``n`` result elements under ``nd.{op}.{fmt}.{plane}``.
+
+    Callers guard with ``telemetry.current() is not None`` so the
+    disabled path never builds the key string."""
+    _tele.count(f"nd.{op}.{fmt}.{plane}", int(np.asarray(data).size))
 
 
 def _mirror(backend: Backend, plan: ExecPlan, certified: bool):
@@ -300,7 +309,10 @@ class FArray:
             # without one — there is no silent per-element fallback on
             # the vectorized representation).
             fn = getattr(self._bb, op)
-            return FArray(fn(a._data, b._data), self._backend, self._bb)
+            out = fn(a._data, b._data)
+            if _tele.current() is not None:
+                _tally_nd(op, self.format, "batch", out)
+            return FArray(out, self._backend, self._bb)
         return self._scalar_binary(a, b, op)
 
     def _scalar_binary(self, a: "FArray", b: "FArray", op: str) -> "FArray":
@@ -308,6 +320,8 @@ class FArray:
         representation's path)."""
         fn = getattr(self._backend, op)
         out = np.frompyfunc(fn, 2, 1)(a._data, b._data)
+        if _tele.current() is not None:
+            _tally_nd(op, self._backend.name, "scalar", out)
         return FArray(np.asarray(out, dtype=object), self._backend, None)
 
     def __add__(self, other):
@@ -358,11 +372,15 @@ class FArray:
             return self.ravel().sum(axis=0)
         if self._bb is not None:
             out = self._bb.sum(self._data, axis=axis)
+            if _tele.current() is not None:
+                _tally_nd("sum", self.format, "batch", out)
             return FArray(np.asarray(out), self._backend, self._bb)
         moved = np.moveaxis(self._data, axis, -1)
         out = np.empty(moved.shape[:-1], dtype=object)
         for idx in np.ndindex(*out.shape):
             out[idx] = self._backend.sum(list(moved[idx]))
+        if _tele.current() is not None:
+            _tally_nd("sum", self.format, "scalar", out)
         return FArray(out, self._backend, None)
 
     def dot(self, other, axis: int = -1) -> "FArray":
@@ -381,6 +399,8 @@ class FArray:
                             f"FArray")
         if self._bb is not None:
             out = self._bb.dot(self._data, rhs._data, axis=axis)
+            if _tele.current() is not None:
+                _tally_nd("dot", self.format, "batch", out)
             return FArray(np.asarray(out), self._backend, self._bb)
         return (self * rhs).sum(axis=axis)
 
@@ -404,6 +424,9 @@ class FArray:
             if (self._bb is None) == (bb is None):
                 return self
             return self._as_mode(bb)
+        if _tele.current() is not None:
+            _tele.count(f"nd.astype.{self.format}->{target.name}",
+                        self.size)
         return _from_bigfloats(self.to_bigfloats(), self.shape, target, bb)
 
 
@@ -580,8 +603,10 @@ def multiply_add(x: FArray, y, z) -> FArray:
         raise TypeError("multiply_add operands must be coercible to "
                         "the FArray's format")
     if x._bb is not None:
-        return FArray(x._bb.axpy(x._data, ry._data, rz._data),
-                      x._backend, x._bb)
+        out = x._bb.axpy(x._data, ry._data, rz._data)
+        if _tele.current() is not None:
+            _tally_nd("axpy", x.format, "batch", out)
+        return FArray(out, x._backend, x._bb)
     return x * ry + rz
 
 

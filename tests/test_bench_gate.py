@@ -19,8 +19,13 @@ def _payload(bench, key, speedup):
     return {"benchmark": bench, "results": {key: {"speedup": speedup}}}
 
 
+def _overhead_payload(bench, key, frac):
+    return {"benchmark": bench, "results": {key: {"overhead_frac": frac}}}
+
+
 class TestCheckPayload:
     FLOORS = gate.gate_floors({})
+    CEILINGS = gate.gate_ceilings({})
 
     def test_passing_payload(self):
         ok = _payload("batch_throughput", "forward_log_batch64", 17.9)
@@ -68,6 +73,32 @@ class TestCheckPayload:
             ok = _payload("batch_throughput", key, 8.0)
             assert gate.check_payload(ok, self.FLOORS) == [], key
 
+    def test_overhead_ceiling(self):
+        """The telemetry disabled-overhead gate bounds a cost fraction
+        from above (a ceiling, not a speedup floor)."""
+        ok = _overhead_payload("telemetry_overhead",
+                               "forward_disabled_overhead", 0.001)
+        assert gate.check_payload(ok, self.FLOORS, self.CEILINGS) == []
+        bad = _overhead_payload("telemetry_overhead",
+                                "forward_disabled_overhead", 0.05)
+        assert len(gate.check_payload(bad, self.FLOORS,
+                                      self.CEILINGS)) == 1
+
+    def test_overhead_missing_frac_is_a_violation(self):
+        broken = {"benchmark": "telemetry_overhead",
+                  "results": {"forward_disabled_overhead": {}}}
+        assert len(gate.check_payload(broken, self.FLOORS,
+                                      self.CEILINGS)) == 1
+
+    def test_ceilings_optional_and_env_raises_ceiling(self):
+        bad = _overhead_payload("telemetry_overhead",
+                                "forward_disabled_overhead", 0.05)
+        # Omitting the ceilings dict keeps the old call signature valid.
+        assert gate.check_payload(bad, self.FLOORS) == []
+        relaxed = gate.gate_ceilings(
+            {"REPRO_TELEMETRY_OVERHEAD_CEILING": "0.10"})
+        assert gate.check_payload(bad, self.FLOORS, relaxed) == []
+
     def test_missing_required_detects_absent_entries(self):
         partial = _payload("batch_throughput", "forward_log_batch64", 20.0)
         missing = gate.missing_required(partial)
@@ -104,22 +135,27 @@ class TestCommittedArtifacts:
     acceptance criterion that the inversion did not cost the recorded
     speedups)."""
 
-    @pytest.mark.parametrize("name", ["BENCH_batch.json", "BENCH_apps.json"])
+    ARTIFACTS = ("BENCH_batch.json", "BENCH_apps.json",
+                 "BENCH_telemetry.json")
+
+    @pytest.mark.parametrize("name", ARTIFACTS)
     def test_artifact_exists(self, name):
         assert os.path.exists(os.path.join(REPO_ROOT, name))
 
     def test_committed_artifacts_meet_full_gates(self):
-        floors = gate.gate_floors({})  # full floors, no env lowering
-        for name in ("BENCH_batch.json", "BENCH_apps.json"):
+        floors = gate.gate_floors({})  # full gates, no env relaxing
+        ceilings = gate.gate_ceilings({})
+        for name in self.ARTIFACTS:
             with open(os.path.join(REPO_ROOT, name)) as f:
                 payload = json.load(f)
-            assert gate.check_payload(payload, floors) == [], name
+            assert gate.check_payload(payload, floors, ceilings) == [], name
 
     def test_committed_artifacts_contain_required_entries(self):
         """The recorded artifacts must carry every gated entry —
         including the PR 5 sub/div coverage for all batched formats
-        (absence would silently skip the speedup gate)."""
-        for name in ("BENCH_batch.json", "BENCH_apps.json"):
+        and the telemetry disabled-overhead measurement (absence would
+        silently skip the gate)."""
+        for name in self.ARTIFACTS:
             with open(os.path.join(REPO_ROOT, name)) as f:
                 payload = json.load(f)
             assert gate.missing_required(payload) == [], name
