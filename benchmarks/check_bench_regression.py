@@ -79,6 +79,12 @@ GATES: Dict[Tuple[str, str], Tuple[str, float]] = {
         ("REPRO_BATCH_OP_SPEEDUP_FLOOR", 3.0),
     ("batch_throughput", "lns12_50_div"):
         ("REPRO_BATCH_OP_SPEEDUP_FLOOR", 3.0),
+    # The serving tier: cross-request microbatching must keep the
+    # coalescing server >= 3x the no-coalescing configuration on
+    # same-shape forward traffic (measured end to end over HTTP by
+    # benchmarks/test_service_load.py).
+    ("service_load", "forward_coalescing"):
+        ("REPRO_SERVICE_SPEEDUP_FLOOR", 3.0),
 }
 
 #: (benchmark name, result-key prefix) -> (env var, default ceiling).
@@ -105,6 +111,7 @@ REQUIRED_RESULTS: Dict[str, Tuple[str, ...]] = {
     ),
     "apps_throughput": ("vicar_forward_multi", "quire_accumulate"),
     "telemetry_overhead": ("forward_disabled_overhead",),
+    "service_load": ("forward_coalescing",),
 }
 
 

@@ -22,6 +22,9 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.data` — synthetic workload generators
 * :mod:`repro.hw` — FPGA accelerator timing/resource models
 * :mod:`repro.experiments` — one module per paper table/figure
+* :mod:`repro.service` — arithmetic-as-a-service: asyncio server
+  with cross-request microbatching, typed workload API, client,
+  and load harness
 * :mod:`repro.report` — text tables and CDFs
 
 Quickstart::
@@ -39,7 +42,8 @@ from . import arith, bigfloat, core, formats, telemetry  # noqa: F401
 #: NumPy-dependent subpackages load lazily (PEP 562) so the scalar
 #: stack stays importable where the vectorized engine cannot run.
 #: (:mod:`repro.telemetry` is stdlib-only, so it loads eagerly.)
-_LAZY_SUBMODULES = ("apps", "engine", "experiments", "nd")
+_LAZY_SUBMODULES = ("apps", "engine", "experiments", "nd",
+                    "service")
 
 __all__ = [  # noqa: PLE0604
     "arith", "bigfloat", "core", "formats", "telemetry", "__version__",

@@ -40,6 +40,7 @@ from typing import Optional
 from .plan import (
     CACHE_POLICIES,
     DEFAULT_PLAN,
+    PLAN_SCHEMA_VERSION,
     ExecPlan,
     current_plan,
     resolve_plan,
@@ -133,6 +134,7 @@ __all__ = [
     "HAVE_NUMPY",
     "CACHE_POLICIES",
     "DEFAULT_PLAN",
+    "PLAN_SCHEMA_VERSION",
     "ExecPlan",
     "current_plan",
     "resolve_plan",

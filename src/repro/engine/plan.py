@@ -54,6 +54,12 @@ from typing import Iterator, Optional
 
 CACHE_POLICIES = ("auto", "off", "refresh")
 
+#: Version of the plan's JSON wire schema (bumped when fields change
+#: incompatibly).  :meth:`ExecPlan.from_json` names this version in its
+#: rejection errors so a schema mismatch is diagnosable from the
+#: message alone.
+PLAN_SCHEMA_VERSION = 1
+
 
 @dataclass(frozen=True)
 class ExecPlan:
@@ -101,6 +107,59 @@ class ExecPlan:
         width = self.batch_size if self.batch_size is not None else max(n, 1)
         return [slice(lo, min(lo + width, n))
                 for lo in range(0, n, width)] or [slice(0, 0)]
+
+    # ------------------------------------------------------------------
+    # JSON wire form (plans travel inside repro.service requests)
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """The plan as one JSON-serializable dict (all fields, plus the
+        ``plan_version`` schema tag :meth:`from_json` validates)."""
+        payload = {"plan_version": PLAN_SCHEMA_VERSION}
+        for f in fields(self):
+            payload[f.name] = getattr(self, f.name)
+        return payload
+
+    @classmethod
+    def from_json(cls, data) -> "ExecPlan":
+        """Rebuild a plan from :meth:`to_json` output.
+
+        Unknown fields are *rejected* with a versioned
+        :class:`ValueError` (not a bare ``TypeError``): a request built
+        against a newer schema must fail with a message that names both
+        schema versions instead of an opaque constructor error.  Every
+        field is optional — absent fields keep their defaults, so old
+        payloads keep parsing as the schema grows.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"ExecPlan JSON (schema v{PLAN_SCHEMA_VERSION}) must be an "
+                f"object, got {type(data).__name__}")
+        data = dict(data)
+        version = data.pop("plan_version", PLAN_SCHEMA_VERSION)
+        if not isinstance(version, int) or isinstance(version, bool) \
+                or version < 1:
+            raise ValueError(
+                f"ExecPlan JSON: plan_version must be a positive integer, "
+                f"got {version!r} (this build speaks schema "
+                f"v{PLAN_SCHEMA_VERSION})")
+        if version > PLAN_SCHEMA_VERSION:
+            raise ValueError(
+                f"ExecPlan JSON schema v{version} is newer than this "
+                f"build's v{PLAN_SCHEMA_VERSION}; upgrade the receiver or "
+                f"send a v{PLAN_SCHEMA_VERSION} plan")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"ExecPlan JSON (schema v{PLAN_SCHEMA_VERSION}) does not "
+                f"define field(s) {', '.join(map(repr, unknown))}; known "
+                f"fields: {', '.join(sorted(known))}")
+        try:
+            return cls(**data)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"ExecPlan JSON (schema v{PLAN_SCHEMA_VERSION}) rejected: "
+                f"{exc}") from exc
 
     def __repr__(self):
         """Non-default fields only: ``ExecPlan()`` is the canonical
@@ -172,6 +231,7 @@ def resolve_plan(plan: Optional[ExecPlan] = None, *,
 __all__ = [
     "CACHE_POLICIES",
     "DEFAULT_PLAN",
+    "PLAN_SCHEMA_VERSION",
     "ExecPlan",
     "current_plan",
     "resolve_plan",

@@ -22,6 +22,12 @@ are cached under ``.repro-cache/`` keyed on code + params
 (:mod:`repro.experiments.cache`), so re-running a figure with unchanged
 inputs performs no recomputation; ``--no-cache`` bypasses the cache
 entirely and ``--refresh`` recomputes and overwrites.
+
+Dispatch itself goes through the typed entry-layer contract of
+:mod:`repro.service`: each target becomes a
+``WorkloadRequest(kind="experiment", ...)`` executed by the same
+single-request dispatcher the evaluation server uses, so the CLI and
+the service cannot drift apart.
 """
 
 from __future__ import annotations
@@ -252,6 +258,12 @@ def main(argv=None) -> int:
         if target not in REGISTRY:
             print(f"unknown experiment {target!r}", file=sys.stderr)
             return 2
+    # The CLI speaks the same typed entry-layer contract as the
+    # evaluation server: each target becomes a WorkloadRequest routed
+    # through repro.service's single-request dispatcher, so there is
+    # exactly one experiment dispatch path in the codebase.
+    from ..service.api import ServiceError, WorkloadRequest
+    from ..service.workloads import execute as execute_workload
     collecting = args.trace is not None or args.stats
     scope = telemetry.collect(trace=args.trace) if collecting else None
     collector = scope.__enter__() if scope is not None else None
@@ -259,12 +271,22 @@ def main(argv=None) -> int:
         for target in targets:
             start = time.perf_counter()
             print(f"\n===== {target} =====")
-            with telemetry.span(f"experiment.{target}"):
-                text, hit = _run_experiment(target, args.scale, args.out,
-                                            plan, not args.no_cache,
-                                            args.cache_dir, args.refresh)
-            print(text)
-            note = " (cached)" if hit else ""
+            request = WorkloadRequest(
+                kind="experiment",
+                payload={"experiment_id": target, "scale": args.scale,
+                         "out_dir": args.out,
+                         "use_cache": not args.no_cache,
+                         "cache_dir": args.cache_dir,
+                         "refresh": args.refresh},
+                plan=plan, request_id=f"cli-{target}")
+            try:
+                with telemetry.span(f"experiment.{target}"):
+                    result = execute_workload(request)
+            except ServiceError as exc:
+                print(f"{target}: {exc}", file=sys.stderr)
+                return 2
+            print(result.values[0])
+            note = " (cached)" if result.stats.get("cached") else ""
             print(f"[{target} finished in "
                   f"{time.perf_counter() - start:.1f}s{note}]")
     finally:

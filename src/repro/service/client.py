@@ -1,0 +1,178 @@
+"""``ServiceClient``: the in-process client for an :class:`EvalServer`.
+
+Speaks the same hand-framed HTTP/1.1-over-asyncio-streams protocol as
+the server (stdlib only), holding one keep-alive connection per client
+instance — the load harness runs hundreds of these concurrently, each
+modelling one closed-loop user.
+
+:meth:`submit` takes a typed :class:`~repro.service.api.WorkloadRequest`
+and returns a typed :class:`~repro.service.api.WorkloadResult`; non-2xx
+responses raise the :class:`~repro.service.api.ServiceError` subclass
+the body's :class:`~repro.service.api.ErrorInfo` names (``Overloaded``
+for 429, ``ProtocolError`` for 400, ...), so callers handle failures by
+exception type, never by status-code arithmetic.
+
+:func:`call` is the one-shot synchronous convenience wrapper (connect,
+submit, disconnect) for scripts and the CLI ``ping`` path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from .api import (
+    ErrorInfo,
+    ProtocolError,
+    ServiceError,
+    WorkloadRequest,
+    WorkloadResult,
+    error_from_info,
+)
+
+
+class ServiceClient:
+    """One keep-alive connection to an evaluation server.
+
+    Usage::
+
+        async with ServiceClient("127.0.0.1", server.port) as client:
+            result = await client.submit(request)
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8421, *,
+                 timeout_s: Optional[float] = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    async def connect(self) -> "ServiceClient":
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def submit(self, request: WorkloadRequest) -> WorkloadResult:
+        """One workload round trip; raises the typed
+        :class:`ServiceError` on a non-2xx answer."""
+        status, payload = await self._round_trip(
+            "POST", "/v1/workload", request.to_json())
+        if status == 200:
+            return WorkloadResult.from_json(payload)
+        raise self._error(status, payload)
+
+    async def stats(self) -> dict:
+        status, payload = await self._round_trip("GET", "/v1/stats", None)
+        if status != 200:
+            raise self._error(status, payload)
+        return payload
+
+    async def healthz(self) -> dict:
+        status, payload = await self._round_trip("GET", "/v1/healthz", None)
+        if status != 200:
+            raise self._error(status, payload)
+        return payload
+
+    @staticmethod
+    def _error(status: int, payload) -> ServiceError:
+        info = payload.get("error") if isinstance(payload, dict) else None
+        if info is not None:
+            try:
+                return error_from_info(ErrorInfo.from_json(info))
+            except ProtocolError:
+                pass
+        return ServiceError(f"server answered HTTP {status} with an "
+                            f"unrecognized error body: {payload!r}")
+
+    async def _round_trip(self, method: str, path: str, payload):
+        await self.connect()
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"\r\n")
+        self._writer.write(head.encode() + body)
+        try:
+            await self._writer.drain()
+            response = await asyncio.wait_for(self._read_response(),
+                                              self.timeout_s)
+        except (asyncio.IncompleteReadError, ConnectionError) as exc:
+            await self.close()
+            raise ServiceError(f"connection to {self.host}:{self.port} "
+                               f"dropped mid-request: "
+                               f"{type(exc).__name__}") from exc
+        except asyncio.TimeoutError:
+            await self.close()
+            raise ServiceError(f"no response from {self.host}:{self.port} "
+                               f"within {self.timeout_s}s") from None
+        return response
+
+    async def _read_response(self):
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionResetError("server closed the connection")
+        parts = line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ServiceError(f"malformed status line {line!r}")
+        status = int(parts[1])
+        length = 0
+        keep_alive = True
+        while True:
+            line = await self._reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            name = name.strip().lower()
+            if name == "content-length":
+                length = int(value.strip())
+            elif name == "connection" and value.strip().lower() == "close":
+                keep_alive = False
+        body = await self._reader.readexactly(length) if length else b""
+        if not keep_alive:
+            await self.close()
+        try:
+            payload = json.loads(body.decode()) if body else None
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServiceError(f"server sent a non-JSON body: "
+                               f"{exc}") from exc
+        return status, payload
+
+
+def call(request: WorkloadRequest, host: str = "127.0.0.1",
+         port: int = 8421, *,
+         timeout_s: Optional[float] = 60.0) -> WorkloadResult:
+    """Synchronous one-shot convenience: connect, submit, disconnect."""
+
+    async def _run():
+        async with ServiceClient(host, port, timeout_s=timeout_s) as client:
+            return await client.submit(request)
+
+    return asyncio.run(_run())
+
+
+__all__ = ["ServiceClient", "call"]

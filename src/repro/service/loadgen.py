@@ -1,0 +1,175 @@
+"""Synthetic load harness for the evaluation service.
+
+Models the service's design-point traffic: many concurrent closed-loop
+clients (one keep-alive connection each), every request a small
+same-shape HMM ``forward`` workload — exactly the traffic microbatching
+exists for.  Each client fires its requests back to back over a real
+socket to an in-process :class:`~repro.service.server.EvalServer`, so
+the measured path includes HTTP framing, JSON, validation, scheduling,
+kernel execution, and result scatter.
+
+:func:`run_load` measures one configuration (throughput, p50/p99
+latency, coalescing factor); :func:`compare_coalescing` runs the *same*
+traffic against a no-coalescing server (``max_batch=1`` — every request
+its own kernel call) and a coalescing one, and reports the throughput
+ratio.  That ratio is the service's reason to exist — the ROADMAP's
+11-37x batch speedups converted into request throughput — and is
+recorded in ``BENCH_service.json`` and gate-enforced at >= 3x
+(``REPRO_SERVICE_SPEEDUP_FLOOR``).
+
+Clients use *distinct* models (distinct seeds) and the server cache is
+off, so nothing here measures dedupe — only genuine coalescing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..engine.plan import ExecPlan
+from .api import ServiceError, WorkloadRequest
+from .client import ServiceClient
+from .server import EvalServer
+
+
+def model_json(h: int, m: int, t: int, seed: int) -> dict:
+    """One synthetic HMM as a ``forward`` payload model object."""
+    from ..data.dirichlet import sample_hmm
+    hmm = sample_hmm(h, m, t, seed=seed)
+    a, b, pi, obs = hmm.as_float_arrays()
+    return {"transition": a.tolist(), "emission": b.tolist(),
+            "initial": pi.tolist(),
+            "observations": [int(o) for o in obs]}
+
+
+def forward_request(format: str, h: int, m: int, t: int, seed: int, *,
+                    priority: int = 0,
+                    request_id: Optional[str] = None) -> WorkloadRequest:
+    """One single-model ``forward`` request over a sampled HMM."""
+    return WorkloadRequest(kind="forward",
+                           payload={"models": [model_json(h, m, t, seed)]},
+                           format=format, priority=priority,
+                           request_id=request_id)
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """One load-run's measurements."""
+
+    requests: int
+    errors: int
+    elapsed_s: float
+    throughput_rps: float
+    p50_ms: float
+    p99_ms: float
+    coalescing_factor: float
+    batches: int
+
+    def to_json(self) -> dict:
+        return {"requests": self.requests, "errors": self.errors,
+                "elapsed_s": self.elapsed_s,
+                "throughput_rps": self.throughput_rps,
+                "p50_ms": self.p50_ms, "p99_ms": self.p99_ms,
+                "coalescing_factor": self.coalescing_factor,
+                "batches": self.batches}
+
+
+async def run_load(*, clients: int = 32, requests_per_client: int = 12,
+                   format: str = "binary64", h: int = 8, m: int = 8,
+                   t: int = 96, window_s: float = 0.005,
+                   max_batch: int = 64, max_queue: int = 8192,
+                   plan: Optional[ExecPlan] = None,
+                   seed: int = 0) -> LoadResult:
+    """Run one closed-loop load test against a fresh in-process server.
+
+    ``max_batch=1`` gives the no-coalescing baseline; anything larger
+    lets same-shape requests from concurrent clients share kernel
+    calls.  All clients send the same ``(h, m, t)`` shape but distinct
+    models, so every speedup measured is coalescing, not caching.
+    """
+    # One payload per client, built before the clock starts.
+    payloads = [forward_request(format, h, m, t, seed + i).to_json()
+                for i in range(clients)]
+    latencies_s: List[float] = []
+    errors = [0]
+
+    async with EvalServer(port=0, window_s=window_s, max_batch=max_batch,
+                          max_queue=max_queue, plan=plan,
+                          cache="off") as server:
+
+        async def one_client(index: int) -> None:
+            payload = payloads[index]
+            async with ServiceClient("127.0.0.1", server.port) as client:
+                for j in range(requests_per_client):
+                    request = WorkloadRequest.from_json(
+                        dict(payload, request_id=f"c{index}-r{j}"))
+                    t0 = time.perf_counter()
+                    try:
+                        await client.submit(request)
+                    except ServiceError:
+                        errors[0] += 1
+                    latencies_s.append(time.perf_counter() - t0)
+
+        started = time.perf_counter()
+        await asyncio.gather(*(one_client(i) for i in range(clients)))
+        elapsed = time.perf_counter() - started
+        stats = server.stats()
+
+    latencies_s.sort()
+
+    def pct(q: float) -> float:
+        if not latencies_s:
+            return 0.0
+        rank = min(len(latencies_s) - 1,
+                   int(round(q * (len(latencies_s) - 1))))
+        return latencies_s[rank] * 1e3
+
+    total = clients * requests_per_client
+    return LoadResult(
+        requests=total, errors=errors[0], elapsed_s=elapsed,
+        throughput_rps=total / elapsed if elapsed > 0 else 0.0,
+        p50_ms=pct(0.50), p99_ms=pct(0.99),
+        coalescing_factor=stats["coalescing"]["factor"],
+        batches=stats["coalescing"]["batches"])
+
+
+def compare_coalescing(*, scale: float = 1.0, format: str = "binary64",
+                       h: int = 8, m: int = 8, t: int = 96,
+                       window_s: float = 0.005,
+                       max_batch: int = 64, seed: int = 0) -> dict:
+    """Identical traffic against a no-coalescing and a coalescing
+    server; returns the ``BENCH_service.json`` payload (the headline
+    ``speedup`` is the coalesced/solo throughput ratio)."""
+    clients = max(4, int(round(32 * scale)))
+    requests_per_client = max(3, int(round(12 * scale)))
+
+    def run(batch: int) -> LoadResult:
+        return asyncio.run(run_load(
+            clients=clients, requests_per_client=requests_per_client,
+            format=format, h=h, m=m, t=t, window_s=window_s,
+            max_batch=batch, seed=seed))
+
+    solo = run(1)
+    coalesced = run(max_batch)
+    speedup = (coalesced.throughput_rps / solo.throughput_rps
+               if solo.throughput_rps > 0 else 0.0)
+    return {
+        "benchmark": "service_load",
+        "params": {"clients": clients,
+                   "requests_per_client": requests_per_client,
+                   "format": format, "shape": [h, m, t],
+                   "window_s": window_s, "max_batch": max_batch},
+        "results": {
+            "forward_coalescing": {
+                "speedup": speedup,
+                "solo": solo.to_json(),
+                "coalesced": coalesced.to_json(),
+            },
+        },
+    }
+
+
+__all__ = ["LoadResult", "compare_coalescing", "forward_request",
+           "model_json", "run_load"]

@@ -1,0 +1,577 @@
+"""Workload handlers: the executable side of the service contract.
+
+One :class:`WorkloadHandler` per request ``kind`` knows how to
+
+* **validate** a :class:`~repro.service.api.WorkloadRequest` payload
+  (raising :class:`~repro.service.api.InvalidRequest` with a message
+  that names the offending field),
+* produce a **coalesce key** — requests with equal keys arriving within
+  the scheduler's window are executed as ONE batched kernel call
+  (``None`` means "never coalesce": the ragged/odd-shaped case), and
+* **run a batch** of same-key requests through the execution plane,
+  scattering per-request results back in order.
+
+Coalescing leans entirely on certifications the execution plane already
+proves: ``forward`` runs through
+:func:`repro.apps.hmm.forward_models_batch` with ``certified=True``
+(reduction-certified mirrors only, so a coalesced likelihood is
+*guaranteed* bit-identical to a solo :func:`repro.apps.hmm.forward`
+call), and ``pbd``/``op``/``astype`` are elementwise workloads where
+batching over the request axis is value-preserving by construction.
+That is why the scatter can promise bit-identity without the scheduler
+knowing any numerics.
+
+:func:`execute` is the single-request entry point — the in-process
+dispatcher the CLI runner and the tests share with the server (the
+server's scheduler calls ``run_batch`` directly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import telemetry as _tele
+from ..arith.registry import REGISTRY
+from ..bigfloat import BigFloat
+from ..engine.plan import ExecPlan, resolve_plan
+from .api import (
+    InvalidRequest,
+    UnknownKind,
+    WorkloadRequest,
+    WorkloadResult,
+    encode_bigfloat,
+    encode_value,
+)
+
+#: ``(values, stats)`` for one request — what ``run_batch`` yields.
+RequestOutput = Tuple[list, dict]
+
+
+def _backend(format_name: Optional[str]):
+    """The shared scalar backend for a registry format name (shared so
+    the registry's weak-keyed mirror memoization holds across
+    requests — LNS tables in particular must survive)."""
+    from ..nd.context import _default_backend
+    if not isinstance(format_name, str) or not format_name:
+        raise InvalidRequest("this workload kind needs a registry "
+                             "format name in the request's 'format' "
+                             "field (e.g. \"binary64\", \"posit(64,12)\")")
+    try:
+        return _default_backend(format_name)
+    except (KeyError, ValueError) as exc:
+        raise InvalidRequest(f"unknown format {format_name!r}: "
+                             f"{exc}") from exc
+
+
+def _check_format(format_name) -> str:
+    """Registry-validate a format name at request-validation time
+    (cheap: no backend construction on the rejection path)."""
+    if not isinstance(format_name, str) or not format_name:
+        raise InvalidRequest("this workload kind needs a registry "
+                             "format name in the request's 'format' "
+                             "field (e.g. \"binary64\", \"posit(64,12)\")")
+    try:
+        REGISTRY.spec(format_name)
+    except KeyError as exc:
+        raise InvalidRequest(str(exc.args[0]) if exc.args else
+                             f"unknown format {format_name!r}") from exc
+    return format_name
+
+
+def _probability(value, *, where: str) -> BigFloat:
+    """One JSON number as an exact BigFloat probability operand."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise InvalidRequest(f"{where} must be numbers, got "
+                             f"{type(value).__name__}")
+    try:
+        return BigFloat.from_float(float(value))
+    except (OverflowError, ValueError) as exc:
+        raise InvalidRequest(f"{where}: {exc}") from exc
+
+
+def _number_list(values, *, where: str) -> List[BigFloat]:
+    if not isinstance(values, (list, tuple)) or not values:
+        raise InvalidRequest(f"{where} must be a non-empty list of "
+                             f"numbers")
+    return [_probability(v, where=where) for v in values]
+
+
+def _memo(request: WorkloadRequest, attr: str, compute):
+    """Parse each request's payload exactly once.
+
+    Every request is parsed at three layers (validation, coalesce-key,
+    batch execution); the parsed form is stashed on the (frozen)
+    request instance so layers two and three are free — under load the
+    triple parse costs more than the coalesced kernel itself.
+    """
+    cached = request.__dict__.get(attr)
+    if cached is None:
+        cached = compute()
+        object.__setattr__(request, attr, cached)
+    return cached
+
+
+class WorkloadHandler:
+    """Base class: one executable workload kind."""
+
+    kind: str = ""
+
+    def validate(self, request: WorkloadRequest) -> None:
+        """Raise :class:`InvalidRequest` unless the payload is
+        well-formed for this kind.  Called once, before queueing."""
+        raise NotImplementedError
+
+    def coalesce_key(self, request: WorkloadRequest) -> Optional[tuple]:
+        """The microbatch identity of a *validated* request, or ``None``
+        when the request must run solo."""
+        return None
+
+    def run_batch(self, requests: Sequence[WorkloadRequest],
+                  plan: Optional[ExecPlan] = None) -> List[RequestOutput]:
+        """Execute same-key requests as one kernel call; one
+        ``(values, stats)`` per request, input order."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# forward — HMM forward likelihoods (single- and multi-model)
+# ----------------------------------------------------------------------
+def _model_from_json(model, *, where: str):
+    """One JSON model object as an exact :class:`HMMData`."""
+    from ..data.dirichlet import HMMData
+    if not isinstance(model, dict):
+        raise InvalidRequest(f"{where} must be an object with "
+                             f"'transition', 'emission', 'initial', "
+                             f"'observations'")
+    missing = [k for k in ("transition", "emission", "initial",
+                           "observations") if k not in model]
+    if missing:
+        raise InvalidRequest(f"{where} is missing field(s) "
+                             f"{', '.join(missing)}")
+    unknown = sorted(set(model) - {"transition", "emission", "initial",
+                                   "observations"})
+    if unknown:
+        raise InvalidRequest(f"{where} has unknown field(s) "
+                             f"{', '.join(unknown)}")
+
+    def matrix(name, rows):
+        if not isinstance(rows, (list, tuple)) or not rows:
+            raise InvalidRequest(f"{where}.{name} must be a non-empty "
+                                 f"list of rows")
+        width = None
+        out = []
+        for row in rows:
+            bf_row = tuple(_number_list(row, where=f"{where}.{name} rows"))
+            if width is None:
+                width = len(bf_row)
+            elif len(bf_row) != width:
+                raise InvalidRequest(f"{where}.{name} rows must share "
+                                     f"one length")
+            out.append(bf_row)
+        return tuple(out)
+
+    transition = matrix("transition", model["transition"])
+    emission = matrix("emission", model["emission"])
+    initial = tuple(_number_list(model["initial"],
+                                 where=f"{where}.initial"))
+    if len(transition) != len(transition[0]) or \
+            len(transition) != len(emission) or \
+            len(transition) != len(initial):
+        raise InvalidRequest(f"{where}: transition must be (H, H) with "
+                             f"emission (H, M) and initial (H,)")
+    obs = model["observations"]
+    if not isinstance(obs, (list, tuple)) or not obs:
+        raise InvalidRequest(f"{where}.observations must be a non-empty "
+                             f"list of symbol indices")
+    n_symbols = len(emission[0])
+    observations = []
+    for o in obs:
+        if isinstance(o, bool) or not isinstance(o, int) \
+                or not 0 <= o < n_symbols:
+            raise InvalidRequest(f"{where}.observations must be ints in "
+                                 f"[0, {n_symbols})")
+        observations.append(o)
+    return HMMData(transition, emission, initial, tuple(observations))
+
+
+class ForwardHandler(WorkloadHandler):
+    """``forward``: likelihoods for one or many HMMs.
+
+    Payload: ``{"models": [<model>, ...]}`` where each model carries
+    ``transition``/``emission``/``initial`` probability matrices (JSON
+    numbers — exact, the doubles the data layer samples) and an integer
+    ``observations`` sequence.  One likelihood per model comes back.
+
+    Requests whose models all share one ``(H, M, T)`` shape coalesce by
+    ``(format, H, M, T)``; a mixed-shape multi-model request runs solo
+    (``forward_models_batch`` still groups internally).  Execution is
+    ``certified=True``: coalesced results are bit-identical to solo
+    ``forward()`` by the registry's reduction certification.
+    """
+
+    kind = "forward"
+
+    def _models(self, request: WorkloadRequest) -> list:
+        return _memo(request, "_parsed_models",
+                     lambda: self._parse_models(request))
+
+    def _parse_models(self, request: WorkloadRequest) -> list:
+        payload = request.payload
+        unknown = sorted(set(payload) - {"models"})
+        if unknown:
+            raise InvalidRequest(f"forward payload has unknown field(s) "
+                                 f"{', '.join(unknown)}; expected "
+                                 f"{{'models': [...]}}")
+        models = payload.get("models")
+        if not isinstance(models, (list, tuple)) or not models:
+            raise InvalidRequest("forward payload needs a non-empty "
+                                 "'models' list")
+        return [_model_from_json(m, where=f"models[{i}]")
+                for i, m in enumerate(models)]
+
+    def validate(self, request: WorkloadRequest) -> None:
+        _check_format(request.format)
+        self._models(request)
+
+    def coalesce_key(self, request: WorkloadRequest) -> Optional[tuple]:
+        models = self._models(request)
+        shapes = {(m.n_states, m.n_symbols, m.length) for m in models}
+        if len(shapes) != 1:
+            return None  # ragged multi-model request: runs solo
+        h, m, t = shapes.pop()
+        return ("forward", request.format, h, m, t)
+
+    def run_batch(self, requests, plan=None) -> List[RequestOutput]:
+        from ..apps.hmm import forward_models_batch
+        plan = resolve_plan(plan, where="ForwardHandler.run_batch")
+        per_request = [self._models(r) for r in requests]
+        flat = [m for models in per_request for m in models]
+        backend = _backend(requests[0].format)
+        _tele.count("service.forward.models", len(flat))
+        likes = forward_models_batch(flat, backend, plan, certified=True)
+        out: List[RequestOutput] = []
+        lo = 0
+        for models in per_request:
+            hi = lo + len(models)
+            values = [encode_value(backend, v) for v in likes[lo:hi]]
+            out.append((values, {"models": len(models)}))
+            lo = hi
+        return out
+
+
+# ----------------------------------------------------------------------
+# pbd — Poisson Binomial p-values
+# ----------------------------------------------------------------------
+class PbdHandler(WorkloadHandler):
+    """``pbd``: P(X >= k) per site.
+
+    Payload: ``{"sites": [[p, ...], ...], "k": K}`` — equal-length rows
+    of success probabilities.  Coalesces by
+    ``(format, n_trials, k)``; the PBD recurrence is add/mul only
+    (elementwise certification tier), so batching over the site axis is
+    value-preserving for every format.
+    """
+
+    kind = "pbd"
+
+    def _sites(self, request: WorkloadRequest):
+        return _memo(request, "_parsed_sites",
+                     lambda: self._parse_sites(request))
+
+    def _parse_sites(self, request: WorkloadRequest):
+        payload = request.payload
+        unknown = sorted(set(payload) - {"sites", "k"})
+        if unknown:
+            raise InvalidRequest(f"pbd payload has unknown field(s) "
+                                 f"{', '.join(unknown)}; expected "
+                                 f"{{'sites': [...], 'k': K}}")
+        k = payload.get("k")
+        if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+            raise InvalidRequest("pbd payload needs an integer k >= 1")
+        rows = payload.get("sites")
+        if not isinstance(rows, (list, tuple)) or not rows:
+            raise InvalidRequest("pbd payload needs a non-empty 'sites' "
+                                 "list of probability rows")
+        sites = [_number_list(row, where=f"sites[{i}]")
+                 for i, row in enumerate(rows)]
+        n_trials = len(sites[0])
+        if any(len(row) != n_trials for row in sites):
+            raise InvalidRequest("pbd sites must share one trial count")
+        if n_trials < k:
+            raise InvalidRequest(f"pbd sites need at least k={k} trials, "
+                                 f"got {n_trials}")
+        return sites, k
+
+    def validate(self, request: WorkloadRequest) -> None:
+        _check_format(request.format)
+        sites, _k = self._sites(request)
+        from ..apps.pbd import complement
+        for i, row in enumerate(sites):
+            for p in row:
+                try:
+                    complement(p)
+                except ValueError as exc:
+                    raise InvalidRequest(f"sites[{i}]: {exc}") from exc
+
+    def coalesce_key(self, request: WorkloadRequest) -> Optional[tuple]:
+        sites, k = self._sites(request)
+        return ("pbd", request.format, len(sites[0]), k)
+
+    def run_batch(self, requests, plan=None) -> List[RequestOutput]:
+        from ..apps.pbd import pbd_pvalue_batch
+        plan = resolve_plan(plan, where="PbdHandler.run_batch")
+        parsed = [self._sites(r) for r in requests]
+        k = parsed[0][1]
+        flat = [row for sites, _ in parsed for row in sites]
+        backend = _backend(requests[0].format)
+        _tele.count("service.pbd.sites", len(flat))
+        pvalues = pbd_pvalue_batch(flat, k, backend, plan)
+        out: List[RequestOutput] = []
+        lo = 0
+        for sites, _ in parsed:
+            hi = lo + len(sites)
+            values = [encode_value(backend, v) for v in pvalues[lo:hi]]
+            out.append((values, {"sites": len(sites)}))
+            lo = hi
+        return out
+
+
+# ----------------------------------------------------------------------
+# op — elementwise arithmetic sweeps
+# ----------------------------------------------------------------------
+_OPS = ("add", "sub", "mul", "div")
+
+
+class OpHandler(WorkloadHandler):
+    """``op``: one elementwise op over operand vectors.
+
+    Payload: ``{"op": "add"|"sub"|"mul"|"div", "a": [...], "b": [...]}``.
+    Coalesces by ``(format, op)`` — operand vectors of *different
+    lengths* still coalesce (they concatenate along the flat element
+    axis; elementwise ops carry no cross-element state).
+    """
+
+    kind = "op"
+
+    def _operands(self, request: WorkloadRequest):
+        return _memo(request, "_parsed_operands",
+                     lambda: self._parse_operands(request))
+
+    def _parse_operands(self, request: WorkloadRequest):
+        payload = request.payload
+        unknown = sorted(set(payload) - {"op", "a", "b"})
+        if unknown:
+            raise InvalidRequest(f"op payload has unknown field(s) "
+                                 f"{', '.join(unknown)}; expected "
+                                 f"{{'op': ..., 'a': [...], 'b': [...]}}")
+        op = payload.get("op")
+        if op not in _OPS:
+            raise InvalidRequest(f"op payload needs 'op' in "
+                                 f"{_OPS}, got {op!r}")
+        a = _number_list(payload.get("a"), where="op operand 'a'")
+        b = _number_list(payload.get("b"), where="op operand 'b'")
+        if len(a) != len(b):
+            raise InvalidRequest(f"op operands must pair up: len(a)="
+                                 f"{len(a)} vs len(b)={len(b)}")
+        return op, a, b
+
+    def validate(self, request: WorkloadRequest) -> None:
+        _check_format(request.format)
+        self._operands(request)
+
+    def coalesce_key(self, request: WorkloadRequest) -> Optional[tuple]:
+        op, _a, _b = self._operands(request)
+        return ("op", request.format, op)
+
+    def run_batch(self, requests, plan=None) -> List[RequestOutput]:
+        from .. import nd
+        plan = resolve_plan(plan, where="OpHandler.run_batch")
+        parsed = [self._operands(r) for r in requests]
+        op = parsed[0][0]
+        backend = _backend(requests[0].format)
+        a = nd.asarray([x for _, xs, _ in parsed for x in xs],
+                       backend, plan=plan)
+        b = nd.asarray([y for _, _, ys in parsed for y in ys],
+                       backend, plan=plan)
+        _tele.count(f"service.op.{op}", a.size)
+        result = {"add": lambda: a + b, "sub": lambda: a - b,
+                  "mul": lambda: a * b, "div": lambda: a / b}[op]()
+        out: List[RequestOutput] = []
+        lo = 0
+        for _, xs, _ in parsed:
+            hi = lo + len(xs)
+            values = [encode_value(backend, result.item(i))
+                      for i in range(lo, hi)]
+            out.append((values, {"elements": len(xs)}))
+            lo = hi
+        return out
+
+
+# ----------------------------------------------------------------------
+# astype — exact-plane format conversion
+# ----------------------------------------------------------------------
+class AstypeHandler(WorkloadHandler):
+    """``astype``: values rounded from the request format into another.
+
+    Payload: ``{"to": "<format>", "values": [...]}``.  Coalesces by
+    ``(src format, target format)``; conversion goes through the exact
+    BigFloat plane per element, so batching is value-preserving.
+    """
+
+    kind = "astype"
+
+    def _parsed(self, request: WorkloadRequest):
+        return _memo(request, "_parsed_astype",
+                     lambda: self._parse_astype(request))
+
+    def _parse_astype(self, request: WorkloadRequest):
+        payload = request.payload
+        unknown = sorted(set(payload) - {"to", "values"})
+        if unknown:
+            raise InvalidRequest(f"astype payload has unknown field(s) "
+                                 f"{', '.join(unknown)}; expected "
+                                 f"{{'to': ..., 'values': [...]}}")
+        to = payload.get("to")
+        if not isinstance(to, str) or not to:
+            raise InvalidRequest("astype payload needs a 'to' registry "
+                                 "format name")
+        _check_format(to)
+        values = _number_list(payload.get("values"),
+                              where="astype 'values'")
+        return to, values
+
+    def validate(self, request: WorkloadRequest) -> None:
+        _check_format(request.format)
+        self._parsed(request)
+
+    def coalesce_key(self, request: WorkloadRequest) -> Optional[tuple]:
+        to, _values = self._parsed(request)
+        return ("astype", request.format, to)
+
+    def run_batch(self, requests, plan=None) -> List[RequestOutput]:
+        from .. import nd
+        plan = resolve_plan(plan, where="AstypeHandler.run_batch")
+        parsed = [self._parsed(r) for r in requests]
+        to = parsed[0][0]
+        backend = _backend(requests[0].format)
+        src = nd.asarray([v for _, vs in parsed for v in vs],
+                         backend, plan=plan)
+        _tele.count(f"service.astype.{requests[0].format}->{to}", src.size)
+        converted = src.astype(_backend(to), plan=plan).to_bigfloats()
+        out: List[RequestOutput] = []
+        lo = 0
+        for _, vs in parsed:
+            hi = lo + len(vs)
+            values = [encode_bigfloat(bf) for bf in converted[lo:hi]]
+            out.append((values, {"elements": len(vs)}))
+            lo = hi
+        return out
+
+
+# ----------------------------------------------------------------------
+# experiment — the CLI runner's figures/tables, as service requests
+# ----------------------------------------------------------------------
+class ExperimentHandler(WorkloadHandler):
+    """``experiment``: one registered figure/table experiment.
+
+    Payload: ``{"experiment_id": ..., "scale": ..., "out_dir": ...,
+    "use_cache": ..., "cache_dir": ..., "refresh": ...}`` (everything
+    but the id optional).  Never coalesces — experiments are
+    coarse-grained and internally batched already.  ``values`` holds the
+    rendered report text; ``stats["cached"]`` says whether the
+    ``.repro-cache`` served it.
+    """
+
+    kind = "experiment"
+
+    _FIELDS = ("experiment_id", "scale", "out_dir", "use_cache",
+               "cache_dir", "refresh")
+
+    def validate(self, request: WorkloadRequest) -> None:
+        from ..experiments.runner import REGISTRY as EXPERIMENTS
+        payload = request.payload
+        unknown = sorted(set(payload) - set(self._FIELDS))
+        if unknown:
+            raise InvalidRequest(f"experiment payload has unknown "
+                                 f"field(s) {', '.join(unknown)}; known: "
+                                 f"{', '.join(self._FIELDS)}")
+        experiment_id = payload.get("experiment_id")
+        if experiment_id not in EXPERIMENTS:
+            known = ", ".join(sorted(EXPERIMENTS))
+            raise InvalidRequest(f"unknown experiment "
+                                 f"{experiment_id!r}; known: {known}")
+        scale = payload.get("scale", "bench")
+        if scale not in ("test", "bench", "full"):
+            raise InvalidRequest(f"experiment scale must be 'test', "
+                                 f"'bench' or 'full', got {scale!r}")
+
+    def run_batch(self, requests, plan=None) -> List[RequestOutput]:
+        from ..experiments.runner import _run_experiment
+        out: List[RequestOutput] = []
+        for request in requests:
+            payload = request.payload
+            run_plan = resolve_plan(request.plan if request.plan is not None
+                                    else plan,
+                                    where="ExperimentHandler.run_batch")
+            text, hit = _run_experiment(
+                payload["experiment_id"],
+                scale=payload.get("scale", "bench"),
+                out_dir=payload.get("out_dir"),
+                plan=run_plan,
+                use_cache=bool(payload.get("use_cache", True)),
+                cache_dir=payload.get("cache_dir"),
+                refresh=bool(payload.get("refresh", False)))
+            out.append(([text], {"cached": hit}))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+HANDLERS: Dict[str, WorkloadHandler] = {
+    handler.kind: handler
+    for handler in (ForwardHandler(), PbdHandler(), OpHandler(),
+                    AstypeHandler(), ExperimentHandler())
+}
+
+
+def handler_for(kind: str) -> WorkloadHandler:
+    """The handler serving ``kind`` (:class:`UnknownKind` otherwise)."""
+    try:
+        return HANDLERS[kind]
+    except KeyError:
+        known = ", ".join(sorted(HANDLERS))
+        raise UnknownKind(f"unknown workload kind {kind!r}; this build "
+                          f"serves: {known}") from None
+
+
+def execute(request: WorkloadRequest,
+            plan: Optional[ExecPlan] = None) -> WorkloadResult:
+    """Run one request in-process — the solo (batch-of-one) path.
+
+    The CLI runner, the tests, and the server's non-coalescing fallback
+    all come through here, so a coalesced batch and a solo call share
+    every line of workload code below the scatter/gather.
+    """
+    handler = handler_for(request.kind)
+    handler.validate(request)
+    plan = request.plan if request.plan is not None else plan
+    with _tele.span(f"service.execute.{request.kind}"):
+        _tele.count(f"service.requests.{request.kind}")
+        (values, stats), = handler.run_batch([request], plan=plan)
+    stats = dict(stats, batch_size=1, coalesced=False)
+    return WorkloadResult(kind=request.kind, values=values,
+                          request_id=request.request_id, stats=stats)
+
+
+__all__ = [
+    "HANDLERS",
+    "AstypeHandler",
+    "ExperimentHandler",
+    "ForwardHandler",
+    "OpHandler",
+    "PbdHandler",
+    "WorkloadHandler",
+    "execute",
+    "handler_for",
+]

@@ -24,28 +24,41 @@ summary (their spans closed in another process).
 
 from __future__ import annotations
 
+import contextvars
 import json
 import time
 from typing import Dict, List
+
+#: Current span nesting depth, tracked *per execution context* rather
+#: than per collector.  Concurrent asyncio tasks that share one
+#: collector (a child task inherits the parent's collector through
+#: ``contextvars`` at ``asyncio.create_task``) each see their own
+#: depth, so interleaved spans from different tasks cannot corrupt each
+#: other's nesting — with a collector-owned stack, task B's close would
+#: pop task A's frame.
+_SPAN_DEPTH: contextvars.ContextVar[int] = contextvars.ContextVar(
+    "repro_telemetry_span_depth", default=0)
 
 
 class _Span:
     """One active timed region; created by :meth:`Collector.span`."""
 
-    __slots__ = ("_collector", "_name", "_t0")
+    __slots__ = ("_collector", "_name", "_t0", "_depth", "_token")
 
     def __init__(self, collector: "Collector", name: str):
         self._collector = collector
         self._name = name
 
     def __enter__(self) -> "_Span":
-        self._collector._stack.append(self._name)
+        self._depth = _SPAN_DEPTH.get()
+        self._token = _SPAN_DEPTH.set(self._depth + 1)
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         t1 = time.perf_counter()
-        self._collector._close_span(self._name, self._t0, t1)
+        _SPAN_DEPTH.reset(self._token)
+        self._collector._close_span(self._name, self._t0, t1, self._depth)
         return False
 
 
@@ -63,7 +76,6 @@ class Collector:
         self.counters: Dict[str, int] = {}
         self.events: Dict[str, int] = {}
         self.spans: Dict[str, List] = {}
-        self._stack: List[str] = []
         self._epoch = time.perf_counter()
         self._sink = None
         self._sink_owned = False
@@ -94,8 +106,8 @@ class Collector:
         """
         return _Span(self, name)
 
-    def _close_span(self, name: str, t0: float, t1: float) -> None:
-        self._stack.pop()
+    def _close_span(self, name: str, t0: float, t1: float,
+                    depth: int = 0) -> None:
         dur = t1 - t0
         agg = self.spans.get(name)
         if agg is None:
@@ -109,7 +121,7 @@ class Collector:
                 agg[3] = dur
         if self._sink is not None:
             self._sink.write(json.dumps(
-                {"type": "span", "name": name, "depth": len(self._stack),
+                {"type": "span", "name": name, "depth": depth,
                  "start_s": t0 - self._epoch, "duration_s": dur}) + "\n")
 
     # ------------------------------------------------------------------
@@ -143,7 +155,6 @@ class Collector:
         self.events = state["events"]
         self.spans = state["spans"]
         self._epoch = state["_epoch"]
-        self._stack = []
         self._sink = None
         self._sink_owned = False
 

@@ -17,7 +17,8 @@ MANIFEST_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                              "api_surface.json")
 
 #: The packages whose surfaces are pinned.
-MODULES = ("repro", "repro.arith", "repro.engine", "repro.nd", "repro.apps")
+MODULES = ("repro", "repro.arith", "repro.engine", "repro.nd",
+           "repro.apps", "repro.service")
 
 
 def load_manifest() -> dict:

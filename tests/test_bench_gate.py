@@ -99,6 +99,21 @@ class TestCheckPayload:
             {"REPRO_TELEMETRY_OVERHEAD_CEILING": "0.10"})
         assert gate.check_payload(bad, self.FLOORS, relaxed) == []
 
+    def test_service_coalescing_floor(self):
+        """The serving-tier gate: the coalescing server must beat the
+        no-coalescing configuration >= 3x on same-shape forward
+        traffic."""
+        ok = _payload("service_load", "forward_coalescing", 4.1)
+        assert gate.check_payload(ok, self.FLOORS) == []
+        bad = _payload("service_load", "forward_coalescing", 2.4)
+        assert len(gate.check_payload(bad, self.FLOORS)) == 1
+        relaxed = gate.gate_floors({"REPRO_SERVICE_SPEEDUP_FLOOR": "1.5"})
+        assert gate.check_payload(bad, relaxed) == []
+
+    def test_service_required_entry(self):
+        empty = {"benchmark": "service_load", "results": {}}
+        assert gate.missing_required(empty) == ["forward_coalescing"]
+
     def test_missing_required_detects_absent_entries(self):
         partial = _payload("batch_throughput", "forward_log_batch64", 20.0)
         missing = gate.missing_required(partial)
@@ -136,7 +151,7 @@ class TestCommittedArtifacts:
     speedups)."""
 
     ARTIFACTS = ("BENCH_batch.json", "BENCH_apps.json",
-                 "BENCH_telemetry.json")
+                 "BENCH_telemetry.json", "BENCH_service.json")
 
     @pytest.mark.parametrize("name", ARTIFACTS)
     def test_artifact_exists(self, name):

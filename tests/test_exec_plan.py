@@ -219,3 +219,54 @@ class TestBatchSizeGrouping:
         grouped = forward_models_batch(models, backend,
                                        plan=ExecPlan(batch_size=2))
         assert whole == grouped
+
+
+class TestPlanJson:
+    """ExecPlan.to_json/from_json: the versioned wire form plans use to
+    travel inside repro.service requests."""
+
+    def test_round_trip(self):
+        import json
+        from repro.engine import PLAN_SCHEMA_VERSION
+        plan = ExecPlan(batch=False, batch_size=8, n_workers=2,
+                        chunk_size=100, cache="refresh", measure=True)
+        wire = json.loads(json.dumps(plan.to_json()))
+        assert wire["plan_version"] == PLAN_SCHEMA_VERSION
+        assert ExecPlan.from_json(wire) == plan
+
+    def test_absent_fields_keep_defaults(self):
+        assert ExecPlan.from_json({}) == ExecPlan()
+        assert ExecPlan.from_json({"batch": False}) == \
+            ExecPlan(batch=False)
+
+    def test_unknown_field_rejected_with_version(self):
+        from repro.engine import PLAN_SCHEMA_VERSION
+        with pytest.raises(ValueError) as err:
+            ExecPlan.from_json({"batch": True, "gpu": "yes"})
+        message = str(err.value)
+        assert "'gpu'" in message
+        assert f"v{PLAN_SCHEMA_VERSION}" in message
+        assert "batch_size" in message  # names the known fields
+
+    def test_newer_schema_rejected(self):
+        from repro.engine import PLAN_SCHEMA_VERSION
+        with pytest.raises(ValueError, match="newer than this build"):
+            ExecPlan.from_json(
+                {"plan_version": PLAN_SCHEMA_VERSION + 1})
+
+    def test_bad_version_tag_rejected(self):
+        for bad in (0, -1, "1", 1.5, True):
+            with pytest.raises(ValueError, match="plan_version"):
+                ExecPlan.from_json({"plan_version": bad})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            ExecPlan.from_json("batch")
+
+    def test_invalid_field_value_is_versioned_value_error(self):
+        # Constructor TypeErrors/ValueErrors surface as the versioned
+        # rejection, not a bare TypeError.
+        with pytest.raises(ValueError, match="rejected"):
+            ExecPlan.from_json({"cache": "maybe"})
+        with pytest.raises(ValueError, match="rejected"):
+            ExecPlan.from_json({"batch_size": 0})

@@ -423,3 +423,110 @@ class TestSweepCounterExactness:
             run_sweep_parallel("mul", backends, per_bin=5, bins=bins,
                                n_workers=2, chunk_size=3)
         assert inline.counters == parallel.counters
+
+
+# ----------------------------------------------------------------------
+# Asyncio isolation (the service's per-request scopes depend on this)
+# ----------------------------------------------------------------------
+class TestAsyncioIsolation:
+    """collect() scopes are contextvar-backed, so concurrent asyncio
+    tasks with their own scopes must never cross-count, and tasks
+    sharing an inherited collector must keep correct span depths."""
+
+    def test_concurrent_scopes_do_not_cross_count(self):
+        import asyncio
+
+        async def worker(name, n):
+            with telemetry.collect() as c:
+                for _ in range(n):
+                    telemetry.count(name)
+                    await asyncio.sleep(0)  # force interleaving
+                    with telemetry.span(f"work.{name}"):
+                        await asyncio.sleep(0)
+            return c
+
+        async def main():
+            return await asyncio.gather(worker("a", 7), worker("b", 11),
+                                        worker("c", 3))
+
+        a, b, c = asyncio.run(main())
+        assert a.counters == {"a": 7} and a.spans["work.a"][0] == 7
+        assert b.counters == {"b": 11} and b.spans["work.b"][0] == 11
+        assert c.counters == {"c": 3} and c.spans["work.c"][0] == 3
+        assert "work.b" not in a.spans and "work.a" not in b.spans
+
+    def test_create_task_inherits_parent_collector(self):
+        import asyncio
+
+        async def child():
+            telemetry.count("from_child")
+
+        async def main():
+            with telemetry.collect() as c:
+                await asyncio.create_task(child())
+            return c
+
+        collector = asyncio.run(main())
+        assert collector.counters == {"from_child": 1}
+
+    def test_interleaved_tasks_keep_own_span_depths(self, tmp_path):
+        """Regression: with a collector-owned stack, task B closing a
+        span would pop task A's frame and corrupt both depths.  Depth
+        is per-execution-context now."""
+        import asyncio
+
+        path = tmp_path / "trace.jsonl"
+
+        async def nested(name, release, proceed):
+            with telemetry.span(f"{name}.outer"):
+                release.set()
+                await proceed.wait()
+                with telemetry.span(f"{name}.inner"):
+                    await asyncio.sleep(0)
+
+        async def main():
+            with telemetry.collect(trace=str(path)):
+                a_up = asyncio.Event()
+                b_up = asyncio.Event()
+                go = asyncio.Event()
+                ta = asyncio.create_task(nested("a", a_up, go))
+                tb = asyncio.create_task(nested("b", b_up, go))
+                await a_up.wait()
+                await b_up.wait()  # both outers open, interleaved
+                go.set()
+                await asyncio.gather(ta, tb)
+
+        asyncio.run(main())
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        depths = {r["name"]: r["depth"] for r in records
+                  if r["type"] == "span"}
+        assert depths == {"a.outer": 0, "a.inner": 1,
+                          "b.outer": 0, "b.inner": 1}
+
+    def test_executor_thread_scope_merges_back(self):
+        """The service's executor pattern: a thread enters its own
+        collect(collector=child) scope (run_in_executor does not
+        propagate context), and the child merges into the parent."""
+        import asyncio
+
+        from repro.telemetry import Collector
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            child = Collector()
+
+            def in_thread():
+                with telemetry.collect(collector=child):
+                    telemetry.count("thread_work", 4)
+                    with telemetry.span("thread.span"):
+                        pass
+
+            with telemetry.collect() as parent:
+                await loop.run_in_executor(None, in_thread)
+                parent.merge(child)
+            return parent
+
+        parent = asyncio.run(main())
+        assert parent.counters == {"thread_work": 4}
+        assert parent.spans["thread.span"][0] == 1
