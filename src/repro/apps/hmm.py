@@ -64,13 +64,31 @@ def _emission_shared(b: "nd.FArray", obs: np.ndarray, t: int) -> "nd.FArray":
     return b[:, obs[:, t]].T
 
 
-def _forward_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
+def _compiled_forward(a, b, pi, plan):
+    """The compiled tier's fused forward kernels for these operands,
+    or ``None`` for the generic expression (silent fallback: the tier
+    is bit-identical, so the choice never changes results).  Only
+    shared-model shapes fuse; ragged/odd shapes keep the nd path."""
+    from ..engine.compiled import plan_compiled_kernels
+    if a.ndim != 2 or b.ndim != 2 or pi.ndim != 1:
+        return None
+    return plan_compiled_kernels(plan, a, b, pi)
+
+
+def _forward_nd(a, b, pi, obs: np.ndarray,
+                plan: Optional[ExecPlan] = None) -> "nd.FArray":
     """Forward likelihoods for a batch of sequences sharing one model:
     ``a (H, H)``, ``b (H, M)``, ``pi (H,)`` FArrays, ``obs (B, T)``
-    ints; returns ``(B,)``.  Listing 1, vectorized across sequences."""
+    ints; returns ``(B,)``.  Listing 1, vectorized across sequences.
+    ``plan=ExecPlan(compiled=True)`` routes through the fused
+    resident-plane kernel where the format registers one."""
     obs = np.asarray(obs)
     if obs.ndim != 2:
         raise ValueError("obs must have shape (batch, T)")
+    ck = _compiled_forward(a, b, pi, plan)
+    if ck is not None:
+        return nd.wrap(ck.forward(a.data, b.data, pi.data, obs),
+                       bb=a._bb)
     with _tele.span("app.hmm.forward"):
         alpha = pi * _emission_shared(b, obs, 0)
         for t in range(1, obs.shape[1]):
@@ -83,10 +101,15 @@ def _forward_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
         return nd.sum(alpha, axis=1)
 
 
-def _forward_trace_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
+def _forward_trace_nd(a, b, pi, obs: np.ndarray,
+                      plan: Optional[ExecPlan] = None) -> "nd.FArray":
     """Per-iteration total alpha mass, shape ``(B, T)`` — the data
     behind Figure 1."""
     obs = np.asarray(obs)
+    ck = _compiled_forward(a, b, pi, plan) if obs.ndim == 2 else None
+    if ck is not None:
+        return nd.wrap(ck.forward_trace(a.data, b.data, pi.data, obs),
+                       bb=a._bb)
     with _tele.span("app.hmm.forward_trace"):
         alpha = pi * _emission_shared(b, obs, 0)
         trace = [nd.sum(alpha, axis=1)]
@@ -152,7 +175,7 @@ def forward(hmm: HMMData, backend: Optional[Backend] = None,
     plan = resolve_plan(plan, where="forward")
     obs = hmm.observations if observations is None else observations
     a, b, pi = model_arrays(hmm, backend, plan=plan, certified=True)
-    return _forward_nd(a, b, pi, _obs_rows([obs])).item(0)
+    return _forward_nd(a, b, pi, _obs_rows([obs]), plan=plan).item(0)
 
 
 def forward_alpha_trace(hmm: HMMData, backend: Optional[Backend] = None,
@@ -162,7 +185,8 @@ def forward_alpha_trace(hmm: HMMData, backend: Optional[Backend] = None,
     reduction-certified tier."""
     plan = resolve_plan(plan, where="forward_alpha_trace")
     a, b, pi = model_arrays(hmm, backend, plan=plan, certified=True)
-    trace = _forward_trace_nd(a, b, pi, _obs_rows([hmm.observations]))
+    trace = _forward_trace_nd(a, b, pi, _obs_rows([hmm.observations]),
+                              plan=plan)
     return [trace.item((0, t)) for t in range(trace.shape[1])]
 
 
@@ -200,13 +224,13 @@ def forward_batch(hmm: HMMData, backend: Optional[Backend] = None,
     seqs = _seq_rows(observations)
     if len({len(s) for s in seqs}) > 1:
         # Ragged batch: per-sequence B=1 passes over the hoisted model.
-        return [_forward_nd(a, b, pi,
-                            np.asarray([s], dtype=np.intp)).item(0)
+        return [_forward_nd(a, b, pi, np.asarray([s], dtype=np.intp),
+                            plan=plan).item(0)
                 for s in seqs]
     obs = np.asarray(seqs, dtype=np.intp)
     values: list = []
     for rows in plan.group_slices(obs.shape[0]):
-        out = _forward_nd(a, b, pi, obs[rows])
+        out = _forward_nd(a, b, pi, obs[rows], plan=plan)
         values.extend(out.item(i) for i in range(out.shape[0]))
     return values
 

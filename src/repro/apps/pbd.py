@@ -41,7 +41,8 @@ def complement(p: BigFloat, prec: int = 256) -> BigFloat:
     return BigFloat.from_int(1).sub(p, prec)
 
 
-def _pbd_nd(pn: "nd.FArray", qn: "nd.FArray", k: int) -> "nd.FArray":
+def _pbd_nd(pn: "nd.FArray", qn: "nd.FArray", k: int,
+            plan: Optional[ExecPlan] = None) -> "nd.FArray":
     """Listing 2 over a batch of sites, written once as an nd
     expression: ``pn``/``qn`` are ``(S, N)`` success probabilities and
     their exact complements; returns the ``(S,)`` p-values.
@@ -58,6 +59,12 @@ def _pbd_nd(pn: "nd.FArray", qn: "nd.FArray", k: int) -> "nd.FArray":
     n_sites, n_trials = pn.shape
     if n_trials < k:
         raise ValueError("need at least k trials")
+    from ..engine.compiled import plan_compiled_kernels
+    ck = plan_compiled_kernels(plan, pn, qn)
+    if ck is not None:
+        # The fused resident-plane recurrence (bit-identical; the trial
+        # probabilities decode once for all N trials).
+        return nd.wrap(ck.pbd(pn.data, qn.data, k), bb=pn._bb)
     with _tele.span("app.pbd"):
         # pr[s, j] = P(j successes in the first n trials), tracked for
         # j < k.
@@ -103,7 +110,7 @@ def pbd_pvalue(success_probs: Sequence[BigFloat], k: int,
     if len(success_probs) < k:
         raise ValueError("need at least k trials")
     pn, qn = _site_arrays([list(success_probs)], backend, plan)
-    return _pbd_nd(pn, qn, k).item(0)
+    return _pbd_nd(pn, qn, k, plan=plan).item(0)
 
 
 def pbd_pmf(success_probs: Sequence[BigFloat], max_k: int, backend: Backend) -> list:
@@ -154,7 +161,7 @@ def pbd_pvalue_batch(sites: Sequence[Sequence[BigFloat]], k: int,
     for rows in plan.group_slices(len(sites)):
         group = sites[rows]
         pn, qn = _site_arrays(group, backend, plan)
-        out = _pbd_nd(pn, qn, k)
+        out = _pbd_nd(pn, qn, k, plan=plan)
         values.extend(out.item(i) for i in range(len(group)))
     return values
 

@@ -19,6 +19,10 @@ them — see :mod:`repro.arith.registry` and
 * :mod:`~repro.engine.kernels` — forward/backward algorithms over
   batches of sequences *and* batches of models, Poisson-binomial
   p-values over batches of sites;
+* :mod:`~repro.engine.compiled` — the opt-in compiled tier
+  (:class:`PositPlaneKernels`): whole-recurrence fusion over a
+  resident decoded plane, selected by ``ExecPlan(compiled=True)``,
+  bit-identical to the batch kernels;
 * :mod:`~repro.engine.runner` — the chunked multi-process sweep runner;
 * :mod:`~repro.engine.plan` — :class:`ExecPlan`, the one object
   carrying batch toggle, group width, worker fan-out, chunking and
@@ -62,6 +66,12 @@ if HAVE_NUMPY:
         BatchLogSpace,
     )
     from .posit_batch import BatchPosit
+    from .compiled import (
+        HAVE_NUMBA,
+        PositPlaneKernels,
+        numba_available,
+        plan_compiled_kernels,
+    )
     from .lns_batch import BatchLNS
     from .quire_batch import (
         BatchQuire,
@@ -80,6 +90,9 @@ if HAVE_NUMPY:
 else:  # pragma: no cover
     BatchBackend = BatchBinary64 = BatchLogSpace = BatchPosit = None
     BatchLNS = BatchQuire = None
+    HAVE_NUMBA = False
+    PositPlaneKernels = None
+    numba_available = plan_compiled_kernels = None
     fused_dot_product_batch = fused_sum_batch = None
     forward_batch = forward_alpha_trace_batch = pbd_pvalue_batch = None
     backward_batch = forward_multi_batch = None
@@ -132,6 +145,10 @@ def plan_batch_backend(backend, plan: "ExecPlan", *,
 
 __all__ = [
     "HAVE_NUMPY",
+    "HAVE_NUMBA",
+    "PositPlaneKernels",
+    "numba_available",
+    "plan_compiled_kernels",
     "CACHE_POLICIES",
     "DEFAULT_PLAN",
     "PLAN_SCHEMA_VERSION",

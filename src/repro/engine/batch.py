@@ -57,6 +57,14 @@ class BatchBackend(abc.ABC):
     name: str = "abstract-batch"
     #: NumPy dtype of value arrays.
     dtype: np.dtype = np.dtype(np.float64)
+    #: Array namespace the vectorized passes run on (array-API style,
+    #: the ``xp`` convention).  NumPy is the default and the only
+    #: namespace the exactness suites certify; subclasses accept
+    #: ``xp=`` so a CuPy-like module (NumPy-compatible broadcasting
+    #: ufuncs, ``where``/``minimum``/``concatenate``, 64-bit integer
+    #: dtypes) can be dropped in without another refactor.  The
+    #: compiled tier (:mod:`repro.engine.compiled`) inherits it.
+    xp = np
 
     @property
     @abc.abstractmethod
@@ -171,8 +179,11 @@ class BatchBinary64(BatchBackend):
     name = "binary64"
     dtype = np.dtype(np.float64)
 
-    def __init__(self, scalar: Optional[Binary64Backend] = None):
+    def __init__(self, scalar: Optional[Binary64Backend] = None, *,
+                 xp=None):
         self._scalar = scalar if scalar is not None else Binary64Backend()
+        if xp is not None:
+            self.xp = xp
 
     @property
     def scalar(self) -> Backend:
@@ -228,7 +239,10 @@ class BatchLogSpace(BatchBackend):
 
     def __init__(self, prec: int = DEFAULT_PRECISION,
                  sum_mode: Optional[str] = None,
-                 scalar: Optional[LogSpaceBackend] = None):
+                 scalar: Optional[LogSpaceBackend] = None, *,
+                 xp=None):
+        if xp is not None:
+            self.xp = xp
         if scalar is not None:
             # The mirror contract requires one reduction dataflow on
             # both sides; inherit it, and refuse a contradiction.

@@ -1,0 +1,832 @@
+"""The compiled kernel tier: whole-recurrence fusion over the posit
+decoded plane, with an optional Numba JIT and an array-namespace
+(``xp=``) escape hatch.
+
+The batch tier (:mod:`repro.engine.posit_batch`) already fuses chains
+inside one op (decode each operand once, round once), but the
+*recurrences* still re-encode every intermediate: the forward
+algorithm's per-step ``nd.dot`` re-decodes alpha and the loop-invariant
+model arrays T times, and ``benchmarks/profile_posit.py`` shows the
+decode/encode stages dominating.  This module adds the third tier of
+ROADMAP item 1 (scalar -> batch -> compiled):
+
+* **whole-recurrence fusion** — :class:`PositPlaneKernels` decodes the
+  model arrays (A, B, pi / the PBD trial probabilities) exactly once
+  per kernel call, keeps the :class:`~repro.engine.posit_batch.Unpacked`
+  decoded plane resident across all T timesteps, and encodes only the
+  outputs that escape (the final likelihoods / the alpha trace).  Every
+  intermediate is still rounded to the posit grid exactly where the
+  batch path rounds it, so results are **bit-identical** to the PR 5
+  path (pinned by the exhaustive 8-bit suites in
+  ``tests/test_engine_compiled.py``);
+* **lean rounding** — the fold's hot stages (:meth:`_round`,
+  :meth:`_add_core`) replace the generic 128-bit string machinery with
+  direct top-limb arithmetic: the kept + guard bits of the encoding
+  string always fit the top 64 bits, and everything below only matters
+  as a boolean sticky, so the per-element shift helpers collapse into a
+  handful of ufunc passes;
+* **optional Numba JIT** — when ``numba`` is importable, the hottest
+  per-element stages (posit decode, the round-to-nearest-even encode,
+  and the fused mul/add plane steps the forward fold chains) compile
+  lazily to native loops.  Absent numba, the NumPy lean kernels serve
+  the same contract (graceful fallback, never an error).  Install with
+  ``pip install -e .[compiled]``;
+* **array namespace** — ``xp=`` (array-API style) on
+  :class:`~repro.engine.batch.BatchBackend` and these kernels names the
+  array library the vectorized passes run on.  NumPy is the default and
+  the only namespace the exactness suites certify; the parameter exists
+  so a CuPy-like namespace can be dropped in later without another
+  refactor (the contract: NumPy-compatible broadcasting ufuncs,
+  ``where``/``minimum``/``concatenate``, and 64-bit integer dtypes).
+
+Selection is by :attr:`ExecPlan.compiled
+<repro.engine.plan.ExecPlan.compiled>`: the nd expressions
+(``_forward_nd``/``_forward_trace_nd``/``_pbd_nd``) route through
+:func:`plan_compiled_kernels`, which silently returns ``None`` — and
+the caller keeps the batch/scalar path — whenever the plan does not ask
+for the tier, the arrays are not in a vectorized representation, or the
+format has no compiled tier (``FormatCapabilities.compiled``).  Because
+the tier is bit-identical, the fallback never changes results.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import telemetry as _tele
+from ..formats.posit import FLUSH
+from .posit_batch import (
+    _BELOW_TOP,
+    _FULL64,
+    _ONE,
+    _SIXTY_THREE,
+    _TOP64,
+    _U64,
+    BatchPosit,
+    Unpacked,
+    _bit_length64,
+    _shl128,
+    _sub128,
+)
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba  # noqa: F401
+    HAVE_NUMBA = True
+except ImportError:
+    numba = None
+    HAVE_NUMBA = False
+
+_I0 = np.int64(0)
+_I1 = np.int64(1)
+_I63 = np.int64(63)
+_I64C = np.int64(64)
+_U0 = np.uint64(0)
+_U64C = np.uint64(64)
+
+
+def numba_available() -> bool:
+    """Whether the optional Numba JIT tier can be used in this
+    process (the ``[compiled]`` extra is installed)."""
+    return HAVE_NUMBA
+
+
+class PositPlaneKernels:
+    """Whole-recurrence fused kernels over one :class:`BatchPosit`.
+
+    Each kernel decodes its operand arrays once, chains the lean plane
+    ops across every timestep with the decoded plane resident, and
+    encodes only the escaping outputs.  ``xp=`` selects the array
+    namespace (default: the backend's, i.e. NumPy); ``use_numba=None``
+    auto-enables the JIT tier when numba is importable, ``False``
+    forces the NumPy lean kernels, ``True`` requires numba.
+
+    Everything here is bit-identical to the batch tier — that is the
+    compiled tier's contract, and what lets ``ExecPlan.compiled``
+    fall back silently.
+    """
+
+    #: Kernels this tier offers (mirrored by
+    #: ``FormatCapabilities.compiled_ops``).
+    ops = ("forward", "forward_trace", "pbd")
+
+    def __init__(self, bb: BatchPosit, *, xp=None,
+                 use_numba: Optional[bool] = None):
+        self._bp = bb
+        self.xp = xp if xp is not None else getattr(bb, "xp", np)
+        env = bb.env
+        self._es = env.es
+        self._flush = env.underflow == FLUSH
+        # Hoisted per-environment constants (shared with the batch
+        # mirror, which already derived them from the env).
+        self._kept_shift = bb._kept_shift
+        self._guard_shift = bb._guard_shift
+        self._below_mask = bb._below_mask
+        self._has_below = int(bb._below_mask) != 0
+        self._maxpos = bb._maxpos
+        self._minpos = bb._minpos
+        self._max_scale = bb._max_scale
+        self._es_i = np.int64(env.es)
+        if env.es >= 2:
+            self._e_top_shift = _U64(64 - env.es)
+            self._f_hi_shift = _U64(env.es - 1)
+            self._f_lo_shift = _U64(65 - env.es)
+        if use_numba is None:
+            use_numba = HAVE_NUMBA
+        elif use_numba and not HAVE_NUMBA:
+            raise RuntimeError(
+                "use_numba=True but numba is not installed; install the "
+                "[compiled] extra or pass use_numba=None for the "
+                "graceful-fallback default")
+        self._jit = _jit_kernels(env) if use_numba else None
+
+    @property
+    def backend(self) -> BatchPosit:
+        """The batch mirror whose numerics these kernels reproduce."""
+        return self._bp
+
+    def __repr__(self):
+        tier = "numba" if self._jit is not None else "numpy"
+        return (f"<PositPlaneKernels {self._bp.name} {tier} "
+                f"ops={','.join(self.ops)}>")
+
+    # ------------------------------------------------------------------
+    # Lean rounding: round-to-nearest-even on the encoding string
+    # ------------------------------------------------------------------
+    def _round(self, scale, frac64, sticky, live=None):
+        """Round an exact ``(scale, frac64, sticky)`` magnitude and
+        re-parse it: ``(mag_pattern, frac64', scale')``.
+
+        Bit-identical to ``BatchPosit._encode_mag`` + ``_parse_body``
+        (the exhaustive 8-bit suites assert so), but computed on the
+        top 64 bits of the encoding string directly: the kept + guard
+        window always fits one limb, and every lower string bit only
+        matters as a boolean, so the 128-bit shift-with-sticky
+        machinery reduces to clamped shifts plus any-bits-below masks.
+        """
+        xp = self.xp
+        with _tele.span("posit.encode"):
+            k = scale >> self._es_i  # arithmetic shift = floor division
+            pos = k >= _I0
+            run = xp.where(pos, k + _I1, -k)  # regime length, >= 1
+            big = run >= _I64C  # regime fills the top limb
+            rs = xp.minimum(run, _I63).view(_U64)
+            # Regime in the top limb: `run` ones (k >= 0) or the
+            # terminator one at position `run` (k < 0).  Non-saturating
+            # positive regimes always fit (run <= nbits - 1 <= 63);
+            # oversized positive runs are saturation lanes whose value
+            # the final clamp overrides.
+            reg = xp.where(pos, _FULL64 << (_U64C - rs), _TOP64 >> rs)
+            # Exponent + fraction tail: es + 63 bits, top-aligned
+            # (constant shifts — es is fixed per environment).
+            fraction = frac64 & _BELOW_TOP
+            es = self._es
+            if es == 0:
+                t_hi = fraction << _ONE
+                t_lo = None
+            elif es == 1:
+                e = (scale - (k << self._es_i)).view(_U64)
+                t_hi = (e << _SIXTY_THREE) | fraction
+                t_lo = None
+            else:
+                e = (scale - (k << self._es_i)).view(_U64)
+                t_hi = (e << self._e_top_shift) | \
+                    (fraction >> self._f_hi_shift)
+                t_lo = fraction << self._f_lo_shift
+            # Drop the tail below the regime: bits landing in the top
+            # limb join the window, everything lower is a sticky.
+            r1 = run + _I1
+            r1_small = r1 < _I64C
+            r1c = xp.minimum(r1, _I63).view(_U64)
+            below = sticky | ((t_hi & xp.where(
+                r1_small, (_ONE << r1c) - _ONE, _FULL64)) != 0)
+            if t_lo is not None:
+                below = below | (t_lo != 0)
+            if bool(big.any()):
+                # A terminator (k < 0) beyond the limb is a dropped
+                # 1-bit; oversized positive regimes are saturation
+                # lanes (value overridden below).
+                reg = xp.where(big, _U0, reg)
+                below = below | (big & ~pos)
+            e_hi = reg | xp.where(r1_small, t_hi >> r1c, _U0)
+
+            kept = e_hi >> self._kept_shift
+            guard = (e_hi >> self._guard_shift) & _ONE
+            if self._has_below:
+                below = below | ((e_hi & self._below_mask) != 0)
+            round_up = (guard != 0) & (below | ((kept & _ONE) != 0))
+            pattern = xp.minimum(kept + round_up, self._maxpos)
+            sat = scale > self._max_scale
+            if live is not None:
+                self._bp._tally_rounding(live, sat, scale, frac64,
+                                         sticky, pattern)
+            if not self._flush:
+                # Saturate mode: a nonzero real never rounds to zero.
+                pattern = xp.where(pattern == 0, self._minpos, pattern)
+            pattern = xp.where(sat, self._maxpos, pattern)
+            f2, s2 = self._bp._parse_body(pattern)
+            return pattern, f2, s2
+
+    # ------------------------------------------------------------------
+    # Lean exact add core (the fold's other hot stage)
+    # ------------------------------------------------------------------
+    def _add_core(self, ua: Unpacked, ub: Unpacked):
+        """Exact sum, mirroring ``BatchPosit._add_core`` with the
+        per-element shift helpers inlined as clamped shifts."""
+        xp = self.xp
+        with _tele.span("posit.core.add"):
+            sa, fa, ea = ua.sign, ua.frac64, ua.scale
+            sb, fb, eb = ub.sign, ub.frac64, ub.scale
+            a_small = (ea < eb) | ((ea == eb) & (fa < fb))
+            s1 = xp.where(a_small, sb, sa)
+            f1 = xp.where(a_small, fb, fa)
+            e1 = xp.where(a_small, eb, ea)
+            s2 = xp.where(a_small, sa, sb)
+            f2 = xp.where(a_small, fa, fb)
+            gap = e1 - xp.where(a_small, ea, eb)
+            # Align the small operand into a 128-bit window: the
+            # clamped-shift identity (f2 << (63-gap)) << 1 equals
+            # f2 << (64-gap) for gap in [1, 63] and 0 at gap == 0.
+            gbig = gap >= _I64C
+            gc = xp.minimum(gap, _I63).view(_U64)
+            b_hi = f2 >> gc
+            b_lo = (f2 << (_SIXTY_THREE - gc)) << _ONE
+            if bool(gbig.any()):
+                g2 = gap - _I64C
+                g2big = g2 >= _I64C
+                g2c = xp.minimum(g2, _I63).view(_U64)
+                b_hi = xp.where(gbig, _U0, b_hi)
+                b_lo = xp.where(gbig,
+                                xp.where(g2big, _U0, f2 >> g2c), b_lo)
+                st_b = gbig & ((f2 & xp.where(
+                    g2big, _FULL64, (_ONE << g2c) - _ONE)) != 0)
+            else:
+                st_b = gbig  # all-False, correctly shaped
+            same = s1 == s2
+            # Operand-dependent gating, exactly as the batch tier:
+            # probability workloads are sign-uniform, so each branch
+            # runs only where some lane needs it.
+            any_diff = not bool(same.all())
+            any_same = bool(same.any()) or not any_diff
+
+            if any_same:
+                lo_s = b_lo
+                hi_s = f1 + b_hi
+                carry = hi_s < f1
+                st_s = st_b | (carry & ((lo_s & _ONE) != 0))
+                lo_s = xp.where(carry,
+                                (lo_s >> _ONE) | (hi_s << _SIXTY_THREE),
+                                lo_s)
+                hi_s = xp.where(carry, (hi_s >> _ONE) | _TOP64, hi_s)
+                scale_s = e1 + carry.astype(np.int64)
+
+            if any_diff:
+                hi_d, lo_d = _sub128(f1, np.zeros_like(f1), b_hi, b_lo,
+                                     st_b.astype(np.uint64))
+                cancelled = (hi_d == 0) & (lo_d == 0) & ~st_b
+                msb = xp.where(hi_d != 0, 64 + _bit_length64(hi_d),
+                               _bit_length64(lo_d)) - 1
+                shift_up = xp.where(cancelled, 0, 127 - msb)
+                hi_d, lo_d = _shl128(hi_d, lo_d, shift_up)
+                scale_d = e1 - shift_up
+            else:
+                cancelled = np.zeros_like(same)
+
+            if not any_diff:
+                frac, low, sticky, scale = hi_s, lo_s, st_s, scale_s
+            elif not any_same:
+                frac, low, sticky, scale = hi_d, lo_d, st_b, scale_d
+            else:
+                frac = xp.where(same, hi_s, hi_d)
+                low = xp.where(same, lo_s, lo_d)
+                sticky = xp.where(same, st_s, st_b)
+                scale = xp.where(same, scale_s, scale_d)
+            sticky = sticky | (low != 0)
+            return s1, scale, frac, sticky, cancelled, same
+
+    # ------------------------------------------------------------------
+    # Plane ops (lean NumPy or JIT loops; identical results)
+    # ------------------------------------------------------------------
+    def _mul_u(self, ua: Unpacked, ub: Unpacked) -> Unpacked:
+        """Rounded product in the decoded plane — ``mul_unpacked``
+        through the lean round (or the JIT loop)."""
+        if self._jit is not None and _tele.current() is None:
+            return self._jit_binary(self._jit.mul_loop, ua, ub)
+        sign, scale, frac, sticky = self._bp._mul_core(ua, ub)
+        live = None
+        if _tele.current() is not None:
+            live = self._bp._tally_nar(ua.nar | ub.nar,
+                                       ua.zero | ub.zero)
+        pm, f2, s2 = self._round(scale, frac, sticky, live)
+        zero = ua.zero | ub.zero | (pm == 0)
+        return Unpacked(zero, ua.nar | ub.nar, sign, f2, s2)
+
+    def _add_u(self, ua: Unpacked, ub: Unpacked) -> Unpacked:
+        """Rounded sum in the decoded plane — ``add_unpacked`` through
+        the lean core + round (or the JIT loop), with the zero merges
+        gated off when no operand lane is zero."""
+        if self._jit is not None and _tele.current() is None:
+            return self._jit_binary(self._jit.add_loop, ua, ub)
+        xp = self.xp
+        za, zb = ua.zero, ub.zero
+        s1, scale, frac, sticky, cancelled, same = self._add_core(ua, ub)
+        mixed = ~same & cancelled
+        live = None
+        if _tele.current() is not None:
+            live = self._bp._tally_nar(ua.nar | ub.nar, za | zb | mixed)
+        pm, f2, s2 = self._round(scale, frac, sticky, live)
+        nar = ua.nar | ub.nar
+        if bool(za.any()) or bool(zb.any()):
+            alive = ~za & ~zb
+            zero = (za & zb) | (alive & (mixed | (pm == 0)))
+            sign = xp.where(za, ub.sign, xp.where(zb, ua.sign, s1))
+            frac64 = xp.where(za, ub.frac64, xp.where(zb, ua.frac64, f2))
+            sc = xp.where(za, ub.scale, xp.where(zb, ua.scale, s2))
+            return Unpacked(zero, nar, sign, frac64, sc)
+        return Unpacked(mixed | (pm == 0), nar, s1, f2, s2)
+
+    def _jit_binary(self, loop, ua: Unpacked, ub: Unpacked) -> Unpacked:
+        """Run one JIT plane loop over broadcast, contiguous planes."""
+        shape = np.broadcast_shapes(ua.shape, ub.shape)
+        planes = [np.ascontiguousarray(np.broadcast_to(p, shape)).ravel()
+                  for u in (ua, ub) for p in u]
+        n = planes[0].size
+        out = (np.empty(n, dtype=bool), np.empty(n, dtype=bool),
+               np.empty(n, dtype=bool), np.empty(n, dtype=np.uint64),
+               np.empty(n, dtype=np.int64))
+        loop(*planes, *out)
+        return Unpacked(*(o.reshape(shape) for o in out))
+
+    # ------------------------------------------------------------------
+    # Whole-recurrence kernels
+    # ------------------------------------------------------------------
+    def _emission(self, ub: Unpacked, obs: np.ndarray, t: int) -> Unpacked:
+        """``B[q, o_t]`` planes per sequence, shape ``(B, H)`` — a
+        gather on the resident decoded plane (no decode)."""
+        col = obs[:, t]
+        return Unpacked(*(p[:, col].T for p in ub))
+
+    def _fold(self, planes: Unpacked) -> Unpacked:
+        """Index-order add fold over the last axis.  The batch tier
+        folds from explicit zero planes; ``add(0, x)`` is an exact
+        passthrough, so starting from the first slice is identical."""
+        acc = planes.take(0)
+        for i in range(1, planes.frac64.shape[-1]):
+            acc = self._add_u(acc, planes.take(i))
+        return acc
+
+    def _check_forward_shapes(self, a, b, pi, obs):
+        obs = np.asarray(obs)
+        if obs.ndim != 2:
+            raise ValueError("obs must have shape (batch, T)")
+        if np.ndim(a) != 2 or np.ndim(b) != 2 or np.ndim(pi) != 1:
+            raise ValueError("fused forward needs a shared model: "
+                             "a (H, H), b (H, M), pi (H,)")
+        return obs
+
+    def _forward_planes(self, a, b, pi, obs):
+        """The shared forward-step generator: decode the model once,
+        yield the resident alpha plane after every step."""
+        bp = self._bp
+        ua = bp.decode_once(np.asarray(a, dtype=bp.dtype))
+        ub = bp.decode_once(np.asarray(b, dtype=bp.dtype))
+        upi = bp.decode_once(np.asarray(pi, dtype=bp.dtype))
+        alpha = self._mul_u(upi, self._emission(ub, obs, 0))
+        yield alpha
+        for t in range(1, obs.shape[1]):
+            # path_sum[s, q] = sum_p(alpha[s, p] * A[p, q]): one
+            # rounding pass over the whole (B, H, H) product, then the
+            # index-order fold over p — op-for-op the batch tier's
+            # dot_unpacked, on planes that never left residence.
+            prod = self._mul_u(
+                Unpacked(*(p[:, :, None] for p in alpha)), ua)
+            path_sum = self._fold(prod.moveaxis(1, -1))
+            alpha = self._mul_u(path_sum, self._emission(ub, obs, t))
+            yield alpha
+
+    def forward(self, a, b, pi, obs) -> np.ndarray:
+        """Fused forward likelihoods for a batch of sequences sharing
+        one model; packed parameter arrays in (``a (H, H)``,
+        ``b (H, M)``, ``pi (H,)``, integer ``obs (B, T)``), packed
+        ``(B,)`` likelihoods out.  Bit-identical to
+        :func:`repro.engine.kernels.forward_batch`."""
+        obs = self._check_forward_shapes(a, b, pi, obs)
+        with np.errstate(over="ignore"), _tele.span("kernel.forward_fused"):
+            for alpha in self._forward_planes(a, b, pi, obs):
+                pass
+            return self._bp.encode_once(self._fold(alpha))
+
+    def forward_trace(self, a, b, pi, obs) -> np.ndarray:
+        """Fused per-step total alpha mass, shape ``(B, T)`` —
+        bit-identical to ``forward_alpha_trace_batch`` (only the
+        per-step totals are encoded; alpha itself stays resident)."""
+        obs = self._check_forward_shapes(a, b, pi, obs)
+        with np.errstate(over="ignore"), _tele.span("kernel.forward_fused"):
+            cols = [self._bp.encode_once(self._fold(alpha))
+                    for alpha in self._forward_planes(a, b, pi, obs)]
+            return np.stack(cols, axis=1)
+
+    def pbd(self, pn, qn, k: int) -> np.ndarray:
+        """Fused Poisson-binomial ``P(X >= k)`` over a batch of sites:
+        packed ``(S, N)`` probability/complement arrays in, packed
+        ``(S,)`` p-values out.  The trial probabilities decode once;
+        the PMF rows stay resident across all N trials.  Bit-identical
+        to :func:`repro.engine.kernels.pbd_pvalue_batch`."""
+        if k < 1:
+            raise ValueError("k must be >= 1 (a variant needs a success)")
+        bp = self._bp
+        pn = np.asarray(pn, dtype=bp.dtype)
+        qn = np.asarray(qn, dtype=bp.dtype)
+        n_sites, n_trials = pn.shape
+        if n_trials < k:
+            raise ValueError("need at least k trials")
+        with np.errstate(over="ignore"), _tele.span("kernel.pbd_fused"):
+            upn = bp.decode_once(pn)
+            uqn = bp.decode_once(qn)
+            ones = Unpacked(
+                np.zeros((n_sites, 1), dtype=bool),
+                np.zeros((n_sites, 1), dtype=bool),
+                np.zeros((n_sites, 1), dtype=bool),
+                np.full((n_sites, 1), _TOP64, dtype=np.uint64),
+                np.zeros((n_sites, 1), dtype=np.int64))
+            zero_col = bp.zeros_unpacked((n_sites, 1))
+            pr = Unpacked(*(np.concatenate([o, np.broadcast_to(
+                z, (n_sites, k - 1))], axis=1)
+                for o, z in zip(ones, zero_col)))
+            pvalue = bp.zeros_unpacked((n_sites,))
+            for n in range(n_trials):
+                pn_n = Unpacked(*(p[:, n] for p in upn))
+                if n >= k - 1:
+                    pvalue = self._add_u(
+                        self._mul_u(pr.take(k - 1), pn_n), pvalue)
+                shifted = Unpacked(*(np.concatenate(
+                    [z, p[:, :-1]], axis=1)
+                    for z, p in zip(zero_col, pr)))
+                prq = self._mul_u(
+                    pr, Unpacked(*(p[:, n:n + 1] for p in uqn)))
+                pr = self._add_u(self._mul_u(
+                    shifted, Unpacked(*(p[:, n:n + 1] for p in upn))), prq)
+            return bp.encode_once(pvalue)
+
+
+# ----------------------------------------------------------------------
+# Plan routing (the nd/dispatch layer's entry point)
+# ----------------------------------------------------------------------
+def plan_compiled_kernels(plan, *farrays):
+    """The compiled kernels an :class:`ExecPlan` selects for an nd
+    expression, or ``None`` for the batch/scalar path.
+
+    Silent-fallback contract: ``None`` (never an error) whenever the
+    plan does not set ``compiled``, any operand is in the scalar
+    representation, the operands disagree on their batch mirror, or the
+    mirror's format has no compiled tier.  The tier is bit-identical,
+    so falling back never changes results.
+    """
+    if plan is None or not getattr(plan, "compiled", False):
+        return None
+    if not farrays:
+        return None
+    bb = getattr(farrays[0], "_bb", None)
+    if bb is None:
+        return None
+    for fa in farrays[1:]:
+        if getattr(fa, "_bb", None) is not bb:
+            return None
+    from ..arith.registry import REGISTRY
+    return REGISTRY.compiled_for(bb)
+
+
+# ----------------------------------------------------------------------
+# Numba JIT tier (lazy; graceful fallback when numba is absent)
+# ----------------------------------------------------------------------
+class _JitKernels:
+    """Compiled per-element loops for one posit environment."""
+
+    __slots__ = ("decode_loop", "round_loop", "mul_loop", "add_loop")
+
+    def __init__(self, decode_loop, round_loop, mul_loop, add_loop):
+        self.decode_loop = decode_loop
+        self.round_loop = round_loop
+        self.mul_loop = mul_loop
+        self.add_loop = add_loop
+
+
+_JIT_CACHE: dict = {}
+
+
+def _jit_kernels(env) -> Optional[_JitKernels]:
+    """The lazily-built JIT kernels for one environment, or ``None``
+    when numba is absent (callers keep the NumPy lean kernels)."""
+    if not HAVE_NUMBA:
+        return None
+    key = (env.nbits, env.es, env.underflow)
+    kernels = _JIT_CACHE.get(key)
+    if kernels is None:
+        kernels = _build_jit(env)
+        _JIT_CACHE[key] = kernels
+    return kernels
+
+
+def _build_jit(env) -> "_JitKernels":  # pragma: no cover - needs numba
+    """Compile the per-element posit stages for ``env``.
+
+    The loops mirror the NumPy lean kernels op for op (the
+    numba-marked tests assert bit-identity); every shift count is
+    branch-guarded below 64 so the native shifts stay defined.
+    """
+    njit = numba.njit(cache=False)
+    u64 = np.uint64
+    i64 = np.int64
+    M64 = u64(0xFFFFFFFFFFFFFFFF)
+    TOP = u64(1) << u64(63)
+    BELOW_TOP = TOP - u64(1)
+    U1 = u64(1)
+    U0 = u64(0)
+    es = int(env.es)
+    body_len = int(env.nbits - 1)
+    kept_shift = u64(64 - body_len)
+    guard_shift = u64(63 - body_len)
+    below_mask = u64((1 << (63 - body_len)) - 1)
+    top_shift = u64(body_len - 1)
+    body_mask = u64(env.sign_bit - 1)
+    e_mask = u64((1 << es) - 1)
+    useed_log2 = i64(env.useed_log2)
+    max_scale = i64(env.max_scale)
+    maxpos = u64(env.maxpos)
+    minpos = u64(env.minpos)
+    nar = u64(env.nar)
+    mask = u64(env.mask)
+    flush = env.underflow == FLUSH
+    es_i = i64(es)
+    zero_i = i64(0)
+
+    @njit
+    def _bl64(x):
+        n = i64(0)
+        while x != U0:
+            x = x >> U1
+            n += i64(1)
+        return n
+
+    @njit
+    def _parse1(body):
+        # _parse_body, one element (body != 0).
+        r1 = (body >> top_shift) != U0
+        val = body ^ body_mask if r1 else body
+        bl = _bl64(val)
+        run = i64(body_len) - bl
+        rem_full = run + i64(1)
+        if rem_full > i64(body_len):
+            rem_full = i64(body_len)
+        rem = i64(body_len) - rem_full
+        k = run - i64(1) if r1 else -run
+        if es:
+            e_bits = i64(es) if i64(es) < rem else rem
+            f_bits = rem - e_bits
+            e = ((body >> u64(f_bits)) << u64(es_i - e_bits)) & e_mask
+            scale = k * useed_log2 + i64(e)
+        else:
+            f_bits = rem
+            scale = k
+        frac = TOP | ((body << u64(63 - f_bits)) & BELOW_TOP)
+        return frac, scale
+
+    @njit
+    def _round1(scale, frac, sticky):
+        # The lean round, one element: top-limb string + any-below.
+        sat = scale > max_scale
+        k = scale >> es_i
+        if k >= zero_i:
+            pos = True
+            run = k + i64(1)
+        else:
+            pos = False
+            run = -k
+        below = sticky
+        if run >= i64(64):
+            e_hi = M64 if pos else U0
+            below = True  # dropped terminator / saturation lane
+        else:
+            e_hi = (M64 << u64(64 - run)) if pos else (TOP >> u64(run))
+        fraction = frac & BELOW_TOP
+        e = u64(scale - (k << es_i))
+        if es == 0:
+            t_hi = fraction << U1
+            t_lo = U0
+        elif es == 1:
+            t_hi = (e << u64(63)) | fraction
+            t_lo = U0
+        else:
+            t_hi = (e << u64(64 - es)) | (fraction >> u64(es - 1))
+            t_lo = fraction << u64(65 - es)
+        r1 = run + i64(1)
+        if r1 < i64(64):
+            e_hi = e_hi | (t_hi >> u64(r1))
+            if (t_hi & ((U1 << u64(r1)) - U1)) != U0:
+                below = True
+        elif t_hi != U0:
+            below = True
+        if t_lo != U0:
+            below = True
+        kept = e_hi >> kept_shift
+        guard = (e_hi >> guard_shift) & U1
+        if (e_hi & below_mask) != U0:
+            below = True
+        if guard != U0 and (below or (kept & U1) != U0):
+            kept = kept + U1
+        if kept > maxpos:
+            kept = maxpos
+        if (not flush) and kept == U0:
+            kept = minpos
+        if sat:
+            kept = maxpos
+        return kept
+
+    @njit
+    def _round_parse1(scale, frac, sticky):
+        pat = _round1(scale, frac, sticky)
+        if pat == U0:
+            return pat, TOP, zero_i  # zero lane; flags carry meaning
+        f2, s2 = _parse1(pat)
+        return pat, f2, s2
+
+    @njit
+    def decode_loop(bits, oz, on, os, of, oe):
+        for i in range(bits.size):
+            v = bits[i] & mask
+            zero = v == U0
+            is_nar = v == nar
+            sign = v > nar if nar != U0 else False
+            oz[i] = zero
+            on[i] = is_nar
+            os[i] = sign
+            if zero or is_nar:
+                of[i] = TOP
+                oe[i] = zero_i
+            else:
+                body = ((U0 - v) if sign else v) & body_mask
+                f, s = _parse1(body)
+                of[i] = f
+                oe[i] = s
+        return 0
+
+    @njit
+    def round_loop(scale, frac, sticky, op, of, oe):
+        for i in range(scale.size):
+            pat, f2, s2 = _round_parse1(scale[i], frac[i], sticky[i])
+            op[i] = pat
+            of[i] = f2
+            oe[i] = s2
+        return 0
+
+    @njit
+    def mul_loop(za, na, sa, fa, ea, zb, nb, sb, fb, eb,
+                 oz, on, os, of, oe):
+        for i in range(za.size):
+            is_nar = na[i] or nb[i]
+            sign = sa[i] != sb[i]
+            on[i] = is_nar
+            os[i] = sign
+            if is_nar or za[i] or zb[i]:
+                oz[i] = (not is_nar) and (za[i] or zb[i])
+                of[i] = TOP
+                oe[i] = zero_i
+                continue
+            # Exact 64x64 product of the left-aligned significands.
+            x, y = fa[i], fb[i]
+            x0 = x & u64(0xFFFFFFFF)
+            x1 = x >> u64(32)
+            y0 = y & u64(0xFFFFFFFF)
+            y1 = y >> u64(32)
+            t = x0 * y0
+            w0 = t & u64(0xFFFFFFFF)
+            kk = t >> u64(32)
+            t = x1 * y0 + kk
+            w1 = t & u64(0xFFFFFFFF)
+            w2 = t >> u64(32)
+            t = x0 * y1 + w1
+            kk = t >> u64(32)
+            hi = x1 * y1 + w2 + kk
+            lo = (t << u64(32)) | w0
+            scale = ea[i] + eb[i]
+            if (hi >> u64(63)) != U0:
+                scale += i64(1)
+            else:
+                hi = (hi << U1) | (lo >> u64(63))
+                lo = lo << U1
+            pat, f2, s2 = _round_parse1(scale, hi, lo != U0)
+            oz[i] = pat == U0
+            of[i] = f2
+            oe[i] = s2
+        return 0
+
+    @njit
+    def add_loop(za, na, sa, fa, ea, zb, nb, sb, fb, eb,
+                 oz, on, os, of, oe):
+        for i in range(za.size):
+            is_nar = na[i] or nb[i]
+            on[i] = is_nar
+            if is_nar:
+                oz[i] = False
+                os[i] = sa[i]
+                of[i] = TOP
+                oe[i] = zero_i
+                continue
+            if za[i]:
+                oz[i] = zb[i]
+                os[i] = sb[i]
+                of[i] = fb[i]
+                oe[i] = eb[i]
+                continue
+            if zb[i]:
+                oz[i] = False
+                os[i] = sa[i]
+                of[i] = fa[i]
+                oe[i] = ea[i]
+                continue
+            # Dominant operand first (larger magnitude).
+            if (ea[i] < eb[i]) or (ea[i] == eb[i] and fa[i] < fb[i]):
+                s1, f1, e1 = sb[i], fb[i], eb[i]
+                s2, f2, e2 = sa[i], fa[i], ea[i]
+            else:
+                s1, f1, e1 = sa[i], fa[i], ea[i]
+                s2, f2, e2 = sb[i], fb[i], eb[i]
+            gap = e1 - e2
+            st = False
+            if gap >= i64(128):
+                b_hi = U0
+                b_lo = U0
+                st = f2 != U0
+            elif gap >= i64(64):
+                b_hi = U0
+                b_lo = f2 >> u64(gap - i64(64))
+                if gap > i64(64) and \
+                        (f2 & ((U1 << u64(gap - i64(64))) - U1)) != U0:
+                    st = True
+            elif gap == zero_i:
+                b_hi = f2
+                b_lo = U0
+            else:
+                b_hi = f2 >> u64(gap)
+                b_lo = f2 << u64(i64(64) - gap)
+            if s1 == s2:
+                hi = f1 + b_hi
+                lo = b_lo
+                scale = e1
+                if hi < f1:  # carry: renormalize one bit
+                    if (lo & U1) != U0:
+                        st = True
+                    lo = (lo >> U1) | (hi << u64(63))
+                    hi = (hi >> U1) | TOP
+                    scale += i64(1)
+                pat, f3, s3 = _round_parse1(scale, hi, st or lo != U0)
+                oz[i] = pat == U0
+                os[i] = s1
+                of[i] = f3
+                oe[i] = s3
+            else:
+                # 128-bit (f1, 0) - (b_hi, b_lo) - sticky borrow.
+                lo1 = U0 - b_lo
+                borrow = U1 if b_lo != U0 else U0
+                hi1 = f1 - b_hi - borrow
+                extra = U1 if st else U0
+                lo = lo1 - extra
+                if lo1 < extra:
+                    hi1 = hi1 - U1
+                if hi1 == U0 and lo == U0 and not st:
+                    oz[i] = True
+                    os[i] = s1
+                    of[i] = TOP
+                    oe[i] = zero_i
+                    continue
+                if hi1 != U0:
+                    msb = i64(64) + _bl64(hi1) - i64(1)
+                else:
+                    msb = _bl64(lo) - i64(1)
+                shift_up = i64(127) - msb
+                if shift_up >= i64(64):
+                    hi1 = lo << u64(shift_up - i64(64)) \
+                        if shift_up > i64(64) else lo
+                    lo = U0
+                elif shift_up > zero_i:
+                    hi1 = (hi1 << u64(shift_up)) | \
+                        (lo >> u64(i64(64) - shift_up))
+                    lo = lo << u64(shift_up)
+                scale = e1 - shift_up
+                pat, f3, s3 = _round_parse1(scale, hi1, st or lo != U0)
+                oz[i] = pat == U0
+                os[i] = s1
+                of[i] = f3
+                oe[i] = s3
+        return 0
+
+    return _JitKernels(decode_loop, round_loop, mul_loop, add_loop)
+
+
+__all__ = [
+    "HAVE_NUMBA",
+    "PositPlaneKernels",
+    "numba_available",
+    "plan_compiled_kernels",
+]

@@ -31,7 +31,8 @@ def _wrap3(backend: BatchBackend, a, b, pi):
 
 
 def forward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
-                  pi: np.ndarray, obs: np.ndarray) -> np.ndarray:
+                  pi: np.ndarray, obs: np.ndarray,
+                  plan=None) -> np.ndarray:
     """Forward algorithm over a batch of observation sequences.
 
     Parameters
@@ -42,6 +43,11 @@ def forward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
         ``backend.from_bigfloats``).
     obs:
         Integer observation symbols, shape ``(B, T)``.
+    plan:
+        Optional :class:`~repro.engine.plan.ExecPlan`;
+        ``ExecPlan(compiled=True)`` routes through the format's
+        compiled tier where one is registered (bit-identical — formats
+        without a tier silently keep this batch path).
 
     Returns the batch of likelihoods, shape ``(B,)``, as backend values.
     Mirrors :func:`repro.apps.hmm.forward` exactly: per step,
@@ -51,18 +57,20 @@ def forward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
     from ..apps.hmm import _forward_nd
     with _tele.span("kernel.forward_batch"):
         fa, fb, fpi = _wrap3(backend, a, b, pi)
-        return np.asarray(_forward_nd(fa, fb, fpi, obs).data)
+        return np.asarray(_forward_nd(fa, fb, fpi, obs, plan=plan).data)
 
 
 def forward_alpha_trace_batch(backend: BatchBackend, a: np.ndarray,
                               b: np.ndarray, pi: np.ndarray,
-                              obs: np.ndarray) -> np.ndarray:
+                              obs: np.ndarray, plan=None) -> np.ndarray:
     """Per-iteration total alpha mass for a batch of sequences, shape
-    ``(B, T)`` — the batched counterpart of ``forward_alpha_trace``."""
+    ``(B, T)`` — the batched counterpart of ``forward_alpha_trace``
+    (``plan=`` as in :func:`forward_batch`)."""
     from ..apps.hmm import _forward_trace_nd
     with _tele.span("kernel.forward_alpha_trace_batch"):
         fa, fb, fpi = _wrap3(backend, a, b, pi)
-        return np.asarray(_forward_trace_nd(fa, fb, fpi, obs).data)
+        return np.asarray(
+            _forward_trace_nd(fa, fb, fpi, obs, plan=plan).data)
 
 
 def forward_multi_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
@@ -101,7 +109,7 @@ def backward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
 
 
 def pbd_pvalue_batch(backend: BatchBackend, pn: np.ndarray, qn: np.ndarray,
-                     k: int) -> np.ndarray:
+                     k: int, plan=None) -> np.ndarray:
     """Poisson-binomial ``P(X >= k)`` over a batch of sites.
 
     Parameters
@@ -116,10 +124,11 @@ def pbd_pvalue_batch(backend: BatchBackend, pn: np.ndarray, qn: np.ndarray,
     Mirrors :func:`repro.apps.pbd.pbd_pvalue` exactly; the per-``j``
     recurrence is vectorized over sites *and* PMF entries, which is
     value-preserving because ``add(x, 0)`` is exact in every backend.
+    ``plan=`` as in :func:`forward_batch`.
     """
     from ..apps.pbd import _pbd_nd
     from ..nd import wrap
     with _tele.span("kernel.pbd_pvalue_batch"):
         fpn = wrap(np.asarray(pn), bb=backend)
         fqn = wrap(np.asarray(qn), bb=backend)
-        return np.asarray(_pbd_nd(fpn, fqn, k).data)
+        return np.asarray(_pbd_nd(fpn, fqn, k, plan=plan).data)

@@ -39,6 +39,13 @@ The *semantics* of the plan live with the callees:
 * ``measure`` — collect wall-clock software-throughput measurements
   where an experiment supports them (fig6's software MMAPS columns).
   Runs that measure wall-clock are never served from the cache.
+* ``compiled`` — route whole recurrences through the compiled kernel
+  tier (:mod:`repro.engine.compiled`) where the format registers one:
+  the model arrays decode once, the decoded plane stays resident
+  across every timestep, and only escaping outputs are encoded.  The
+  tier is bit-identical to the batch path, so formats without one
+  *silently* fall back — the flag can never error and never changes
+  results (``tests/test_engine_compiled.py`` pins both).
 
 This module must stay import-light (no NumPy): plans are constructed
 by CLI/front-end code that must work even where the vectorized engine
@@ -57,8 +64,9 @@ CACHE_POLICIES = ("auto", "off", "refresh")
 #: Version of the plan's JSON wire schema (bumped when fields change
 #: incompatibly).  :meth:`ExecPlan.from_json` names this version in its
 #: rejection errors so a schema mismatch is diagnosable from the
-#: message alone.
-PLAN_SCHEMA_VERSION = 1
+#: message alone.  v2 added ``compiled`` (v1 payloads still parse:
+#: absent fields keep their defaults).
+PLAN_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -71,6 +79,7 @@ class ExecPlan:
     chunk_size: int = 250
     cache: str = "auto"
     measure: bool = False
+    compiled: bool = False
 
     def __post_init__(self):
         if self.batch_size is not None and self.batch_size < 1:

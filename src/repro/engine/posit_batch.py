@@ -226,11 +226,14 @@ class BatchPosit(BatchBackend):
 
     dtype = np.dtype(np.uint64)
 
-    def __init__(self, env: PositEnv, scalar: Optional[PositBackend] = None):
+    def __init__(self, env: PositEnv, scalar: Optional[PositBackend] = None,
+                 *, xp=None):
         if env.nbits > 64:
             raise ValueError("BatchPosit supports nbits <= 64")
         if env.es > 59:
             raise ValueError("BatchPosit supports es <= 59")
+        if xp is not None:
+            self.xp = xp
         self.env = env
         self.name = env.name
         self._scalar = scalar if scalar is not None else PositBackend(env)

@@ -271,10 +271,17 @@ class WorkloadRequest:
     def cache_identity(self) -> dict:
         """The result-determining part of the request — what the
         ``.repro-cache`` dedupe keys on.  Excludes ``request_id``,
-        ``priority`` and the plan: none of them may change a result
-        (plan-invariance is the execution plane's certification)."""
+        ``priority`` and the plan's scheduling knobs: none of them may
+        change a result (plan-invariance is the execution plane's
+        certification).  ``plan.compiled`` *is* part of the identity:
+        the compiled tier is certified bit-identical today, but keying
+        on it keeps compiled and uncompiled results from ever
+        cross-contaminating a cache that outlives that certification
+        (new tiers, new formats, a JIT toolchain bump)."""
         return {"api_version": self.api_version, "kind": self.kind,
-                "format": self.format, "payload": self.payload}
+                "format": self.format, "payload": self.payload,
+                "compiled": bool(self.plan.compiled)
+                if self.plan is not None else False}
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,280 @@
+"""The compiled kernel tier (:mod:`repro.engine.compiled`).
+
+The tier's whole contract is *bit-identity with the batch path*: the
+lean plane ops are pinned exhaustively against :class:`BatchPosit` at
+8 bits (every operand pair, both underflow modes), the fused
+whole-recurrence kernels against :mod:`repro.engine.kernels` at 8 and
+64 bits, and the plan routing is checked for the silent-fallback
+guarantee (``ExecPlan(compiled=True)`` never errors and never changes
+results on formats without a tier).
+
+Every comparison is on **encoded outputs**: the decoded-plane
+representation of zero/NaR lanes is unspecified (the JIT and NumPy
+paths legitimately differ there), and only the packed codes are the
+tier's contract.
+
+The JIT classes run only where numba is installed (the ``[compiled]``
+extra / the CI ``compiled`` job) and are skipped elsewhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arith import Binary64Backend, LogSpaceBackend
+from repro.engine import ExecPlan, kernels
+from repro.engine.batch import BatchBinary64, BatchLogSpace
+from repro.engine.compiled import (
+    HAVE_NUMBA,
+    PositPlaneKernels,
+    numba_available,
+    plan_compiled_kernels,
+)
+from repro.engine.posit_batch import BatchPosit
+from repro.formats.posit import FLUSH, SATURATE, PositEnv
+
+
+def _all_pairs(env):
+    """Every (a, b) operand pair of an 8-bit environment, as packed
+    uint64 arrays of length 65536."""
+    codes = np.arange(1 << env.nbits, dtype=np.uint64)
+    a = np.repeat(codes, codes.size)
+    b = np.tile(codes, codes.size)
+    return a, b
+
+
+def _hmm_arrays(bp, h, m, b_sz, t_len, seed=0):
+    """A normalized shared model + observation batch, packed."""
+    rng = np.random.default_rng(seed)
+
+    def rows(shape):
+        vals = rng.uniform(0.05, 1.0, size=shape)
+        return bp.from_floats(vals / vals.sum(axis=-1, keepdims=True))
+
+    return (rows((h, h)), rows((h, m)), rows((h,)),
+            rng.integers(0, m, size=(b_sz, t_len)))
+
+
+@pytest.mark.parametrize("es", [1, 2])
+@pytest.mark.parametrize("underflow", [SATURATE, FLUSH])
+class TestLeanOpsExhaustive:
+    """The lean ``_mul_u``/``_add_u`` plane ops equal the batch tier's
+    packed ``mul``/``add`` on *every* posit(8, es) operand pair, in
+    both underflow modes — the foundation of the fused kernels'
+    bit-identity claim."""
+
+    def _fixture(self, es, underflow):
+        env = PositEnv(8, es, underflow)
+        bp = BatchPosit(env)
+        ck = PositPlaneKernels(bp, use_numba=False)
+        a, b = _all_pairs(env)
+        return bp, ck, a, b
+
+    def test_mul_exhaustive(self, es, underflow):
+        bp, ck, a, b = self._fixture(es, underflow)
+        want = bp.mul(a, b)
+        got = bp.encode_once(
+            ck._mul_u(bp.decode_once(a), bp.decode_once(b)))
+        assert np.array_equal(want, got)
+
+    def test_add_exhaustive(self, es, underflow):
+        bp, ck, a, b = self._fixture(es, underflow)
+        want = bp.add(a, b)
+        got = bp.encode_once(
+            ck._add_u(bp.decode_once(a), bp.decode_once(b)))
+        assert np.array_equal(want, got)
+
+
+class TestFusedKernelsBitIdentical:
+    """The whole-recurrence kernels equal the batch path's packed
+    outputs — the workload widths (64, 12), the exhaustive-prone 8-bit
+    environments, zero-heavy operands, and the k=1 PBD edge."""
+
+    ENVS = [PositEnv(8, 1), PositEnv(8, 2, FLUSH), PositEnv(64, 12)]
+
+    @pytest.mark.parametrize("env", ENVS, ids=str)
+    def test_forward_and_trace(self, env):
+        bp = BatchPosit(env)
+        a, b, pi, obs = _hmm_arrays(bp, h=5, m=6, b_sz=9, t_len=11)
+        plan = ExecPlan(compiled=True)
+        assert np.array_equal(
+            kernels.forward_batch(bp, a, b, pi, obs),
+            kernels.forward_batch(bp, a, b, pi, obs, plan=plan))
+        assert np.array_equal(
+            kernels.forward_alpha_trace_batch(bp, a, b, pi, obs),
+            kernels.forward_alpha_trace_batch(bp, a, b, pi, obs,
+                                              plan=plan))
+
+    @pytest.mark.parametrize("env", ENVS, ids=str)
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_pbd(self, env, k):
+        bp = BatchPosit(env)
+        rng = np.random.default_rng(3)
+        pf = rng.uniform(0.01, 0.4, size=(7, 12))
+        pn, qn = bp.from_floats(pf), bp.from_floats(1.0 - pf)
+        assert np.array_equal(
+            kernels.pbd_pvalue_batch(bp, pn, qn, k),
+            kernels.pbd_pvalue_batch(bp, pn, qn, k,
+                                     plan=ExecPlan(compiled=True)))
+
+    def test_zero_heavy_model(self):
+        """Zero lanes exercise the merge paths whose decoded-plane
+        garbage must never escape into the packed outputs."""
+        env = PositEnv(8, 1)
+        bp = BatchPosit(env)
+        rng = np.random.default_rng(4)
+        h, m = 4, 5
+        av = rng.uniform(0.0, 1.0, size=(h, h))
+        av[av < 0.4] = 0.0
+        bv = rng.uniform(0.0, 1.0, size=(h, m))
+        bv[bv < 0.4] = 0.0
+        a, b = bp.from_floats(av), bp.from_floats(bv)
+        pi = bp.from_floats(rng.uniform(0.1, 1.0, size=(h,)))
+        obs = rng.integers(0, m, size=(6, 8))
+        plan = ExecPlan(compiled=True)
+        assert np.array_equal(
+            kernels.forward_batch(bp, a, b, pi, obs),
+            kernels.forward_batch(bp, a, b, pi, obs, plan=plan))
+        pf = rng.uniform(0.0, 0.5, size=(5, 9))
+        pf[pf < 0.2] = 0.0
+        pn, qn = bp.from_floats(pf), bp.from_floats(1.0 - pf)
+        assert np.array_equal(
+            kernels.pbd_pvalue_batch(bp, pn, qn, 2),
+            kernels.pbd_pvalue_batch(bp, pn, qn, 2, plan=plan))
+
+    def test_fused_shape_validation(self):
+        bp = BatchPosit(PositEnv(8, 1))
+        ck = PositPlaneKernels(bp, use_numba=False)
+        one = bp.ones((3, 3))
+        with pytest.raises(ValueError, match="shared model"):
+            ck.forward(bp.ones((2, 3, 3)), one, bp.ones((3,)),
+                       np.zeros((2, 4), dtype=int))
+        with pytest.raises(ValueError, match="obs"):
+            ck.forward(one, one, bp.ones((3,)),
+                       np.zeros(4, dtype=int))
+        with pytest.raises(ValueError, match="k must be"):
+            ck.pbd(one, one, 0)
+
+
+class TestPlanRouting:
+    """``ExecPlan(compiled=True)`` selects the tier exactly when one
+    exists, and otherwise falls back silently without changing
+    results."""
+
+    def test_routes_to_kernels_for_posit(self):
+        from repro import nd
+        bp = BatchPosit(PositEnv(64, 12))
+        fa = nd.wrap(bp.ones((2, 2)), bb=bp)
+        ck = plan_compiled_kernels(ExecPlan(compiled=True), fa, fa)
+        assert isinstance(ck, PositPlaneKernels)
+        assert ck.backend is bp
+
+    def test_none_without_compiled_flag(self):
+        from repro import nd
+        bp = BatchPosit(PositEnv(64, 12))
+        fa = nd.wrap(bp.ones((2, 2)), bb=bp)
+        assert plan_compiled_kernels(None, fa) is None
+        assert plan_compiled_kernels(ExecPlan(), fa) is None
+        assert plan_compiled_kernels(ExecPlan(compiled=True)) is None
+
+    def test_none_for_mixed_or_scalar_operands(self):
+        from repro import nd
+        bp = BatchPosit(PositEnv(64, 12))
+        fa = nd.wrap(bp.ones((2, 2)), bb=bp)
+        fb = nd.wrap(np.ones((2, 2)), bb=BatchBinary64())
+        plan = ExecPlan(compiled=True)
+        assert plan_compiled_kernels(plan, fa, fb) is None
+        scalar = nd.asarray([1.0, 2.0], Binary64Backend(),
+                            plan=ExecPlan.serial())
+        assert plan_compiled_kernels(plan, scalar) is None
+
+    @pytest.mark.parametrize("backend_cls, batch_cls", [
+        (Binary64Backend, BatchBinary64),
+        (LogSpaceBackend, BatchLogSpace),
+    ])
+    def test_silent_fallback_formats_without_tier(self, backend_cls,
+                                                  batch_cls):
+        """compiled=True on a format with no compiled tier never
+        errors and never changes results."""
+        bb = batch_cls()
+        rng = np.random.default_rng(5)
+        h, m, b_sz, t_len = 4, 5, 6, 7
+        conv = (lambda x: np.log(x)) if batch_cls is BatchLogSpace \
+            else (lambda x: x)
+        a = conv(rng.uniform(0.1, 1.0, size=(h, h)))
+        b = conv(rng.uniform(0.1, 1.0, size=(h, m)))
+        pi = conv(rng.uniform(0.1, 1.0, size=(h,)))
+        obs = rng.integers(0, m, size=(b_sz, t_len))
+        base = kernels.forward_batch(bb, a, b, pi, obs)
+        routed = kernels.forward_batch(bb, a, b, pi, obs,
+                                       plan=ExecPlan(compiled=True))
+        assert np.array_equal(base, routed)
+
+    def test_registry_compiled_for(self):
+        from repro.arith.registry import REGISTRY
+        bp = BatchPosit(PositEnv(64, 12))
+        ck = REGISTRY.compiled_for(bp)
+        assert isinstance(ck, PositPlaneKernels)
+        assert REGISTRY.compiled_for(bp) is ck  # memoized per mirror
+        assert REGISTRY.compiled_for(BatchBinary64()) is None
+        assert REGISTRY.compiled_for(None) is None
+
+
+class TestConstruction:
+    def test_xp_defaults_to_numpy(self):
+        bp = BatchPosit(PositEnv(8, 1))
+        assert PositPlaneKernels(bp, use_numba=False).xp is np
+        assert bp.xp is np  # the BatchBackend default namespace
+
+    def test_use_numba_true_requires_numba(self):
+        bp = BatchPosit(PositEnv(8, 1))
+        if HAVE_NUMBA:
+            assert PositPlaneKernels(bp, use_numba=True)._jit is not None
+        else:
+            with pytest.raises(RuntimeError, match="numba"):
+                PositPlaneKernels(bp, use_numba=True)
+
+    def test_numba_available_reports_import_state(self):
+        assert numba_available() is HAVE_NUMBA
+
+    def test_repr_names_tier(self):
+        bp = BatchPosit(PositEnv(8, 1))
+        ck = PositPlaneKernels(bp, use_numba=False)
+        assert "numpy" in repr(ck)
+        assert set(ck.ops) == {"forward", "forward_trace", "pbd"}
+
+
+@pytest.mark.skipif(not numba_available(),
+                    reason="numba not installed (the [compiled] extra)")
+class TestJitBitIdentical:
+    """Where numba is present, the JIT loops must match the batch tier
+    on the same suites as the NumPy lean kernels — compared on encoded
+    outputs only (zero/NaR plane garbage is unspecified)."""
+
+    @pytest.mark.parametrize("es", [1, 2])
+    @pytest.mark.parametrize("underflow", [SATURATE, FLUSH])
+    def test_jit_ops_exhaustive(self, es, underflow):
+        env = PositEnv(8, es, underflow)
+        bp = BatchPosit(env)
+        ck = PositPlaneKernels(bp, use_numba=True)
+        a, b = _all_pairs(env)
+        ua, ub = bp.decode_once(a), bp.decode_once(b)
+        assert np.array_equal(bp.mul(a, b),
+                              bp.encode_once(ck._mul_u(ua, ub)))
+        assert np.array_equal(bp.add(a, b),
+                              bp.encode_once(ck._add_u(ua, ub)))
+
+    def test_jit_forward_matches_batch(self):
+        bp = BatchPosit(PositEnv(64, 12))
+        ck = PositPlaneKernels(bp, use_numba=True)
+        a, b, pi, obs = _hmm_arrays(bp, h=6, m=7, b_sz=8, t_len=10)
+        assert np.array_equal(kernels.forward_batch(bp, a, b, pi, obs),
+                              ck.forward(a, b, pi, obs))
+
+    def test_jit_pbd_matches_batch(self):
+        bp = BatchPosit(PositEnv(64, 12))
+        ck = PositPlaneKernels(bp, use_numba=True)
+        rng = np.random.default_rng(9)
+        pf = rng.uniform(0.01, 0.4, size=(6, 10))
+        pn, qn = bp.from_floats(pf), bp.from_floats(1.0 - pf)
+        assert np.array_equal(kernels.pbd_pvalue_batch(bp, pn, qn, 2),
+                              ck.pbd(pn, qn, 2))

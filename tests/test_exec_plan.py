@@ -270,3 +270,19 @@ class TestPlanJson:
             ExecPlan.from_json({"cache": "maybe"})
         with pytest.raises(ValueError, match="rejected"):
             ExecPlan.from_json({"batch_size": 0})
+
+    def test_compiled_round_trips_at_v2(self):
+        """PR 8: ``compiled`` travels on the wire; the schema version
+        names the addition."""
+        from repro.engine import PLAN_SCHEMA_VERSION
+        assert PLAN_SCHEMA_VERSION == 2
+        plan = ExecPlan(compiled=True)
+        wire = plan.to_json()
+        assert wire["compiled"] is True
+        assert ExecPlan.from_json(wire) == plan
+        # v1 payloads (no compiled field) keep parsing with the
+        # default, so pre-PR 8 senders are unaffected.
+        v1 = ExecPlan().to_json()
+        del v1["compiled"]
+        v1["plan_version"] = 1
+        assert ExecPlan.from_json(v1) == ExecPlan()

@@ -183,3 +183,16 @@ class TestCacheIdentity:
         b = WorkloadRequest(kind="op", payload={"op": "mul"},
                             format="binary64")
         assert a.cache_identity() != b.cache_identity()
+
+    def test_compiled_included(self):
+        """``plan.compiled`` keys the cache (PR 8): compiled and
+        uncompiled results never share an entry, while the plan's
+        scheduling knobs stay excluded."""
+        base = dict(kind="op", payload={"op": "add", "a": [1], "b": [2]},
+                    format="posit64_12")
+        plain = WorkloadRequest(**base)
+        compiled = WorkloadRequest(plan=ExecPlan(compiled=True), **base)
+        uncompiled = WorkloadRequest(plan=ExecPlan(batch_size=4), **base)
+        assert compiled.cache_identity() != plain.cache_identity()
+        assert uncompiled.cache_identity() == plain.cache_identity()
+        assert plain.cache_identity()["compiled"] is False
