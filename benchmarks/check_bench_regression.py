@@ -89,6 +89,12 @@ GATES: Dict[Tuple[str, str], Tuple[str, float]] = {
     # benchmarks/test_service_load.py).
     ("service_load", "forward_coalescing"):
         ("REPRO_SERVICE_SPEEDUP_FLOOR", 3.0),
+    # The workload subsystem (PR 9): batched Viterbi decoding and
+    # pair-HMM alignment must stay >= 5x their serial plans.
+    ("workloads_throughput", "viterbi"):
+        ("REPRO_WORKLOADS_SPEEDUP_FLOOR", 5.0),
+    ("workloads_throughput", "pairhmm"):
+        ("REPRO_WORKLOADS_SPEEDUP_FLOOR", 5.0),
 }
 
 #: (benchmark name, result-key prefix) -> (env var, default ceiling).
@@ -116,6 +122,7 @@ REQUIRED_RESULTS: Dict[str, Tuple[str, ...]] = {
     "apps_throughput": ("vicar_forward_multi", "quire_accumulate"),
     "telemetry_overhead": ("forward_disabled_overhead",),
     "service_load": ("forward_coalescing",),
+    "workloads_throughput": ("viterbi", "pairhmm", "kalman"),
 }
 
 

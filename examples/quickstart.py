@@ -69,7 +69,20 @@ def main():
     print(render_table(rows))
 
     # ------------------------------------------------------------------
-    # 4. Why: the posit bit-field taper (the paper's Figure 2 / Table I).
+    # 4. A real workload is one call: Viterbi decoding (the forward
+    #    recurrence under the max-product semiring, plus traceback).
+    # ------------------------------------------------------------------
+    from repro.data.dirichlet import sample_hmm
+    from repro.workloads import viterbi
+
+    hmm = sample_hmm(4, 5, 16, seed=0)
+    print("\nViterbi decode of one 16-step HMM sequence, per format:")
+    for name in REGISTRY.standard_names():
+        path = viterbi(hmm, REGISTRY.create(name))
+        print(f"  {name:14s} path = {''.join(map(str, path.states()))}")
+
+    # ------------------------------------------------------------------
+    # 5. Why: the posit bit-field taper (the paper's Figure 2 / Table I).
     # ------------------------------------------------------------------
     print("\nPosit(8,2) worked example from the paper (0_0001_10_1):")
     env = PositEnv(8, 2)

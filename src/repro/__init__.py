@@ -19,6 +19,9 @@ Package map (see DESIGN.md for the full inventory):
   plan-aware reductions, and ambient ``use_format``/``use_plan``
 * :mod:`repro.core` — accuracy sweeps, bit-budget analysis, range tables
 * :mod:`repro.apps` — forward algorithm (VICAR), PBD p-values (LoFreq)
+* :mod:`repro.workloads` — semiring-parameterized workloads: Viterbi
+  decoding, pair-HMM alignment, Kalman filtering, and the
+  :data:`~repro.workloads.WORKLOADS` registry
 * :mod:`repro.data` — synthetic workload generators
 * :mod:`repro.hw` — FPGA accelerator timing/resource models
 * :mod:`repro.experiments` — one module per paper table/figure
@@ -43,7 +46,7 @@ from . import arith, bigfloat, core, formats, telemetry  # noqa: F401
 #: stack stays importable where the vectorized engine cannot run.
 #: (:mod:`repro.telemetry` is stdlib-only, so it loads eagerly.)
 _LAZY_SUBMODULES = ("apps", "engine", "experiments", "nd",
-                    "service")
+                    "service", "workloads")
 
 __all__ = [  # noqa: PLE0604
     "arith", "bigfloat", "core", "formats", "telemetry", "__version__",

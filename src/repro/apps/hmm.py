@@ -31,6 +31,7 @@ from ..data.dirichlet import HMMData
 from ..engine.plan import ExecPlan, resolve_plan
 from ..formats.real import Real
 from ..nd.context import _resolve_format
+from ..workloads.semiring import resolve_semiring
 
 
 def model_arrays(hmm: HMMData, backend: Optional[Backend] = None,
@@ -75,52 +76,83 @@ def _compiled_forward(a, b, pi, plan):
     return plan_compiled_kernels(plan, a, b, pi)
 
 
+def _forward_recurrence(a, pi, emission, n_steps: int, semiring,
+                        trace: bool = False) -> "nd.FArray":
+    """The one HMM recurrence, over any semiring: per step,
+
+        ``alpha'[q] = (⊕_p alpha[p] × A[p, q]) × B[q, o_t]``
+
+    with the semiring's contraction over ``p`` in index order (the add
+    monoid is ``nd.dot`` — mul + the format's ``sum`` fold, fused on
+    decoded-plane mirrors so each operand decodes once per step; the
+    max monoid is the exact code-order max).  ``alpha`` is always
+    ``(B, H)``; ``a`` is ``(H, H)`` (shared model) or ``(B, H, H)``
+    (per-model), ``emission(t)`` yields ``(B, H)``.  Returns the
+    ``total_op`` reduction over states, ``(B,)`` — or, with ``trace``,
+    the per-step totals stacked to ``(B, T)`` (Figure 1's data).
+
+    Sum-product forward, Viterbi scoring, and the pair-HMM hybrid are
+    this function under different semirings; the sum-product
+    instantiation is op-for-op the pre-semiring kernel (pinned
+    exhaustively in ``tests/test_workloads.py``).
+    """
+    alpha = semiring.times(pi, emission(0))
+    totals = [semiring.reduce(alpha, axis=1)] if trace else None
+    for t in range(1, n_steps):
+        # path[s, q] = ⊕_p(alpha[s, p] × A[..., p, q])
+        path = semiring.contract(alpha[:, :, None], a, axis=1)
+        alpha = semiring.times(path, emission(t))
+        if trace:
+            totals.append(semiring.reduce(alpha, axis=1))
+    if trace:
+        return nd.stack(totals, axis=1)
+    return semiring.reduce(alpha, axis=1)
+
+
 def _forward_nd(a, b, pi, obs: np.ndarray,
-                plan: Optional[ExecPlan] = None) -> "nd.FArray":
+                plan: Optional[ExecPlan] = None,
+                semiring=None) -> "nd.FArray":
     """Forward likelihoods for a batch of sequences sharing one model:
     ``a (H, H)``, ``b (H, M)``, ``pi (H,)`` FArrays, ``obs (B, T)``
     ints; returns ``(B,)``.  Listing 1, vectorized across sequences.
     ``plan=ExecPlan(compiled=True)`` routes through the fused
-    resident-plane kernel where the format registers one."""
+    resident-plane kernel where the format registers one (sum-product
+    only — the compiled tier bakes in the add monoid)."""
     obs = np.asarray(obs)
     if obs.ndim != 2:
         raise ValueError("obs must have shape (batch, T)")
-    ck = _compiled_forward(a, b, pi, plan)
-    if ck is not None:
-        return nd.wrap(ck.forward(a.data, b.data, pi.data, obs),
-                       bb=a._bb)
+    sr = resolve_semiring(semiring)
+    if sr.plus_op == "add" and sr.total_op == "add":
+        ck = _compiled_forward(a, b, pi, plan)
+        if ck is not None:
+            return nd.wrap(ck.forward(a.data, b.data, pi.data, obs),
+                           bb=a._bb)
     with _tele.span("app.hmm.forward"):
-        alpha = pi * _emission_shared(b, obs, 0)
-        for t in range(1, obs.shape[1]):
-            # path_sum[s, q] = sum_p(alpha[s, p] * A[p, q]), fold over p
-            # in index order (nd.dot == mul + the sum fold;
-            # decoded-plane mirrors fuse it so each operand decodes once
-            # per step).
-            path_sum = nd.dot(alpha[:, :, None], a, axis=1)
-            alpha = path_sum * _emission_shared(b, obs, t)
-        return nd.sum(alpha, axis=1)
+        return _forward_recurrence(
+            a, pi, lambda t: _emission_shared(b, obs, t),
+            obs.shape[1], sr)
 
 
 def _forward_trace_nd(a, b, pi, obs: np.ndarray,
-                      plan: Optional[ExecPlan] = None) -> "nd.FArray":
+                      plan: Optional[ExecPlan] = None,
+                      semiring=None) -> "nd.FArray":
     """Per-iteration total alpha mass, shape ``(B, T)`` — the data
     behind Figure 1."""
     obs = np.asarray(obs)
-    ck = _compiled_forward(a, b, pi, plan) if obs.ndim == 2 else None
-    if ck is not None:
-        return nd.wrap(ck.forward_trace(a.data, b.data, pi.data, obs),
-                       bb=a._bb)
+    sr = resolve_semiring(semiring)
+    if sr.plus_op == "add" and sr.total_op == "add" and obs.ndim == 2:
+        ck = _compiled_forward(a, b, pi, plan)
+        if ck is not None:
+            return nd.wrap(ck.forward_trace(a.data, b.data, pi.data, obs),
+                           bb=a._bb)
     with _tele.span("app.hmm.forward_trace"):
-        alpha = pi * _emission_shared(b, obs, 0)
-        trace = [nd.sum(alpha, axis=1)]
-        for t in range(1, obs.shape[1]):
-            path_sum = nd.dot(alpha[:, :, None], a, axis=1)
-            alpha = path_sum * _emission_shared(b, obs, t)
-            trace.append(nd.sum(alpha, axis=1))
-        return nd.stack(trace, axis=1)
+        return _forward_recurrence(
+            a, pi, lambda t: _emission_shared(b, obs, t),
+            obs.shape[1], sr, trace=True)
 
 
-def _forward_models_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
+def _forward_models_nd(a, b, pi, obs: np.ndarray,
+                       semiring=None) -> "nd.FArray":
     """Forward likelihoods for a batch of *models* (the ViCAR/MCMC
     shape): ``a (B, H, H)``, ``b (B, H, M)``, ``pi (B, H)``,
     ``obs (B, T)``; returns ``(B,)``."""
@@ -137,12 +169,8 @@ def _forward_models_nd(a, b, pi, obs: np.ndarray) -> "nd.FArray":
             b, obs[:, t][:, None, None], axis=2)[..., 0]
 
     with _tele.span("app.hmm.forward_models"):
-        alpha = pi * emission(0)
-        for t in range(1, obs.shape[1]):
-            # path_sum[s, q] = sum_p(alpha[s, p] * A[s, p, q])
-            path_sum = nd.dot(alpha[:, :, None], a, axis=1)
-            alpha = path_sum * emission(t)
-        return nd.sum(alpha, axis=1)
+        return _forward_recurrence(a, pi, emission, obs.shape[1],
+                                   resolve_semiring(semiring))
 
 
 def _seq_rows(observations) -> list:
@@ -162,7 +190,8 @@ def _obs_rows(observations) -> np.ndarray:
 # Public entry points (B=1 views and explicit batches)
 # ----------------------------------------------------------------------
 def forward(hmm: HMMData, backend: Optional[Backend] = None,
-            observations=None, plan: Optional[ExecPlan] = None):
+            observations=None, plan: Optional[ExecPlan] = None,
+            semiring=None):
     """Run the forward algorithm; return the likelihood P(O | lambda) as
     a backend value (use ``backend.to_bigfloat`` to score it).
 
@@ -171,11 +200,18 @@ def forward(hmm: HMMData, backend: Optional[Backend] = None,
     B=1 view over :func:`_forward_nd` with the *reduction-certified*
     representation tier, so the result never depends on the plan;
     ``plan=ExecPlan.serial()`` merely forces the scalar baseline.
+
+    ``semiring`` (a :class:`~repro.workloads.semiring.Semiring` or
+    registered name; default sum-product) swaps the recurrence algebra:
+    ``"max-product"`` makes this the Viterbi *score* — the best single
+    path's probability (see :func:`repro.workloads.viterbi` for path
+    recovery).
     """
     plan = resolve_plan(plan, where="forward")
     obs = hmm.observations if observations is None else observations
     a, b, pi = model_arrays(hmm, backend, plan=plan, certified=True)
-    return _forward_nd(a, b, pi, _obs_rows([obs]), plan=plan).item(0)
+    return _forward_nd(a, b, pi, _obs_rows([obs]), plan=plan,
+                       semiring=semiring).item(0)
 
 
 def forward_alpha_trace(hmm: HMMData, backend: Optional[Backend] = None,
@@ -202,7 +238,8 @@ def alpha_scale_series(hmm: HMMData, prec: int = 96) -> List[int]:
 
 def forward_batch(hmm: HMMData, backend: Optional[Backend] = None,
                   observations=None,
-                  plan: Optional[ExecPlan] = None) -> list:
+                  plan: Optional[ExecPlan] = None,
+                  semiring=None) -> list:
     """Forward algorithm over a batch of observation sequences.
 
     ``observations`` is a ``(B, T)`` integer array (default: a batch of
@@ -225,19 +262,21 @@ def forward_batch(hmm: HMMData, backend: Optional[Backend] = None,
     if len({len(s) for s in seqs}) > 1:
         # Ragged batch: per-sequence B=1 passes over the hoisted model.
         return [_forward_nd(a, b, pi, np.asarray([s], dtype=np.intp),
-                            plan=plan).item(0)
+                            plan=plan, semiring=semiring).item(0)
                 for s in seqs]
     obs = np.asarray(seqs, dtype=np.intp)
     values: list = []
     for rows in plan.group_slices(obs.shape[0]):
-        out = _forward_nd(a, b, pi, obs[rows], plan=plan)
+        out = _forward_nd(a, b, pi, obs[rows], plan=plan,
+                          semiring=semiring)
         values.extend(out.item(i) for i in range(out.shape[0]))
     return values
 
 
 def forward_models_batch(models, backend: Optional[Backend] = None,
                          plan: Optional[ExecPlan] = None, *,
-                         certified: bool = False) -> list:
+                         certified: bool = False,
+                         semiring=None) -> list:
     """Forward likelihoods for many *models* (each with its own
     parameters and observation sequence) — the ViCAR/MCMC shape.
 
@@ -272,7 +311,7 @@ def forward_models_batch(models, backend: Optional[Backend] = None,
                             backend, plan=plan, certified=certified)
             obs = np.array([models[i].observations for i in indices],
                            dtype=np.intp)
-            likes = _forward_models_nd(a, b, pi, obs)
+            likes = _forward_models_nd(a, b, pi, obs, semiring=semiring)
             for j, i in enumerate(indices):
                 out[i] = likes.item(j)
     return out

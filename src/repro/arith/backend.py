@@ -75,6 +75,26 @@ class Backend(abc.ABC):
         """
         raise NotImplementedError(f"{self.name} does not support division")
 
+    def gt(self, a: Any, b: Any) -> bool:
+        """Strict value order ``a > b``.
+
+        Probabilities are totally ordered, so every format can compare;
+        the default goes through the exact plane (``to_bigfloat``).
+        Backends whose ``to_bigfloat`` is only correctly rounded
+        (log-space) or whose codes carry non-values (posit NaR) override
+        with a representation-native comparison — the same order their
+        batch mirror's monotone code arrays realize, which is what keeps
+        max-semiring decisions identical across representations.
+        """
+        return self.to_bigfloat(a) > self.to_bigfloat(b)
+
+    def maximum(self, a: Any, b: Any) -> Any:
+        """The larger probability (``a`` on ties — the first-operand
+        tie-break every argmax/traceback in :mod:`repro.workloads`
+        relies on, matching ``np.maximum``/``np.argmax`` on the batch
+        mirrors' monotone code arrays)."""
+        return b if self.gt(b, a) else a
+
     def sum(self, values: Iterable[Any]) -> Any:
         """Accumulate many probabilities.
 

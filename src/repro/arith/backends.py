@@ -54,6 +54,9 @@ class Binary64Backend(Backend):
     def is_zero(self, value: float) -> bool:
         return value == 0.0
 
+    def gt(self, a: float, b: float) -> bool:
+        return a > b
+
 
 class LogSpaceBackend(Backend):
     """Probabilities stored as natural logs in binary64 (Section II.B).
@@ -138,6 +141,15 @@ class LogSpaceBackend(Backend):
             return lse_sequential(values)
         return lse_n(values)
 
+    def gt(self, a: float, b: float) -> bool:
+        """Compare the raw float logs, not ``to_bigfloat`` values: the
+        decode is only correctly rounded, so two distinct logs could
+        round to one BigFloat and flip a tie-break.  ``log`` is strictly
+        monotone, so the float order *is* the probability order —
+        exactly the order ``np.maximum`` realizes on the batch mirror's
+        log arrays."""
+        return a > b
+
 
 class PositBackend(Backend):
     """posit(N, ES) arithmetic on raw bit patterns (Section III)."""
@@ -176,6 +188,16 @@ class PositBackend(Backend):
 
     def is_nar(self, value) -> bool:
         return self.env.is_nar(value)
+
+    def gt(self, a, b) -> bool:
+        """Posit bit patterns compare as two's-complement integers (the
+        posit standard's total order; NaR = the sign-bit pattern sorts
+        below every real).  Exact by construction — no decode."""
+        return self._ordered(a) > self._ordered(b)
+
+    def _ordered(self, value) -> int:
+        return value - (1 << self.env.nbits) \
+            if value >= self.env.sign_bit else value
 
     def fused_sum(self, values) -> int:
         """Quire-style exact accumulation (extension feature)."""
@@ -227,6 +249,17 @@ class LNSBackend(Backend):
     def is_zero(self, value) -> bool:
         from ..formats.lns import LNS_ZERO
         return value == LNS_ZERO
+
+    def gt(self, a, b) -> bool:
+        """LNS codes are fixed-point log2 values — integer order *is*
+        probability order, with the zero sentinel below everything
+        (mirroring the batch mirror's ``ZERO_CODE`` = int64 min)."""
+        from ..formats.lns import LNS_ZERO
+        if a == LNS_ZERO:
+            return False
+        if b == LNS_ZERO:
+            return True
+        return a > b
 
 
 class BigFloatBackend(Backend):

@@ -58,8 +58,10 @@ STANDARD_FORMATS = ("binary64", "log", "posit(64,9)", "posit(64,12)",
 
 #: The native vectorized op set every registered batch mirror provides
 #: (sub/div landed with the decoded-plane/Gaussian-log kernels; axpy is
-#: the fused ``a*x + y``).
-FULL_BATCH_OPS = ("add", "sub", "mul", "div", "sum", "dot", "axpy")
+#: the fused ``a*x + y``; maximum/amax/argmax are the max-semiring order
+#: ops — exact by construction on every mirror's monotone code space).
+FULL_BATCH_OPS = ("add", "sub", "mul", "div", "sum", "dot", "axpy",
+                  "maximum", "amax", "argmax")
 
 _POSIT_NAME = re.compile(r"^posit\((\d+),(\d+)\)$")
 _LNS_NAME = re.compile(r"^lns\((\d+),(\d+)\)$")

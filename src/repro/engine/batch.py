@@ -164,6 +164,48 @@ class BatchBackend(abc.ABC):
             acc = self.add(acc, moved[..., i])
         return acc
 
+    # ------------------------------------------------------------------
+    # Order (the max semirings: Viterbi, pair-HMM recombination)
+    # ------------------------------------------------------------------
+    def _order_key(self, arr: np.ndarray) -> np.ndarray:
+        """``arr``'s codes mapped onto a NumPy-comparable array whose
+        ``<`` order equals the probability order — the certification
+        behind :meth:`maximum`/:meth:`amax`/:meth:`argmax`.  Every
+        registered mirror's code space is monotone (float64 values,
+        float64 logs, LNS int64 codes with the zero sentinel at int64
+        min, posit patterns as two's-complement integers), so max is
+        *exact by construction*: no decode, no rounding, no tie hazard.
+        Exotic mirrors without a monotone code space leave the default,
+        which raises (mirroring ``sub``/``div``)."""
+        raise NotImplementedError(
+            f"{self.name} batch backend does not define a monotone "
+            f"code order (no max/argmax)")
+
+    def maximum(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise larger probability (``a`` wins ties, matching
+        the scalar :meth:`Backend.maximum` fold and ``np.argmax``'s
+        first-index tie-break)."""
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        return np.where(self._order_key(b) > self._order_key(a), b, a)
+
+    def amax(self, arr: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Reduce along ``axis`` to the largest probability (exact —
+        no fold roundings, unlike ``sum``)."""
+        arr = np.asarray(arr, dtype=self.dtype)
+        moved = np.moveaxis(arr, axis, -1)
+        idx = np.argmax(np.moveaxis(self._order_key(arr), axis, -1),
+                        axis=-1)
+        return np.take_along_axis(moved, np.expand_dims(idx, -1),
+                                  axis=-1)[..., 0]
+
+    def argmax(self, arr: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Index of the largest probability along ``axis`` (first index
+        on ties — identical to folding the scalar backend's strict
+        :meth:`Backend.gt`)."""
+        arr = np.asarray(arr, dtype=self.dtype)
+        return np.argmax(self._order_key(arr), axis=axis)
+
     def dot(self, a: np.ndarray, b: np.ndarray, axis: int = -1) -> np.ndarray:
         """Sum of elementwise products along ``axis``."""
         return self.sum(self.mul(a, b), axis=axis)
@@ -191,6 +233,12 @@ class BatchBinary64(BatchBackend):
 
     def from_bigfloats(self, values: Iterable[BigFloat]) -> np.ndarray:
         return np.array([v.to_float() for v in values], dtype=self.dtype)
+
+    def from_floats(self, values) -> np.ndarray:
+        # Rounding an exact float64 to binary64 is the identity, so the
+        # vectorized cast IS the scalar ``from_float`` per element (the
+        # copy keeps the FArray from aliasing caller memory).
+        return np.array(values, dtype=self.dtype)
 
     def zeros(self, shape) -> np.ndarray:
         return np.zeros(shape, dtype=self.dtype)
@@ -220,6 +268,10 @@ class BatchBinary64(BatchBackend):
 
     def is_zero(self, arr) -> np.ndarray:
         return np.asarray(arr) == 0.0
+
+    def _order_key(self, arr) -> np.ndarray:
+        # IEEE floats order by value in the NaN-free probability domain.
+        return np.asarray(arr, dtype=self.dtype)
 
 
 class BatchLogSpace(BatchBackend):
@@ -328,6 +380,11 @@ class BatchLogSpace(BatchBackend):
 
     def is_zero(self, arr) -> np.ndarray:
         return np.isneginf(arr)
+
+    def _order_key(self, arr) -> np.ndarray:
+        # log is strictly monotone: float log order == probability
+        # order (zero = -inf sorts first), exactly the scalar gt.
+        return np.asarray(arr, dtype=self.dtype)
 
     def sum(self, arr: np.ndarray, axis: int = -1) -> np.ndarray:
         if self.sum_mode == SUM_SEQUENTIAL:

@@ -32,7 +32,7 @@ def _wrap3(backend: BatchBackend, a, b, pi):
 
 def forward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
                   pi: np.ndarray, obs: np.ndarray,
-                  plan=None) -> np.ndarray:
+                  plan=None, semiring=None) -> np.ndarray:
     """Forward algorithm over a batch of observation sequences.
 
     Parameters
@@ -52,12 +52,16 @@ def forward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
     Returns the batch of likelihoods, shape ``(B,)``, as backend values.
     Mirrors :func:`repro.apps.hmm.forward` exactly: per step,
     ``alpha'[q] = sum_p(alpha[p] * A[p, q]) * B[q, o_t]`` with the
-    backend's ``sum`` reduction over ``p`` in index order.
+    backend's ``sum`` reduction over ``p`` in index order.  ``semiring``
+    (a :class:`~repro.workloads.semiring.Semiring` or registered name)
+    swaps the recurrence algebra — ``"max-product"`` yields Viterbi
+    scores.
     """
     from ..apps.hmm import _forward_nd
     with _tele.span("kernel.forward_batch"):
         fa, fb, fpi = _wrap3(backend, a, b, pi)
-        return np.asarray(_forward_nd(fa, fb, fpi, obs, plan=plan).data)
+        return np.asarray(_forward_nd(fa, fb, fpi, obs, plan=plan,
+                                      semiring=semiring).data)
 
 
 def forward_alpha_trace_batch(backend: BatchBackend, a: np.ndarray,
@@ -74,7 +78,8 @@ def forward_alpha_trace_batch(backend: BatchBackend, a: np.ndarray,
 
 
 def forward_multi_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
-                        pi: np.ndarray, obs: np.ndarray) -> np.ndarray:
+                        pi: np.ndarray, obs: np.ndarray,
+                        semiring=None) -> np.ndarray:
     """Forward algorithm over a batch of *models* (the ViCAR/MCMC shape:
     every element has its own parameters and its own sequence).
 
@@ -92,7 +97,8 @@ def forward_multi_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
     from ..apps.hmm import _forward_models_nd
     with _tele.span("kernel.forward_multi_batch"):
         fa, fb, fpi = _wrap3(backend, a, b, pi)
-        return np.asarray(_forward_models_nd(fa, fb, fpi, obs).data)
+        return np.asarray(
+            _forward_models_nd(fa, fb, fpi, obs, semiring=semiring).data)
 
 
 def backward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,

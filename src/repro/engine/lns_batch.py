@@ -148,8 +148,9 @@ class BatchLNS(BatchBackend):
         return np.array(flat, dtype=self.dtype).reshape(arr.shape)
 
     def to_bigfloats(self, arr: np.ndarray) -> List[BigFloat]:
-        return [self.env.decode_bigfloat(self.item(np.asarray(arr), (i,)))
-                for i in range(np.asarray(arr).size)]
+        flat = np.asarray(arr).ravel()
+        return [self.env.decode_bigfloat(self.item(flat, (i,)))
+                for i in range(flat.size)]
 
     def item(self, arr: np.ndarray, index=()):
         code = int(np.asarray(arr)[index])
@@ -171,6 +172,11 @@ class BatchLNS(BatchBackend):
 
     def is_zero(self, arr) -> np.ndarray:
         return np.asarray(arr) == ZERO_CODE
+
+    def _order_key(self, arr) -> np.ndarray:
+        """Fixed-point log2 codes order as integers — probability order —
+        and ``ZERO_CODE`` = int64 min already sorts below every real."""
+        return np.asarray(arr, dtype=self.dtype)
 
     # ------------------------------------------------------------------
     # Arithmetic

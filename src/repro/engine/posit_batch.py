@@ -288,6 +288,18 @@ class BatchPosit(BatchBackend):
     def is_nar(self, arr) -> np.ndarray:
         return (_u64(arr) & self._mask) == self._nar
 
+    def _order_key(self, arr) -> np.ndarray:
+        """Posit patterns as two's-complement integers — the standard's
+        total order (NaR = the sign-bit pattern sorts below every
+        real), matching the scalar backend's ``gt`` exactly."""
+        codes = _u64(arr)
+        if self.env.nbits == 64:
+            return codes.view(np.int64) if codes.dtype == np.uint64 \
+                else codes.astype(np.int64)
+        signed = codes.astype(np.int64)
+        return np.where(signed >= np.int64(self.env.sign_bit),
+                        signed - np.int64(1 << self.env.nbits), signed)
+
     # ------------------------------------------------------------------
     # Decode: bit patterns -> (zero, nar, sign, frac64, scale)
     # ------------------------------------------------------------------

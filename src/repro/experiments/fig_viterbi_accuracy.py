@@ -1,0 +1,107 @@
+"""Viterbi decoding accuracy vs the BigFloat oracle, per format.
+
+Two things can degrade under a finite format: the best path's *score*
+(rounds like any product chain — measured as log10 relative error
+against the oracle score) and the decoded *path itself* (rounded
+scores can reorder candidates at an argmax, flipping a decision —
+measured as the fraction of sequences whose full path matches the
+oracle's).  Max itself is exact in every format, so any path
+divergence is attributable to the × chain's rounding, never to the
+recombination — the cleanest view of format-induced decision error
+the repo has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..arith.backends import BigFloatBackend
+from ..core.accuracy import UNDERFLOW, score_value
+from ..data.dirichlet import sample_hmm
+from ..engine.plan import ExecPlan, resolve_plan
+from ..report.tables import render_table
+from ..workloads.viterbi import viterbi_batch
+
+#: (number of sequences, sequence length).
+SCALES = {"test": (6, 12), "bench": (24, 40), "full": (96, 120)}
+
+FORMATS = ("binary64", "log", "posit(64,9)", "posit(64,12)",
+           "lns(12,50)")
+
+N_STATES = 4
+N_SYMBOLS = 5
+
+
+@dataclass
+class ViterbiAccuracyResult:
+    n_seqs: int
+    length: int
+    #: format -> list of log10 relative errors of best-path scores.
+    errors: Dict[str, List[float]]
+    #: format -> count of sequences whose score underflowed to zero.
+    underflows: Dict[str, int]
+    #: format -> fraction of sequences with the oracle's exact path.
+    path_agreement: Dict[str, float]
+
+    def rows(self) -> List[dict]:
+        out = []
+        for fmt in FORMATS:
+            errs = self.errors[fmt]
+            out.append({
+                "format": fmt,
+                "median log10 err": round(float(np.median(errs)), 2)
+                if errs else None,
+                "path agreement": round(self.path_agreement[fmt], 2),
+                "underflow": self.underflows[fmt],
+            })
+        return out
+
+
+def run(scale: str = "bench", seed: int = 0,
+        plan: Optional[ExecPlan] = None) -> ViterbiAccuracyResult:
+    """Decode a batch of random sequences under one sampled model in
+    every format and against the oracle (identical results for every
+    plan — max/argmax are plan-invariant and the × chain follows the
+    registry's certification)."""
+    plan = resolve_plan(plan, where="fig_viterbi_accuracy.run")
+    n_seqs, length = SCALES[scale]
+    hmm = sample_hmm(N_STATES, N_SYMBOLS, length, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    obs = rng.integers(0, N_SYMBOLS, size=(n_seqs, length))
+    oracle = BigFloatBackend(256)
+    truth = viterbi_batch(hmm, oracle, obs, plan=plan)
+    errors: Dict[str, List[float]] = {}
+    underflows: Dict[str, int] = {}
+    agreement: Dict[str, float] = {}
+    for fmt in FORMATS:
+        decoded = viterbi_batch(hmm, fmt, obs, plan=plan)
+        from ..nd.context import _resolve_format
+        backend = _resolve_format(fmt)
+        errs: List[float] = []
+        n_uf = 0
+        n_match = 0
+        for got, ref in zip(decoded, truth):
+            if list(got.path) == list(ref.path):
+                n_match += 1
+            res = score_value(backend, got.score,
+                              oracle.to_bigfloat(ref.score))
+            if res.status == UNDERFLOW:
+                n_uf += 1
+            elif res.ok:
+                errs.append(res.log10_error)
+        errors[fmt] = errs
+        underflows[fmt] = n_uf
+        agreement[fmt] = n_match / n_seqs
+    return ViterbiAccuracyResult(n_seqs, length, errors, underflows,
+                                 agreement)
+
+
+def render(result: ViterbiAccuracyResult) -> str:
+    return render_table(
+        result.rows(),
+        title=f"Viterbi decoding accuracy vs oracle "
+              f"(n={result.n_seqs} sequences, T={result.length}; "
+              f"path agreement = fraction decoding the oracle's path)")

@@ -52,6 +52,9 @@ from . import (
     fig9_pvalue_accuracy,
     fig10_vicar_cdf,
     fig11_lofreq_cdf,
+    fig_kalman_accuracy,
+    fig_pairhmm_accuracy,
+    fig_viterbi_accuracy,
     scorecard,
     table1_range,
     table2_units,
@@ -102,6 +105,18 @@ REGISTRY: Dict[str, Experiment] = {
                         fig10_vicar_cdf.run, fig10_vicar_cdf.render, True),
     "fig11": Experiment("fig11", "LoFreq p-value accuracy CDFs",
                         fig11_lofreq_cdf.run, fig11_lofreq_cdf.render, True),
+    "viterbi": Experiment("viterbi",
+                          "Viterbi decoding accuracy and path agreement",
+                          fig_viterbi_accuracy.run,
+                          fig_viterbi_accuracy.render, True),
+    "pairhmm": Experiment("pairhmm",
+                          "pair-HMM alignment likelihood accuracy",
+                          fig_pairhmm_accuracy.run,
+                          fig_pairhmm_accuracy.render, True),
+    "kalman": Experiment("kalman",
+                         "Kalman filter cancellation accuracy",
+                         fig_kalman_accuracy.run,
+                         fig_kalman_accuracy.render, True),
     "bitbudget": Experiment("bitbudget",
                             "bit-budget analysis (Section II.C/III)",
                             bitbudget_curves.run, bitbudget_curves.render,

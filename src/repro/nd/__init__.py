@@ -29,6 +29,8 @@ where the engine's ``HAVE_NUMPY`` gate is off (the scalar stack in
 from .context import current_backend, current_plan, use_format, use_plan
 from .farray import (
     FArray,
+    amax,
+    argmax,
     array,
     asarray,
     broadcast_to,
@@ -38,6 +40,7 @@ from .farray import (
     fused_sum,
     full,
     logsumexp,
+    maximum,
     multiply_add,
     ones,
     ones_like,
@@ -51,6 +54,8 @@ from .farray import (
 
 __all__ = [
     "FArray",
+    "amax",
+    "argmax",
     "array",
     "asarray",
     "broadcast_to",
@@ -62,6 +67,7 @@ __all__ = [
     "fused_sum",
     "full",
     "logsumexp",
+    "maximum",
     "multiply_add",
     "ones",
     "ones_like",

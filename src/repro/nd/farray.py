@@ -57,6 +57,8 @@ from .context import _resolve_format
 
 __all__ = [
     "FArray",
+    "amax",
+    "argmax",
     "asarray",
     "broadcast_to",
     "concatenate",
@@ -65,6 +67,7 @@ __all__ = [
     "fused_sum",
     "full",
     "logsumexp",
+    "maximum",
     "multiply_add",
     "ones",
     "ones_like",
@@ -348,6 +351,22 @@ class FArray:
     def __rtruediv__(self, other):
         return self._binary(other, "div", reflected=True)
 
+    def maximum(self, other) -> "FArray":
+        """Elementwise larger probability (first operand on ties).
+
+        Exact by construction on every representation: the batch
+        mirrors compare monotone code arrays (float values/logs, posit
+        patterns as two's-complement, LNS codes), the scalar fallback
+        uses the backend's representation-native ``gt`` — the same
+        total order, so the max semirings decide identically on both
+        planes.
+        """
+        out = self._binary(other, "maximum")
+        if out is NotImplemented:
+            raise TypeError(f"cannot take maximum of an FArray and "
+                            f"{type(other).__name__}")
+        return out
+
     def __matmul__(self, other):
         rhs = self._coerce(other)
         if rhs is None:
@@ -404,6 +423,58 @@ class FArray:
             return FArray(np.asarray(out), self._backend, self._bb)
         return (self * rhs).sum(axis=axis)
 
+    def max(self, axis: Optional[int] = None) -> "FArray":
+        """Largest probability along ``axis`` (or of everything).
+
+        The max fold is associative and exact in every format (no
+        rounding — one of the inputs *is* the result), so unlike
+        ``sum`` there is no certification tier: batch and scalar
+        representations always agree (ties resolve to the first
+        index, as :meth:`argmax` reports).
+        """
+        if axis is None:
+            return self.ravel().max(axis=0)
+        if self._bb is not None:
+            out = self._bb.amax(self._data, axis=axis)
+            if _tele.current() is not None:
+                _tally_nd("amax", self.format, "batch", out)
+            return FArray(np.asarray(out), self._backend, self._bb)
+        moved = np.moveaxis(self._data, axis, -1)
+        out = np.empty(moved.shape[:-1], dtype=object)
+        for idx in np.ndindex(*out.shape):
+            acc = moved[idx][0]
+            for v in moved[idx][1:]:
+                acc = self._backend.maximum(acc, v)
+            out[idx] = acc
+        if _tele.current() is not None:
+            _tally_nd("amax", self.format, "scalar", out)
+        return FArray(out, self._backend, None)
+
+    def argmax(self, axis: int = -1) -> np.ndarray:
+        """Index of the largest probability along ``axis`` (first index
+        on ties — ``np.argmax``'s rule), as a plain integer ndarray.
+
+        This is the Viterbi back-pointer primitive; batch and scalar
+        representations decide identically (same total order, same
+        tie-break), which is what makes traceback paths plan-invariant.
+        """
+        if self._bb is not None:
+            out = self._bb.argmax(self._data, axis=axis)
+            if _tele.current() is not None:
+                _tally_nd("argmax", self.format, "batch", out)
+            return np.asarray(out, dtype=np.intp)
+        moved = np.moveaxis(self._data, axis, -1)
+        out = np.empty(moved.shape[:-1], dtype=np.intp)
+        for idx in np.ndindex(*out.shape):
+            best, best_i = moved[idx][0], 0
+            for i, v in enumerate(moved[idx][1:], start=1):
+                if self._backend.gt(v, best):
+                    best, best_i = v, i
+            out[idx] = best_i
+        if _tele.current() is not None:
+            _tally_nd("argmax", self.format, "scalar", out)
+        return out
+
     # ------------------------------------------------------------------
     # Conversion
     # ------------------------------------------------------------------
@@ -445,6 +516,16 @@ def _from_bigfloats(values: Sequence[BigFloat], shape, backend: Backend,
 def _convert(values, backend: Backend, bb) -> FArray:
     """Nested numbers/BigFloats into an FArray with the given
     representation."""
+    if bb is not None and isinstance(values, np.ndarray) \
+            and np.issubdtype(values.dtype, np.floating) \
+            and np.isfinite(values).all():
+        # Finite float tensors skip the per-element BigFloat round-trip:
+        # ``from_floats`` is scalar ``from_float`` per element (itself
+        # defined as ``from_bigfloat(BigFloat.from_float(x))``), so the
+        # result is bit-identical by construction — pinned by
+        # tests/test_nd.py against the exact path.  Non-finite entries
+        # fall through so they raise the same error as scalar inputs.
+        return FArray(bb.from_floats(values), backend, bb)
     src = np.asarray(values, dtype=object)
     flat = [_exact(v) for v in src.ravel()]
     return _from_bigfloats(flat, src.shape, backend, bb)
@@ -589,6 +670,22 @@ def sum(x: FArray, axis: Optional[int] = None) -> FArray:  # noqa: A001
 def dot(x: FArray, y, axis: int = -1) -> FArray:
     """Sum of elementwise products along ``axis``."""
     return x.dot(y, axis=axis)
+
+
+def maximum(x: FArray, y) -> FArray:
+    """Elementwise larger probability (see :meth:`FArray.maximum`)."""
+    return x.maximum(y)
+
+
+def amax(x: FArray, axis: Optional[int] = None) -> FArray:
+    """Largest probability along ``axis`` (see :meth:`FArray.max`)."""
+    return x.max(axis=axis)
+
+
+def argmax(x: FArray, axis: int = -1) -> np.ndarray:
+    """First index of the largest probability along ``axis`` (see
+    :meth:`FArray.argmax`)."""
+    return x.argmax(axis=axis)
 
 
 def multiply_add(x: FArray, y, z) -> FArray:

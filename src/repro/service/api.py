@@ -53,7 +53,8 @@ API_VERSION = 1
 #: table lives in :mod:`repro.service.workloads`; this tuple is the
 #: *contract* side so the light api module can validate without
 #: importing the NumPy-side handlers.)
-WORKLOAD_KINDS = ("forward", "pbd", "op", "astype", "experiment")
+WORKLOAD_KINDS = ("forward", "pbd", "op", "astype", "experiment",
+                  "viterbi", "pairhmm", "kalman")
 
 
 # ----------------------------------------------------------------------

@@ -469,6 +469,288 @@ class AstypeHandler(WorkloadHandler):
 
 
 # ----------------------------------------------------------------------
+# viterbi / pairhmm / kalman — the registered recurrence workloads
+# ----------------------------------------------------------------------
+def _canonical_json(obj) -> str:
+    """A deterministic hashable rendering of a JSON payload fragment
+    (for coalesce keys over structured inputs like a shared model)."""
+    import json
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _int_rows(rows, *, where: str, width: Optional[int] = None,
+              bound: Optional[int] = None) -> list:
+    """A non-empty list of equal-length integer rows."""
+    if not isinstance(rows, (list, tuple)) or not rows:
+        raise InvalidRequest(f"{where} must be a non-empty list of "
+                             f"integer rows")
+    out = []
+    for i, row in enumerate(rows):
+        if not isinstance(row, (list, tuple)) or not row:
+            raise InvalidRequest(f"{where}[{i}] must be a non-empty "
+                                 f"list of ints")
+        vals = []
+        for v in row:
+            if isinstance(v, bool) or not isinstance(v, int) or v < 0 \
+                    or (bound is not None and v >= bound):
+                hi = f" in [0, {bound})" if bound is not None else " >= 0"
+                raise InvalidRequest(f"{where}[{i}] must be ints{hi}")
+            vals.append(v)
+        if width is None:
+            width = len(vals)
+        elif len(vals) != width:
+            raise InvalidRequest(f"{where} rows must share one length")
+        out.append(vals)
+    return out
+
+
+class ViterbiHandler(WorkloadHandler):
+    """``viterbi``: most probable state paths under one HMM.
+
+    Payload: ``{"model": <model>, "sequences": [[...], ...]}`` — the
+    same model object as ``forward`` (its ``observations`` field is the
+    default when ``sequences`` is omitted).  Per sequence the result is
+    ``{"score": <triple>, "path": [state, ...]}``.
+
+    Requests sharing the identical model and sequence length coalesce
+    (sequences concatenate along the batch axis into one
+    :func:`repro.workloads.viterbi.viterbi_batch` call) — safe without
+    any certification tier because max/argmax decisions are exact and
+    plan-invariant in every format.
+    """
+
+    kind = "viterbi"
+
+    def _parsed(self, request: WorkloadRequest):
+        return _memo(request, "_parsed_viterbi",
+                     lambda: self._parse(request))
+
+    def _parse(self, request: WorkloadRequest):
+        payload = request.payload
+        unknown = sorted(set(payload) - {"model", "sequences"})
+        if unknown:
+            raise InvalidRequest(f"viterbi payload has unknown field(s) "
+                                 f"{', '.join(unknown)}; expected "
+                                 f"{{'model': ..., 'sequences': [...]}}")
+        hmm = _model_from_json(payload.get("model"), where="model")
+        sequences = payload.get("sequences")
+        if sequences is None:
+            seqs = [list(hmm.observations)]
+        else:
+            seqs = _int_rows(sequences, where="sequences",
+                             bound=hmm.n_symbols)
+        return hmm, seqs
+
+    def validate(self, request: WorkloadRequest) -> None:
+        _check_format(request.format)
+        self._parsed(request)
+
+    def coalesce_key(self, request: WorkloadRequest) -> Optional[tuple]:
+        _hmm, seqs = self._parsed(request)
+        return ("viterbi", request.format,
+                _canonical_json(request.payload.get("model")),
+                len(seqs[0]))
+
+    def run_batch(self, requests, plan=None) -> List[RequestOutput]:
+        from ..workloads.viterbi import viterbi_batch
+        plan = resolve_plan(plan, where="ViterbiHandler.run_batch")
+        parsed = [self._parsed(r) for r in requests]
+        hmm = parsed[0][0]
+        flat = [s for _, seqs in parsed for s in seqs]
+        backend = _backend(requests[0].format)
+        _tele.count("service.viterbi.sequences", len(flat))
+        decoded = viterbi_batch(hmm, backend, flat, plan=plan)
+        out: List[RequestOutput] = []
+        lo = 0
+        for _, seqs in parsed:
+            hi = lo + len(seqs)
+            values = [{"score": encode_value(backend, d.score),
+                       "path": d.states()} for d in decoded[lo:hi]]
+            out.append((values, {"sequences": len(seqs)}))
+            lo = hi
+        return out
+
+
+class PairhmmHandler(WorkloadHandler):
+    """``pairhmm``: read-vs-haplotype alignment likelihoods.
+
+    Payload: ``{"haplotype": [...], "reads": [[...], ...]}`` plus
+    optional ``gap_open``/``gap_extend``/``mismatch`` (floats) and
+    ``semiring`` (a registered name; default the HaplotypeCaller
+    ``"pairhmm-max"`` hybrid).  One likelihood triple per read.
+
+    Requests sharing ``(format, haplotype, read length, parameters,
+    semiring)`` coalesce — reads concatenate along the batch axis into
+    one kernel call, which is value-preserving because the recurrence
+    never mixes batch lanes.
+    """
+
+    kind = "pairhmm"
+
+    _PARAM_FIELDS = ("gap_open", "gap_extend", "mismatch")
+
+    def _parsed(self, request: WorkloadRequest):
+        return _memo(request, "_parsed_pairhmm",
+                     lambda: self._parse(request))
+
+    def _parse(self, request: WorkloadRequest):
+        from ..workloads.pairhmm import PairHMMParams
+        from ..workloads.semiring import SEMIRINGS
+        payload = request.payload
+        known = {"haplotype", "reads", "semiring", *self._PARAM_FIELDS}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise InvalidRequest(f"pairhmm payload has unknown field(s) "
+                                 f"{', '.join(unknown)}; known: "
+                                 f"{', '.join(sorted(known))}")
+        hap = payload.get("haplotype")
+        if not isinstance(hap, (list, tuple)) or not hap or \
+                any(isinstance(v, bool) or not isinstance(v, int) or v < 0
+                    for v in hap):
+            raise InvalidRequest("pairhmm payload needs a non-empty "
+                                 "'haplotype' list of ints >= 0")
+        reads = _int_rows(payload.get("reads"), where="reads")
+        kwargs = {}
+        for name in self._PARAM_FIELDS:
+            if name in payload:
+                value = payload[name]
+                if isinstance(value, bool) or \
+                        not isinstance(value, (int, float)) or \
+                        not 0.0 < float(value) < 0.5:
+                    raise InvalidRequest(f"pairhmm {name} must be a "
+                                         f"number in (0, 0.5)")
+                kwargs[name] = float(value)
+        params = PairHMMParams(**kwargs)
+        semiring = payload.get("semiring", "pairhmm-max")
+        if semiring not in SEMIRINGS:
+            raise InvalidRequest(f"unknown semiring {semiring!r} "
+                                 f"(one of {sorted(SEMIRINGS)})")
+        return list(hap), reads, params, semiring
+
+    def validate(self, request: WorkloadRequest) -> None:
+        _check_format(request.format)
+        self._parsed(request)
+
+    def coalesce_key(self, request: WorkloadRequest) -> Optional[tuple]:
+        hap, reads, params, semiring = self._parsed(request)
+        return ("pairhmm", request.format, tuple(hap), len(reads[0]),
+                params.gap_open, params.gap_extend, params.mismatch,
+                semiring)
+
+    def run_batch(self, requests, plan=None) -> List[RequestOutput]:
+        from ..workloads.pairhmm import pairhmm_batch
+        plan = resolve_plan(plan, where="PairhmmHandler.run_batch")
+        parsed = [self._parsed(r) for r in requests]
+        hap, _reads, params, semiring = parsed[0]
+        flat = [row for _, reads, _, _ in parsed for row in reads]
+        backend = _backend(requests[0].format)
+        _tele.count("service.pairhmm.reads", len(flat))
+        likes = pairhmm_batch(hap, flat, backend, params=params,
+                              plan=plan, semiring=semiring)
+        out: List[RequestOutput] = []
+        lo = 0
+        for _, reads, _, _ in parsed:
+            hi = lo + len(reads)
+            values = [encode_value(backend, v) for v in likes[lo:hi]]
+            out.append((values, {"reads": len(reads)}))
+            lo = hi
+        return out
+
+
+class KalmanHandler(WorkloadHandler):
+    """``kalman``: filtered state estimates for measurement tracks.
+
+    Payload: ``{"tracks": [[z, ...], ...]}`` (strictly positive
+    measurements) plus optional ``a``/``q``/``r``/``x0``/``p0`` filter
+    constants.  Per track the result is ``{"x": <triple>,
+    "p": <triple>}`` — the final state estimate and variance.
+
+    Requests sharing ``(format, track length, constants)`` coalesce:
+    tracks concatenate along the batch axis (the recurrence is
+    elementwise across tracks, so batching is value-preserving by the
+    registry's elementwise certification).
+    """
+
+    kind = "kalman"
+
+    _PARAM_FIELDS = ("a", "q", "r", "x0", "p0")
+
+    def _parsed(self, request: WorkloadRequest):
+        return _memo(request, "_parsed_kalman",
+                     lambda: self._parse(request))
+
+    def _parse(self, request: WorkloadRequest):
+        from ..workloads.kalman import KalmanParams
+        payload = request.payload
+        known = {"tracks", *self._PARAM_FIELDS}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise InvalidRequest(f"kalman payload has unknown field(s) "
+                                 f"{', '.join(unknown)}; known: "
+                                 f"{', '.join(sorted(known))}")
+        rows = payload.get("tracks")
+        if not isinstance(rows, (list, tuple)) or not rows:
+            raise InvalidRequest("kalman payload needs a non-empty "
+                                 "'tracks' list of measurement rows")
+        length = None
+        tracks = []
+        for i, row in enumerate(rows):
+            values = _number_list(row, where=f"tracks[{i}]")
+            for v, bf in zip(row, values):
+                if float(v) <= 0.0:
+                    raise InvalidRequest(f"tracks[{i}] must be strictly "
+                                         f"positive measurements")
+            if length is None:
+                length = len(values)
+            elif len(values) != length:
+                raise InvalidRequest("kalman tracks must share one "
+                                     "length")
+            tracks.append([float(v) for v in row])
+        kwargs = {}
+        for name in self._PARAM_FIELDS:
+            if name in payload:
+                value = payload[name]
+                if isinstance(value, bool) or \
+                        not isinstance(value, (int, float)) or \
+                        not float(value) > 0.0:
+                    raise InvalidRequest(f"kalman {name} must be a "
+                                         f"positive number")
+                kwargs[name] = float(value)
+        if "a" in kwargs and kwargs["a"] > 1.0:
+            raise InvalidRequest("kalman a must be in (0, 1]")
+        return tracks, KalmanParams(**kwargs)
+
+    def validate(self, request: WorkloadRequest) -> None:
+        _check_format(request.format)
+        self._parsed(request)
+
+    def coalesce_key(self, request: WorkloadRequest) -> Optional[tuple]:
+        tracks, params = self._parsed(request)
+        return ("kalman", request.format, len(tracks[0]), params.a,
+                params.q, params.r, params.x0, params.p0)
+
+    def run_batch(self, requests, plan=None) -> List[RequestOutput]:
+        from ..workloads.kalman import kalman_batch
+        plan = resolve_plan(plan, where="KalmanHandler.run_batch")
+        parsed = [self._parsed(r) for r in requests]
+        params = parsed[0][1]
+        flat = [row for tracks, _ in parsed for row in tracks]
+        backend = _backend(requests[0].format)
+        _tele.count("service.kalman.tracks", len(flat))
+        estimates = kalman_batch(flat, backend, params=params, plan=plan)
+        out: List[RequestOutput] = []
+        lo = 0
+        for tracks, _ in parsed:
+            hi = lo + len(tracks)
+            values = [{"x": encode_value(backend, e.x),
+                       "p": encode_value(backend, e.p)}
+                      for e in estimates[lo:hi]]
+            out.append((values, {"tracks": len(tracks)}))
+            lo = hi
+        return out
+
+
+# ----------------------------------------------------------------------
 # experiment — the CLI runner's figures/tables, as service requests
 # ----------------------------------------------------------------------
 class ExperimentHandler(WorkloadHandler):
@@ -531,7 +813,8 @@ class ExperimentHandler(WorkloadHandler):
 HANDLERS: Dict[str, WorkloadHandler] = {
     handler.kind: handler
     for handler in (ForwardHandler(), PbdHandler(), OpHandler(),
-                    AstypeHandler(), ExperimentHandler())
+                    AstypeHandler(), ExperimentHandler(),
+                    ViterbiHandler(), PairhmmHandler(), KalmanHandler())
 }
 
 
@@ -569,8 +852,11 @@ __all__ = [
     "AstypeHandler",
     "ExperimentHandler",
     "ForwardHandler",
+    "KalmanHandler",
     "OpHandler",
+    "PairhmmHandler",
     "PbdHandler",
+    "ViterbiHandler",
     "WorkloadHandler",
     "execute",
     "handler_for",

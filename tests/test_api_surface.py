@@ -18,7 +18,7 @@ MANIFEST_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 
 #: The packages whose surfaces are pinned.
 MODULES = ("repro", "repro.arith", "repro.engine", "repro.nd",
-           "repro.apps", "repro.service")
+           "repro.apps", "repro.service", "repro.workloads")
 
 
 def load_manifest() -> dict:

@@ -129,6 +129,31 @@ class TestCheckPayload:
         empty = {"benchmark": "service_load", "results": {}}
         assert gate.missing_required(empty) == ["forward_coalescing"]
 
+    def test_workloads_floors(self):
+        """The PR 9 workload gates: batched Viterbi and pair-HMM must
+        stay >= 5x their serial plans; Kalman is recorded but
+        ungated."""
+        ok = _payload("workloads_throughput", "viterbi_log_batch128", 9.0)
+        assert gate.check_payload(ok, self.FLOORS) == []
+        bad = _payload("workloads_throughput", "viterbi_log_batch128", 4.0)
+        assert len(gate.check_payload(bad, self.FLOORS)) == 1
+        bad = _payload("workloads_throughput",
+                       "pairhmm_binary64_batch256", 3.0)
+        assert len(gate.check_payload(bad, self.FLOORS)) == 1
+        ungated = _payload("workloads_throughput",
+                           "kalman_binary64_batch64", 1.2)
+        assert gate.check_payload(ungated, self.FLOORS) == []
+        relaxed = gate.gate_floors(
+            {"REPRO_WORKLOADS_SPEEDUP_FLOOR": "2.0"})
+        assert gate.check_payload(
+            _payload("workloads_throughput",
+                     "pairhmm_binary64_batch256", 3.0), relaxed) == []
+
+    def test_workloads_required_entries(self):
+        empty = {"benchmark": "workloads_throughput", "results": {}}
+        assert gate.missing_required(empty) == \
+            ["viterbi", "pairhmm", "kalman"]
+
     def test_missing_required_detects_absent_entries(self):
         partial = _payload("batch_throughput", "forward_log_batch64", 20.0)
         missing = gate.missing_required(partial)
@@ -166,7 +191,8 @@ class TestCommittedArtifacts:
     speedups)."""
 
     ARTIFACTS = ("BENCH_batch.json", "BENCH_apps.json",
-                 "BENCH_telemetry.json", "BENCH_service.json")
+                 "BENCH_telemetry.json", "BENCH_service.json",
+                 "BENCH_workloads.json")
 
     @pytest.mark.parametrize("name", ARTIFACTS)
     def test_artifact_exists(self, name):

@@ -11,7 +11,8 @@ import pytest
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
 
 CASES = {
-    "quickstart.py": ["UNDERFLOW", "Table I", "1.5 * 2^-10"],
+    "quickstart.py": ["UNDERFLOW", "Viterbi decode", "Table I",
+                      "1.5 * 2^-10"],
     "phylogenetics_vicar.py": ["binary64 underflows", "orders of magnitude"],
     "variant_calling_lofreq.py": ["call threshold", "Summary per format"],
     "accelerator_design_space.py": ["units/SLR", "Choosing ES"],

@@ -134,7 +134,7 @@ class TestRunner:
         assert set(REGISTRY) == {
             "fig1", "table1", "fig3", "table2", "fig6", "fig7", "fig8",
             "table3", "table4", "fig9", "fig10", "fig11", "bitbudget",
-            "scorecard"}
+            "scorecard", "viterbi", "pairhmm", "kalman"}
 
     def test_scorecard_all_claims_hold(self):
         from repro.experiments import scorecard

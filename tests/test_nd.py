@@ -76,6 +76,20 @@ class TestConstruction:
         for bad in (float("nan"), float("inf")):
             with pytest.raises(ValueError):
                 nd.asarray([bad], "binary64")
+            with pytest.raises(ValueError):
+                nd.asarray(np.array([0.5, bad]), "binary64")
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_float_ndarray_fast_path_matches_exact_path(self, fmt):
+        """``_convert``'s vectorized ``from_floats`` route (taken for
+        float-dtype ndarrays) must encode bit-identically to the
+        per-element BigFloat route (taken for lists)."""
+        vals = [0.0, 0.5, 2.0 ** -40, 1.0 + 2.0 ** -52, 3.0,
+                1e300, 1e-300, 0.1]
+        fast = nd.asarray(np.array(vals), fmt)
+        exact = nd.asarray(vals, fmt)
+        assert [fast.item(i) for i in range(fast.size)] == \
+               [exact.item(i) for i in range(exact.size)]
 
 
 class TestRepresentationDispatch:

@@ -1,0 +1,205 @@
+"""The workload-subsystem service handlers: ``viterbi``, ``pairhmm``,
+and ``kalman`` as typed request kinds — validation, coalescing, and
+scatter correctness against the underlying kernels."""
+
+import numpy as np
+import pytest
+
+from repro.nd.context import _resolve_format
+from repro.service.api import InvalidRequest, WorkloadRequest
+from repro.service.workloads import (
+    HANDLERS,
+    KalmanHandler,
+    PairhmmHandler,
+    ViterbiHandler,
+    encode_value,
+    execute,
+)
+from repro.workloads import kalman_batch, pairhmm_batch, viterbi_batch
+
+MODEL = {
+    "transition": [[0.7, 0.3], [0.4, 0.6]],
+    "emission": [[0.5, 0.4, 0.1], [0.1, 0.3, 0.6]],
+    "initial": [0.6, 0.4],
+    "observations": [0, 1, 2, 1, 0],
+}
+
+
+def _req(kind, payload, fmt="binary64"):
+    return WorkloadRequest(kind=kind, format=fmt, payload=payload)
+
+
+class TestRegistration:
+    def test_kinds_served(self):
+        assert {"viterbi", "pairhmm", "kalman"} <= set(HANDLERS)
+        assert isinstance(HANDLERS["viterbi"], ViterbiHandler)
+        assert isinstance(HANDLERS["pairhmm"], PairhmmHandler)
+        assert isinstance(HANDLERS["kalman"], KalmanHandler)
+
+
+class TestViterbiHandler:
+    def test_execute_matches_kernel(self):
+        backend = _resolve_format("log")
+        seqs = [[0, 1, 2, 1], [2, 2, 0, 1]]
+        result = execute(_req("viterbi",
+                              {"model": MODEL, "sequences": seqs},
+                              fmt="log"))
+        from repro.service.workloads import _model_from_json
+        hmm = _model_from_json(MODEL, where="model")
+        want = viterbi_batch(hmm, backend, seqs)
+        assert result.values == [
+            {"score": encode_value(backend, d.score), "path": d.states()}
+            for d in want]
+        assert result.stats["sequences"] == 2
+
+    def test_sequences_default_to_model_observations(self):
+        result = execute(_req("viterbi", {"model": MODEL}))
+        assert len(result.values) == 1
+        assert len(result.values[0]["path"]) == len(MODEL["observations"])
+
+    def test_coalesce_same_model_and_length(self):
+        h = HANDLERS["viterbi"]
+        r1 = _req("viterbi", {"model": MODEL, "sequences": [[0, 1]]})
+        r2 = _req("viterbi", {"model": MODEL, "sequences": [[2, 0], [1, 1]]})
+        h.validate(r1), h.validate(r2)
+        assert h.coalesce_key(r1) == h.coalesce_key(r2)
+        r3 = _req("viterbi", {"model": MODEL, "sequences": [[0, 1, 2]]})
+        h.validate(r3)
+        assert h.coalesce_key(r1) != h.coalesce_key(r3)
+
+    def test_coalesced_scatter_matches_solo(self):
+        h = HANDLERS["viterbi"]
+        r1 = _req("viterbi", {"model": MODEL, "sequences": [[0, 1, 2]]})
+        r2 = _req("viterbi", {"model": MODEL, "sequences": [[2, 2, 0],
+                                                            [1, 0, 1]]})
+        h.validate(r1), h.validate(r2)
+        merged = h.run_batch([r1, r2])
+        assert [m[1]["sequences"] for m in merged] == [1, 2]
+        assert merged[0][0] == execute(r1).values
+        assert merged[1][0] == execute(r2).values
+
+    @pytest.mark.parametrize("payload", [
+        {"sequences": [[0, 1]]},                       # no model
+        {"model": MODEL, "sequences": []},             # empty
+        {"model": MODEL, "sequences": [[0], [0, 1]]},  # ragged
+        {"model": MODEL, "sequences": [[0, 3]]},       # symbol too big
+        {"model": MODEL, "sequences": [[0, -1]]},      # negative
+        {"model": MODEL, "extra": 1},                  # unknown field
+    ])
+    def test_invalid_payloads_rejected(self, payload):
+        with pytest.raises(InvalidRequest):
+            execute(_req("viterbi", payload))
+
+
+class TestPairhmmHandler:
+    PAYLOAD = {"haplotype": [0, 1, 2, 3, 0, 1],
+               "reads": [[0, 1, 2], [3, 3, 3]]}
+
+    def test_execute_matches_kernel(self):
+        backend = _resolve_format("binary64")
+        result = execute(_req("pairhmm", dict(self.PAYLOAD)))
+        want = pairhmm_batch(self.PAYLOAD["haplotype"],
+                             self.PAYLOAD["reads"], backend)
+        assert result.values == [encode_value(backend, v) for v in want]
+        assert result.stats["reads"] == 2
+
+    def test_semiring_and_params_respected(self):
+        backend = _resolve_format("binary64")
+        payload = dict(self.PAYLOAD, semiring="sum-product",
+                       gap_open=0.05, mismatch=0.02)
+        result = execute(_req("pairhmm", payload))
+        from repro.workloads import PairHMMParams
+        want = pairhmm_batch(self.PAYLOAD["haplotype"],
+                             self.PAYLOAD["reads"], backend,
+                             params=PairHMMParams(gap_open=0.05,
+                                                  mismatch=0.02),
+                             semiring="sum-product")
+        assert result.values == [encode_value(backend, v) for v in want]
+
+    def test_coalesce_key_covers_params(self):
+        h = HANDLERS["pairhmm"]
+        r1 = _req("pairhmm", dict(self.PAYLOAD))
+        r2 = _req("pairhmm", dict(self.PAYLOAD, reads=[[1, 1, 1]]))
+        r3 = _req("pairhmm", dict(self.PAYLOAD, gap_open=0.2))
+        for r in (r1, r2, r3):
+            h.validate(r)
+        assert h.coalesce_key(r1) == h.coalesce_key(r2)
+        assert h.coalesce_key(r1) != h.coalesce_key(r3)
+
+    @pytest.mark.parametrize("payload", [
+        {"reads": [[0]]},                                    # no haplotype
+        {"haplotype": [], "reads": [[0]]},                   # empty hap
+        {"haplotype": [0, 1], "reads": []},                  # no reads
+        {"haplotype": [0, 1], "reads": [[0], [0, 1]]},       # ragged
+        {"haplotype": [0, 1], "reads": [[0]], "gap_open": 0.9},
+        {"haplotype": [0, 1], "reads": [[0]], "semiring": "nope"},
+        {"haplotype": [0, 1], "reads": [[0]], "extra": 1},
+    ])
+    def test_invalid_payloads_rejected(self, payload):
+        with pytest.raises(InvalidRequest):
+            execute(_req("pairhmm", payload))
+
+
+class TestKalmanHandler:
+    PAYLOAD = {"tracks": [[0.5, 0.6, 0.4], [1.0, 1.1, 0.9]]}
+
+    def test_execute_matches_kernel(self):
+        backend = _resolve_format("binary64")
+        result = execute(_req("kalman", dict(self.PAYLOAD)))
+        want = kalman_batch(self.PAYLOAD["tracks"], backend)
+        assert result.values == [
+            {"x": encode_value(backend, e.x),
+             "p": encode_value(backend, e.p)} for e in want]
+        assert result.stats["tracks"] == 2
+
+    def test_constants_respected(self):
+        backend = _resolve_format("binary64")
+        payload = dict(self.PAYLOAD, a=0.8, r=1e-4)
+        result = execute(_req("kalman", payload))
+        from repro.workloads import KalmanParams
+        want = kalman_batch(self.PAYLOAD["tracks"], backend,
+                            params=KalmanParams(a=0.8, r=1e-4))
+        assert result.values[0]["x"] == encode_value(backend, want[0].x)
+
+    def test_coalesce_key_covers_constants(self):
+        h = HANDLERS["kalman"]
+        r1 = _req("kalman", dict(self.PAYLOAD))
+        r2 = _req("kalman", {"tracks": [[2.0, 3.0, 4.0]]})
+        r3 = _req("kalman", dict(self.PAYLOAD, r=1e-4))
+        for r in (r1, r2, r3):
+            h.validate(r)
+        assert h.coalesce_key(r1) == h.coalesce_key(r2)
+        assert h.coalesce_key(r1) != h.coalesce_key(r3)
+
+    def test_coalesced_scatter_matches_solo(self):
+        h = HANDLERS["kalman"]
+        r1 = _req("kalman", {"tracks": [[0.5, 0.6]]})
+        r2 = _req("kalman", {"tracks": [[1.5, 1.6], [2.5, 2.6]]})
+        h.validate(r1), h.validate(r2)
+        merged = h.run_batch([r1, r2])
+        assert merged[0][0] == execute(r1).values
+        assert merged[1][0] == execute(r2).values
+
+    @pytest.mark.parametrize("payload", [
+        {},                                        # no tracks
+        {"tracks": []},                            # empty
+        {"tracks": [[0.5], [0.5, 0.6]]},           # ragged
+        {"tracks": [[0.0]]},                       # non-positive
+        {"tracks": [[0.5]], "a": 2.0},             # a out of range
+        {"tracks": [[0.5]], "r": -1.0},            # negative constant
+        {"tracks": [[0.5]], "extra": 1},           # unknown field
+    ])
+    def test_invalid_payloads_rejected(self, payload):
+        with pytest.raises(InvalidRequest):
+            execute(_req("kalman", payload))
+
+
+class TestExoticFormats:
+    @pytest.mark.parametrize("fmt", ("log", "posit(64,9)", "lns(12,50)"))
+    def test_all_kinds_serve_every_format(self, fmt):
+        for kind, payload in (
+                ("viterbi", {"model": MODEL, "sequences": [[0, 1, 2]]}),
+                ("pairhmm", {"haplotype": [0, 1, 2], "reads": [[0, 1]]}),
+                ("kalman", {"tracks": [[0.5, 0.6]]})):
+            result = execute(_req(kind, payload, fmt=fmt))
+            assert len(result.values) == 1, (kind, fmt)

@@ -1,0 +1,84 @@
+"""Golden results for the workload accuracy experiments: the rendered
+rows of each experiment at ``--scale test`` are pinned under
+``tests/goldens/``, so a change in any format's numerics (or in a
+kernel's op order) shows up as an explicit, reviewable diff.
+
+The rows are already rounded (2 decimals) by each experiment's
+``rows()``, which absorbs harmless platform jitter while still
+catching real rounding-path changes.  To accept an intentional
+change, regenerate::
+
+    PYTHONPATH=src python tests/test_workload_goldens.py --regen
+"""
+
+import json
+import os
+
+import pytest
+
+GOLDENS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "goldens")
+
+#: workload name -> the experiment module computing its golden rows.
+EXPERIMENTS = ("viterbi", "pairhmm", "kalman")
+
+
+def _rows(name: str) -> list:
+    import importlib
+    mod = importlib.import_module(f"repro.experiments.fig_{name}_accuracy")
+    return mod.run(scale="test", seed=0).rows()
+
+
+def _golden_path(name: str) -> str:
+    return os.path.join(GOLDENS_DIR, f"{name}.json")
+
+
+def load_golden(name: str) -> list:
+    with open(_golden_path(name)) as f:
+        return json.load(f)
+
+
+@pytest.mark.parametrize("name", EXPERIMENTS)
+def test_golden_exists(name):
+    assert os.path.exists(_golden_path(name)), (
+        f"missing golden for {name}; generate with: "
+        f"PYTHONPATH=src python tests/test_workload_goldens.py --regen")
+
+
+@pytest.mark.parametrize("name", EXPERIMENTS)
+def test_rows_match_golden(name):
+    expected = load_golden(name)
+    actual = _rows(name)
+    assert actual == expected, (
+        f"{name} accuracy rows drifted from tests/goldens/{name}.json. "
+        f"If intentional, regenerate with: "
+        f"PYTHONPATH=src python tests/test_workload_goldens.py --regen")
+
+
+def test_goldens_cover_every_format():
+    """Each golden carries one row per experiment format — a thinned
+    golden would silently skip formats."""
+    import importlib
+    for name in EXPERIMENTS:
+        mod = importlib.import_module(
+            f"repro.experiments.fig_{name}_accuracy")
+        golden = load_golden(name)
+        assert [row["format"] for row in golden] == list(mod.FORMATS), name
+
+
+def _regen():
+    os.makedirs(GOLDENS_DIR, exist_ok=True)
+    for name in EXPERIMENTS:
+        path = _golden_path(name)
+        with open(path, "w") as f:
+            json.dump(_rows(name), f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    import sys
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)
