@@ -104,6 +104,10 @@ CEILINGS: Dict[Tuple[str, str], Tuple[str, float]] = {
     # The telemetry layer's zero-cost-when-disabled guarantee.
     ("telemetry_overhead", "forward_disabled_overhead"):
         ("REPRO_TELEMETRY_OVERHEAD_CEILING", 0.03),
+    # The fault plane's matching guarantee (PR 10): with no plan
+    # injected, every ``faults.fire`` site is one integer compare.
+    ("faults_overhead", "forward_disabled_overhead"):
+        ("REPRO_FAULTS_OVERHEAD_CEILING", 0.03),
 }
 
 #: Result keys (by prefix) the *committed* repo-root artifacts must
@@ -121,6 +125,7 @@ REQUIRED_RESULTS: Dict[str, Tuple[str, ...]] = {
     ),
     "apps_throughput": ("vicar_forward_multi", "quire_accumulate"),
     "telemetry_overhead": ("forward_disabled_overhead",),
+    "faults_overhead": ("forward_disabled_overhead",),
     "service_load": ("forward_coalescing",),
     "workloads_throughput": ("viterbi", "pairhmm", "kalman"),
 }

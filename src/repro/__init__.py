@@ -29,6 +29,8 @@ Package map (see DESIGN.md for the full inventory):
   with cross-request microbatching, typed workload API, client,
   and load harness
 * :mod:`repro.report` — text tables and CDFs
+* :mod:`repro.faults` — deterministic fault injection + the
+  graceful-degradation ladder (chaos testing for every layer above)
 
 Quickstart::
 
@@ -40,7 +42,7 @@ Quickstart::
 
 __version__ = "1.2.0"
 
-from . import arith, bigfloat, core, formats, telemetry  # noqa: F401
+from . import arith, bigfloat, core, faults, formats, telemetry  # noqa: F401
 
 #: NumPy-dependent subpackages load lazily (PEP 562) so the scalar
 #: stack stays importable where the vectorized engine cannot run.
@@ -49,7 +51,8 @@ _LAZY_SUBMODULES = ("apps", "engine", "experiments", "nd",
                     "service", "workloads")
 
 __all__ = [  # noqa: PLE0604
-    "arith", "bigfloat", "core", "formats", "telemetry", "__version__",
+    "arith", "bigfloat", "core", "faults", "formats", "telemetry",
+    "__version__",
     *_LAZY_SUBMODULES,
 ]
 

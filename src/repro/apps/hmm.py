@@ -23,6 +23,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import faults as _faults
 from .. import nd
 from .. import telemetry as _tele
 from ..arith.backend import Backend
@@ -125,8 +126,13 @@ def _forward_nd(a, b, pi, obs: np.ndarray,
     if sr.plus_op == "add" and sr.total_op == "add":
         ck = _compiled_forward(a, b, pi, plan)
         if ck is not None:
-            return nd.wrap(ck.forward(a.data, b.data, pi.data, obs),
-                           bb=a._bb)
+            try:
+                return nd.wrap(ck.forward(a.data, b.data, pi.data, obs),
+                               bb=a._bb)
+            except Exception as exc:
+                # Degradation ladder: quarantine the compiled tier and
+                # recompute on the batch path (bit-identical).
+                _faults.degrade("compiled", exc)
     with _tele.span("app.hmm.forward"):
         return _forward_recurrence(
             a, pi, lambda t: _emission_shared(b, obs, t),
@@ -143,8 +149,12 @@ def _forward_trace_nd(a, b, pi, obs: np.ndarray,
     if sr.plus_op == "add" and sr.total_op == "add" and obs.ndim == 2:
         ck = _compiled_forward(a, b, pi, plan)
         if ck is not None:
-            return nd.wrap(ck.forward_trace(a.data, b.data, pi.data, obs),
-                           bb=a._bb)
+            try:
+                return nd.wrap(
+                    ck.forward_trace(a.data, b.data, pi.data, obs),
+                    bb=a._bb)
+            except Exception as exc:
+                _faults.degrade("compiled", exc)
     with _tele.span("app.hmm.forward_trace"):
         return _forward_recurrence(
             a, pi, lambda t: _emission_shared(b, obs, t),

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import faults as _faults
 from .. import nd
 from .. import telemetry as _tele
 from ..arith.backend import Backend
@@ -64,7 +65,12 @@ def _pbd_nd(pn: "nd.FArray", qn: "nd.FArray", k: int,
     if ck is not None:
         # The fused resident-plane recurrence (bit-identical; the trial
         # probabilities decode once for all N trials).
-        return nd.wrap(ck.pbd(pn.data, qn.data, k), bb=pn._bb)
+        try:
+            return nd.wrap(ck.pbd(pn.data, qn.data, k), bb=pn._bb)
+        except Exception as exc:
+            # Degradation ladder: quarantine the compiled tier and
+            # recompute on the batch path (bit-identical).
+            _faults.degrade("compiled", exc)
     with _tele.span("app.pbd"):
         # pr[s, j] = P(j successes in the first n trials), tracked for
         # j < k.

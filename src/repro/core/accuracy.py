@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from .. import faults as _faults
 from .. import telemetry as _tele
 from ..arith.backend import Backend
 from ..bigfloat import BigFloat, log10 as bf_log10, relative_error
@@ -96,17 +97,26 @@ def measure_pairs(backend: Backend, op: str, pairs: Sequence,
 
     ``batch=True`` routes the measured op through the format's array
     backend from :mod:`repro.engine` when one exists (identical
-    results); the serial path never touches the engine layer.
+    results); the serial path never touches the engine layer.  A batch
+    tier that raises at runtime — or is already quarantined by the
+    degradation ladder — falls back to the scalar loop
+    (:mod:`repro.faults.degrade`; the tallies are identical either
+    way, only the speed changes).
     """
     bb = None
-    if batch:
+    if batch and not _faults.quarantined("batch"):
         from ..engine import batch_backend_for
         bb = batch_backend_for(backend)
     if bb is not None:
         if _tele.current() is not None:
             _tele.count(f"sweep.{op}.{backend.name}.batch", len(pairs))
-        results = measure_ops_batch(bb, op, pairs)
-    else:
+        try:
+            _faults.fire("batch.measure")
+            results = measure_ops_batch(bb, op, pairs)
+        except Exception as exc:
+            _faults.degrade("batch", exc)
+            bb = None
+    if bb is None:
         if _tele.current() is not None:
             _tele.count(f"sweep.{op}.{backend.name}.scalar", len(pairs))
         results = [measure_op(backend, op, p.x, p.y, exact=p.exact)

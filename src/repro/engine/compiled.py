@@ -55,6 +55,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import faults as _faults
 from .. import telemetry as _tele
 from ..formats.posit import FLUSH
 from .posit_batch import (
@@ -412,6 +413,7 @@ class PositPlaneKernels:
         ``(B,)`` likelihoods out.  Bit-identical to
         :func:`repro.engine.kernels.forward_batch`."""
         obs = self._check_forward_shapes(a, b, pi, obs)
+        _faults.fire("compiled.forward")
         with np.errstate(over="ignore"), _tele.span("kernel.forward_fused"):
             for alpha in self._forward_planes(a, b, pi, obs):
                 pass
@@ -422,6 +424,7 @@ class PositPlaneKernels:
         bit-identical to ``forward_alpha_trace_batch`` (only the
         per-step totals are encoded; alpha itself stays resident)."""
         obs = self._check_forward_shapes(a, b, pi, obs)
+        _faults.fire("compiled.forward_trace")
         with np.errstate(over="ignore"), _tele.span("kernel.forward_fused"):
             cols = [self._bp.encode_once(self._fold(alpha))
                     for alpha in self._forward_planes(a, b, pi, obs)]
@@ -441,6 +444,7 @@ class PositPlaneKernels:
         n_sites, n_trials = pn.shape
         if n_trials < k:
             raise ValueError("need at least k trials")
+        _faults.fire("compiled.pbd")
         with np.errstate(over="ignore"), _tele.span("kernel.pbd_fused"):
             upn = bp.decode_once(pn)
             uqn = bp.decode_once(qn)
@@ -479,11 +483,15 @@ def plan_compiled_kernels(plan, *farrays):
 
     Silent-fallback contract: ``None`` (never an error) whenever the
     plan does not set ``compiled``, any operand is in the scalar
-    representation, the operands disagree on their batch mirror, or the
-    mirror's format has no compiled tier.  The tier is bit-identical,
-    so falling back never changes results.
+    representation, the operands disagree on their batch mirror, the
+    mirror's format has no compiled tier, or the tier is quarantined by
+    the degradation ladder (:mod:`repro.faults.degrade` — a fused
+    kernel raised at runtime earlier in this process).  The tier is
+    bit-identical, so falling back never changes results.
     """
     if plan is None or not getattr(plan, "compiled", False):
+        return None
+    if _faults.quarantined("compiled"):
         return None
     if not farrays:
         return None

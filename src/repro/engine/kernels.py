@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import faults as _faults
 from .. import telemetry as _tele
 from .batch import BatchBackend
 
@@ -59,6 +60,7 @@ def forward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
     """
     from ..apps.hmm import _forward_nd
     with _tele.span("kernel.forward_batch"):
+        _faults.fire("kernel.forward_batch")
         fa, fb, fpi = _wrap3(backend, a, b, pi)
         return np.asarray(_forward_nd(fa, fb, fpi, obs, plan=plan,
                                       semiring=semiring).data)
@@ -72,6 +74,7 @@ def forward_alpha_trace_batch(backend: BatchBackend, a: np.ndarray,
     (``plan=`` as in :func:`forward_batch`)."""
     from ..apps.hmm import _forward_trace_nd
     with _tele.span("kernel.forward_alpha_trace_batch"):
+        _faults.fire("kernel.forward_alpha_trace_batch")
         fa, fb, fpi = _wrap3(backend, a, b, pi)
         return np.asarray(
             _forward_trace_nd(fa, fb, fpi, obs, plan=plan).data)
@@ -96,6 +99,7 @@ def forward_multi_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
     """
     from ..apps.hmm import _forward_models_nd
     with _tele.span("kernel.forward_multi_batch"):
+        _faults.fire("kernel.forward_multi_batch")
         fa, fb, fpi = _wrap3(backend, a, b, pi)
         return np.asarray(
             _forward_models_nd(fa, fb, fpi, obs, semiring=semiring).data)
@@ -110,6 +114,7 @@ def backward_batch(backend: BatchBackend, a: np.ndarray, b: np.ndarray,
     ``sum`` reduction over ``q`` in index order."""
     from ..apps.hmm_extra import _backward_nd
     with _tele.span("kernel.backward_batch"):
+        _faults.fire("kernel.backward_batch")
         fa, fb, fpi = _wrap3(backend, a, b, pi)
         return np.asarray(_backward_nd(fa, fb, fpi, obs).data)
 
@@ -135,6 +140,7 @@ def pbd_pvalue_batch(backend: BatchBackend, pn: np.ndarray, qn: np.ndarray,
     from ..apps.pbd import _pbd_nd
     from ..nd import wrap
     with _tele.span("kernel.pbd_pvalue_batch"):
+        _faults.fire("kernel.pbd_pvalue_batch")
         fpn = wrap(np.asarray(pn), bb=backend)
         fqn = wrap(np.asarray(qn), bb=backend)
         return np.asarray(_pbd_nd(fpn, fqn, k, plan=plan).data)

@@ -27,6 +27,7 @@ import os
 import time
 from typing import Optional
 
+from .. import faults as _faults
 from .. import telemetry as _tele
 
 #: Default cache location, relative to the working directory.
@@ -74,17 +75,62 @@ def _entry_path(directory: str, experiment_id: str, key: str) -> str:
     return os.path.join(directory, f"{experiment_id}-{key}.json")
 
 
+def text_checksum(text: str) -> str:
+    """Content checksum stored inside every entry (integrity check)."""
+    return hashlib.blake2b(text.encode(), digest_size=16).hexdigest()
+
+
+def _corrupt_miss(path: str) -> None:
+    """A torn/corrupt entry: signal it, delete it, count the miss.
+
+    Before PR 10 a torn entry was silently a miss forever (the file
+    stayed, failing every load); now it is deleted so the next store
+    rewrites it, and ``cache.corrupt`` makes the damage observable.
+    """
+    _tele.event("cache.corrupt")
+    _tele.count("cache.miss")
+    try:
+        os.remove(path)
+    except OSError:
+        pass
+
+
 def load(experiment_id: str, params: dict,
          cache_dir: Optional[str] = None) -> Optional[dict]:
-    """The cached entry for this (code, experiment, params), or None."""
+    """The cached entry for this (code, experiment, params), or None.
+
+    A missing file is a plain miss; an unreadable, truncated, or
+    checksum-failing entry is corruption — counted as a
+    ``cache.corrupt`` event, deleted, and treated as a miss.  The
+    ``cache.read`` fault site can truncate the raw bytes (``corrupt``
+    mode) or fail the read (``error`` mode) to exercise exactly that
+    path.
+    """
     directory = cache_directory(cache_dir)
     path = _entry_path(directory, experiment_id, params_key(experiment_id,
                                                             params))
     try:
-        with open(path) as f:
-            entry = json.load(f)
-    except (OSError, ValueError):
+        with open(path, "rb") as f:
+            raw = f.read()
+    except OSError:
         _tele.count("cache.miss")
+        return None
+    try:
+        if _faults.fire("cache.read",
+                        key=os.path.basename(path)) == "corrupt":
+            raw = raw[:len(raw) // 2]
+    except _faults.InjectedFault:
+        _corrupt_miss(path)
+        return None
+    try:
+        entry = json.loads(raw.decode())
+        if not isinstance(entry, dict):
+            raise ValueError("entry is not an object")
+    except (UnicodeDecodeError, ValueError):
+        _corrupt_miss(path)
+        return None
+    if entry.get("checksum") != text_checksum(entry.get("text") or ""):
+        _corrupt_miss(path)
         return None
     if entry.get("experiment") != experiment_id:
         _tele.count("cache.miss")
@@ -107,6 +153,7 @@ def store(experiment_id: str, params: dict, text: str,
         "code_digest": code_digest(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "elapsed_seconds": elapsed_seconds,
+        "checksum": text_checksum(text),
         "text": text,
     }
     path = _entry_path(directory, experiment_id, key)

@@ -32,12 +32,14 @@ Quickstart::
 
 from .api import (
     API_VERSION,
+    DeadlineExceeded,
     ErrorInfo,
     InvalidRequest,
     Overloaded,
     ProtocolError,
     ServiceError,
     ShuttingDown,
+    TransportError,
     UnknownKind,
     WorkloadFailed,
     WorkloadRequest,
@@ -50,6 +52,7 @@ from .workloads import execute, handler_for
 
 __all__ = [
     "API_VERSION",
+    "DeadlineExceeded",
     "ErrorInfo",
     "EvalServer",
     "InvalidRequest",
@@ -59,6 +62,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ShuttingDown",
+    "TransportError",
     "UnknownKind",
     "WorkloadFailed",
     "WorkloadRequest",

@@ -6,7 +6,9 @@ Three subcommands:
   foreground (Ctrl-C to stop; ``--stats-every`` prints live stats);
 * ``ping`` — health-check a running server and print its stats;
 * ``loadtest`` — run the synthetic coalescing-vs-solo load harness
-  against in-process servers and write ``BENCH_service.json``.
+  against in-process servers and write ``BENCH_service.json``; with
+  ``--chaos``, run the fault-injection harness instead (exit 1 unless
+  every response was exact-or-typed).
 """
 
 from __future__ import annotations
@@ -63,9 +65,17 @@ def _build_parser() -> argparse.ArgumentParser:
                       metavar=("H", "M", "T"))
     load.add_argument("--window-ms", type=float, default=5.0)
     load.add_argument("--max-batch", type=int, default=64)
-    load.add_argument("--out", default="BENCH_service.json",
-                      help="where to write the bench payload "
-                           "('-' for stdout only)")
+    load.add_argument("--chaos", action="store_true",
+                      help="run the fault-injection chaos harness "
+                           "instead of the coalescing comparison; "
+                           "exits 1 if any response was neither the "
+                           "exact fault-free values nor a typed error")
+    load.add_argument("--chaos-seed", type=int, default=1234,
+                      help="fault-plan seed (same seed, same schedule)")
+    load.add_argument("--out", default=None,
+                      help="where to write the payload ('-' for stdout "
+                           "only; default BENCH_service.json, or "
+                           "BENCH_chaos_smoke.json with --chaos)")
     return parser
 
 
@@ -104,8 +114,11 @@ async def _serve(args) -> int:
 
 async def _ping(args) -> int:
     from .client import ServiceClient
-    async with ServiceClient(args.host, args.port,
-                             timeout_s=10.0) as client:
+    # Patient connect budget (~15s of backoff): `serve & ping` in a CI
+    # step works without a sleep-poll loop around the ping.
+    async with ServiceClient(args.host, args.port, timeout_s=10.0,
+                             connect_retries=30, backoff_s=0.1,
+                             backoff_max_s=1.0) as client:
         health = await client.healthz()
         print(json.dumps(health))
         if args.stats:
@@ -113,8 +126,44 @@ async def _ping(args) -> int:
     return 0 if health.get("ok") else 1
 
 
+def _chaos(args) -> int:
+    from .loadgen import run_chaos
+    h, m, t = args.shape
+    scale = max(args.scale, 0.125)
+    payload = asyncio.run(run_chaos(
+        clients=max(4, int(round(8 * scale))),
+        requests_per_client=max(3, int(round(6 * scale))),
+        format=args.format, h=h, m=m, t=t,
+        window_s=args.window_ms / 1e3, max_batch=args.max_batch,
+        chaos_seed=args.chaos_seed))
+    report = payload["results"]["chaos"]
+    print(f"chaos: {report['requests']} requests -> "
+          f"{report['ok']} ok, "
+          f"{sum(report['typed_errors'].values())} typed errors "
+          f"{report['typed_errors']}, "
+          f"{report['mismatches']} mismatches, "
+          f"{sum(report['untyped_errors'].values())} untyped")
+    print(f"injected: {report['injected']} "
+          f"(dropped {report['dropped_connections']} connections, "
+          f"shed {report['shed']})")
+    out = args.out if args.out is not None else "BENCH_chaos_smoke.json"
+    if out != "-":
+        with open(out, "w") as f:
+            json.dump(payload, f, indent=1)
+        print(f"wrote {out}")
+    if not report["invariant_ok"]:
+        print("chaos invariant VIOLATED: some response was neither the "
+              "exact fault-free values nor a typed error",
+              file=sys.stderr)
+        return 1
+    print("chaos invariant held: every response was exact-or-typed")
+    return 0
+
+
 def _loadtest(args) -> int:
     from .loadgen import compare_coalescing
+    if args.chaos:
+        return _chaos(args)
     h, m, t = args.shape
     payload = compare_coalescing(scale=args.scale, format=args.format,
                                  h=h, m=m, t=t,
@@ -130,10 +179,11 @@ def _loadtest(args) -> int:
           f"p99 {headline['coalesced']['p99_ms']:.2f}ms, "
           f"factor {headline['coalesced']['coalescing_factor']:.1f})")
     print(f"speedup:   {headline['speedup']:.2f}x")
-    if args.out != "-":
-        with open(args.out, "w") as f:
+    out = args.out if args.out is not None else "BENCH_service.json"
+    if out != "-":
+        with open(out, "w") as f:
             json.dump(payload, f, indent=1)
-        print(f"wrote {args.out}")
+        print(f"wrote {out}")
     return 0
 
 

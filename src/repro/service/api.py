@@ -120,10 +120,34 @@ class WorkloadFailed(ServiceError):
     http_status = 500
 
 
+class DeadlineExceeded(ServiceError):
+    """The request aged past its deadline while queued (HTTP 503).
+
+    The scheduler sheds such entries *before* spending a kernel call
+    on them — an answer nobody is still waiting for is pure waste.
+    Safe to retry (nothing executed)."""
+
+    code = "deadline-exceeded"
+    http_status = 503
+
+
+class TransportError(ServiceError):
+    """Client-side transport failure: the connection dropped or timed
+    out before a complete response arrived (never sent by a server).
+
+    Safe to retry against this service: results are deterministic and
+    the server dedupes on :meth:`WorkloadRequest.cache_identity`, so a
+    retried request coalesces/dedupes rather than recomputing."""
+
+    code = "transport-error"
+    http_status = 503
+
+
 #: code -> exception class, for rebuilding a typed error client-side.
 ERROR_CODES = {cls.code: cls for cls in
                (ServiceError, ProtocolError, UnknownKind, InvalidRequest,
-                Overloaded, ShuttingDown, WorkloadFailed)}
+                Overloaded, ShuttingDown, WorkloadFailed,
+                DeadlineExceeded, TransportError)}
 
 
 def error_from_info(info: "ErrorInfo") -> ServiceError:
@@ -363,7 +387,9 @@ def encode_value(backend: Backend, value) -> list:
 
 __all__ = [
     "API_VERSION",
+    "DeadlineExceeded",
     "ERROR_CODES",
+    "TransportError",
     "WORKLOAD_KINDS",
     "ErrorInfo",
     "InvalidRequest",

@@ -12,6 +12,22 @@ the body's :class:`~repro.service.api.ErrorInfo` names (``Overloaded``
 for 429, ``ProtocolError`` for 400, ...), so callers handle failures by
 exception type, never by status-code arithmetic.
 
+**Retry semantics** (PR 10): transient failures — a dropped connection
+or missing response (:class:`~repro.service.api.TransportError`),
+backpressure (:class:`~repro.service.api.Overloaded`), a queue-shed
+request (:class:`~repro.service.api.DeadlineExceeded`) — are retried up
+to ``retries`` times with exponential backoff and **full jitter**
+(``sleep ~ U(0, min(cap, base * 2**attempt))``), bounded by a
+``deadline_s`` budget per request.  Retrying is safe against this
+service by construction: every workload is deterministic and the
+server dedupes on ``cache_identity()``, so a replay coalesces or hits
+cache instead of recomputing.  Typed application errors (400s,
+``WorkloadFailed``, ``ShuttingDown``) are never retried.
+
+:meth:`connect` retries refused connections the same way (a server
+still binding its socket answers ``ECONNREFUSED`` for a beat — the
+race every serve-then-ping script used to lose).
+
 :func:`call` is the one-shot synchronous convenience wrapper (connect,
 submit, disconnect) for scripts and the CLI ``ping`` path.
 """
@@ -20,20 +36,37 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
+import time
 from typing import Optional
 
+from .. import telemetry as _tele
 from .api import (
+    DeadlineExceeded,
     ErrorInfo,
+    Overloaded,
     ProtocolError,
     ServiceError,
+    TransportError,
     WorkloadRequest,
     WorkloadResult,
     error_from_info,
 )
 
+#: Errors worth a retry: nothing (or nothing useful) executed.
+RETRYABLE = (TransportError, Overloaded, DeadlineExceeded)
+
 
 class ServiceClient:
     """One keep-alive connection to an evaluation server.
+
+    ``retries`` — transient-failure retry budget per request (0
+    disables); ``backoff_s``/``backoff_max_s`` — the exponential
+    backoff base and cap, with full jitter; ``deadline_s`` — total
+    per-request time budget across retries (None = unbounded);
+    ``connect_retries`` — extra attempts while the server's socket is
+    still refusing; ``rng`` — the jitter source (seed one for
+    reproducible schedules).
 
     Usage::
 
@@ -42,21 +75,53 @@ class ServiceClient:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8421, *,
-                 timeout_s: Optional[float] = 60.0):
+                 timeout_s: Optional[float] = 60.0,
+                 retries: int = 2, backoff_s: float = 0.05,
+                 backoff_max_s: float = 2.0,
+                 deadline_s: Optional[float] = None,
+                 connect_retries: int = 5,
+                 rng: Optional[random.Random] = None):
+        if retries < 0 or connect_retries < 0:
+            raise ValueError("retries/connect_retries must be >= 0")
+        if backoff_s < 0 or backoff_max_s < 0:
+            raise ValueError("backoff_s/backoff_max_s must be >= 0")
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
+        self.deadline_s = deadline_s
+        self.connect_retries = connect_retries
+        self._rng = rng if rng is not None else random.Random()
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
     # ------------------------------------------------------------------
     # Connection lifecycle
     # ------------------------------------------------------------------
+    def _backoff(self, attempt: int) -> float:
+        """Full-jitter exponential backoff for one retry."""
+        cap = min(self.backoff_max_s, self.backoff_s * (2 ** attempt))
+        return self._rng.uniform(0.0, cap)
+
     async def connect(self) -> "ServiceClient":
-        if self._writer is None:
-            self._reader, self._writer = await asyncio.open_connection(
-                self.host, self.port)
-        return self
+        """Open the connection, retrying refused/unreachable sockets
+        with backoff (the serve-then-connect startup window)."""
+        if self._writer is not None:
+            return self
+        attempt = 0
+        while True:
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port)
+                return self
+            except (ConnectionError, OSError):
+                if attempt >= self.connect_retries:
+                    raise
+                _tele.count("client.connect_retries")
+                await asyncio.sleep(self._backoff(attempt))
+                attempt += 1
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -76,9 +141,34 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
-    async def submit(self, request: WorkloadRequest) -> WorkloadResult:
+    async def submit(self, request: WorkloadRequest, *,
+                     deadline_s: Optional[float] = None) -> WorkloadResult:
         """One workload round trip; raises the typed
-        :class:`ServiceError` on a non-2xx answer."""
+        :class:`ServiceError` on a non-2xx answer.
+
+        Transient failures (:data:`RETRYABLE`) are retried with
+        backoff until the ``retries`` budget or the per-request
+        deadline (``deadline_s`` here, else the client default) runs
+        out; the last error is re-raised.
+        """
+        deadline = deadline_s if deadline_s is not None else self.deadline_s
+        start = time.monotonic()
+        attempt = 0
+        while True:
+            try:
+                return await self._submit_once(request)
+            except RETRYABLE:
+                if attempt >= self.retries:
+                    raise
+                delay = self._backoff(attempt)
+                if deadline is not None and \
+                        time.monotonic() - start + delay > deadline:
+                    raise
+                _tele.count("client.retries")
+                await asyncio.sleep(delay)
+                attempt += 1
+
+    async def _submit_once(self, request: WorkloadRequest) -> WorkloadResult:
         status, payload = await self._round_trip(
             "POST", "/v1/workload", request.to_json())
         if status == 200:
@@ -123,13 +213,14 @@ class ServiceClient:
                                               self.timeout_s)
         except (asyncio.IncompleteReadError, ConnectionError) as exc:
             await self.close()
-            raise ServiceError(f"connection to {self.host}:{self.port} "
-                               f"dropped mid-request: "
-                               f"{type(exc).__name__}") from exc
+            raise TransportError(f"connection to {self.host}:{self.port} "
+                                 f"dropped mid-request: "
+                                 f"{type(exc).__name__}") from exc
         except asyncio.TimeoutError:
             await self.close()
-            raise ServiceError(f"no response from {self.host}:{self.port} "
-                               f"within {self.timeout_s}s") from None
+            raise TransportError(f"no response from {self.host}:"
+                                 f"{self.port} within "
+                                 f"{self.timeout_s}s") from None
         return response
 
     async def _read_response(self):
@@ -175,4 +266,4 @@ def call(request: WorkloadRequest, host: str = "127.0.0.1",
     return asyncio.run(_run())
 
 
-__all__ = ["ServiceClient", "call"]
+__all__ = ["RETRYABLE", "ServiceClient", "call"]

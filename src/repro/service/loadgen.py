@@ -19,15 +19,28 @@ recorded in ``BENCH_service.json`` and gate-enforced at >= 3x
 
 Clients use *distinct* models (distinct seeds) and the server cache is
 off, so nothing here measures dedupe — only genuine coalescing.
+
+:func:`run_chaos` (PR 10) is the resilience counterpart: the same
+closed-loop traffic with a globally-injected :class:`~repro.faults.
+FaultPlan` poisoning batches, stalling the scheduler past its deadline,
+and dropping connections mid-response — while retrying clients hammer
+on.  Its invariant is the service's whole robustness claim: **every**
+response is either a bit-exact wire triple (equal to the fault-free
+answer computed up front) or a *typed* :class:`~repro.service.api.
+ServiceError` — never a wrong value, never an untyped exception.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
+import random
 import time
+from collections import Counter
 from dataclasses import dataclass
 from typing import List, Optional
 
+from .. import faults as _faults
 from ..engine.plan import ExecPlan
 from .api import ServiceError, WorkloadRequest
 from .client import ServiceClient
@@ -171,5 +184,116 @@ def compare_coalescing(*, scale: float = 1.0, format: str = "binary64",
     }
 
 
+async def run_chaos(*, clients: int = 8, requests_per_client: int = 6,
+                    format: str = "binary64", h: int = 6, m: int = 6,
+                    t: int = 48, window_s: float = 0.003,
+                    max_batch: int = 32, max_queue: int = 4096,
+                    deadline_s: float = 2.0, seed: int = 0,
+                    chaos_seed: int = 1234,
+                    batch_error_p: float = 0.25,
+                    batch_delay_p: float = 0.10,
+                    delay_s: float = 0.05,
+                    drop_p: float = 0.20) -> dict:
+    """Closed-loop load under an injected fault storm.
+
+    The fault-free answer for every client's model is computed up
+    front through :func:`~repro.service.workloads.execute` (the same
+    dispatcher the server uses), then the *same* requests are driven
+    through a real server with ``service.batch`` error/delay rules and
+    a ``service.connection`` drop rule installed process-wide.
+    Clients retry with backoff; the server sheds queue entries aged
+    past ``deadline_s``.
+
+    Returns a report whose ``invariant_ok`` is True iff every response
+    was either exactly the fault-free wire values or a typed
+    :class:`ServiceError` — the chaos-mode acceptance criterion.
+    """
+    from .workloads import execute
+
+    payloads = [forward_request(format, h, m, t, seed + i).to_json()
+                for i in range(clients)]
+    # Fault-free oracle: exact wire values per client, computed before
+    # any plan is installed.  json round-trip normalizes containers the
+    # same way the socket path does.
+    expected = [
+        json.loads(json.dumps(
+            execute(WorkloadRequest.from_json(dict(p))).values))
+        for p in payloads]
+
+    plan = _faults.FaultPlan([
+        _faults.FaultRule("service.batch", mode="error", p=batch_error_p),
+        _faults.FaultRule("service.batch", mode="delay", p=batch_delay_p,
+                          delay_s=delay_s),
+        _faults.FaultRule("service.connection", mode="error", p=drop_p),
+    ], seed=chaos_seed)
+
+    ok = [0]
+    mismatches = [0]
+    typed_errors: Counter = Counter()
+    untyped_errors: Counter = Counter()
+
+    with _faults.inject(plan, globally=True):
+        async with EvalServer(port=0, window_s=window_s,
+                              max_batch=max_batch, max_queue=max_queue,
+                              deadline_s=deadline_s,
+                              cache="off") as server:
+
+            async def one_client(index: int) -> None:
+                payload = payloads[index]
+                client = ServiceClient(
+                    "127.0.0.1", server.port, retries=6,
+                    backoff_s=0.01, backoff_max_s=0.25,
+                    rng=random.Random(f"{chaos_seed}:{index}"))
+                async with client:
+                    for j in range(requests_per_client):
+                        request = WorkloadRequest.from_json(
+                            dict(payload, request_id=f"c{index}-r{j}"))
+                        try:
+                            result = await client.submit(request)
+                        except ServiceError as exc:
+                            typed_errors[exc.code] += 1
+                        except Exception as exc:  # invariant violation
+                            untyped_errors[type(exc).__name__] += 1
+                        else:
+                            if result.values == expected[index]:
+                                ok[0] += 1
+                            else:
+                                mismatches[0] += 1
+
+            started = time.perf_counter()
+            await asyncio.gather(*(one_client(i) for i in range(clients)))
+            elapsed = time.perf_counter() - started
+            stats = server.stats()
+
+    injected = Counter(site for site, _token, _mode in plan.fired)
+    total = clients * requests_per_client
+    return {
+        "benchmark": "service_chaos",
+        "params": {"clients": clients,
+                   "requests_per_client": requests_per_client,
+                   "format": format, "shape": [h, m, t],
+                   "window_s": window_s, "max_batch": max_batch,
+                   "deadline_s": deadline_s, "chaos_seed": chaos_seed,
+                   "batch_error_p": batch_error_p,
+                   "batch_delay_p": batch_delay_p, "drop_p": drop_p},
+        "results": {"chaos": {
+            "requests": total,
+            "ok": ok[0],
+            "mismatches": mismatches[0],
+            "typed_errors": dict(typed_errors),
+            "untyped_errors": dict(untyped_errors),
+            "injected": dict(injected),
+            "dropped_connections": stats["telemetry"]["counters"].get(
+                "service.dropped_connections", 0),
+            "shed": stats["telemetry"]["counters"].get("service.shed", 0),
+            "elapsed_s": elapsed,
+            "invariant_ok": (mismatches[0] == 0
+                             and not untyped_errors
+                             and ok[0] + sum(typed_errors.values())
+                             + mismatches[0] == total),
+        }},
+    }
+
+
 __all__ = ["LoadResult", "compare_coalescing", "forward_request",
-           "model_json", "run_load"]
+           "model_json", "run_chaos", "run_load"]

@@ -23,7 +23,11 @@ Scheduling rules:
 * admission is bounded: once ``max_queue`` requests are in flight,
   :meth:`submit` raises :class:`~repro.service.api.Overloaded` — the
   429 path.  Load-shedding at admission keeps the hold window honest
-  (queueing more than we can drain would stretch every latency).
+  (queueing more than we can drain would stretch every latency);
+* with a ``deadline_s``, members that aged past it while queued are
+  shed with :class:`~repro.service.api.DeadlineExceeded` (503) at
+  drain time, *before* the group's kernel call — an answer nobody is
+  still waiting for is pure waste.
 
 Execution happens in a thread-pool executor so the event loop keeps
 accepting requests mid-kernel.  ``loop.run_in_executor`` does *not*
@@ -43,10 +47,17 @@ import heapq
 import time
 from typing import List, Optional
 
+from .. import faults as _faults
 from .. import telemetry as _tele
 from ..engine.plan import ExecPlan
 from ..telemetry import Collector
-from .api import Overloaded, ServiceError, ShuttingDown, WorkloadFailed
+from .api import (
+    DeadlineExceeded,
+    Overloaded,
+    ServiceError,
+    ShuttingDown,
+    WorkloadFailed,
+)
 from .workloads import WorkloadHandler, WorkloadRequest
 
 
@@ -85,7 +96,8 @@ class Microbatcher:
     def __init__(self, *, window_s: float = 0.002, max_batch: int = 64,
                  max_queue: int = 1024, workers: int = 1,
                  plan: Optional[ExecPlan] = None,
-                 collector: Optional[Collector] = None):
+                 collector: Optional[Collector] = None,
+                 deadline_s: Optional[float] = None):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_queue < 1:
@@ -94,6 +106,9 @@ class Microbatcher:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if window_s < 0:
             raise ValueError(f"window_s must be >= 0, got {window_s}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
+        self.deadline_s = deadline_s
         self.window_s = window_s
         self.max_batch = max_batch
         self.max_queue = max_queue
@@ -200,9 +215,40 @@ class Microbatcher:
             _neg_priority, _seq, group = heapq.heappop(self._ready)
             await self._execute(group)
 
+    def _shed_expired(self, group: "_Group", now: float) -> "_Group":
+        """Drop members whose queue wait exceeded the deadline —
+        answered 503 *before* a kernel call is spent on them.
+
+        Returns the group of survivors (possibly empty).  Server-side
+        deadline enforcement complements the client's per-request
+        deadline: a stalled batch ahead in the queue (the
+        ``service.batch`` site's ``delay`` mode) ages everything
+        behind it, and work nobody is waiting for anymore is waste.
+        """
+        if self.deadline_s is None:
+            return group
+        survivors = _Group(group.handler)
+        for request, future, t0 in zip(group.requests, group.futures,
+                                       group.submitted_at):
+            if now - t0 > self.deadline_s:
+                if self.collector is not None:
+                    self.collector.count("service.shed")
+                if not future.done():
+                    future.set_exception(DeadlineExceeded(
+                        f"request waited {now - t0:.3f}s in queue, past "
+                        f"the {self.deadline_s}s deadline; shed unrun"))
+            else:
+                survivors.requests.append(request)
+                survivors.futures.append(future)
+                survivors.submitted_at.append(t0)
+        return survivors
+
     async def _execute(self, group: "_Group") -> None:
         loop = asyncio.get_running_loop()
         started = time.perf_counter()
+        group = self._shed_expired(group, started)
+        if not group.requests:
+            return
         child = Collector()
         try:
             outputs = await loop.run_in_executor(
@@ -234,9 +280,14 @@ class Microbatcher:
 
     def _run_batch_in_thread(self, group: "_Group", child: Collector):
         # Executor threads do not inherit the loop's contextvars, so the
-        # telemetry scope is entered here, inside the thread.
+        # telemetry scope is entered here, inside the thread.  The
+        # ``service.batch`` fault site fires before the kernel call:
+        # ``error`` poisons the batch (coalesced groups fall back to
+        # solo members), ``delay`` stalls it (aging the queue past
+        # server deadlines).
         with _tele.collect(collector=child):
             with child.span(f"service.batch.{group.requests[0].kind}"):
+                _faults.fire("service.batch")
                 return group.handler.run_batch(group.requests,
                                                plan=self.plan)
 

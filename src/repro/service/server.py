@@ -33,6 +33,7 @@ import time
 from collections import deque
 from typing import Optional
 
+from .. import faults as _faults
 from .. import telemetry as _tele
 from ..engine.plan import ExecPlan
 from ..telemetry import Collector
@@ -81,7 +82,8 @@ class EvalServer:
                  max_queue: int = 1024, workers: int = 1,
                  plan: Optional[ExecPlan] = None, cache: str = "auto",
                  cache_dir: Optional[str] = None,
-                 max_body: int = 32 * 1024 * 1024):
+                 max_body: int = 32 * 1024 * 1024,
+                 deadline_s: Optional[float] = None):
         if cache not in ("auto", "off"):
             raise ValueError(f"server cache must be 'auto' or 'off', "
                              f"got {cache!r}")
@@ -95,7 +97,8 @@ class EvalServer:
         self.batcher = Microbatcher(window_s=window_s, max_batch=max_batch,
                                     max_queue=max_queue, workers=workers,
                                     plan=self.plan,
-                                    collector=self.collector)
+                                    collector=self.collector,
+                                    deadline_s=deadline_s)
         self._server: Optional[asyncio.AbstractServer] = None
         self._started = time.perf_counter()
         self._latencies_s: deque = deque(maxlen=10000)
@@ -205,6 +208,15 @@ class EvalServer:
                     framing_ok = False
                     status = exc.http_status
                     payload = {"error": exc.to_error_info().to_json()}
+                # The ``service.connection`` fault site: drop the
+                # connection *after* the work, before the answer — the
+                # worst-timed failure a client can see.  Retried
+                # requests dedupe/coalesce rather than recompute.
+                try:
+                    _faults.fire("service.connection")
+                except _faults.InjectedFault:
+                    self.collector.count("service.dropped_connections")
+                    break
                 keep_alive = framing_ok and \
                     headers.get("connection", "").lower() != "close"
                 data = json.dumps(payload).encode()
@@ -327,6 +339,7 @@ class EvalServer:
                 "window_s": self.batcher.window_s,
                 "max_batch": self.batcher.max_batch,
                 "max_queue": self.batcher.max_queue,
+                "deadline_s": self.batcher.deadline_s,
                 "cache": self.cache,
                 "plan": self.plan.to_json(),
             },

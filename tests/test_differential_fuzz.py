@@ -1,0 +1,171 @@
+"""Randomized differential fuzzing across every registered format.
+
+For each format the registry knows (auto-discovered — a newly
+registered format is fuzzed with zero test changes) and each of the
+four elementwise ops, three implementations of the same computation
+are compared on seeded random operands:
+
+* the **scalar backend** (the reference semantics);
+* its certified **batch mirror** — must agree element-exactly (the
+  engine's certification contract);
+* the **BigFloat oracle**: round the operands into the format, compute
+  the exact result of those *representable* operands at 512 bits,
+  round once.  Backends that contract exact-compute + single-rounding
+  (binary64, posit, LNS's ideal-table model, log-space mul/div — which
+  are plain float add/sub of the correctly-rounded logs) must equal
+  that single rounding bit-for-bit.  Log-space ``add``/``sub`` go
+  through the *composite* float LSE of Equation (2) instead — ``add``
+  is near-correctly-rounded (no cancellation in ``log1p(exp(d))``, so
+  we assert within 2 ulps), while ``sub`` under cancellation has
+  unbounded ulp error by design (the stable formula's ``1 - exp(d)``
+  loses relative accuracy as ``d -> 0-``), so only its mirror,
+  monotonicity, and domain-error behaviour are asserted.
+
+Operands sweep a wide exponent range plus near-cancellation pairs (the
+rounding-boundary stress).  Probability-domain formats (log-space,
+LNS) only encode non-negative values and refuse subtractions that go
+negative, so their operands are positive and ordered for ``sub`` —
+discovered by probing the backend, not by name-matching, so the rule
+extends to future formats.
+"""
+
+import math
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.arith.registry import REGISTRY
+from repro.bigfloat import BigFloat
+
+OPS = ("add", "sub", "mul", "div")
+TRIALS = 48
+ORACLE_PREC = 512
+
+#: Ops whose scalar backend does NOT contract a single rounding of the
+#: exact result (log-space Equation-2 LSE, a composite float formula).
+#: Maps to the asserted ulp bound in the log domain, or None when no
+#: ulp bound holds (subtractive cancellation).
+FAITHFUL_ONLY = {("log", "add"): 2, ("log", "sub"): None}
+
+
+def _fuzz_formats():
+    names = []
+    for name in REGISTRY.names():
+        scalar, batch = REGISTRY.create_pair(name)
+        if batch is not None:
+            names.append(name)
+    return names
+
+
+FORMATS = _fuzz_formats()
+
+
+def test_oracle_has_no_mirror_and_is_excluded():
+    """The fuzz targets are exactly the formats with a batch mirror;
+    the BigFloat oracle itself has none (it *is* the reference)."""
+    assert len(FORMATS) >= 6
+    excluded = set(REGISTRY.names()) - set(FORMATS)
+    assert all(name.startswith("bigfloat") for name in excluded)
+
+
+def _signed(scalar) -> bool:
+    """Probe whether the format encodes negative values."""
+    try:
+        scalar.from_bigfloat(BigFloat.from_float(-1.0))
+        return True
+    except ValueError:
+        return False
+
+
+def _operands(rng, signed: bool, op: str):
+    """One operand pair: wide exponent spread, with a slice of
+    near-cancellation pairs, ordered for probability-domain ``sub``."""
+    def draw():
+        mag = float(rng.uniform(1.0, 2.0))
+        if signed:
+            mag *= float(rng.choice([-1.0, 1.0]))
+        return BigFloat.from_float(mag).mul_pow2(int(rng.integers(-60, 61)))
+
+    x = draw()
+    if rng.uniform() < 0.25:
+        # Near-cancellation: y just below x in magnitude, so add/sub
+        # land on rounding boundaries and sub shrinks catastrophically.
+        y = x.mul(BigFloat.from_float(1.0 - 2.0 ** -int(
+            rng.integers(1, 50))), ORACLE_PREC)
+    else:
+        y = draw()
+    if not signed and op == "sub" and x.cmp(y) < 0:
+        x, y = y, x
+    return x, y
+
+
+@pytest.mark.parametrize("op", OPS)
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_scalar_batch_and_oracle_agree(fmt, op):
+    scalar, batch = REGISTRY.create_pair(fmt)
+    signed = _signed(scalar)
+    # Seeded per (format, op) with a process-stable hash (``hash()``
+    # is salted per interpreter run; crc32 is not).
+    rng = np.random.default_rng(zlib.crc32(f"{fmt}:{op}".encode()))
+    pairs = [_operands(rng, signed, op) for _ in range(TRIALS)]
+
+    a_vals = [scalar.from_bigfloat(x) for x, _y in pairs]
+    b_vals = [scalar.from_bigfloat(y) for _x, y in pairs]
+    got = [getattr(scalar, op)(a, b) for a, b in zip(a_vals, b_vals)]
+
+    # Leg 1: the batch mirror is element-exact against the scalar
+    # backend — one vectorized call over the whole operand set.
+    xa = batch.from_bigfloats([x for x, _y in pairs])
+    yb = batch.from_bigfloats([y for _x, y in pairs])
+    batched = getattr(batch, op)(xa, yb)
+    for i in range(TRIALS):
+        assert batch.item(batched, i) == got[i], (fmt, op, i, pairs[i])
+
+    # Leg 2: the scalar backend against the BigFloat oracle — a single
+    # rounding of the exact result of the representable (i.e.
+    # already-rounded) operands, except for the FAITHFUL_ONLY ops.
+    ulps = FAITHFUL_ONLY.get((fmt, op), 0)
+    for i, (a, b) in enumerate(zip(a_vals, b_vals)):
+        ra, rb = scalar.to_bigfloat(a), scalar.to_bigfloat(b)
+        exact = getattr(ra, op)(rb, ORACLE_PREC)
+        want = scalar.from_bigfloat(exact)
+        if ulps is None:
+            # No ulp bound — log-space sub under cancellation.  The
+            # result must still never exceed the minuend (subtracting
+            # a non-negative probability cannot grow it).
+            assert got[i] <= a, (fmt, op, i, pairs[i])
+        elif ulps == 0:
+            assert got[i] == want, (fmt, op, i, pairs[i])
+        else:
+            assert (got[i] == want
+                    or abs(got[i] - want) <= ulps * math.ulp(want)), (
+                fmt, op, i, pairs[i], got[i], want)
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_probability_domain_errors_are_mirrored(fmt):
+    """Where the scalar refuses (negative-probability subtraction),
+    the batch mirror must refuse too — silently returning a lane of
+    garbage would break the certification contract."""
+    scalar, batch = REGISTRY.create_pair(fmt)
+    if _signed(scalar):
+        pytest.skip("signed format: subtraction is total")
+    lo, hi = BigFloat.from_float(1.0), BigFloat.from_float(1.5)
+    with pytest.raises(ValueError):
+        scalar.sub(scalar.from_bigfloat(lo), scalar.from_bigfloat(hi))
+    with pytest.raises(ValueError):
+        batch.sub(batch.from_bigfloats([lo]), batch.from_bigfloats([hi]))
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_fuzz_is_deterministic(fmt):
+    """Same seed stream, same operands — a failure reproduces."""
+    scalar, _batch = REGISTRY.create_pair(fmt)
+    signed = _signed(scalar)
+    rng1 = np.random.default_rng(7)
+    rng2 = np.random.default_rng(7)
+    first = [_operands(rng1, signed, "add") for _ in range(8)]
+    again = [_operands(rng2, signed, "add") for _ in range(8)]
+    assert [(x.to_float(), y.to_float()) for x, y in first] == \
+        [(x.to_float(), y.to_float()) for x, y in again]

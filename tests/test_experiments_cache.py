@@ -8,6 +8,7 @@ import os
 
 import pytest
 
+from repro import faults, telemetry
 from repro.experiments import cache
 from repro.experiments.runner import REGISTRY, Experiment, main, run_experiment
 
@@ -60,6 +61,75 @@ class TestStoreLoad:
         cache.store("figY", {}, "b")
         assert cache.clear() == 2
         assert cache.load("figX", {}) is None
+
+
+class TestChecksum:
+    """PR 10: every entry carries a content checksum; a bit-flipped or
+    truncated entry is detected, counted, deleted, and treated as a
+    miss — then healed by the next store."""
+
+    PARAMS = {"scale": "test"}
+
+    def test_bitflip_in_text_is_detected_and_healed(self):
+        path = cache.store("figX", self.PARAMS, "rendered report")
+        with open(path) as f:
+            entry = json.load(f)
+        entry["text"] = "rendered rep0rt"        # silent on-disk damage
+        with open(path, "w") as f:
+            json.dump(entry, f)
+        with telemetry.collect() as col:
+            assert cache.load("figX", self.PARAMS) is None
+        assert col.events["cache.corrupt"] == 1
+        assert not os.path.exists(path)          # deleted, not poisoned
+        # The next store rewrites the same key and hits again.
+        cache.store("figX", self.PARAMS, "rendered report")
+        assert cache.load("figX", self.PARAMS)["text"] == "rendered report"
+
+    def test_legacy_entry_without_checksum_is_invalidated(self):
+        path = cache.store("figX", self.PARAMS, "ok")
+        with open(path) as f:
+            entry = json.load(f)
+        del entry["checksum"]                    # pre-PR-10 entry shape
+        with open(path, "w") as f:
+            json.dump(entry, f)
+        with telemetry.collect() as col:
+            assert cache.load("figX", self.PARAMS) is None
+        assert col.events["cache.corrupt"] == 1
+
+    def test_truncated_raw_bytes_are_corruption(self):
+        path = cache.store("figX", self.PARAMS, "ok")
+        with open(path, "rb") as f:
+            raw = f.read()
+        with open(path, "wb") as f:
+            f.write(raw[:len(raw) // 2])         # torn write
+        with telemetry.collect() as col:
+            assert cache.load("figX", self.PARAMS) is None
+        assert col.events["cache.corrupt"] == 1
+        assert not os.path.exists(path)
+
+    def test_fault_site_corrupt_mode_truncates_the_read(self):
+        """``cache.read`` in ``corrupt`` mode injects the torn-read
+        without touching the disk bytes."""
+        path = cache.store("figX", self.PARAMS, "ok")
+        plan = faults.FaultPlan([faults.FaultRule("cache.read",
+                                                  mode="corrupt")])
+        with faults.inject(plan), telemetry.collect() as col:
+            assert cache.load("figX", self.PARAMS) is None
+        assert plan.fired == [("cache.read", os.path.basename(path),
+                               "corrupt")]
+        assert col.events["cache.corrupt"] == 1
+        # The injected corruption deleted the (healthy) entry; a fresh
+        # store makes it hit again once the plan is gone.
+        cache.store("figX", self.PARAMS, "ok")
+        assert cache.load("figX", self.PARAMS)["text"] == "ok"
+
+    def test_fault_site_error_mode_is_a_corrupt_miss(self):
+        cache.store("figX", self.PARAMS, "ok")
+        plan = faults.FaultPlan([faults.FaultRule("cache.read")])
+        with faults.inject(plan), telemetry.collect() as col:
+            assert cache.load("figX", self.PARAMS) is None
+        assert col.events["cache.corrupt"] == 1
+        assert col.counters["cache.miss"] == 1
 
 
 class TestRunnerCaching:

@@ -8,6 +8,7 @@ import time
 
 import pytest
 
+from repro import faults
 from repro.apps.hmm import forward
 from repro.data.dirichlet import sample_hmm
 from repro.engine.plan import ExecPlan
@@ -491,3 +492,123 @@ class TestServiceErrorHierarchy:
         for exc in (ProtocolError("x"), Overloaded("x"),
                     ServiceError("x")):
             assert isinstance(exc, ServiceError)
+
+
+class TestResilience:
+    """PR 10: fault sites pinned through a real server — poisoned
+    batches fall back to solo with exact values, queued requests aged
+    past the server deadline are shed as typed 503s, and dropped
+    connections are healed by client retries.  Plans are injected
+    ``globally`` because the scheduler's executor thread and the
+    connection tasks never inherit the test's contextvars."""
+
+    def test_poisoned_batch_still_answers_exactly(self):
+        n = 2
+        requests = [forward_request("binary64", 3, 3, 10, seed=i)
+                    for i in range(n)]
+        plan = faults.FaultPlan([faults.FaultRule("service.batch",
+                                                  at=(0,))])
+
+        async def run():
+            async with EvalServer(port=0, window_s=0.5, max_batch=n,
+                                  cache="off") as server:
+                return await _submit_concurrently(server, requests)
+
+        with faults.inject(plan, globally=True):
+            results = asyncio.run(run())
+        assert plan.fired == [("service.batch", 0, "error")]
+        for i, result in enumerate(results):
+            # The coalesced attempt died; the solo fallback answered
+            # with the exact solo wire values.
+            assert result.stats["batch_size"] == 1
+            assert result.values[0] == _solo_forward_wire("binary64", i)
+
+    def test_queued_request_aged_past_deadline_is_shed(self):
+        from repro.service.api import DeadlineExceeded
+        plan = faults.FaultPlan([faults.FaultRule(
+            "service.batch", mode="delay", at=(0,), delay_s=0.5)])
+
+        async def run():
+            async with EvalServer(port=0, window_s=0.0, max_batch=1,
+                                  deadline_s=0.1,
+                                  cache="off") as server:
+                async def one(seed, **kwargs):
+                    client = ServiceClient("127.0.0.1", server.port,
+                                           **kwargs)
+                    async with client:
+                        return await client.submit(
+                            forward_request("binary64", 3, 3, 10,
+                                            seed=seed))
+                # First request holds the (single-lane) executor for
+                # 0.5s; the second ages out in the queue.
+                stalled = asyncio.ensure_future(one(0))
+                await asyncio.sleep(0.05)
+                with pytest.raises(DeadlineExceeded) as err:
+                    await one(1, retries=0)
+                first = await stalled
+                return first, err.value, server.stats()
+
+        with faults.inject(plan, globally=True):
+            first, exc, stats = asyncio.run(run())
+        assert exc.http_status == 503
+        assert exc.code == "deadline-exceeded"
+        assert stats["telemetry"]["counters"]["service.shed"] == 1
+        # The stalled request itself still answered exactly.
+        assert first.values[0] == _solo_forward_wire("binary64", 0)
+
+    def test_dropped_connection_is_healed_by_retry(self):
+        plan = faults.FaultPlan([faults.FaultRule("service.connection",
+                                                  at=(0,))])
+
+        async def run():
+            async with EvalServer(port=0, window_s=0.0, max_batch=1,
+                                  cache="off") as server:
+                client = ServiceClient("127.0.0.1", server.port,
+                                       retries=2, backoff_s=0.01)
+                async with client:
+                    result = await client.submit(
+                        forward_request("binary64", 3, 3, 10, seed=0))
+                return result, server.stats()
+
+        with faults.inject(plan, globally=True):
+            result, stats = asyncio.run(run())
+        # The answer was computed, then the socket died before the
+        # bytes went out; the retried request answered exactly.
+        counters = stats["telemetry"]["counters"]
+        assert counters["service.dropped_connections"] == 1
+        assert result.values[0] == _solo_forward_wire("binary64", 0)
+
+    def test_connect_retries_ride_out_a_late_server(self):
+        import random
+        import socket
+
+        from repro import telemetry
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here until the server starts
+
+        async def run():
+            async def late_client():
+                client = ServiceClient(
+                    "127.0.0.1", port, connect_retries=20,
+                    backoff_s=0.05, backoff_max_s=0.1,
+                    rng=random.Random(0))
+                with telemetry.collect() as col:
+                    async with client:
+                        result = await client.submit(
+                            forward_request("binary64", 3, 3, 10,
+                                            seed=0))
+                return result, col.counters.get("client.connect_retries",
+                                                0)
+
+            task = asyncio.ensure_future(late_client())
+            await asyncio.sleep(0.25)
+            async with EvalServer(port=port, window_s=0.0, max_batch=1,
+                                  cache="off"):
+                return await task
+
+        result, retried = asyncio.run(run())
+        assert retried >= 1
+        assert result.values[0] == _solo_forward_wire("binary64", 0)
